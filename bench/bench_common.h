@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace skipweb::bench {
+
+// Plain fixed-width table printing: every bench regenerates its table or
+// figure as rows on stdout so EXPERIMENTS.md can quote them directly.
+
+inline void print_rule(std::size_t width = 100) {
+  for (std::size_t i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title);
+  print_rule();
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+// Growth-shape verdict: correlation of the measured series against a model
+// curve, printed so the reader can see "tracks log n" at a glance.
+inline std::string shape_verdict(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const double corr = util::correlation(xs, ys);
+  if (corr > 0.97) return "matches (r=" + fmt(corr) + ")";
+  if (corr > 0.85) return "tracks  (r=" + fmt(corr) + ")";
+  return "differs (r=" + fmt(corr) + ")";
+}
+
+}  // namespace skipweb::bench

@@ -1,0 +1,115 @@
+// Congestion C(n): how query traffic distributes over hosts (paper §1.1's
+// third cost). Uniform query workload, identical key sets; reports the
+// busiest host, the 99th-percentile host, and the fraction of hosts that saw
+// any traffic at all — the skip-web family must spread load like skip
+// graphs, while rooted trees funnel it.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/family_tree.h"
+#include "baselines/skipgraph.h"
+#include "bench_common.h"
+#include "core/bucket_skipweb.h"
+#include "core/skipweb_1d.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using namespace skipweb::bench;
+namespace wl = skipweb::workloads;
+
+void report(const char* label, net::network& net, std::size_t queries) {
+  std::vector<std::uint64_t> visits;
+  visits.reserve(net.host_count());
+  for (std::size_t hid = 0; hid < net.host_count(); ++hid) {
+    visits.push_back(net.visits(net::host_id{static_cast<std::uint32_t>(hid)}));
+  }
+  std::sort(visits.begin(), visits.end());
+  const auto p99 = visits[static_cast<std::size_t>(0.99 * (double(visits.size()) - 1))];
+  std::size_t touched = 0;
+  for (const auto v : visits) touched += (v > 0);
+  print_row({label, fmt_u(visits.back()), fmt_u(p99),
+             fmt(100.0 * double(touched) / double(visits.size()), 1) + "%",
+             fmt(double(visits.back()) / double(queries), 3)},
+            18);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 2048, queries = 2000;
+  util::rng r(616);
+  const auto keys = wl::uniform_keys(n, r);
+  const auto probes = wl::probe_keys(keys, queries, r);
+
+  print_header("Congestion C(n) under 2000 uniform queries, n = 2048 keys");
+  print_row({"structure", "max visits", "p99 visits", "hosts touched", "max/queries"}, 18);
+  print_rule();
+
+  {
+    net::network net(n);
+    core::skipweb_1d s(keys, 1, net, core::skipweb_1d::placement::tower);
+    net.reset_traffic();
+    std::uint32_t o = 0;
+    for (const auto q : probes) {
+      (void)s.nearest(q, net::host_id{o});
+      o = static_cast<std::uint32_t>((o + 1) % n);
+    }
+    report("skip-web tower", net, queries);
+  }
+  {
+    net::network net(n);
+    core::skipweb_1d s(keys, 1, net, core::skipweb_1d::placement::balanced);
+    net.reset_traffic();
+    std::uint32_t o = 0;
+    for (const auto q : probes) {
+      (void)s.nearest(q, net::host_id{o});
+      o = static_cast<std::uint32_t>((o + 1) % n);
+    }
+    report("skip-web balanced", net, queries);
+  }
+  {
+    net::network net(1);
+    core::bucket_skipweb s(keys, 1, net, 32);
+    net.reset_traffic();
+    std::uint32_t o = 0;
+    for (const auto q : probes) {
+      (void)s.nearest(q, net::host_id{o});
+      o = static_cast<std::uint32_t>((o + 1) % net.host_count());
+    }
+    report("skip-web blocked", net, queries);
+  }
+  {
+    net::network net(1);
+    baselines::skip_graph s(keys, 1, net);
+    net.reset_traffic();
+    std::uint32_t o = 0;
+    for (const auto q : probes) {
+      (void)s.nearest(q, net::host_id{o});
+      o = static_cast<std::uint32_t>((o + 1) % net.host_count());
+    }
+    report("skip graph", net, queries);
+  }
+  {
+    net::network net(1);
+    baselines::family_tree s(keys, 1, net);
+    net.reset_traffic();
+    std::uint32_t o = 0;
+    for (const auto q : probes) {
+      (void)s.nearest(q, net::host_id{o});
+      o = static_cast<std::uint32_t>((o + 1) % net.host_count());
+    }
+    report("family tree*", net, queries);
+  }
+  print_rule();
+  std::printf(
+      "skip-web/skip-graph hot spots stay within a few percent of the workload; the\n"
+      "rooted treap substitute (*) funnels essentially every query through its root -\n"
+      "the deviation from real family trees documented in DESIGN.md.\n");
+  return 0;
+}

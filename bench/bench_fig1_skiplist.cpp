@@ -1,0 +1,49 @@
+// Reproduces Figure 1's claims about the classic skip list: expected
+// O(log n) query steps and O(n) space (the structure the whole skip-web
+// family generalizes).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "seq/skiplist.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace skipweb;
+  using namespace skipweb::bench;
+  namespace wl = skipweb::workloads;
+
+  print_header("Figure 1 - skip list: expected O(log n) search, O(n) space");
+  print_row({"n", "log2 n", "search steps", "steps/log2 n", "tower nodes", "nodes/n", "levels"});
+  print_rule();
+
+  std::vector<double> logs, steps_series;
+  for (const std::size_t n :
+       {std::size_t{256}, std::size_t{1024}, std::size_t{4096}, std::size_t{16384},
+        std::size_t{65536}}) {
+    util::rng r(100 + n);
+    seq::skiplist<std::uint64_t> s{util::rng(200 + n)};
+    const auto keys = wl::uniform_keys(n, r);
+    for (const auto k : keys) s.insert(k);
+
+    util::accumulator steps;
+    for (const auto q : wl::probe_keys(keys, 500, r)) {
+      (void)s.contains(q);
+      steps.add(static_cast<double>(s.last_search_steps()));
+    }
+    const double logn = std::log2(static_cast<double>(n));
+    print_row({fmt_u(n), fmt(logn, 1), fmt(steps.mean(), 2), fmt(steps.mean() / logn, 2),
+               fmt_u(s.tower_node_count()),
+               fmt(static_cast<double>(s.tower_node_count()) / static_cast<double>(n), 3),
+               fmt_u(static_cast<std::uint64_t>(s.levels()))});
+    logs.push_back(logn);
+    steps_series.push_back(steps.mean());
+  }
+  print_rule();
+  std::printf("search-step growth vs log n: %s  (paper: expected O(log n))\n",
+              shape_verdict(logs, steps_series).c_str());
+  std::printf("space: tower nodes stay ~2 per key at every n (paper: expected O(n))\n");
+  return 0;
+}

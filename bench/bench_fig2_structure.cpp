@@ -1,0 +1,57 @@
+// Reproduces Figure 2: the anatomy of a one-dimensional skip-web — level
+// sets halve per level, top-level structures have O(1) expected size, and
+// following pointers down from any top-level node "looks like a skip list".
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "core/skipweb_1d.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace skipweb;
+  using namespace skipweb::bench;
+  namespace wl = skipweb::workloads;
+
+  const std::size_t n = 4096;
+  util::rng r(321);
+  const auto keys = wl::uniform_keys(n, r);
+  net::network net(n);
+  core::skipweb_1d web(keys, 55, net, core::skipweb_1d::placement::tower);
+  const auto& lists = web.lists();
+
+  print_header("Figure 2 - 1-D skip-web anatomy (n = 4096)");
+  print_row({"level", "sets", "mean |S_b|", "n/2^l", "max |S_b|"});
+  print_rule();
+  for (int l = 0; l <= lists.levels(); ++l) {
+    std::map<std::uint64_t, std::size_t> sizes;
+    for (int i = 0; i < static_cast<int>(lists.arena_size()); ++i) {
+      ++sizes[lists.prefix(i, l).bits];
+    }
+    std::size_t max_size = 0;
+    for (const auto& [p, s] : sizes) max_size = std::max(max_size, s);
+    print_row({fmt_u(static_cast<std::uint64_t>(l)), fmt_u(sizes.size()),
+               fmt(static_cast<double>(n) / static_cast<double>(sizes.size()), 2),
+               fmt(static_cast<double>(n) / std::pow(2.0, l), 2), fmt_u(max_size)});
+  }
+  print_rule();
+
+  // "Looks like a skip list from any top node": searches started at every
+  // host's root must all find the answer in O(log n) messages.
+  util::accumulator msgs;
+  const auto probes = wl::probe_keys(keys, 512, r);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    msgs.add(static_cast<double>(
+        web.nearest(probes[i], net::host_id{static_cast<std::uint32_t>(i % n)}).messages));
+  }
+  std::printf(
+      "descents from %zu distinct top-level roots: %.2f mean messages, %.0f max "
+      "(log2 n = %.1f)\n",
+      probes.size(), msgs.mean(), msgs.max(), std::log2(static_cast<double>(n)));
+  std::printf("top-level max |S_b| stays O(1) while level-0 is the full sorted list.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the sequential substrates: these
+// are sanity numbers, not paper claims — the paper's costs are message
+// counts, but a reproduction should also show the building blocks run at
+// reasonable native speed.
+
+#include <benchmark/benchmark.h>
+
+#include "seq/quadtree.h"
+#include "seq/skiplist.h"
+#include "seq/sorted_list.h"
+#include "seq/trapmap.h"
+#include "seq/trie.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+namespace wl = skipweb::workloads;
+
+void BM_SkiplistInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(1);
+  const auto keys = wl::uniform_keys(n, r);
+  for (auto _ : state) {
+    seq::skiplist<std::uint64_t> s{util::rng(2)};
+    for (const auto k : keys) s.insert(k);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SkiplistInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SkiplistSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(3);
+  const auto keys = wl::uniform_keys(n, r);
+  seq::skiplist<std::uint64_t> s{util::rng(4)};
+  for (const auto k : keys) s.insert(k);
+  const auto probes = wl::probe_keys(keys, 1024, r);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.contains(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SkiplistSearch)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(5);
+  const auto pts = wl::uniform_points<2>(n, r);
+  for (auto _ : state) {
+    seq::quadtree<2> t(pts);
+    benchmark::DoNotOptimize(t.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuadtreeBuild)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_QuadtreeLocate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(6);
+  const auto pts = wl::uniform_points<2>(n, r);
+  seq::quadtree<2> t(pts);
+  std::vector<seq::qpoint<2>> probes(1024);
+  for (auto& q : probes) {
+    for (int d = 0; d < 2; ++d) q.x[d] = r.uniform_u64(0, seq::coord_span - 1);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.locate(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_QuadtreeLocate)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_QuadtreeNearest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(7);
+  const auto pts = wl::uniform_points<2>(n, r);
+  seq::quadtree<2> t(pts);
+  std::vector<seq::qpoint<2>> probes(1024);
+  for (auto& q : probes) {
+    for (int d = 0; d < 2; ++d) q.x[d] = r.uniform_u64(0, seq::coord_span - 1);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.nearest(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_QuadtreeNearest)->Arg(1 << 12);
+
+void BM_TrieBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(8);
+  const auto keys = wl::random_strings(n, 4, 16, "abcdefgh", r);
+  for (auto _ : state) {
+    seq::trie t(keys);
+    benchmark::DoNotOptimize(t.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrieBuild)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_TrieSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(9);
+  const auto keys = wl::random_strings(n, 4, 16, "abcdefgh", r);
+  seq::trie t(keys);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.contains(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_TrieSearch)->Arg(1 << 14);
+
+void BM_TriePrefixQuery(benchmark::State& state) {
+  util::rng r(10);
+  const auto keys = wl::shared_prefix_strings(1 << 12, r);
+  seq::trie t(keys);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& base = keys[i++ % keys.size()];
+    benchmark::DoNotOptimize(t.with_prefix(base.substr(0, 6), 32));
+  }
+}
+BENCHMARK(BM_TriePrefixQuery);
+
+void BM_TrapmapBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng r(11);
+  const auto segs = wl::random_disjoint_segments(n, r);
+  const auto box = wl::segment_box();
+  for (auto _ : state) {
+    seq::trapmap m(segs, box.xmin, box.xmax, box.ymin, box.ymax);
+    benchmark::DoNotOptimize(m.trapezoid_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrapmapBuild)->Arg(1 << 8)->Arg(1 << 11);
+
+void BM_SortedListConflictCount(benchmark::State& state) {
+  util::rng r(12);
+  const auto keys = wl::uniform_keys(1 << 14, r);
+  seq::sorted_list<std::uint64_t> ground(keys);
+  std::vector<std::uint64_t> half;
+  for (const auto k : keys) {
+    if (r.bit()) half.push_back(k);
+  }
+  seq::sorted_list<std::uint64_t> sparse(half);
+  const auto probes = wl::probe_keys(keys, 1024, r);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse.conflict_count(ground, probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SortedListConflictCount);
+
+}  // namespace
+
+BENCHMARK_MAIN();

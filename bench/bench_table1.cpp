@@ -1,0 +1,166 @@
+// Reproduces Table 1 of the paper: the comparison of 1-D nearest-neighbour
+// structures — skip graphs/SkipNet, NoN skip graphs, family trees,
+// deterministic SkipNet, bucket skip graphs, skip-webs, bucket skip-webs —
+// on the four cost axes H/M, C(n), Q(n), U(n).
+//
+// Absolute numbers are implementation constants; what must match the paper
+// is the *relative shape*: NoN and the (bucketed) skip-web route in
+// o(log n); the skip-web does it with O(log n) memory while NoN pays
+// O(log² n) memory and O(log² n) update messages; bucket variants trade
+// H < n hosts for O(n/H) storage.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "baselines/bucket_skipgraph.h"
+#include "baselines/det_skipnet.h"
+#include "baselines/family_tree.h"
+#include "baselines/non_skipgraph.h"
+#include "baselines/skipgraph.h"
+#include "bench_common.h"
+#include "core/bucket_skipweb.h"
+#include "core/skipweb_1d.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using namespace skipweb::bench;
+namespace wl = skipweb::workloads;
+
+struct measurement {
+  double hosts = 0;
+  double mem_mean = 0, mem_max = 0;
+  double congestion = 0;  // max host visits under the query workload + n/H
+  double query_mean = 0;
+  double update_mean = 0;
+};
+
+// Runs the standard workload against any structure exposing the common
+// nearest/insert/erase API.
+template <typename Structure>
+measurement run_workload(Structure& s, net::network& net, const std::vector<std::uint64_t>& keys,
+                         const std::vector<std::uint64_t>& probes,
+                         const std::vector<std::uint64_t>& fresh, util::rng& r) {
+  measurement m;
+  m.mem_mean = net.mean_memory();
+  m.mem_max = static_cast<double>(net.max_memory());
+
+  net.reset_traffic();
+  util::accumulator q_acc;
+  std::uint32_t origin = 0;
+  for (const auto q : probes) {
+    q_acc.add(static_cast<double>(s.nearest(q, net::host_id{origin}).messages));
+    origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+  }
+  m.query_mean = q_acc.mean();
+  m.hosts = static_cast<double>(net.host_count());
+  m.congestion = static_cast<double>(net.max_visits()) +
+                 static_cast<double>(keys.size()) / static_cast<double>(net.host_count());
+
+  util::accumulator u_acc;
+  for (const auto k : fresh) {
+    u_acc.add(static_cast<double>(
+        s.insert(k, net::host_id{static_cast<std::uint32_t>(r.index(net.host_count()))})));
+  }
+  for (const auto k : fresh) {
+    u_acc.add(static_cast<double>(
+        s.erase(k, net::host_id{static_cast<std::uint32_t>(r.index(net.host_count()))})));
+  }
+  m.update_mean = u_acc.mean();
+  return m;
+}
+
+void report(const char* method, std::size_t n, const measurement& m) {
+  print_row({method, fmt_u(n), fmt(m.hosts, 0), fmt(m.mem_max, 0), fmt(m.congestion, 1),
+             fmt(m.query_mean, 2), fmt(m.update_mean, 2)},
+            18);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 1 - 1-D nearest-neighbour structures: measured H, M(max), C(n), Q(n), U(n)");
+  print_row({"method", "n", "H", "M_max", "C(n)", "Q(n) msgs", "U(n) msgs"}, 18);
+  print_rule();
+
+  for (const std::size_t n : {std::size_t{256}, std::size_t{1024}, std::size_t{4096}}) {
+    util::rng r(9000 + n);
+    const auto keys = wl::uniform_keys(n, r);
+    const auto probes = wl::probe_keys(keys, 300, r);
+    auto fresh = wl::uniform_keys(n + 64, r);
+    // Keep only keys not already present.
+    std::set<std::uint64_t> present(keys.begin(), keys.end());
+    std::vector<std::uint64_t> inserts;
+    for (const auto k : fresh) {
+      if (inserts.size() == 64) break;
+      if (present.insert(k).second) inserts.push_back(k);
+    }
+
+    {
+      net::network net(1);
+      baselines::skip_graph s(keys, 1, net);
+      report("skip graph", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      net::network net(1);
+      baselines::non_skip_graph s(keys, 2, net);
+      report("NoN skip graph", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      net::network net(1);
+      baselines::family_tree s(keys, 3, net);
+      report("family tree*", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      net::network net(1);
+      baselines::det_skipnet s(keys, net);
+      report("det SkipNet*", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      net::network net(1);
+      baselines::bucket_skip_graph s(keys, 4, net, std::max<std::size_t>(2, n / 8));
+      report("bucket skipgraph", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      // The paper's "skip-webs" row: blocked layout with M = Theta(log n),
+      // H ~ n hosts.
+      const auto M = static_cast<std::size_t>(2.0 * std::log2(static_cast<double>(n)));
+      net::network net(1);
+      core::bucket_skipweb s(keys, 5, net, M);
+      report("skip-web", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      // The "bucket skip-webs" row: M = n^(1/2) >> log n, H << n hosts.
+      const auto M = static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) * 4;
+      net::network net(1);
+      core::bucket_skipweb s(keys, 6, net, M);
+      report("bucket skip-web", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    {
+      // Framework reference point: the unblocked skip-web with towers, whose
+      // costs must coincide with skip graphs (Figure 2's caption).
+      net::network net(n);
+      core::skipweb_1d s(keys, 7, net, core::skipweb_1d::placement::tower);
+      report("skip-web (tower)", n, run_workload(s, net, keys, probes, inserts, r));
+    }
+    print_rule();
+  }
+
+  std::printf(
+      "\n(*) documented substitutions - see DESIGN.md section 1: family tree is reproduced by\n"
+      "its Table 1 row via a distributed treap (O(1) degree; congestion funnels to the root);\n"
+      "deterministic SkipNet uses rank-derived vectors with amortized rebuilds.\n"
+      "\nExpected shapes vs the paper:\n"
+      "  Q: skip-web ~ NoN skip graph < skip graph ~ family tree ~ det SkipNet;\n"
+      "     bucket variants smaller still (log_M H).\n"
+      "  M: NoN ~ log^2 n  >>  skip graph ~ skip-web ~ log n  >>  family tree ~ O(1);\n"
+      "     bucket rows ~ n/H + log H.\n"
+      "  U: NoN ~ log^2 n  >  others ~ log n; skip-web (blocked) ~ log n / log log n.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's opening argument (§1.2) made runnable: DHTs answer exact-match
+// lookups in O(log H) hops, but hashing destroys key order, so the ordered
+// queries skip-webs serve — nearest neighbour, range — cost a full network
+// flood on a DHT. Same keys, same hosts, side by side.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/chord.h"
+#include "core/bucket_skipweb.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace skipweb;
+  namespace wl = skipweb::workloads;
+
+  const std::size_t n = 2048;
+  util::rng rng(51);
+  const auto keys = wl::uniform_keys(n, rng);
+
+  net::network dht_net(1);
+  baselines::chord dht(256, keys, 3, dht_net);
+
+  net::network web_net(1);
+  core::bucket_skipweb web(keys, 4, web_net, 32);
+
+  std::printf("same %zu keys; Chord on %zu hosts vs bucket skip-web on %zu hosts\n\n", n,
+              dht.ring_size(), web_net.host_count());
+
+  // Round 1: exact match — both are fast.
+  const auto k = keys[500];
+  const auto hit = dht.lookup(k, net::host_id{0});
+  std::uint64_t web_msgs = 0;
+  (void)web.contains(k, net::host_id{0}, &web_msgs);
+  std::printf("exact match:        chord %llu hops | skip-web %llu messages\n",
+              static_cast<unsigned long long>(hit.messages),
+              static_cast<unsigned long long>(web_msgs));
+
+  // Round 2: nearest neighbour — the DHT must flood.
+  const auto q = wl::probe_keys(keys, 1, rng)[0];
+  std::uint64_t flood_msgs = 0;
+  const auto flood_pred = dht.nearest_by_flooding(q, net::host_id{0}, &flood_msgs);
+  const auto res = web.nearest(q, net::host_id{0});
+  std::printf("nearest neighbour:  chord %llu messages (flood) | skip-web %llu messages\n",
+              static_cast<unsigned long long>(flood_msgs),
+              static_cast<unsigned long long>(res.messages));
+  std::printf("  both agree: pred = %llu %s\n", static_cast<unsigned long long>(res.pred),
+              res.pred == flood_pred ? "(match)" : "(MISMATCH!)");
+
+  // Round 3: range query — natural on the skip-web, impossible without a
+  // flood on the DHT.
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t range_msgs = 0;
+  const auto window = web.range(sorted[1000], sorted[1040], net::host_id{0}, 0, &range_msgs);
+  std::printf("range of %zu keys:   chord would flood all %zu hosts | skip-web %llu messages\n",
+              window.size(), dht.ring_size(), static_cast<unsigned long long>(range_msgs));
+
+  std::printf(
+      "\nthe point (paper section 1.2): hashing spreads load but erases order; the\n"
+      "skip-web keeps order *and* spreads load, so ordered queries stay logarithmic.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The paper's location-based-services example (§1): "a nearest-neighbor
+// query in a two-dimensional point set could reveal the closest open
+// computer kiosk or empty parking space on a college campus." A skip
+// quadtree spreads the kiosk locations over the hosts; point location and
+// nearest-kiosk queries route in O(log n) messages.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/skip_quadtree.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace skipweb;
+  namespace wl = skipweb::workloads;
+
+  // Kiosks cluster around campus buildings: the clustered generator mimics
+  // quads, libraries and labs.
+  const std::size_t kiosks = 1500;
+  util::rng rng(99);
+  const auto locations = wl::clustered_points<2>(kiosks, rng);
+
+  net::network network(kiosks);
+  core::skip_quadtree<2> campus(locations, /*seed=*/23, network);
+  std::printf("campus directory: %zu kiosks, compressed quadtree depth %d, %d skip levels\n",
+              campus.size(), campus.depth(), campus.levels());
+  std::printf("per-host memory: mean %.1f units, max %llu (O(log n) per host)\n",
+              network.mean_memory(), static_cast<unsigned long long>(network.max_memory()));
+
+  // A student at a random spot asks for the nearest kiosk; the query starts
+  // at the host of their choosing (their own machine).
+  for (int trial = 0; trial < 4; ++trial) {
+    seq::qpoint<2> me;
+    for (int d = 0; d < 2; ++d) me.x[d] = rng.uniform_u64(0, seq::coord_span - 1);
+
+    std::uint64_t messages = 0;
+    const auto kiosk =
+        campus.nearest(me, net::host_id{static_cast<std::uint32_t>(trial * 137 % kiosks)},
+                       &messages);
+    const double dx = (static_cast<double>(kiosk.x[0]) - static_cast<double>(me.x[0])) /
+                      static_cast<double>(seq::coord_span);
+    const double dy = (static_cast<double>(kiosk.x[1]) - static_cast<double>(me.x[1])) /
+                      static_cast<double>(seq::coord_span);
+    std::printf("student at (%.4f, %.4f): nearest kiosk offset (%+.4f, %+.4f), %llu messages\n",
+                static_cast<double>(me.x[0]) / static_cast<double>(seq::coord_span),
+                static_cast<double>(me.x[1]) / static_cast<double>(seq::coord_span), dx, dy,
+                static_cast<unsigned long long>(messages));
+  }
+
+  // Kiosks go out of service and come back: O(log n)-message updates.
+  const auto& gone = locations[7];
+  auto msgs = campus.erase(gone, net::host_id{11});
+  std::printf("kiosk decommissioned in %llu messages (now %zu kiosks)\n",
+              static_cast<unsigned long long>(msgs), campus.size());
+  msgs = campus.insert(gone, net::host_id{12});
+  std::printf("kiosk reinstalled   in %llu messages (back to %zu)\n",
+              static_cast<unsigned long long>(msgs), campus.size());
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "baselines/chord.h"
+
+#include <algorithm>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::baselines {
+
+std::uint64_t chord::hash_key(std::uint64_t k) {
+  std::uint64_t z = k + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+chord::chord(std::size_t host_count, std::vector<std::uint64_t> keys, std::uint64_t seed,
+             net::network& net)
+    : net_(&net) {
+  SW_EXPECTS(host_count >= 1);
+  while (net_->host_count() < host_count) net_->add_host();
+  util::rng r(seed);
+
+  ring_.resize(host_count);
+  for (std::size_t i = 0; i < host_count; ++i) {
+    ring_[i].position = r.next_u64();
+    ring_[i].host = net::host_id{static_cast<std::uint32_t>(i)};
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const ring_node& a, const ring_node& b) { return a.position < b.position; });
+
+  // Finger tables: successor of position + 2^k for k = 0..63 (deduplicated).
+  for (auto& node : ring_) {
+    std::size_t last = static_cast<std::size_t>(-1);
+    for (int k = 0; k < 64; ++k) {
+      const std::uint64_t target = node.position + (std::uint64_t{1} << k);  // wraps mod 2^64
+      const std::size_t idx = successor_index(target);
+      if (idx != last) {
+        node.fingers.push_back(idx);
+        last = idx;
+        net_->charge(node.host, net::memory_kind::host_ref, 1);
+      }
+    }
+  }
+
+  for (const auto k : keys) {
+    auto& owner = ring_[successor_index(hash_key(k))];
+    owner.keys.insert(std::lower_bound(owner.keys.begin(), owner.keys.end(), k), k);
+    net_->charge(owner.host, net::memory_kind::item, 1);
+  }
+  size_ = keys.size();
+}
+
+std::size_t chord::successor_index(std::uint64_t position) const {
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), position,
+                             [](const ring_node& a, std::uint64_t p) { return a.position < p; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+chord::lookup_result chord::lookup(std::uint64_t key, net::host_id origin) const {
+  net::cursor cur(*net_, origin);
+  const std::uint64_t target = hash_key(key);
+  const std::size_t dest = successor_index(target);
+
+  // Greedy finger routing: from the current node, jump to the finger that
+  // lands furthest ahead on the ring without passing the destination.
+  // Unsigned wrap-around subtraction gives ring distances directly.
+  std::size_t at = origin.value % ring_.size();
+  for (std::size_t guard = 0; guard <= ring_.size() && at != dest; ++guard) {
+    const std::uint64_t here = ring_[at].position;
+    const std::uint64_t need = ring_[dest].position - here;
+    std::size_t best = (at + 1) % ring_.size();  // the successor never overshoots
+    std::uint64_t best_ahead = ring_[best].position - here;
+    for (const std::size_t f : ring_[at].fingers) {
+      const std::uint64_t ahead = ring_[f].position - here;
+      if (ahead != 0 && ahead <= need && ahead > best_ahead) {
+        best = f;
+        best_ahead = ahead;
+      }
+    }
+    at = best;
+    cur.move_to(ring_[at].host);
+  }
+  SW_ASSERT(at == dest);
+
+  lookup_result out;
+  out.owner = ring_[dest].host;
+  const auto& ks = ring_[dest].keys;
+  out.found = std::binary_search(ks.begin(), ks.end(), key);
+  out.messages = cur.messages();
+  return out;
+}
+
+std::uint64_t chord::nearest_by_flooding(std::uint64_t q, net::host_id origin,
+                                         std::uint64_t* messages) const {
+  net::cursor cur(*net_, origin);
+  std::uint64_t best = 0;
+  bool found = false;
+  for (const auto& node : ring_) {
+    cur.move_to(node.host);  // one message per host: the whole network
+    const auto it = std::upper_bound(node.keys.begin(), node.keys.end(), q);
+    if (it != node.keys.begin()) {
+      const std::uint64_t cand = *std::prev(it);
+      if (!found || cand > best) {
+        best = cand;
+        found = true;
+      }
+    }
+  }
+  if (messages != nullptr) *messages = cur.messages();
+  return best;
+}
+
+}  // namespace skipweb::baselines

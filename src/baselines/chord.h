@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/cursor.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace skipweb::baselines {
+
+// Minimal Chord DHT [Stoica et al. 18]: consistent hashing on a 2^64 ring
+// with finger tables, O(log H) lookup hops.
+//
+// Included to demonstrate the paper's motivating observation (§1.2): a DHT
+// resolves *exact-match* lookups efficiently but cannot answer the ordered
+// queries skip-webs serve — nearest neighbour, prefix, range, point
+// location — because hashing destroys key locality. The examples and the
+// README use it as the "what DHTs can't do" foil.
+class chord {
+ public:
+  chord(std::size_t host_count, std::vector<std::uint64_t> keys, std::uint64_t seed,
+        net::network& net);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t ring_size() const { return ring_.size(); }
+
+  struct lookup_result {
+    bool found = false;
+    net::host_id owner;
+    std::uint64_t messages = 0;
+  };
+
+  // Exact-match lookup: route to the key's successor host, then check its
+  // local store.
+  [[nodiscard]] lookup_result lookup(std::uint64_t key, net::host_id origin) const;
+
+  // Chord has no order-preserving routing: the only way to answer a
+  // nearest-neighbour query is to flood every host. Implemented literally so
+  // benches can print the contrast with skip-webs.
+  [[nodiscard]] std::uint64_t nearest_by_flooding(std::uint64_t q, net::host_id origin,
+                                                  std::uint64_t* messages) const;
+
+ private:
+  struct ring_node {
+    std::uint64_t position = 0;            // hash of the host on the ring
+    net::host_id host;
+    std::vector<std::size_t> fingers;      // ring indices at +2^k distances
+    std::vector<std::uint64_t> keys;       // sorted local store
+  };
+
+  [[nodiscard]] static std::uint64_t hash_key(std::uint64_t k);
+  [[nodiscard]] std::size_t successor_index(std::uint64_t position) const;
+
+  std::vector<ring_node> ring_;  // sorted by position
+  net::network* net_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace skipweb::baselines

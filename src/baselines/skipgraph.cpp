@@ -1,0 +1,297 @@
+#include "baselines/skipgraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::baselines {
+
+skip_graph::skip_graph(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net)
+    : net_(&net), rng_(seed) {
+  std::sort(keys.begin(), keys.end());
+  SW_EXPECTS(!keys.empty());
+  SW_EXPECTS(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  build(std::move(keys));
+}
+
+void skip_graph::build(std::vector<std::uint64_t> keys) {
+  while (net_->host_count() < keys.size()) net_->add_host();
+  elems_.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    elems_[i].key = keys[i];
+    elems_[i].bits = util::draw_membership(rng_);
+    elems_[i].host = net::host_id{static_cast<std::uint32_t>(i)};
+  }
+  size_ = keys.size();
+
+  // Link level by level until every list is a singleton: the members of a
+  // level-l list share an l-bit prefix; an element whose level-l list is a
+  // singleton does not take part in level l+1.
+  std::vector<int> active(elems_.size());
+  for (std::size_t i = 0; i < elems_.size(); ++i) active[i] = static_cast<int>(i);
+  int level = 0;
+  while (!active.empty() && level < util::max_levels) {
+    std::unordered_map<std::uint64_t, int> last;  // prefix -> last element seen
+    std::unordered_map<std::uint64_t, int> count;
+    for (const int i : active) {
+      elems_[static_cast<std::size_t>(i)].prev.push_back(-1);
+      elems_[static_cast<std::size_t>(i)].next.push_back(-1);
+      const auto p = util::prefix_of(elems_[static_cast<std::size_t>(i)].bits, level).bits;
+      ++count[p];
+      auto [it, fresh] = last.try_emplace(p, i);
+      if (!fresh) {
+        elems_[static_cast<std::size_t>(it->second)].next[static_cast<std::size_t>(level)] = i;
+        elems_[static_cast<std::size_t>(i)].prev[static_cast<std::size_t>(level)] = it->second;
+        it->second = i;
+      }
+    }
+    std::vector<int> survivors;
+    for (const int i : active) {
+      const auto p = util::prefix_of(elems_[static_cast<std::size_t>(i)].bits, level).bits;
+      if (count[p] >= 2) survivors.push_back(i);
+    }
+    active.swap(survivors);
+    ++level;
+  }
+
+  root_elem_.assign(net_->host_count(), -1);
+  for (std::size_t h = 0; h < net_->host_count(); ++h) {
+    root_elem_[h] = static_cast<int>(h % elems_.size());
+    net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
+  }
+  for (int i = 0; i < element_count(); ++i) charge_element(i, +1);
+}
+
+void skip_graph::charge_element(int item, std::int64_t sign) {
+  const auto& e = elem(item);
+  net_->charge(e.host, net::memory_kind::item, sign);
+  net_->charge(e.host, net::memory_kind::node, sign * e.height());
+  net_->charge(e.host, net::memory_kind::host_ref, sign * 2 * e.height());
+}
+
+int skip_graph::max_height() const {
+  int best = 0;
+  for (const auto& e : elems_) {
+    if (e.alive) best = std::max(best, e.height());
+  }
+  return best;
+}
+
+int skip_graph::root_for(net::host_id origin) const {
+  SW_EXPECTS(origin.value < root_elem_.size());
+  int item = root_elem_[origin.value];
+  while (item >= 0 && !elems_[static_cast<std::size_t>(item)].alive) {
+    item = elems_[static_cast<std::size_t>(item)].redirect;
+  }
+  if (item < 0) {
+    for (int i = 0; i < element_count(); ++i) {
+      if (elems_[static_cast<std::size_t>(i)].alive) {
+        item = i;
+        break;
+      }
+    }
+  }
+  SW_EXPECTS(item >= 0);
+  return item;
+}
+
+std::pair<int, int> skip_graph::route(std::uint64_t q, net::host_id origin,
+                                      net::cursor& cur) const {
+  int item = root_for(origin);
+  cur.move_to(elem(item).host);
+  for (int l = elem(item).height() - 1; l >= 0; --l) {
+    if (l >= elem(item).height()) continue;  // towers shrink as we move
+    if (elem(item).key <= q) {
+      for (;;) {
+        const int nx = elem(item).next[static_cast<std::size_t>(l)];
+        if (nx < 0 || elem(nx).key > q) break;
+        item = nx;
+        cur.move_to(elem(item).host);
+        if (l >= elem(item).height()) l = elem(item).height() - 1;
+      }
+    } else {
+      for (;;) {
+        const int pv = elem(item).prev[static_cast<std::size_t>(l)];
+        if (pv < 0 || elem(pv).key <= q) break;
+        item = pv;
+        cur.move_to(elem(item).host);
+        if (l >= elem(item).height()) l = elem(item).height() - 1;
+      }
+    }
+  }
+  if (elem(item).key <= q) return {item, elem(item).next[0]};
+  return {elem(item).prev[0], item};
+}
+
+skip_graph::nn_result skip_graph::nearest(std::uint64_t q, net::host_id origin) const {
+  net::cursor cur(*net_, origin);
+  const auto [pred, succ] = route(q, origin, cur);
+  nn_result out;
+  if (pred >= 0) {
+    out.has_pred = true;
+    out.pred = elem(pred).key;
+  }
+  if (succ >= 0) {
+    out.has_succ = true;
+    out.succ = elem(succ).key;
+  }
+  out.messages = cur.messages();
+  return out;
+}
+
+bool skip_graph::contains(std::uint64_t q, net::host_id origin, std::uint64_t* messages) const {
+  const auto r = nearest(q, origin);
+  if (messages != nullptr) *messages = r.messages;
+  return r.has_pred && r.pred == q;
+}
+
+std::uint64_t skip_graph::insert(std::uint64_t key, net::host_id origin) {
+  net::cursor cur(*net_, origin);
+  const auto [pred0, succ0] = route(key, origin, cur);
+  SW_EXPECTS(pred0 < 0 || elem(pred0).key != key);
+  const auto bits = util::draw_membership(rng_);
+  const int item = splice(key, bits, pred0, succ0, cur);
+  after_link_change(item, cur);
+  return cur.messages();
+}
+
+std::uint64_t skip_graph::erase(std::uint64_t key, net::host_id origin) {
+  SW_EXPECTS(size_ >= 2);
+  net::cursor cur(*net_, origin);
+  const auto [pred0, succ0] = route(key, origin, cur);
+  (void)succ0;
+  SW_EXPECTS(pred0 >= 0 && elem(pred0).key == key);
+  after_link_change(pred0, cur);
+  unsplice(pred0, cur);
+  return cur.messages();
+}
+
+int skip_graph::splice(std::uint64_t key, util::membership_bits bits, int pred0, int succ0,
+                       net::cursor& cur) {
+  int idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    elems_[static_cast<std::size_t>(idx)] = element{};
+  } else {
+    idx = element_count();
+    elems_.emplace_back();
+  }
+  element& e = elems_[static_cast<std::size_t>(idx)];
+  e.key = key;
+  e.bits = bits;
+  e.host = net_->add_host();
+  root_elem_.push_back(idx);
+  net_->charge(e.host, net::memory_kind::host_ref, 1);
+
+  // Build the tower bottom-up: level-l neighbours are found by walking the
+  // level-(l-1) list for the nearest element sharing one more prefix bit
+  // (expected O(1) steps); the tower stops when it would be alone.
+  int left = pred0, right = succ0;
+  int l = 0;
+  for (;;) {
+    e.prev.push_back(left);
+    e.next.push_back(right);
+    if (left >= 0) {
+      cur.move_to(elem(left).host);
+      elems_[static_cast<std::size_t>(left)].next[static_cast<std::size_t>(l)] = idx;
+    }
+    if (right >= 0) {
+      cur.move_to(elem(right).host);
+      elems_[static_cast<std::size_t>(right)].prev[static_cast<std::size_t>(l)] = idx;
+    }
+    if (left < 0 && right < 0) break;  // alone: the tower ends here
+    if (l + 1 >= util::max_levels) break;
+
+    const auto target = util::prefix_of(bits, l + 1);
+    int new_left = left;
+    while (new_left >= 0 && (elem(new_left).height() <= l + 1 ||
+                             util::prefix_of(elem(new_left).bits, l + 1) != target)) {
+      const int pv = elem(new_left).prev[static_cast<std::size_t>(l)];
+      if (pv >= 0) cur.move_to(elem(pv).host);
+      new_left = pv;
+    }
+    int new_right;
+    if (new_left >= 0) {
+      new_right = elem(new_left).next[static_cast<std::size_t>(l + 1)];
+    } else {
+      new_right = right;
+      while (new_right >= 0 && (elem(new_right).height() <= l + 1 ||
+                                util::prefix_of(elem(new_right).bits, l + 1) != target)) {
+        const int nx = elem(new_right).next[static_cast<std::size_t>(l)];
+        if (nx >= 0) cur.move_to(elem(nx).host);
+        new_right = nx;
+      }
+    }
+    left = new_left;
+    right = new_right;
+    ++l;
+  }
+  ++size_;
+  charge_element(idx, +1);
+  return idx;
+}
+
+void skip_graph::unsplice(int item, net::cursor& cur) {
+  element& e = elems_[static_cast<std::size_t>(item)];
+  charge_element(item, -1);
+  for (int l = 0; l < e.height(); ++l) {
+    const int pv = e.prev[static_cast<std::size_t>(l)];
+    const int nx = e.next[static_cast<std::size_t>(l)];
+    if (pv >= 0) {
+      cur.move_to(elem(pv).host);
+      elems_[static_cast<std::size_t>(pv)].next[static_cast<std::size_t>(l)] = nx;
+    }
+    if (nx >= 0) {
+      cur.move_to(elem(nx).host);
+      elems_[static_cast<std::size_t>(nx)].prev[static_cast<std::size_t>(l)] = pv;
+    }
+    // A neighbour left alone at this level sheds the top of its tower.
+    for (const int nb : {pv, nx}) {
+      if (nb < 0) continue;
+      element& n = elems_[static_cast<std::size_t>(nb)];
+      while (n.height() > 1 && n.prev.back() < 0 && n.next.back() < 0) {
+        n.prev.pop_back();
+        n.next.pop_back();
+        net_->charge(n.host, net::memory_kind::node, -1);
+        net_->charge(n.host, net::memory_kind::host_ref, -2);
+      }
+    }
+  }
+  e.redirect = e.next[0] >= 0 ? e.next[0] : e.prev[0];
+  e.alive = false;
+  e.prev.clear();
+  e.next.clear();
+  free_.push_back(item);
+  --size_;
+}
+
+void skip_graph::after_link_change(int item, net::cursor& cur) {
+  (void)item;
+  (void)cur;  // plain skip graphs have no extra tables to refresh
+}
+
+bool skip_graph::check_invariants() const {
+  for (int i = 0; i < element_count(); ++i) {
+    const auto& e = elems_[static_cast<std::size_t>(i)];
+    if (!e.alive) continue;
+    for (int l = 0; l < e.height(); ++l) {
+      const int nx = e.next[static_cast<std::size_t>(l)];
+      if (nx >= 0) {
+        const auto& n = elems_[static_cast<std::size_t>(nx)];
+        if (!n.alive || n.key <= e.key) return false;
+        if (l >= n.height() || n.prev[static_cast<std::size_t>(l)] != i) return false;
+        if (util::prefix_of(n.bits, l) != util::prefix_of(e.bits, l)) return false;
+      }
+      // Tower-stop rule: participating at level l+1 requires company at l.
+      if (l + 1 < e.height() && e.prev[static_cast<std::size_t>(l)] < 0 &&
+          e.next[static_cast<std::size_t>(l)] < 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace skipweb::baselines

@@ -1,0 +1,322 @@
+#include "core/bucket_skipweb.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/routing_1d.h"
+
+namespace skipweb::core {
+
+namespace {
+
+std::vector<std::uint64_t> sorted_unique(std::vector<std::uint64_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  SW_EXPECTS(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  return keys;
+}
+
+level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r) {
+  auto sorted = sorted_unique(std::move(keys));
+  SW_EXPECTS(!sorted.empty());
+  const int levels = level_lists::levels_for(std::max<std::size_t>(sorted.size(), 2));
+  return level_lists(std::move(sorted), r, levels);
+}
+
+int levels_per_stratum(std::size_t M) {
+  int l = 0;
+  while ((std::size_t{1} << l) < M) ++l;
+  return std::max(1, l);  // ceil(log2 M)
+}
+
+}  // namespace
+
+bucket_skipweb::bucket_skipweb(std::vector<std::uint64_t> keys, std::uint64_t seed,
+                               net::network& net, std::size_t M)
+    : rng_(seed),
+      lists_(make_lists(std::move(keys), rng_)),
+      net_(&net),
+      M_(M),
+      L_(levels_per_stratum(M)),
+      B_(std::max<std::size_t>(2, M / static_cast<std::size_t>(levels_per_stratum(M)))) {
+  SW_EXPECTS(M_ >= 4);
+  // Basic levels every L, but never so high that the basic-level lists are
+  // expected to be shorter than a block (n / 2^i >= B): tiny fragmented
+  // blocks would waste hosts and break the H <= c n log n / M budget. The
+  // top stratum simply absorbs the remaining levels; its cone height stays
+  // below 2L, so per-host memory remains Theta(M).
+  int top_basic = 0;
+  while ((std::size_t{1} << (top_basic + L_)) * B_ <= lists_.size()) top_basic += L_;
+  for (int bl = 0; bl <= top_basic; bl += L_) basic_levels_.push_back(bl);
+  strata_count_ = static_cast<int>(basic_levels_.size());
+  block_of_.assign(static_cast<std::size_t>(strata_count_), {});
+  for (auto& v : block_of_) v.assign(lists_.arena_size(), -1);
+  build_blocks();
+  root_item_.assign(net_->host_count(), -1);
+  for (std::size_t h = 0; h < net_->host_count(); ++h) {
+    root_item_[h] = static_cast<int>(h % lists_.arena_size());
+    net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
+  }
+}
+
+int bucket_skipweb::stratum_of_level(int level) const {
+  int s = strata_count_ - 1;
+  while (s > 0 && basic_levels_[static_cast<std::size_t>(s)] > level) --s;
+  return s;
+}
+
+net::host_id bucket_skipweb::host_of(int item, int level) const {
+  const int s = stratum_of_level(level);
+  const int b = block_of_[static_cast<std::size_t>(s)][static_cast<std::size_t>(item)];
+  SW_ASSERT(b >= 0);
+  return blocks_[static_cast<std::size_t>(b)].host;
+}
+
+std::size_t bucket_skipweb::live_block_count() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b.live;
+  return n;
+}
+
+int bucket_skipweb::new_block(const util::level_prefix& set, net::host_id host) {
+  int id;
+  if (!free_blocks_.empty()) {
+    id = free_blocks_.back();
+    free_blocks_.pop_back();
+    blocks_[static_cast<std::size_t>(id)] = block_t{};
+  } else {
+    id = static_cast<int>(blocks_.size());
+    blocks_.emplace_back();
+  }
+  auto& b = blocks_[static_cast<std::size_t>(id)];
+  b.set = set;
+  b.host = host;
+  b.live = true;
+  return id;
+}
+
+void bucket_skipweb::charge_item_nodes(int item, int stratum, net::host_id host,
+                                       std::int64_t sign) {
+  (void)item;
+  const int lo = basic_level(stratum);
+  const int hi = stratum + 1 < strata_count_ ? basic_level(stratum + 1) - 1 : lists_.levels();
+  for (int l = lo; l <= hi; ++l) {
+    net_->charge(host, net::memory_kind::node, sign);
+    net_->charge(host, net::memory_kind::host_ref, 3 * sign);
+  }
+  if (stratum == 0) net_->charge(host, net::memory_kind::item, sign);
+}
+
+void bucket_skipweb::build_blocks() {
+  // For each stratum, walk every basic-level list in order and chop it into
+  // blocks of B contiguous items; one fresh host per block.
+  for (int s = 0; s < strata_count_; ++s) {
+    const int bl = basic_level(s);
+    // Find list heads: alive items with no prev at this level.
+    for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) {
+      if (!lists_.alive(i) || lists_.prev(i, bl) >= 0) continue;
+      int cur = i;
+      while (cur >= 0) {
+        const auto host = net_->add_host();
+        const int blk = new_block(lists_.prefix(cur, bl), host);
+        auto& items = blocks_[static_cast<std::size_t>(blk)].items;
+        while (cur >= 0 && items.size() < B_) {
+          items.push_back(cur);
+          block_of_[static_cast<std::size_t>(s)][static_cast<std::size_t>(cur)] = blk;
+          charge_item_nodes(cur, s, host, +1);
+          cur = lists_.next(cur, bl);
+        }
+      }
+    }
+  }
+}
+
+int bucket_skipweb::root_for(net::host_id origin) const {
+  SW_EXPECTS(origin.value < root_item_.size());
+  int item = root_item_[origin.value];
+  while (item >= 0 && !lists_.alive(item)) item = lists_.redirect(item);
+  if (item < 0) item = lists_.any_alive();
+  SW_EXPECTS(item >= 0);
+  return item;
+}
+
+bucket_skipweb::nn_result bucket_skipweb::nearest(std::uint64_t q, net::host_id origin) const {
+  nn_result out;
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  const auto [pred, succ] = route_search(lists_, q, root, lists_.levels(), cur,
+                                         [this](int i, int l) { return host_of(i, l); });
+  if (pred >= 0) {
+    out.has_pred = true;
+    out.pred = lists_.key(pred);
+  }
+  if (succ >= 0) {
+    out.has_succ = true;
+    out.succ = lists_.key(succ);
+  }
+  out.messages = cur.messages();
+  return out;
+}
+
+bool bucket_skipweb::contains(std::uint64_t q, net::host_id origin,
+                              std::uint64_t* messages) const {
+  const auto r = nearest(q, origin);
+  if (messages != nullptr) *messages = r.messages;
+  return r.has_pred && r.pred == q;
+}
+
+std::vector<std::uint64_t> bucket_skipweb::range(std::uint64_t lo, std::uint64_t hi,
+                                                 net::host_id origin, std::size_t limit,
+                                                 std::uint64_t* messages) const {
+  SW_EXPECTS(lo <= hi);
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  const auto [pred, succ] = route_search(lists_, lo, root, lists_.levels(), cur,
+                                         [this](int i, int l) { return host_of(i, l); });
+  std::vector<std::uint64_t> out;
+  int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
+  while (item >= 0 && lists_.key(item) <= hi) {
+    if (limit != 0 && out.size() >= limit) break;
+    cur.move_to(host_of(item, 0));  // free while the walk stays in one block
+    out.push_back(lists_.key(item));
+    item = lists_.next(item, 0);
+  }
+  if (messages != nullptr) *messages = cur.messages();
+  return out;
+}
+
+void bucket_skipweb::join_block(int item, int stratum, net::cursor& cur) {
+  const int bl = basic_level(stratum);
+  const int left = lists_.prev(item, bl);
+  const int right = lists_.next(item, bl);
+  int blk = -1;
+  if (left >= 0) {
+    blk = block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(left)];
+  } else if (right >= 0) {
+    blk = block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(right)];
+  }
+  if (blk < 0) {
+    // First member of a brand-new basic-level list: a fresh block and host.
+    const auto host = net_->add_host();
+    root_item_.push_back(item);
+    net_->charge(host, net::memory_kind::host_ref, 1);
+    blk = new_block(lists_.prefix(item, bl), host);
+  }
+  auto& b = blocks_[static_cast<std::size_t>(blk)];
+  cur.move_to(b.host);  // the join itself: one message to the block host
+  auto it = std::lower_bound(b.items.begin(), b.items.end(), lists_.key(item),
+                             [this](int a, std::uint64_t k) { return lists_.key(a) < k; });
+  b.items.insert(it, item);
+  block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(item)] = blk;
+  charge_item_nodes(item, stratum, b.host, +1);
+
+  if (b.items.size() > 2 * B_) {
+    // Split: the upper half moves to a fresh host. O(1) messages here; the
+    // bulk state transfer is amortized against the B inserts that filled the
+    // block (paper §4).
+    const auto fresh = net_->add_host();
+    root_item_.push_back(b.items.back());
+    net_->charge(fresh, net::memory_kind::host_ref, 1);
+    const int nb = new_block(b.set, fresh);
+    auto& second = blocks_[static_cast<std::size_t>(nb)];
+    const std::size_t half = b.items.size() / 2;
+    second.items.assign(b.items.begin() + static_cast<std::ptrdiff_t>(half), b.items.end());
+    blocks_[static_cast<std::size_t>(blk)].items.resize(half);
+    for (int moved : second.items) {
+      block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(moved)] = nb;
+      charge_item_nodes(moved, stratum, blocks_[static_cast<std::size_t>(blk)].host, -1);
+      charge_item_nodes(moved, stratum, fresh, +1);
+    }
+    cur.move_to(fresh);  // hand-off message to the new block host
+  }
+}
+
+void bucket_skipweb::leave_block(int item, int stratum, net::cursor& cur) {
+  const int blk = block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(item)];
+  SW_ASSERT(blk >= 0);
+  auto& b = blocks_[static_cast<std::size_t>(blk)];
+  cur.move_to(b.host);
+  auto it = std::find(b.items.begin(), b.items.end(), item);
+  SW_ASSERT(it != b.items.end());
+  b.items.erase(it);
+  block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(item)] = -1;
+  charge_item_nodes(item, stratum, b.host, -1);
+  if (b.items.empty()) {
+    b.live = false;
+    free_blocks_.push_back(blk);
+  }
+}
+
+std::uint64_t bucket_skipweb::insert(std::uint64_t key, net::host_id origin) {
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  auto host_fn = [this](int i, int l) { return host_of(i, l); };
+  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn);
+  SW_EXPECTS(pred0 < 0 || lists_.key(pred0) != key);  // duplicate keys rejected
+
+  const auto bits = util::draw_membership(rng_);
+  const auto nbrs = find_insert_neighbors(lists_, bits, pred0, succ0, cur, host_fn);
+  const int item = lists_.splice_in(key, bits, nbrs);
+
+  for (auto& v : block_of_) {
+    if (v.size() < lists_.arena_size()) v.resize(lists_.arena_size(), -1);
+  }
+  // One join (and expected-O(1) pointer repairs) per stratum: this is where
+  // the O(log n / log log n) update bound comes from — messages go to basic
+  // levels only, non-basic cone updates ride along on the block host.
+  for (int s = 0; s < strata_count_; ++s) join_block(item, s, cur);
+  return cur.messages();
+}
+
+std::uint64_t bucket_skipweb::erase(std::uint64_t key, net::host_id origin) {
+  SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  auto host_fn = [this](int i, int l) { return host_of(i, l); };
+  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn);
+  (void)succ0;
+  SW_EXPECTS(pred0 >= 0 && lists_.key(pred0) == key);  // key must be present
+  const int item = pred0;
+
+  // Neighbour pointer repairs at each basic level, then leave the blocks.
+  for (int s = 0; s < strata_count_; ++s) {
+    const int bl = basic_level(s);
+    const int pv = lists_.prev(item, bl);
+    const int nx = lists_.next(item, bl);
+    if (pv >= 0) cur.move_to(host_of(pv, bl));
+    if (nx >= 0) cur.move_to(host_of(nx, bl));
+    leave_block(item, s, cur);
+  }
+  lists_.unsplice(item);
+  return cur.messages();
+}
+
+bool bucket_skipweb::check_block_invariants() const {
+  for (int s = 0; s < strata_count_; ++s) {
+    const int bl = basic_level(s);
+    // Every alive item is in exactly one live block whose set matches.
+    for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) {
+      if (!lists_.alive(i)) continue;
+      const int blk = block_of_[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)];
+      if (blk < 0 || !blocks_[static_cast<std::size_t>(blk)].live) return false;
+      if (blocks_[static_cast<std::size_t>(blk)].set != lists_.prefix(i, bl)) return false;
+      const auto& items = blocks_[static_cast<std::size_t>(blk)].items;
+      if (std::find(items.begin(), items.end(), i) == items.end()) return false;
+    }
+    // Blocks hold contiguous, sorted runs of their list within size bounds.
+    for (const auto& b : blocks_) {
+      if (!b.live || b.set.length != bl) continue;
+      if (b.items.empty() || b.items.size() > 2 * B_) return false;
+      for (std::size_t k = 0; k + 1 < b.items.size(); ++k) {
+        if (lists_.key(b.items[k]) >= lists_.key(b.items[k + 1])) return false;
+        if (lists_.next(b.items[k], bl) != b.items[k + 1]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace skipweb::core

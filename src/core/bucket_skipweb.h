@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/level_lists.h"
+#include "net/cursor.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace skipweb::core {
+
+// Bucket (blocked) one-dimensional skip-web — the paper's §2.4.1 layout and
+// the "skip-webs" / "bucket skip-webs" rows of Table 1.
+//
+// Levels are grouped into strata of L = ceil(log2 M) consecutive levels; the
+// bottom level of each stratum is *basic*. Each basic-level list is chopped
+// into blocks of B = max(2, M/L) contiguous items, one host per block, and a
+// host stores the whole *cone* above its block: its items' nodes for every
+// non-basic level of the stratum. Descending within a stratum is therefore
+// free; a query pays messages only when crossing strata or walking across a
+// block boundary, giving the expected O(log n / log M) query messages —
+// O(log n / log log n) when M = Θ(log n) — while each host stores O(M).
+//
+// Inserts splice the item into all level lists, join one block per stratum,
+// and split any block that outgrows 2B onto a fresh host (the split is the
+// amortized O(1) of §4). Deletes are symmetric.
+class bucket_skipweb {
+ public:
+  // Builds over distinct keys with per-host memory target M >= 4. Blocks
+  // allocate fresh hosts on `net` (net.add_host), so H ends up at
+  // ~n log n / M as in the paper.
+  bucket_skipweb(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net,
+                 std::size_t M);
+
+  [[nodiscard]] std::size_t size() const { return lists_.size(); }
+  [[nodiscard]] int levels() const { return lists_.levels(); }
+  [[nodiscard]] int strata() const { return strata_count_; }
+  [[nodiscard]] std::size_t stratum_levels() const { return static_cast<std::size_t>(L_); }
+  [[nodiscard]] std::size_t block_capacity() const { return B_; }
+  [[nodiscard]] std::size_t live_block_count() const;
+  [[nodiscard]] const level_lists& lists() const { return lists_; }
+
+  struct nn_result {
+    bool has_pred = false, has_succ = false;
+    std::uint64_t pred = 0, succ = 0;
+    std::uint64_t messages = 0;
+  };
+
+  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
+  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
+                              std::uint64_t* messages = nullptr) const;
+
+  std::uint64_t insert(std::uint64_t key, net::host_id origin);
+  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+
+  // Range query [lo, hi]: route to lo, then walk the base list. Blocked
+  // placement makes the walk nearly free — consecutive keys share blocks, so
+  // the expected cost is O(log n / log M + k/B) messages for k results.
+  [[nodiscard]] std::vector<std::uint64_t> range(std::uint64_t lo, std::uint64_t hi,
+                                                 net::host_id origin, std::size_t limit = 0,
+                                                 std::uint64_t* messages = nullptr) const;
+
+  [[nodiscard]] net::host_id host_of(int item, int level) const;
+
+  // Block-layout invariants (tests): blocks partition each basic-level list
+  // into contiguous runs, sizes within [1, 2B], every alive item placed in
+  // exactly one block per stratum.
+  [[nodiscard]] bool check_block_invariants() const;
+
+ private:
+  struct block_t {
+    util::level_prefix set;   // which basic-level list the block belongs to
+    std::vector<int> items;   // sorted by key
+    net::host_id host;
+    bool live = false;
+  };
+
+  [[nodiscard]] int stratum_of_level(int level) const;
+  [[nodiscard]] int basic_level(int s) const {
+    return basic_levels_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] int root_for(net::host_id origin) const;
+
+  void build_blocks();
+  int new_block(const util::level_prefix& set, net::host_id host);
+  void charge_item_nodes(int item, int stratum, net::host_id host, std::int64_t sign);
+  void join_block(int item, int stratum, net::cursor& cur);
+  void leave_block(int item, int stratum, net::cursor& cur);
+
+  util::rng rng_;  // declared before lists_: it feeds the level build
+  level_lists lists_;
+  net::network* net_;
+  std::size_t M_;
+  int L_;             // levels per stratum
+  std::size_t B_;     // block capacity target (split at 2B)
+  int strata_count_;
+  std::vector<int> basic_levels_;  // ascending; last stratum absorbs the top
+  std::vector<block_t> blocks_;
+  std::vector<int> free_blocks_;
+  std::vector<std::vector<int>> block_of_;  // [stratum][arena slot] -> block id
+  std::vector<int> root_item_;              // per host
+};
+
+}  // namespace skipweb::core

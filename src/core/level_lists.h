@@ -1,0 +1,239 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/membership.h"
+#include "util/rng.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::core {
+
+// The level-set anatomy of a 1-D skip-web (paper §2.3, Figure 2): every item
+// carries a membership bit vector; at level l the items partition into the
+// sets S_b for the 2^l possible l-bit prefixes b, and each S_b is kept as a
+// doubly-linked sorted list. Level 0 is the single global sorted list; lists
+// thin out by half per level up to ceil(log2 n) levels, so top-level lists
+// have O(1) expected size.
+//
+// This class owns only the *structure* (arena + links). The distributed
+// protocols in skipweb_1d.h / bucket_skipweb.h do their own routing and
+// message accounting and call splice_in/unsplice for the structural edits.
+class level_lists {
+ public:
+  // Number of levels above level 0 for a ground set of size n.
+  static int levels_for(std::size_t n) {
+    int l = 0;
+    while ((std::size_t{1} << l) < n) ++l;
+    return l;
+  }
+
+  level_lists(std::vector<std::uint64_t> sorted_keys, util::rng& r, int levels)
+      : level_lists(std::move(sorted_keys), nullptr, &r, levels) {}
+
+  // Deterministic variant: explicit membership vectors (one per key, same
+  // order). Used by the deterministic-SkipNet baseline, whose "random" bits
+  // are the keys' bit-reversed ranks.
+  level_lists(std::vector<std::uint64_t> sorted_keys,
+              const std::vector<util::membership_bits>& bits, int levels)
+      : level_lists(std::move(sorted_keys), &bits, nullptr, levels) {}
+
+ private:
+  level_lists(std::vector<std::uint64_t> sorted_keys,
+              const std::vector<util::membership_bits>* explicit_bits, util::rng* r, int levels)
+      : levels_(levels) {
+    SW_EXPECTS(levels_ >= 0 && levels_ < util::max_levels);
+    SW_EXPECTS(explicit_bits == nullptr || explicit_bits->size() == sorted_keys.size());
+    items_.reserve(sorted_keys.size());
+    for (std::size_t i = 0; i + 1 < sorted_keys.size(); ++i) {
+      SW_EXPECTS(sorted_keys[i] < sorted_keys[i + 1]);
+    }
+    for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
+      item_t it;
+      it.key = sorted_keys[i];
+      it.bits = explicit_bits != nullptr ? (*explicit_bits)[i] : util::draw_membership(*r);
+      it.uid = next_uid_++;
+      it.prev.assign(static_cast<std::size_t>(levels_) + 1, -1);
+      it.next.assign(static_cast<std::size_t>(levels_) + 1, -1);
+      items_.push_back(std::move(it));
+    }
+    // Link each level: consecutive items sharing the l-bit prefix. One hash
+    // map of "last seen item per prefix" keeps the build O(n) per level.
+    for (int l = 0; l <= levels_; ++l) {
+      std::unordered_map<std::uint64_t, int> last;
+      last.reserve(items_.size());
+      for (int i = 0; i < static_cast<int>(items_.size()); ++i) {
+        const auto p = util::prefix_of(items_[static_cast<std::size_t>(i)].bits, l);
+        auto [it, fresh] = last.try_emplace(p.bits, i);
+        if (!fresh) {
+          const int found = it->second;
+          items_[static_cast<std::size_t>(found)].next[static_cast<std::size_t>(l)] = i;
+          items_[static_cast<std::size_t>(i)].prev[static_cast<std::size_t>(l)] = found;
+          it->second = i;
+        }
+      }
+    }
+    alive_count_ = items_.size();
+  }
+
+ public:
+  [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] std::size_t size() const { return alive_count_; }
+  [[nodiscard]] std::size_t arena_size() const { return items_.size(); }
+
+  [[nodiscard]] bool alive(int item) const { return items_[static_cast<std::size_t>(item)].alive; }
+  [[nodiscard]] std::uint64_t key(int item) const {
+    return items_[static_cast<std::size_t>(item)].key;
+  }
+  [[nodiscard]] util::membership_bits bits(int item) const {
+    return items_[static_cast<std::size_t>(item)].bits;
+  }
+  // Stable identity for host hashing (arena slots are recycled, uids are not).
+  [[nodiscard]] std::uint64_t uid(int item) const {
+    return items_[static_cast<std::size_t>(item)].uid;
+  }
+
+  [[nodiscard]] int next(int item, int level) const {
+    return items_[static_cast<std::size_t>(item)].next[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] int prev(int item, int level) const {
+    return items_[static_cast<std::size_t>(item)].prev[static_cast<std::size_t>(level)];
+  }
+
+  [[nodiscard]] util::level_prefix prefix(int item, int level) const {
+    return util::prefix_of(items_[static_cast<std::size_t>(item)].bits, level);
+  }
+
+  [[nodiscard]] bool same_list(int a, int b, int level) const {
+    return prefix(a, level) == prefix(b, level);
+  }
+
+  // Where an unspliced (deleted) item's traffic should be redirected: its
+  // level-0 successor at deletion time (for stale root pointers).
+  [[nodiscard]] int redirect(int item) const {
+    return items_[static_cast<std::size_t>(item)].redirect;
+  }
+
+  // Per-level insertion neighbours, as discovered by the distributed insert
+  // protocol. left/right must be the nearest same-prefix items on each side
+  // (-1 when none).
+  struct neighbors {
+    int left = -1;
+    int right = -1;
+  };
+
+  // Splice a new item into every level list. Validates that the supplied
+  // neighbours are consistent (adjacent, same prefix, correct key order).
+  int splice_in(std::uint64_t key, util::membership_bits bits,
+                const std::vector<neighbors>& nbrs) {
+    SW_EXPECTS(nbrs.size() == static_cast<std::size_t>(levels_) + 1);
+    int idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      items_[static_cast<std::size_t>(idx)] = item_t{};
+    } else {
+      idx = static_cast<int>(items_.size());
+      items_.emplace_back();
+    }
+    item_t& it = items_[static_cast<std::size_t>(idx)];
+    it.key = key;
+    it.bits = bits;
+    it.uid = next_uid_++;
+    it.prev.assign(static_cast<std::size_t>(levels_) + 1, -1);
+    it.next.assign(static_cast<std::size_t>(levels_) + 1, -1);
+
+    for (int l = 0; l <= levels_; ++l) {
+      const auto [left, right] = nbrs[static_cast<std::size_t>(l)];
+      const auto p = util::prefix_of(bits, l);
+      if (left >= 0) {
+        SW_EXPECTS(alive(left) && this->key(left) < key && prefix(left, l) == p);
+        SW_EXPECTS(next(left, l) == right);
+      }
+      if (right >= 0) {
+        SW_EXPECTS(alive(right) && this->key(right) > key && prefix(right, l) == p);
+        SW_EXPECTS(prev(right, l) == left);
+      }
+      it.prev[static_cast<std::size_t>(l)] = left;
+      it.next[static_cast<std::size_t>(l)] = right;
+      if (left >= 0) items_[static_cast<std::size_t>(left)].next[static_cast<std::size_t>(l)] = idx;
+      if (right >= 0) items_[static_cast<std::size_t>(right)].prev[static_cast<std::size_t>(l)] = idx;
+    }
+    ++alive_count_;
+    return idx;
+  }
+
+  void unsplice(int item) {
+    SW_EXPECTS(alive(item));
+    item_t& it = items_[static_cast<std::size_t>(item)];
+    it.redirect = it.next[0] >= 0 ? it.next[0] : it.prev[0];
+    for (int l = 0; l <= levels_; ++l) {
+      const int pv = it.prev[static_cast<std::size_t>(l)];
+      const int nx = it.next[static_cast<std::size_t>(l)];
+      if (pv >= 0) items_[static_cast<std::size_t>(pv)].next[static_cast<std::size_t>(l)] = nx;
+      if (nx >= 0) items_[static_cast<std::size_t>(nx)].prev[static_cast<std::size_t>(l)] = pv;
+      it.prev[static_cast<std::size_t>(l)] = -1;
+      it.next[static_cast<std::size_t>(l)] = -1;
+    }
+    it.alive = false;
+    --alive_count_;
+    free_.push_back(item);
+  }
+
+  // Any alive item (smallest arena slot), or -1; used to seed root pointers.
+  [[nodiscard]] int any_alive() const {
+    for (int i = 0; i < static_cast<int>(items_.size()); ++i) {
+      if (items_[static_cast<std::size_t>(i)].alive) return i;
+    }
+    return -1;
+  }
+
+  // Structural invariants, checked by tests after randomized workloads:
+  // every level's lists are sorted, doubly-linked consistently, and contain
+  // exactly the alive items whose prefix matches.
+  [[nodiscard]] bool check_invariants() const {
+    for (int l = 0; l <= levels_; ++l) {
+      for (int i = 0; i < static_cast<int>(items_.size()); ++i) {
+        const auto& it = items_[static_cast<std::size_t>(i)];
+        if (!it.alive) continue;
+        const int nx = it.next[static_cast<std::size_t>(l)];
+        if (nx >= 0) {
+          const auto& nt = items_[static_cast<std::size_t>(nx)];
+          if (!nt.alive) return false;
+          if (nt.key <= it.key) return false;
+          if (util::prefix_of(nt.bits, l) != util::prefix_of(it.bits, l)) return false;
+          if (nt.prev[static_cast<std::size_t>(l)] != i) return false;
+          // No alive same-prefix item strictly between them.
+          for (int j = 0; j < static_cast<int>(items_.size()); ++j) {
+            const auto& jt = items_[static_cast<std::size_t>(j)];
+            if (!jt.alive || j == i || j == nx) continue;
+            if (jt.key > it.key && jt.key < nt.key &&
+                util::prefix_of(jt.bits, l) == util::prefix_of(it.bits, l)) {
+              return false;
+            }
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct item_t {
+    std::uint64_t key = 0;
+    util::membership_bits bits = 0;
+    std::uint64_t uid = 0;
+    std::vector<int> prev, next;
+    int redirect = -1;
+    bool alive = true;
+  };
+
+  std::vector<item_t> items_;
+  std::vector<int> free_;
+  std::uint64_t next_uid_ = 0;
+  int levels_ = 0;
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace skipweb::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/level_lists.h"
+#include "net/cursor.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::core {
+
+// Shared distributed routing algorithms over the 1-D level lists. They are
+// templated on HostOf — host_of(item, level) — which is the only thing that
+// differs between the plain skip-web (tower / balanced placement) and the
+// bucket skip-web (blocked placement): the routes are identical, the message
+// costs are not. Every node access moves the cursor first, so hops are
+// charged exactly.
+
+// Top-down descent locating q: returns the level-0 predecessor item (largest
+// key <= q) and successor item (smallest key > q), -1 when absent.
+template <typename HostOf>
+std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int start_item,
+                                 int start_level, net::cursor& cur, HostOf&& host_of) {
+  SW_EXPECTS(lists.alive(start_item));
+  int item = start_item;
+  for (int l = start_level; l >= 0; --l) {
+    cur.move_to(host_of(item, l));  // descend the item's tower
+    // A node caches its neighbours' keys alongside the remote references
+    // (standard in skip graphs), so overshoot checks are local; only actual
+    // advances of the query locus hop.
+    if (lists.key(item) <= q) {
+      // Approach from the left: advance while the next same-list item does
+      // not overshoot.
+      for (;;) {
+        const int nx = lists.next(item, l);
+        if (nx < 0 || lists.key(nx) > q) break;
+        item = nx;
+        cur.move_to(host_of(item, l));
+      }
+    } else {
+      // Approach from the right, symmetrically.
+      for (;;) {
+        const int pv = lists.prev(item, l);
+        if (pv < 0 || lists.key(pv) <= q) break;
+        item = pv;
+        cur.move_to(host_of(item, l));
+      }
+    }
+  }
+  // item now flanks q in the global level-0 list.
+  if (lists.key(item) <= q) {
+    return {item, lists.next(item, 0)};
+  }
+  return {lists.prev(item, 0), item};
+}
+
+// Given the level-0 insertion flanks of a new key with membership `bits`,
+// walk the lower-level lists to find the nearest same-prefix neighbours at
+// every level (the Aspnes–Shah build-up, expected O(1) steps per level).
+template <typename HostOf>
+std::vector<level_lists::neighbors> find_insert_neighbors(const level_lists& lists,
+                                                          util::membership_bits bits, int pred0,
+                                                          int succ0, net::cursor& cur,
+                                                          HostOf&& host_of) {
+  const int levels = lists.levels();
+  std::vector<level_lists::neighbors> nbrs(static_cast<std::size_t>(levels) + 1);
+  nbrs[0] = {pred0, succ0};
+  for (int l = 1; l <= levels; ++l) {
+    const auto target = util::prefix_of(bits, l);
+    // Nearest matching item to the left, walking the level-(l-1) list.
+    int left = nbrs[static_cast<std::size_t>(l - 1)].left;
+    while (left >= 0 && lists.prefix(left, l) != target) {
+      const int pv = lists.prev(left, l - 1);
+      if (pv >= 0) cur.move_to(host_of(pv, l - 1));
+      left = pv;
+    }
+    int right;
+    if (left >= 0) {
+      right = lists.next(left, l);  // the nearest matching right neighbour
+      if (right >= 0) cur.move_to(host_of(right, l));
+    } else {
+      right = nbrs[static_cast<std::size_t>(l - 1)].right;
+      while (right >= 0 && lists.prefix(right, l) != target) {
+        const int nx = lists.next(right, l - 1);
+        if (nx >= 0) cur.move_to(host_of(nx, l - 1));
+        right = nx;
+      }
+    }
+    nbrs[static_cast<std::size_t>(l)] = {left, right};
+  }
+  return nbrs;
+}
+
+}  // namespace skipweb::core

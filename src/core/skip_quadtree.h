@@ -1,0 +1,280 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "net/cursor.h"
+#include "net/network.h"
+#include "seq/quadtree.h"
+#include "util/membership.h"
+#include "util/rng.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::core {
+
+// Distributed skip quadtree/octree (paper §3.1): the skip-web instantiation
+// for d-dimensional point sets, the distributed analogue of Eppstein,
+// Goodrich & Sun's skip quadtree.
+//
+// Every point carries a membership bit vector; level l holds one compressed
+// quadtree per l-bit prefix set S_b (the sets partition the points). Since
+// S_b ⊆ S_parent(b), every interesting cube of a level-l tree is also an
+// interesting cube of the parent-level tree (Lemma 3's setting), so the
+// inter-level hyperlink is the *identity on cubes*: a query that located its
+// deepest cube at level l jumps to the same cube one level denser and
+// resumes the descent there, doing expected O(1) extra steps per level.
+// Point location therefore costs O(log n) expected messages even when the
+// underlying compressed tree has Θ(n) depth.
+//
+// Nodes (interesting cubes) are spread over all hosts by hashing — the
+// arbitrary assignment of §2.4 — giving O(2^d log n) expected memory per
+// host for H = n.
+template <int D>
+class skip_quadtree {
+ public:
+  using point = seq::qpoint<D>;
+  using cube = seq::qcube<D>;
+  using tree = seq::quadtree<D>;
+
+  skip_quadtree(const std::vector<point>& pts, std::uint64_t seed, net::network& net)
+      : net_(&net), rng_(seed) {
+    SW_EXPECTS(!pts.empty());
+    levels_ = levels_for(pts.size());
+    trees_.resize(static_cast<std::size_t>(levels_) + 1);
+    for (const auto& p : pts) {
+      const auto bits = util::draw_membership(rng_);
+      bits_.emplace(p, bits);
+    }
+    for (int l = 0; l <= levels_; ++l) {
+      std::unordered_map<std::uint64_t, std::vector<point>> groups;
+      for (const auto& p : pts) groups[util::prefix_of(bits_.at(p), l).bits].push_back(p);
+      for (auto& [prefix, members] : groups) {
+        trees_[static_cast<std::size_t>(l)].emplace(prefix, tree(members));
+      }
+    }
+    // Anchor membership per host: selects the chain of prefix sets a search
+    // from that host descends (any chain reaches the ground set).
+    anchors_.reserve(net_->host_count());
+    for (std::size_t h = 0; h < net_->host_count(); ++h) {
+      anchors_.push_back(bits_.at(pts[h % pts.size()]));
+      net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
+    }
+    charge_all(+1);
+  }
+
+  ~skip_quadtree() = default;
+  skip_quadtree(const skip_quadtree&) = delete;
+  skip_quadtree& operator=(const skip_quadtree&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] int levels() const { return levels_; }
+
+  // The ground (level-0) compressed quadtree over the full set, for oracles.
+  [[nodiscard]] const tree& ground() const { return trees_[0].begin()->second; }
+  [[nodiscard]] int depth() const { return ground().depth(); }
+
+  struct locate_result {
+    cube cell;                 // deepest interesting cube of D(S) containing q
+    bool is_point = false;     // q coincides with a stored point
+    std::uint64_t messages = 0;
+  };
+
+  // Distributed point location (the paper's core query): find the smallest
+  // interesting cube of the ground structure containing q.
+  [[nodiscard]] locate_result locate(const point& q, net::host_id origin) const {
+    net::cursor cur(*net_, origin);
+    const auto w = anchors_[origin.value];
+    cube cell{};  // whole space until a level says otherwise
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(w, l).bits;
+      auto it = trees_[static_cast<std::size_t>(l)].find(prefix);
+      if (it == trees_[static_cast<std::size_t>(l)].end()) continue;  // empty set: skip
+      const tree& t = it->second;
+      int node = t.node_for_cube(cell);
+      // The inherited cube is an interesting cube here by the subset
+      // property, except when no upper level contributed yet (whole space =
+      // this tree's root).
+      SW_ASSERT(node >= 0 || cell.level == 0);
+      if (node < 0) node = t.root();
+      cur.move_to(host_of(l, prefix, node));
+      node = descend(t, node, q, l, prefix, cur);
+      cell = t.node(node).box;
+    }
+    locate_result out;
+    out.cell = cell;
+    out.is_point = ground().contains_point(q);
+    out.messages = cur.messages();
+    return out;
+  }
+
+  [[nodiscard]] bool contains(const point& q, net::host_id origin,
+                              std::uint64_t* messages = nullptr) const {
+    const auto r = locate(q, origin);
+    if (messages != nullptr) *messages = r.messages;
+    return r.is_point;
+  }
+
+  // Exact distributed nearest neighbour: locate q's cell cheaply via the
+  // skip levels, then run a best-first cube search on the ground tree. (The
+  // paper reduces approximate NN to point location via [6]; the exact
+  // variant exercises the same routing and is testable against the
+  // sequential oracle.)
+  [[nodiscard]] point nearest(const point& q, net::host_id origin,
+                              std::uint64_t* messages = nullptr) const {
+    SW_EXPECTS(size() > 0);
+    net::cursor cur(*net_, origin);
+    const tree& g = ground();
+    const std::uint64_t prefix0 = trees_[0].begin()->first;
+
+    struct item {
+      typename tree::dist2_t dist;
+      int node;
+      int point;
+      bool operator>(const item& o) const { return dist > o.dist; }
+    };
+    std::priority_queue<item, std::vector<item>, std::greater<item>> heap;
+    heap.push({0, g.root(), -1});
+    auto best = ~typename tree::dist2_t{0};
+    point best_point{};
+    while (!heap.empty()) {
+      const item top = heap.top();
+      heap.pop();
+      if (top.dist >= best) break;
+      if (top.node < 0) {
+        best = top.dist;
+        best_point = g.point_at(top.point);
+        continue;
+      }
+      cur.move_to(host_of(0, prefix0, top.node));  // expanding a node = visiting its host
+      for (const auto& e : g.node(top.node).child) {
+        if (e.point >= 0) heap.push({tree::point_dist2(g.point_at(e.point), q), -1, e.point});
+        if (e.node >= 0) heap.push({tree::cube_dist2(g.node(e.node).box, q), e.node, -1});
+      }
+    }
+    if (messages != nullptr) *messages = cur.messages();
+    return best_point;
+  }
+
+  // Insert a point (paper §4): one structural O(1) edit per level of the
+  // point's own prefix chain, found by the same top-down descent.
+  std::uint64_t insert(const point& p, net::host_id origin) {
+    SW_EXPECTS(bits_.find(p) == bits_.end());
+    net::cursor cur(*net_, origin);
+    const auto bits = util::draw_membership(rng_);
+    bits_.emplace(p, bits);
+    cube cell{};
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(bits, l).bits;
+      auto [it, fresh] = trees_[static_cast<std::size_t>(l)].try_emplace(prefix);
+      tree& t = it->second;
+      int node = fresh ? t.root() : t.node_for_cube(cell);
+      if (node < 0) node = t.root();
+      cur.move_to(host_of(l, prefix, node));
+      node = descend(t, node, p, l, prefix, cur);
+      cell = t.node(node).box;
+      const int created = t.insert(p);
+      charge_point(l, prefix, p, +1);
+      if (created >= 0) {
+        cur.move_to(host_of(l, prefix, created));  // placing the new cube node
+        charge_node(l, prefix, created, +1);
+      }
+    }
+    return cur.messages();
+  }
+
+  // Remove a point; splices out at most one cube per level of its chain.
+  std::uint64_t erase(const point& p, net::host_id origin) {
+    SW_EXPECTS(bits_.size() >= 2);  // the structure never becomes empty
+    auto bit_it = bits_.find(p);
+    SW_EXPECTS(bit_it != bits_.end());
+    const auto bits = bit_it->second;
+    net::cursor cur(*net_, origin);
+    cube cell{};
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(bits, l).bits;
+      auto it = trees_[static_cast<std::size_t>(l)].find(prefix);
+      SW_ASSERT(it != trees_[static_cast<std::size_t>(l)].end());
+      tree& t = it->second;
+      int node = t.node_for_cube(cell);
+      if (node < 0) node = t.root();
+      cur.move_to(host_of(l, prefix, node));
+      node = descend(t, node, p, l, prefix, cur);
+      cell = t.node(node).box;
+      const int freed = t.erase(p);
+      charge_point(l, prefix, p, -1);
+      if (freed >= 0) charge_node(l, prefix, freed, -1);
+      if (t.point_count() == 0) trees_[static_cast<std::size_t>(l)].erase(it);
+    }
+    bits_.erase(bit_it);
+    return cur.messages();
+  }
+
+  // Host assignment for a structure node (the §2.4 balanced placement).
+  [[nodiscard]] net::host_id host_of(int level, std::uint64_t prefix, int node) const {
+    std::uint64_t z = static_cast<std::uint64_t>(level) * 0x9e3779b97f4a7c15ull + prefix;
+    z ^= static_cast<std::uint64_t>(node) + 0x2545f4914f6cdd1dull + (z << 6) + (z >> 2);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return net::host_id{static_cast<std::uint32_t>((z ^ (z >> 31)) % net_->host_count())};
+  }
+
+ private:
+  static int levels_for(std::size_t n) {
+    int l = 0;
+    while ((std::size_t{1} << l) < n) ++l;
+    return l;
+  }
+
+  // Walk from `node` to the deepest cube containing q, hopping hosts.
+  int descend(const tree& t, int node, const point& q, int level, std::uint64_t prefix,
+              net::cursor& cur) const {
+    for (;;) {
+      const auto& nd = t.node(node);
+      if (nd.box.level >= seq::coord_bits) break;
+      const auto& e = nd.child[static_cast<std::size_t>(nd.box.quadrant_of(q))];
+      if (e.node < 0 || !t.node(e.node).box.contains(q)) break;
+      node = e.node;
+      cur.move_to(host_of(level, prefix, node));
+    }
+    return node;
+  }
+
+  void charge_node(int level, std::uint64_t prefix, int node, std::int64_t sign) {
+    // An interesting cube stores 2^D child references plus the identity
+    // hyperlink one level down.
+    const auto h = host_of(level, prefix, node);
+    net_->charge(h, net::memory_kind::node, sign);
+    net_->charge(h, net::memory_kind::host_ref, (tree::fanout + 1) * sign);
+  }
+
+  void charge_point(int level, std::uint64_t prefix, const point& p, std::int64_t sign) {
+    // Point payloads live with the tree they appear in; the level-0 copy is
+    // the data item itself, upper copies are references.
+    const auto salt = static_cast<int>(seq::qpoint_hash<D>{}(p) & 0x3fffffff);
+    const auto h = host_of(level, prefix, salt);
+    net_->charge(h, level == 0 ? net::memory_kind::item : net::memory_kind::pointer, sign);
+  }
+
+  void charge_all(std::int64_t sign) {
+    for (int l = 0; l <= levels_; ++l) {
+      for (const auto& [prefix, t] : trees_[static_cast<std::size_t>(l)]) {
+        for (int i = 0; i < static_cast<int>(t.node_count()); ++i) {
+          // Arena indices are dense right after a bulk build.
+          charge_node(l, prefix, i, sign);
+        }
+        for (const auto& p : t.points()) charge_point(l, prefix, p, sign);
+      }
+    }
+  }
+
+  std::vector<std::unordered_map<std::uint64_t, tree>> trees_;
+  std::unordered_map<point, util::membership_bits, seq::qpoint_hash<D>> bits_;
+  net::network* net_;
+  util::rng rng_;
+  std::vector<util::membership_bits> anchors_;
+  int levels_ = 0;
+};
+
+}  // namespace skipweb::core

@@ -1,0 +1,290 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/cursor.h"
+#include "net/network.h"
+#include "seq/trie.h"
+#include "util/membership.h"
+#include "util/rng.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::core {
+
+// Distributed trie skip-web (paper §3.2): the skip-web instantiation for
+// character strings over a fixed alphabet.
+//
+// Level l holds one compressed trie per l-bit membership prefix set. For
+// T ⊆ S every node of trie(T) — identified by its full path string — is a
+// node of trie(S), so inter-level hyperlinks are the identity on paths: the
+// query jumps from its deepest matched node at level l to the same node one
+// level denser and resumes the descent, doing expected O(1) extra steps per
+// level (Lemma 4). String search therefore costs O(log n) expected messages
+// even when the underlying trie has Θ(n) depth.
+class skip_trie {
+ public:
+  skip_trie(const std::vector<std::string>& keys, std::uint64_t seed, net::network& net)
+      : net_(&net), rng_(seed) {
+    SW_EXPECTS(!keys.empty());
+    levels_ = levels_for(keys.size());
+    tries_.resize(static_cast<std::size_t>(levels_) + 1);
+    for (const auto& k : keys) {
+      const auto bits = util::draw_membership(rng_);
+      const bool fresh = bits_.emplace(k, bits).second;
+      SW_EXPECTS(fresh);  // distinct keys
+    }
+    for (int l = 0; l <= levels_; ++l) {
+      std::unordered_map<std::uint64_t, std::vector<std::string>> groups;
+      for (const auto& k : keys) groups[util::prefix_of(bits_.at(k), l).bits].push_back(k);
+      for (auto& [prefix, members] : groups) {
+        tries_[static_cast<std::size_t>(l)].emplace(prefix, seq::trie(members));
+      }
+    }
+    anchors_.reserve(net_->host_count());
+    for (std::size_t h = 0; h < net_->host_count(); ++h) {
+      anchors_.push_back(bits_.at(keys[h % keys.size()]));
+      net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
+    }
+    charge_all(+1);
+  }
+
+  skip_trie(const skip_trie&) = delete;
+  skip_trie& operator=(const skip_trie&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] const seq::trie& ground() const { return tries_[0].begin()->second; }
+
+  struct locate_result {
+    std::string matched_path;   // deepest ground-trie node path that prefixes q
+    std::size_t matched = 0;    // characters of q matched (incl. partial edge)
+    bool is_key = false;        // q itself is stored
+    std::uint64_t messages = 0;
+  };
+
+  // Distributed descent for a query string (exact-match / longest-prefix).
+  [[nodiscard]] locate_result locate(const std::string& q, net::host_id origin) const {
+    net::cursor cur(*net_, origin);
+    const auto w = anchors_[origin.value];
+    std::string path;  // deepest matched node path so far (root of next tree)
+    seq::trie::locate_result last{};
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(w, l).bits;
+      auto it = tries_[static_cast<std::size_t>(l)].find(prefix);
+      if (it == tries_[static_cast<std::size_t>(l)].end()) continue;
+      const seq::trie& t = it->second;
+      int node = t.node_for_path(path);
+      SW_ASSERT(node >= 0);  // subset property: the path exists one level denser
+      cur.move_to(host_of(l, prefix, node));
+      last = descend(t, node, q, l, prefix, cur);
+      path = t.node(last.node).path;
+    }
+    locate_result out;
+    out.matched_path = path;
+    out.matched = last.matched;
+    const seq::trie& g = ground();
+    out.is_key = last.partial_edge == 0 && last.matched == q.size() &&
+                 g.node(g.node_for_path(path)).is_key && path.size() == q.size();
+    out.messages = cur.messages();
+    return out;
+  }
+
+  [[nodiscard]] bool contains(const std::string& q, net::host_id origin,
+                              std::uint64_t* messages = nullptr) const {
+    const auto r = locate(q, origin);
+    if (messages != nullptr) *messages = r.messages;
+    return r.is_key;
+  }
+
+  // Longest prefix of q that prefixes any stored string (paper's string
+  // queries; used for approximate/auto-complete searches).
+  [[nodiscard]] std::string longest_common_prefix(const std::string& q, net::host_id origin,
+                                                  std::uint64_t* messages = nullptr) const {
+    const auto r = locate(q, origin);
+    if (messages != nullptr) *messages = r.messages;
+    return q.substr(0, r.matched);
+  }
+
+  // All stored strings with the given prefix (the ISBN/publisher scenario):
+  // locate the subtree via the skip levels, then walk it, paying one hop per
+  // trie node visited (output-sensitive enumeration).
+  [[nodiscard]] std::vector<std::string> with_prefix(const std::string& prefix,
+                                                     net::host_id origin, std::size_t limit = 0,
+                                                     std::uint64_t* messages = nullptr) const {
+    net::cursor cur(*net_, origin);
+    const auto loc = locate(prefix, origin);
+    std::vector<std::string> out;
+    if (loc.matched < prefix.size()) {
+      if (messages != nullptr) *messages = loc.messages;
+      return out;  // no stored string extends the query prefix
+    }
+    const seq::trie& g = ground();
+    const std::uint64_t p0 = tries_[0].begin()->first;
+    int top = g.node_for_path(loc.matched_path);
+    SW_ASSERT(top >= 0);
+    if (loc.matched > loc.matched_path.size()) {
+      // The prefix ends inside an edge: the subtree below that edge matches.
+      const auto& children = g.node(top).children;
+      const char c = prefix[loc.matched_path.size()];
+      int child = -1;
+      for (const auto& [ch, idx] : children) {
+        if (ch == c) child = idx;
+      }
+      SW_ASSERT(child >= 0);
+      top = child;
+    }
+    // DFS over the matching subtree, hopping to each node's host.
+    std::vector<int> stack{top};
+    while (!stack.empty()) {
+      if (limit != 0 && out.size() >= limit) break;
+      const int v = stack.back();
+      stack.pop_back();
+      cur.move_to(host_of(0, p0, v));
+      const auto& nd = g.node(v);
+      if (nd.is_key) out.push_back(nd.path);
+      for (auto it = nd.children.rbegin(); it != nd.children.rend(); ++it) {
+        stack.push_back(it->second);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    if (limit != 0 && out.size() > limit) out.resize(limit);
+    if (messages != nullptr) *messages = loc.messages + cur.messages();
+    return out;
+  }
+
+  // Insert a string (paper §4): O(1) structural edits per level of the
+  // string's own prefix chain.
+  std::uint64_t insert(const std::string& s, net::host_id origin) {
+    SW_EXPECTS(bits_.find(s) == bits_.end());
+    net::cursor cur(*net_, origin);
+    const auto bits = util::draw_membership(rng_);
+    bits_.emplace(s, bits);
+    std::string path;
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(bits, l).bits;
+      auto [it, fresh] = tries_[static_cast<std::size_t>(l)].try_emplace(prefix);
+      seq::trie& t = it->second;
+      int node = fresh ? t.root() : t.node_for_path(path);
+      if (node < 0) node = t.root();
+      cur.move_to(host_of(l, prefix, node));
+      const auto loc = descend(t, node, s, l, prefix, cur);
+      path = t.node(loc.node).path;
+      const auto made = t.insert(s);
+      charge_key(l, prefix, s, +1);
+      for (int created : {made.a, made.b}) {
+        if (created >= 0) {
+          cur.move_to(host_of(l, prefix, created));
+          charge_node(l, prefix, created, +1);
+        }
+      }
+    }
+    return cur.messages();
+  }
+
+  std::uint64_t erase(const std::string& s, net::host_id origin) {
+    SW_EXPECTS(bits_.size() >= 2);  // the structure never becomes empty
+    auto bit_it = bits_.find(s);
+    SW_EXPECTS(bit_it != bits_.end());
+    const auto bits = bit_it->second;
+    net::cursor cur(*net_, origin);
+    std::string path;
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(bits, l).bits;
+      auto it = tries_[static_cast<std::size_t>(l)].find(prefix);
+      SW_ASSERT(it != tries_[static_cast<std::size_t>(l)].end());
+      seq::trie& t = it->second;
+      int node = t.node_for_path(path);
+      if (node < 0) node = t.root();
+      cur.move_to(host_of(l, prefix, node));
+      const auto loc = descend(t, node, s, l, prefix, cur);
+      path = t.node(loc.node).path;
+      const auto freed = t.erase(s);
+      charge_key(l, prefix, s, -1);
+      for (int gone : {freed.a, freed.b}) {
+        if (gone >= 0) charge_node(l, prefix, gone, -1);
+      }
+      if (t.size() == 0) tries_[static_cast<std::size_t>(l)].erase(it);
+      // `path` was captured before this level's erase, so the subset
+      // property still guarantees it exists one level denser.
+    }
+    bits_.erase(bit_it);
+    return cur.messages();
+  }
+
+  [[nodiscard]] net::host_id host_of(int level, std::uint64_t prefix, int node) const {
+    std::uint64_t z = static_cast<std::uint64_t>(level) * 0x9e3779b97f4a7c15ull + prefix;
+    z ^= static_cast<std::uint64_t>(node) + 0x2545f4914f6cdd1dull + (z << 6) + (z >> 2);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return net::host_id{static_cast<std::uint32_t>((z ^ (z >> 31)) % net_->host_count())};
+  }
+
+ private:
+  static int levels_for(std::size_t n) {
+    int l = 0;
+    while ((std::size_t{1} << l) < n) ++l;
+    return l;
+  }
+
+  seq::trie::locate_result descend(const seq::trie& t, int node, const std::string& q, int level,
+                                   std::uint64_t prefix, net::cursor& cur) const {
+    // Walk edge by edge so each visited trie node charges its hop, then let
+    // locate_from report the partial-edge tail from the final node.
+    for (;;) {
+      const int step = one_step(t, node, q);
+      if (step == node) break;
+      node = step;
+      cur.move_to(host_of(level, prefix, node));
+    }
+    return t.locate_from(node, q);
+  }
+
+  [[nodiscard]] int one_step(const seq::trie& t, int node, const std::string& q) const {
+    const auto& nd = t.node(node);
+    const std::size_t depth = nd.path.size();
+    if (depth >= q.size()) return node;
+    int child = -1;
+    for (const auto& [c, idx] : nd.children) {
+      if (c == q[depth]) child = idx;
+    }
+    if (child < 0) return node;
+    const auto& edge = t.node(child).edge;
+    if (q.size() - depth < edge.size()) return node;
+    if (q.compare(depth, edge.size(), edge) != 0) return node;
+    return child;
+  }
+
+  void charge_node(int level, std::uint64_t prefix, int node, std::int64_t sign) {
+    const auto h = host_of(level, prefix, node);
+    net_->charge(h, net::memory_kind::node, sign);
+    net_->charge(h, net::memory_kind::host_ref, 3 * sign);
+  }
+
+  void charge_key(int level, std::uint64_t prefix, const std::string& s, std::int64_t sign) {
+    const auto salt = static_cast<int>(std::hash<std::string>{}(s) & 0x3fffffff);
+    const auto h = host_of(level, prefix, salt);
+    net_->charge(h, level == 0 ? net::memory_kind::item : net::memory_kind::pointer, sign);
+  }
+
+  void charge_all(std::int64_t sign) {
+    for (int l = 0; l <= levels_; ++l) {
+      for (const auto& [prefix, t] : tries_[static_cast<std::size_t>(l)]) {
+        for (int i = 0; i < static_cast<int>(t.node_count()); ++i) charge_node(l, prefix, i, sign);
+        for (const auto& k : t.keys()) charge_key(l, prefix, k, sign);
+      }
+    }
+  }
+
+  std::vector<std::unordered_map<std::uint64_t, seq::trie>> tries_;
+  std::unordered_map<std::string, util::membership_bits> bits_;
+  net::network* net_;
+  util::rng rng_;
+  std::vector<util::membership_bits> anchors_;
+  int levels_ = 0;
+};
+
+}  // namespace skipweb::core

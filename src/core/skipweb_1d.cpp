@@ -1,0 +1,191 @@
+#include "core/skipweb_1d.h"
+
+#include <algorithm>
+
+#include "core/routing_1d.h"
+
+namespace skipweb::core {
+
+namespace {
+
+std::vector<std::uint64_t> sorted_unique(std::vector<std::uint64_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  SW_EXPECTS(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  return keys;
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ull + b + 0x2545f4914f6cdd1dull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+level_lists skipweb_1d::make_lists(std::vector<std::uint64_t> keys, util::rng& r) {
+  auto sorted = sorted_unique(std::move(keys));
+  SW_EXPECTS(!sorted.empty());
+  const int levels = level_lists::levels_for(std::max<std::size_t>(sorted.size(), 2));
+  return level_lists(std::move(sorted), r, levels);
+}
+
+skipweb_1d::skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net,
+                       placement p)
+    : rng_(seed), lists_(make_lists(std::move(keys), rng_)), net_(&net), policy_(p) {
+  if (policy_ == placement::tower) {
+    // One host per item; grow the network if the caller sized it smaller.
+    while (net_->host_count() < lists_.size()) net_->add_host();
+    owner_.resize(lists_.arena_size());
+    for (std::size_t i = 0; i < lists_.arena_size(); ++i) {
+      owner_[i] = net::host_id{static_cast<std::uint32_t>(i)};
+    }
+  }
+  // Every host gets a root: an anchor item whose tower top seeds searches
+  // (paper §1.1: "each host has a reference to the place where any search
+  // from that host should begin").
+  root_item_.assign(net_->host_count(), -1);
+  for (std::size_t h = 0; h < net_->host_count(); ++h) {
+    root_item_[h] = static_cast<int>(h % lists_.arena_size());
+    net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
+  }
+  // Register the structure in the memory ledger.
+  for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) charge_item_memory(i, +1);
+}
+
+net::host_id skipweb_1d::host_of(int item, int level) const {
+  if (policy_ == placement::tower) return owner_[static_cast<std::size_t>(item)];
+  return net::host_id{
+      static_cast<std::uint32_t>(mix(lists_.uid(item), static_cast<std::uint64_t>(level)) %
+                                 net_->host_count())};
+}
+
+int skipweb_1d::root_for(net::host_id origin) const {
+  SW_EXPECTS(origin.value < root_item_.size());
+  int item = root_item_[origin.value];
+  // A deleted anchor leaves a redirect to its old successor; follow it (the
+  // replacement pointer handed over when the anchor's owner left).
+  while (item >= 0 && !lists_.alive(item)) item = lists_.redirect(item);
+  if (item < 0) item = lists_.any_alive();
+  SW_EXPECTS(item >= 0);
+  return item;
+}
+
+skipweb_1d::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) const {
+  nn_result out;
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  const auto [pred, succ] =
+      route_search(lists_, q, root, lists_.levels(), cur, [this](int i, int l) { return host_of(i, l); });
+  if (pred >= 0) {
+    out.has_pred = true;
+    out.pred = lists_.key(pred);
+  }
+  if (succ >= 0) {
+    out.has_succ = true;
+    out.succ = lists_.key(succ);
+  }
+  out.messages = cur.messages();
+  return out;
+}
+
+bool skipweb_1d::contains(std::uint64_t q, net::host_id origin, std::uint64_t* messages) const {
+  const auto r = nearest(q, origin);
+  if (messages != nullptr) *messages = r.messages;
+  return r.has_pred && r.pred == q;
+}
+
+std::vector<std::uint64_t> skipweb_1d::range(std::uint64_t lo, std::uint64_t hi,
+                                             net::host_id origin, std::size_t limit,
+                                             std::uint64_t* messages) const {
+  SW_EXPECTS(lo <= hi);
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  const auto [pred, succ] = route_search(lists_, lo, root, lists_.levels(), cur,
+                                         [this](int i, int l) { return host_of(i, l); });
+  std::vector<std::uint64_t> out;
+  int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
+  while (item >= 0 && lists_.key(item) <= hi) {
+    if (limit != 0 && out.size() >= limit) break;
+    cur.move_to(host_of(item, 0));
+    out.push_back(lists_.key(item));
+    item = lists_.next(item, 0);
+  }
+  if (messages != nullptr) *messages = cur.messages();
+  return out;
+}
+
+std::uint64_t skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  auto host_fn = [this](int i, int l) { return host_of(i, l); };
+  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn);
+  SW_EXPECTS(pred0 < 0 || lists_.key(pred0) != key);  // duplicate keys rejected
+
+  const auto bits = util::draw_membership(rng_);
+  const auto nbrs = find_insert_neighbors(lists_, bits, pred0, succ0, cur, host_fn);
+
+  const int item = lists_.splice_in(key, bits, nbrs);
+  if (policy_ == placement::tower) {
+    // The new item's tower gets its own fresh host, which also seeds its
+    // searches at the new item.
+    const auto fresh = net_->add_host();
+    if (owner_.size() < lists_.arena_size()) owner_.resize(lists_.arena_size());
+    owner_[static_cast<std::size_t>(item)] = fresh;
+    root_item_.push_back(item);
+    net_->charge(fresh, net::memory_kind::host_ref, 1);
+  }
+
+  // Place the new nodes and update both flanking nodes per level: visiting
+  // the new node's host and any remote neighbours is what §4's bottom-up
+  // repair costs.
+  for (int l = 0; l <= lists_.levels(); ++l) {
+    cur.move_to(host_of(item, l));
+    const auto [left, right] = nbrs[static_cast<std::size_t>(l)];
+    if (left >= 0) cur.move_to(host_of(left, l));
+    if (right >= 0) cur.move_to(host_of(right, l));
+  }
+  charge_item_memory(item, +1);
+  return cur.messages();
+}
+
+std::uint64_t skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
+  SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
+  net::cursor cur(*net_, origin);
+  const int root = root_for(origin);
+  cur.move_to(host_of(root, lists_.levels()));
+  auto host_fn = [this](int i, int l) { return host_of(i, l); };
+  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn);
+  (void)succ0;
+  SW_EXPECTS(pred0 >= 0 && lists_.key(pred0) == key);  // key must be present
+  const int item = pred0;
+
+  // Unsplice level by level, visiting the node and its remote neighbours.
+  for (int l = 0; l <= lists_.levels(); ++l) {
+    cur.move_to(host_of(item, l));
+    const int pv = lists_.prev(item, l);
+    const int nx = lists_.next(item, l);
+    if (pv >= 0) cur.move_to(host_of(pv, l));
+    if (nx >= 0) cur.move_to(host_of(nx, l));
+  }
+  charge_item_memory(item, -1);
+  lists_.unsplice(item);
+  return cur.messages();
+}
+
+void skipweb_1d::charge_item_memory(int item, std::int64_t sign) {
+  // Per level node: the node itself, prev/next remote references, and the
+  // hyperlink to the same item's node one level down (paper §2.3).
+  for (int l = 0; l <= lists_.levels(); ++l) {
+    const auto h = host_of(item, l);
+    net_->charge(h, net::memory_kind::node, sign);
+    net_->charge(h, net::memory_kind::host_ref, 3 * sign);
+  }
+  // The data item lives with the level-0 node.
+  net_->charge(host_of(item, 0), net::memory_kind::item, sign);
+}
+
+}  // namespace skipweb::core

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/level_lists.h"
+#include "net/cursor.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace skipweb::core {
+
+// One-dimensional skip-web (paper §2.3–§2.5, Figure 2) with the *general*
+// node→host assignment of §2.4: every level node is an independent unit that
+// can live on any host. Two placements are provided:
+//
+//   - tower:    item i's whole tower lives on host i (H = n; the layout skip
+//               graphs/SkipNet use, per the Figure 2 caption).
+//   - balanced: nodes are spread over the hosts by hashing (item, level) —
+//               the "arbitrary assignment" the framework allows.
+//
+// Queries are 1-D nearest-neighbour searches (equivalently point location in
+// the link ranges); inserts/deletes follow §4. Expected costs (Theorem 2):
+// M = O(log n), C = O(log n), Q = O(log n), U = O(log n) messages. The
+// improved O(log n / log log n) query bound needs the blocked layout — see
+// bucket_skipweb.h.
+class skipweb_1d {
+ public:
+  enum class placement { tower, balanced };
+
+  // Builds over `keys` (distinct, any order) on `net`. Host expectations:
+  // tower placement uses one host per item and keeps using fresh hosts as
+  // items are inserted (net.add_host); balanced placement spreads over all
+  // current hosts of `net`.
+  skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net, placement p);
+
+  [[nodiscard]] std::size_t size() const { return lists_.size(); }
+  [[nodiscard]] int levels() const { return lists_.levels(); }
+  [[nodiscard]] placement policy() const { return policy_; }
+  [[nodiscard]] const level_lists& lists() const { return lists_; }
+
+  struct nn_result {
+    bool has_pred = false, has_succ = false;
+    std::uint64_t pred = 0, succ = 0;
+    std::uint64_t messages = 0;
+  };
+
+  // Nearest-neighbour query issued from `origin`: the level-0 predecessor
+  // and successor of q. The message count is the number of inter-host hops
+  // of the query locus.
+  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
+
+  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
+                              std::uint64_t* messages = nullptr) const;
+
+  // Insert/erase issued from `origin` (paper §4); returns messages used.
+  std::uint64_t insert(std::uint64_t key, net::host_id origin);
+  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+
+  // Range query [lo, hi] (one of the paper's §1 motivating query types):
+  // route to lo, then walk the base list — O(log n + k) expected messages
+  // for k results. `limit` caps the output (0 = unlimited).
+  [[nodiscard]] std::vector<std::uint64_t> range(std::uint64_t lo, std::uint64_t hi,
+                                                 net::host_id origin, std::size_t limit = 0,
+                                                 std::uint64_t* messages = nullptr) const;
+
+  // Where a given level node lives (exposed for tests and benches).
+  [[nodiscard]] net::host_id host_of(int item, int level) const;
+
+ private:
+  [[nodiscard]] int root_for(net::host_id origin) const;
+  void charge_item_memory(int item, std::int64_t sign);
+  static level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r);
+
+  util::rng rng_;       // declared before lists_: it feeds the level build
+  level_lists lists_;
+  net::network* net_;
+  placement policy_;
+  std::vector<net::host_id> owner_;  // per arena slot: tower host (tower placement)
+  std::vector<int> root_item_;       // per host: anchor item whose tower seeds searches
+};
+
+}  // namespace skipweb::core

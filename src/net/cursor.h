@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "net/types.h"
+
+namespace skipweb::net {
+
+// The locus of one distributed operation (a query or an update). Protocols
+// may only look at data on the host the cursor currently occupies; examining
+// anything elsewhere requires move_to(), which charges one message. Counting
+// hops of the query locus is the same message-complexity convention used by
+// skip graphs and SkipNet.
+class cursor {
+ public:
+  cursor(network& net, host_id start) : net_(&net), at_(start) {
+    SW_EXPECTS(start.valid() && start.value < net.host_count());
+  }
+
+  // Hop to `h`. A hop to the current host is free (local pointer chase).
+  void move_to(host_id h) {
+    SW_EXPECTS(h.valid() && h.value < net_->host_count());
+    if (h != at_) {
+      ++messages_;
+      net_->record_hop(h);
+      at_ = h;
+    }
+  }
+
+  void move_to(const address& a) { move_to(a.host); }
+
+  [[nodiscard]] host_id at() const { return at_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+ private:
+  network* net_;
+  host_id at_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace skipweb::net

@@ -1,0 +1,76 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace skipweb::net {
+
+network::network(std::size_t host_count) : memory_(host_count), visits_(host_count, 0) {
+  SW_EXPECTS(host_count > 0);
+}
+
+host_id network::add_host() {
+  memory_.emplace_back();
+  visits_.push_back(0);
+  return host_id{static_cast<std::uint32_t>(memory_.size() - 1)};
+}
+
+void network::charge(host_id h, memory_kind kind, std::int64_t delta) {
+  SW_EXPECTS(h.valid() && h.value < memory_.size());
+  auto& cell = memory_[h.value].counts[static_cast<std::size_t>(kind)];
+  if (delta < 0) {
+    SW_EXPECTS(cell >= static_cast<std::uint64_t>(-delta));
+    cell -= static_cast<std::uint64_t>(-delta);
+  } else {
+    cell += static_cast<std::uint64_t>(delta);
+  }
+}
+
+std::uint64_t network::memory_used(host_id h) const {
+  SW_EXPECTS(h.valid() && h.value < memory_.size());
+  const auto& row = memory_[h.value];
+  return row.counts[0] + row.counts[1] + row.counts[2] + row.counts[3];
+}
+
+std::uint64_t network::memory_used(host_id h, memory_kind kind) const {
+  SW_EXPECTS(h.valid() && h.value < memory_.size());
+  return memory_[h.value].counts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t network::max_memory() const {
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < memory_.size(); ++i) best = std::max(best, memory_used(host_id{static_cast<std::uint32_t>(i)}));
+  return best;
+}
+
+double network::mean_memory() const {
+  return static_cast<double>(total_memory()) / static_cast<double>(memory_.size());
+}
+
+std::uint64_t network::total_memory() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < memory_.size(); ++i) sum += memory_used(host_id{static_cast<std::uint32_t>(i)});
+  return sum;
+}
+
+std::uint64_t network::visits(host_id h) const {
+  SW_EXPECTS(h.valid() && h.value < visits_.size());
+  return visits_[h.value];
+}
+
+std::uint64_t network::max_visits() const {
+  return visits_.empty() ? 0 : *std::max_element(visits_.begin(), visits_.end());
+}
+
+void network::reset_traffic() {
+  std::fill(visits_.begin(), visits_.end(), 0);
+  total_messages_ = 0;
+}
+
+void network::record_hop(host_id to) {
+  SW_EXPECTS(to.valid() && to.value < visits_.size());
+  ++total_messages_;
+  ++visits_[to.value];
+}
+
+}  // namespace skipweb::net

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::net {
+
+// What a host stores, following the paper's memory definition (§1.1): "the
+// number of data items, data structure nodes, pointers, and host IDs that
+// any host can store."
+enum class memory_kind : std::uint8_t { item, node, pointer, host_ref };
+
+// The simulated peer-to-peer network. It does not move bytes; it is a
+// ledger. Distributed structures register what each host stores (memory),
+// and route every query/update through a `cursor` (see cursor.h), which
+// charges one message per inter-host hop and one visit per host touched.
+// Those three ledgers are exactly the paper's M, Q(n)/U(n) and C(n).
+class network {
+ public:
+  explicit network(std::size_t host_count);
+
+  [[nodiscard]] std::size_t host_count() const { return memory_.size(); }
+
+  // Bring a fresh host online (e.g. to own a newly inserted item, or to take
+  // a bucket skip-web block split). Returns its id.
+  host_id add_host();
+
+  // --- memory ledger -------------------------------------------------------
+  void charge(host_id h, memory_kind kind, std::int64_t delta);
+  [[nodiscard]] std::uint64_t memory_used(host_id h) const;
+  [[nodiscard]] std::uint64_t memory_used(host_id h, memory_kind kind) const;
+  [[nodiscard]] std::uint64_t max_memory() const;
+  [[nodiscard]] double mean_memory() const;
+  [[nodiscard]] std::uint64_t total_memory() const;
+
+  // --- traffic ledger (written by cursors) ---------------------------------
+  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+  [[nodiscard]] std::uint64_t visits(host_id h) const;
+  [[nodiscard]] std::uint64_t max_visits() const;
+
+  // Zero the message/visit counters between workload phases; memory stays.
+  void reset_traffic();
+
+ private:
+  friend class cursor;
+
+  void record_hop(host_id to);
+
+  struct memory_row {
+    std::uint64_t counts[4] = {0, 0, 0, 0};
+  };
+
+  std::vector<memory_row> memory_;
+  std::vector<std::uint64_t> visits_;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace skipweb::net

@@ -1,0 +1,30 @@
+#include "net/placement.h"
+
+#include <algorithm>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::net {
+
+std::vector<host_id> tower_placement(std::size_t item_count) {
+  std::vector<host_id> out(item_count);
+  for (std::size_t i = 0; i < item_count; ++i) out[i] = host_id{static_cast<std::uint32_t>(i)};
+  return out;
+}
+
+std::vector<host_id> balanced_placement(std::size_t count, std::size_t hosts, util::rng& r) {
+  SW_EXPECTS(hosts > 0);
+  std::vector<host_id> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = host_id{static_cast<std::uint32_t>(i % hosts)};
+  std::shuffle(out.begin(), out.end(), r.engine());
+  return out;
+}
+
+std::vector<host_id> round_robin_placement(std::size_t count, std::size_t hosts) {
+  SW_EXPECTS(hosts > 0);
+  std::vector<host_id> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = host_id{static_cast<std::uint32_t>(i % hosts)};
+  return out;
+}
+
+}  // namespace skipweb::net

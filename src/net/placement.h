@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/types.h"
+#include "util/rng.h"
+
+namespace skipweb::net {
+
+// Node→host assignment policies (paper §2.4). The framework works with any
+// assignment; the bucket skip-web computes its own blocked layout instead.
+
+// Skip-graph style: item i's entire tower lives on host i (H = n).
+std::vector<host_id> tower_placement(std::size_t item_count);
+
+// Arbitrary even assignment: `count` nodes spread over `hosts` hosts,
+// shuffled so no host systematically owns one region of the key space.
+std::vector<host_id> balanced_placement(std::size_t count, std::size_t hosts, util::rng& r);
+
+// Round-robin without shuffling; deterministic, used by tests.
+std::vector<host_id> round_robin_placement(std::size_t count, std::size_t hosts);
+
+}  // namespace skipweb::net

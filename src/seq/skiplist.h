@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::seq {
+
+// Classic randomized skip list (Pugh; paper Figure 1). Each element appears
+// in the bottom-level list and is promoted one level with probability 1/2.
+// Sequential: this is the Figure 1 baseline and the reference oracle for the
+// distributed 1-D structures. Instrumented to report search-path length and
+// node count so bench_fig1 can verify O(log n) query and O(n) space.
+template <typename Key>
+class skiplist {
+ public:
+  explicit skiplist(util::rng r) : rng_(std::move(r)) {
+    head_ = make_node(Key{}, 1);  // sentinel; its key is never compared
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Total list nodes across all levels (the Figure 1 space measure).
+  [[nodiscard]] std::size_t tower_node_count() const {
+    std::size_t total = 0;
+    for (int node = nodes_[head_].next[0]; node != nil; node = nodes_[node].next[0]) {
+      total += nodes_[node].next.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] int levels() const { return static_cast<int>(nodes_[head_].next.size()); }
+
+  [[nodiscard]] bool contains(const Key& k) const {
+    const int node = find_at_or_before(k);
+    return node != head_ && nodes_[node].key == k;
+  }
+
+  // Largest key <= k. Returns false if k precedes all keys.
+  bool predecessor(const Key& k, Key& out) const {
+    const int node = find_at_or_before(k);
+    if (node == head_) return false;
+    out = nodes_[node].key;
+    return true;
+  }
+
+  // Smallest key >= k. Returns false if k follows all keys.
+  bool successor(const Key& k, Key& out) const {
+    int node = find_at_or_before(k);
+    if (node != head_ && nodes_[node].key == k) {
+      out = k;
+      return true;
+    }
+    const int next = nodes_[node].next[0];
+    if (next == nil) return false;
+    out = nodes_[next].key;
+    return true;
+  }
+
+  bool insert(const Key& k) {
+    std::vector<int> update;
+    const int at = find_update_path(k, update);
+    if (at != head_ && nodes_[at].key == k) return false;  // already present
+
+    int height = 1;
+    while (rng_.bit()) ++height;
+    while (levels() < height) {
+      nodes_[head_].next.push_back(nil);
+      update.push_back(head_);
+    }
+
+    const int node = make_node(k, height);
+    for (int lvl = 0; lvl < height; ++lvl) {
+      nodes_[node].next[lvl] = nodes_[update[lvl]].next[lvl];
+      nodes_[update[lvl]].next[lvl] = node;
+    }
+    ++size_;
+    return true;
+  }
+
+  bool erase(const Key& k) {
+    std::vector<int> update;
+    const int at = find_update_path(k, update);
+    if (at == head_ || nodes_[at].key != k) return false;
+    for (int lvl = 0; lvl < static_cast<int>(nodes_[at].next.size()); ++lvl) {
+      SW_ASSERT(nodes_[update[lvl]].next[lvl] == at);
+      nodes_[update[lvl]].next[lvl] = nodes_[at].next[lvl];
+    }
+    free_node(at);
+    --size_;
+    return true;
+  }
+
+  // Comparisons + level drops performed by the most recent search; the
+  // Figure 1 bench averages this over many probes.
+  [[nodiscard]] std::uint64_t last_search_steps() const { return last_search_steps_; }
+
+  [[nodiscard]] std::vector<Key> to_vector() const {
+    std::vector<Key> out;
+    out.reserve(size_);
+    for (int node = nodes_[head_].next[0]; node != nil; node = nodes_[node].next[0]) {
+      out.push_back(nodes_[node].key);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr int nil = -1;
+
+  struct node_t {
+    Key key{};
+    std::vector<int> next;  // next[l] = following node at level l
+  };
+
+  int make_node(const Key& k, int height) {
+    int idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      nodes_[idx] = node_t{};
+    } else {
+      idx = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[idx].key = k;
+    nodes_[idx].next.assign(static_cast<std::size_t>(height), nil);
+    return idx;
+  }
+
+  void free_node(int idx) { free_.push_back(idx); }
+
+  // Standard top-down search: last node with key < k per level; returns the
+  // bottom-level node with key <= k (head_ when none). Counts steps.
+  int find_at_or_before(const Key& k) const {
+    std::uint64_t steps = 0;
+    int node = head_;
+    for (int lvl = levels() - 1; lvl >= 0; --lvl) {
+      ++steps;  // level drop
+      while (nodes_[node].next[lvl] != nil && nodes_[nodes_[node].next[lvl]].key < k) {
+        node = nodes_[node].next[lvl];
+        ++steps;
+      }
+    }
+    const int next = nodes_[node].next[0];
+    if (next != nil && !(k < nodes_[next].key)) node = next;  // exact hit
+    last_search_steps_ = steps;
+    return node;
+  }
+
+  int find_update_path(const Key& k, std::vector<int>& update) const {
+    update.assign(static_cast<std::size_t>(levels()), head_);
+    int node = head_;
+    for (int lvl = levels() - 1; lvl >= 0; --lvl) {
+      while (nodes_[node].next[lvl] != nil && nodes_[nodes_[node].next[lvl]].key < k) {
+        node = nodes_[node].next[lvl];
+      }
+      update[lvl] = node;
+    }
+    const int next = nodes_[node].next[0];
+    if (next != nil && !(k < nodes_[next].key)) return next;
+    return node == head_ ? head_ : node;
+  }
+
+  mutable std::uint64_t last_search_steps_ = 0;
+  util::rng rng_;
+  std::vector<node_t> nodes_;
+  std::vector<int> free_;
+  int head_ = nil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace skipweb::seq

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::seq {
+
+// The simplest range-determined link structure (paper §2.1): a doubly-linked
+// sorted list. The range of a node is the singleton {x}; the range of the
+// link joining consecutive nodes x < y is the closed interval [x, y].
+//
+// This sequential form exists to make the framework concrete and to drive
+// the Lemma 1 set-halving experiments; the distributed 1-D skip-web keeps
+// its own per-level lists.
+template <typename Key>
+class sorted_list {
+ public:
+  sorted_list() = default;
+
+  explicit sorted_list(std::vector<Key> keys) : keys_(std::move(keys)) {
+    std::sort(keys_.begin(), keys_.end());
+    SW_EXPECTS(std::adjacent_find(keys_.begin(), keys_.end()) == keys_.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] const std::vector<Key>& keys() const { return keys_; }
+
+  [[nodiscard]] bool contains(const Key& k) const {
+    return std::binary_search(keys_.begin(), keys_.end(), k);
+  }
+
+  // Index of the largest key <= k, or npos if k precedes everything.
+  [[nodiscard]] std::size_t predecessor_index(const Key& k) const {
+    auto it = std::upper_bound(keys_.begin(), keys_.end(), k);
+    if (it == keys_.begin()) return npos;
+    return static_cast<std::size_t>(it - keys_.begin()) - 1;
+  }
+
+  // Index of the smallest key >= k, or npos if k follows everything.
+  [[nodiscard]] std::size_t successor_index(const Key& k) const {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it == keys_.end()) return npos;
+    return static_cast<std::size_t>(it - keys_.begin());
+  }
+
+  void insert(const Key& k) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    SW_EXPECTS(it == keys_.end() || *it != k);
+    keys_.insert(it, k);
+  }
+
+  void erase(const Key& k) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    SW_EXPECTS(it != keys_.end() && *it == k);
+    keys_.erase(it);
+  }
+
+  // The maximal range of this structure containing probe q (paper §2.2):
+  // the node {q} when q is present, otherwise the link interval
+  // [pred(q), succ(q)] (unbounded sides for probes outside the key range).
+  struct range {
+    bool is_node = false;       // node {lo} vs link [lo, hi]
+    bool has_lo = false, has_hi = false;
+    Key lo{}, hi{};
+  };
+
+  [[nodiscard]] range maximal_range(const Key& q) const {
+    range r;
+    const auto pred = predecessor_index(q);
+    if (pred != npos && keys_[pred] == q) {
+      r.is_node = true;
+      r.has_lo = r.has_hi = true;
+      r.lo = r.hi = q;
+      return r;
+    }
+    if (pred != npos) {
+      r.has_lo = true;
+      r.lo = keys_[pred];
+    }
+    const auto succ = successor_index(q);
+    if (succ != npos) {
+      r.has_hi = true;
+      r.hi = keys_[succ];
+    }
+    return r;
+  }
+
+  // |C(Q, S)| where Q = maximal_range of q in *this* list D(T) and S is the
+  // denser ground list (paper §2.2): nodes of D(S) within the closed
+  // interval Q, plus links of D(S) whose interval overlaps Q's *interior*
+  // (the paper's counting — it yields |C| = 2|Q∩S| - 1 when T ⊆ S, hence
+  // Lemma 1's E|C(Q,S)| <= 7; links merely touching Q's endpoint belong to
+  // the neighbouring range). Used by the Lemma 1 tests and bench.
+  [[nodiscard]] std::size_t conflict_count(const sorted_list& ground, const Key& q) const {
+    const range r = maximal_range(q);
+    const auto& g = ground.keys_;
+    if (g.empty()) return 0;
+    auto lo_it = r.has_lo ? std::lower_bound(g.begin(), g.end(), r.lo) : g.begin();
+    auto hi_it = r.has_hi ? std::upper_bound(g.begin(), g.end(), r.hi) : g.end();
+    const auto m = static_cast<std::size_t>(hi_it - lo_it);  // nodes within Q
+
+    std::size_t links = m >= 1 ? m - 1 : 0;  // links between consecutive inside nodes
+    if (m >= 1) {
+      // Link entering from the left conflicts only if the first inside node
+      // sits strictly past lo (when lo is an element of S — the T ⊆ S case —
+      // the entering link only touches Q at its endpoint).
+      if (r.has_lo && lo_it != g.begin() && *lo_it > r.lo) ++links;
+      if (r.has_hi && hi_it != g.end() && *(hi_it - 1) < r.hi) ++links;
+    } else if (lo_it != g.begin() && lo_it != g.end()) {
+      // No node inside: at most the one link spanning Q (only reachable when
+      // T is not a subset of S; kept for generality).
+      const bool left_ok = !r.has_lo || *lo_it > r.lo;
+      const bool right_ok = !r.has_hi || *(lo_it - 1) < r.hi;
+      if (left_ok && right_ok) ++links;
+    }
+    return m + links;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<Key> keys_;
+};
+
+}  // namespace skipweb::seq

@@ -1,0 +1,176 @@
+#include "seq/trapmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skipweb::seq {
+
+namespace {
+
+struct event {
+  double x;
+  bool is_left;  // left endpoint of `seg` (insert) vs right endpoint (remove)
+  int seg;
+};
+
+}  // namespace
+
+trapmap::trapmap(std::vector<segment> segs, double xmin, double xmax, double ymin, double ymax)
+    : segs_(std::move(segs)), xmin_(xmin), xmax_(xmax), ymin_(ymin), ymax_(ymax) {
+  SW_EXPECTS(xmin < xmax && ymin < ymax);
+  real_segment_count_ = segs_.size();
+
+  for (auto& s : segs_) {
+    if (s.x1 > s.x2) {
+      std::swap(s.x1, s.x2);
+      std::swap(s.y1, s.y2);
+    }
+    SW_EXPECTS(s.x1 < s.x2);  // no vertical segments
+    SW_EXPECTS(s.x1 > xmin && s.x2 < xmax);
+    SW_EXPECTS(s.y1 > ymin && s.y1 < ymax && s.y2 > ymin && s.y2 < ymax);
+  }
+
+  // Bounding-box walls as sentinel segments so every trapezoid has a real
+  // top/bottom id.
+  bottom_sentinel_ = static_cast<int>(segs_.size());
+  segs_.push_back(segment{xmin, ymin, xmax, ymin});
+  top_sentinel_ = static_cast<int>(segs_.size());
+  segs_.push_back(segment{xmin, ymax, xmax, ymax});
+
+  std::vector<event> events;
+  events.reserve(2 * real_segment_count_);
+  for (std::size_t i = 0; i < real_segment_count_; ++i) {
+    events.push_back({segs_[i].x1, true, static_cast<int>(i)});
+    events.push_back({segs_[i].x2, false, static_cast<int>(i)});
+  }
+  std::sort(events.begin(), events.end(), [](const event& a, const event& b) { return a.x < b.x; });
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    SW_EXPECTS(events[i - 1].x < events[i].x);  // distinct endpoint x's (general position)
+  }
+
+  // Sweep state: active segments bottom-to-top, and per gap (between
+  // vertically consecutive active segments) the id of its open trapezoid.
+  std::vector<int> active = {bottom_sentinel_, top_sentinel_};
+  std::vector<int> open;  // open[i] = trapezoid between active[i] and active[i+1]
+
+  auto open_trap = [&](int bottom, int top, double left_x, int left0, int left1) {
+    trapezoid t;
+    t.bottom = bottom;
+    t.top = top;
+    t.left_x = left_x;
+    t.left_nb = {left0, left1};
+    traps_.push_back(t);
+    return static_cast<int>(traps_.size()) - 1;
+  };
+
+  open.push_back(open_trap(bottom_sentinel_, top_sentinel_, xmin_, -1, -1));
+
+  for (const event& ev : events) {
+    const segment& s = segs_[static_cast<std::size_t>(ev.seg)];
+    if (ev.is_left) {
+      // The left endpoint lies strictly inside exactly one gap. Find the
+      // insertion position: the number of active segments strictly below it.
+      const double py = s.y1;
+      std::size_t pos = 1;  // above the bottom sentinel
+      while (pos < active.size() && eval(active[pos], ev.x) < py) ++pos;
+      SW_ASSERT(pos < active.size());
+      const std::size_t gap = pos - 1;
+
+      const int closed = open[gap];
+      traps_[static_cast<std::size_t>(closed)].right_x = ev.x;
+
+      active.insert(active.begin() + static_cast<std::ptrdiff_t>(pos), ev.seg);
+      const int below = open_trap(active[pos - 1], ev.seg, ev.x, closed, -1);
+      const int above = open_trap(ev.seg, active[pos + 1], ev.x, closed, -1);
+      traps_[static_cast<std::size_t>(closed)].right_nb = {below, above};
+
+      open[gap] = below;
+      open.insert(open.begin() + static_cast<std::ptrdiff_t>(gap) + 1, above);
+    } else {
+      // Right endpoint: the two gaps adjacent to the segment close, one
+      // merged gap opens.
+      const auto it = std::find(active.begin(), active.end(), ev.seg);
+      SW_ASSERT(it != active.end());
+      const auto pos = static_cast<std::size_t>(it - active.begin());
+      SW_ASSERT(pos >= 1 && pos + 1 < active.size());
+
+      const int below_closed = open[pos - 1];
+      const int above_closed = open[pos];
+      traps_[static_cast<std::size_t>(below_closed)].right_x = ev.x;
+      traps_[static_cast<std::size_t>(above_closed)].right_x = ev.x;
+
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pos));
+      const int merged = open_trap(active[pos - 1], active[pos], ev.x, below_closed, above_closed);
+      traps_[static_cast<std::size_t>(below_closed)].right_nb = {merged, -1};
+      traps_[static_cast<std::size_t>(above_closed)].right_nb = {merged, -1};
+
+      open[pos - 1] = merged;
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+
+  SW_ASSERT(open.size() == 1 && active.size() == 2);
+  traps_[static_cast<std::size_t>(open[0])].right_x = xmax_;
+
+  SW_ENSURES(traps_.size() == 3 * real_segment_count_ + 1);
+
+  by_left_x_.resize(traps_.size());
+  for (std::size_t i = 0; i < traps_.size(); ++i) by_left_x_[i] = static_cast<int>(i);
+  std::sort(by_left_x_.begin(), by_left_x_.end(),
+            [this](int a, int b) { return trap(a).left_x < trap(b).left_x; });
+}
+
+bool trapmap::contains(int trap_id, double x, double y) const {
+  const trapezoid& t = trap(trap_id);
+  if (!(t.left_x < x && x < t.right_x)) return false;
+  return eval(t.bottom, x) < y && y < eval(t.top, x);
+}
+
+int trapmap::locate(double x, double y) const {
+  for (std::size_t i = 0; i < traps_.size(); ++i) {
+    if (contains(static_cast<int>(i), x, y)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool trapmap::overlaps(int my_trap, const trapmap& other, int other_trap) const {
+  const trapezoid& a = trap(my_trap);
+  const trapezoid& b = other.trap(other_trap);
+  const double lo = std::max(a.left_x, b.left_x);
+  const double hi = std::min(a.right_x, b.right_x);
+  if (!(lo < hi)) return false;
+  const double xm = 0.5 * (lo + hi);
+  const double top = std::min(eval(a.top, xm), other.eval(b.top, xm));
+  const double bot = std::max(eval(a.bottom, xm), other.eval(b.bottom, xm));
+  // Non-crossing segments keep a fixed vertical order over the common
+  // x-range, so a single midpoint test decides interior overlap. Shared
+  // bounding segments evaluate to equal y and correctly report "touching,
+  // not overlapping".
+  return bot < top;
+}
+
+std::vector<int> trapmap::conflicts(int t, const trapmap& dense) const {
+  std::vector<int> out;
+  const trapezoid& mine = trap(t);
+  for (int cand : dense.by_left_x_) {
+    const trapezoid& u = dense.trap(cand);
+    if (u.left_x >= mine.right_x) break;  // sorted by left_x: nothing further overlaps
+    if (overlaps(t, dense, cand)) out.push_back(cand);
+  }
+  return out;
+}
+
+double trapmap::area(int trap_id) const {
+  const trapezoid& t = trap(trap_id);
+  const double hl = eval(t.top, t.left_x) - eval(t.bottom, t.left_x);
+  const double hr = eval(t.top, t.right_x) - eval(t.bottom, t.right_x);
+  return 0.5 * (hl + hr) * (t.right_x - t.left_x);
+}
+
+std::pair<double, double> trapmap::interior_point(int trap_id) const {
+  const trapezoid& t = trap(trap_id);
+  const double xm = 0.5 * (t.left_x + t.right_x);
+  return {xm, 0.5 * (eval(t.top, xm) + eval(t.bottom, xm))};
+}
+
+}  // namespace skipweb::seq

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::seq {
+
+// A non-vertical line segment with x1 < x2.
+struct segment {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  [[nodiscard]] double y_at(double x) const {
+    return y1 + (y2 - y1) * ((x - x1) / (x2 - x1));
+  }
+  friend bool operator==(const segment&, const segment&) = default;
+};
+
+// One cell of the trapezoidal map: bounded above and below by (pieces of)
+// input segments (or the bounding-box walls, stored as sentinel segments)
+// and left/right by vertical walls through segment endpoints. In general
+// position each trapezoid has at most two left and two right neighbours.
+struct trapezoid {
+  int top = -1;     // segment id bounding above
+  int bottom = -1;  // segment id bounding below
+  double left_x = 0, right_x = 0;
+  std::array<int, 2> left_nb{-1, -1};
+  std::array<int, 2> right_nb{-1, -1};
+};
+
+// Trapezoidal map of a set of pairwise-disjoint, non-crossing segments with
+// distinct endpoint x-coordinates, clipped to a bounding box (paper §3.3,
+// Figure 4). Built by a left-to-right plane sweep that opens/closes one
+// trapezoid per gap between vertically adjacent active segments; this yields
+// exactly 3n+1 trapezoids and their full adjacency.
+class trapmap {
+ public:
+  trapmap(std::vector<segment> segs, double xmin, double xmax, double ymin, double ymax);
+
+  [[nodiscard]] std::size_t segment_count() const { return real_segment_count_; }
+  [[nodiscard]] std::size_t trapezoid_count() const { return traps_.size(); }
+  [[nodiscard]] const std::vector<trapezoid>& trapezoids() const { return traps_; }
+  [[nodiscard]] const trapezoid& trap(int id) const { return traps_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const segment& seg(int id) const { return segs_[static_cast<std::size_t>(id)]; }
+
+  [[nodiscard]] double xmin() const { return xmin_; }
+  [[nodiscard]] double xmax() const { return xmax_; }
+  [[nodiscard]] double ymin() const { return ymin_; }
+  [[nodiscard]] double ymax() const { return ymax_; }
+
+  // Strict interior containment; query points must avoid walls/segments
+  // (measure-zero under the benchmark workloads).
+  [[nodiscard]] bool contains(int trap_id, double x, double y) const;
+
+  // Brute-force point location: the test oracle (the distributed structure
+  // never uses it).
+  [[nodiscard]] int locate(double x, double y) const;
+
+  // Open-interior overlap between a trapezoid of this (sparser) map and one
+  // of another map over a superset of the same segment universe. Segments
+  // never cross, so evaluating the vertical order at the midpoint of the
+  // common x-range is decisive.
+  [[nodiscard]] bool overlaps(int my_trap, const trapmap& other, int other_trap) const;
+
+  // All trapezoids of `dense` conflicting with my trapezoid `t` (paper §2.2
+  // conflict list; Lemma 5 bounds its expected size). x-range pruned scan.
+  [[nodiscard]] std::vector<int> conflicts(int t, const trapmap& dense) const;
+
+  // Exact area of a trapezoid (top/bottom are linear): used by the partition
+  // property test (areas sum to the bounding box).
+  [[nodiscard]] double area(int trap_id) const;
+
+  // A point strictly inside the trapezoid (midpoint in x, midway between the
+  // bounding segments there).
+  [[nodiscard]] std::pair<double, double> interior_point(int trap_id) const;
+
+ private:
+  [[nodiscard]] double eval(int seg_id, double x) const { return seg(seg_id).y_at(x); }
+
+  std::vector<segment> segs_;   // real segments then the two box sentinels
+  std::vector<trapezoid> traps_;
+  std::vector<int> by_left_x_;  // trapezoid ids sorted by left_x (for pruning)
+  std::size_t real_segment_count_ = 0;
+  int bottom_sentinel_ = -1, top_sentinel_ = -1;
+  double xmin_, xmax_, ymin_, ymax_;
+};
+
+}  // namespace skipweb::seq

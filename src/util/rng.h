@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::util {
+
+// Deterministic, explicitly seeded random source. Every randomized structure
+// in the library takes an rng (or a seed) as an argument, so that every test,
+// bench and example reproduces bit-for-bit.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  // One fair coin flip (the paper's per-item level bits).
+  bool bit() { return (engine_() & 1u) != 0; }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform integer in [lo, hi], inclusive.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    SW_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, bound).
+  std::size_t index(std::size_t bound) {
+    SW_EXPECTS(bound > 0);
+    return static_cast<std::size_t>(uniform_u64(0, bound - 1));
+  }
+
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    SW_EXPECTS(lo < hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Derive an independent child stream; used to give each host / structure
+  // level its own reproducible randomness.
+  rng split(std::uint64_t tag) {
+    // splitmix64 finalizer mixes the tag so nearby tags yield unrelated seeds.
+    std::uint64_t z = engine_() + tag + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return rng(z ^ (z >> 31));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace skipweb::util

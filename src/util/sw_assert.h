@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace skipweb::util {
+
+// Thrown when a library contract (pre/postcondition or invariant) is
+// violated. Contracts stay enabled in release builds: the checks guard
+// protocol correctness, not hot inner loops.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* condition,
+                                          const char* file, int line) {
+  throw contract_error(std::string(kind) + " violated: " + condition + " (" + file + ":" +
+                       std::to_string(line) + ")");
+}
+
+}  // namespace skipweb::util
+
+#define SW_EXPECTS(cond) \
+  ((cond) ? void(0) : ::skipweb::util::contract_failure("precondition", #cond, __FILE__, __LINE__))
+#define SW_ENSURES(cond) \
+  ((cond) ? void(0) : ::skipweb::util::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+#define SW_ASSERT(cond) \
+  ((cond) ? void(0) : ::skipweb::util::contract_failure("invariant", #cond, __FILE__, __LINE__))

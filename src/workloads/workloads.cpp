@@ -1,0 +1,216 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::workloads {
+
+namespace {
+
+constexpr std::uint64_t key_span = std::uint64_t{1} << 62;
+
+std::vector<std::uint64_t> distinct_u64(std::size_t n, std::uint64_t lo, std::uint64_t hi,
+                                        util::rng& r) {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const std::uint64_t v = r.uniform_u64(lo, hi);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> uniform_keys(std::size_t n, util::rng& r) {
+  return distinct_u64(n, 0, key_span - 1, r);
+}
+
+std::vector<std::uint64_t> clustered_keys(std::size_t n, util::rng& r) {
+  std::size_t clusters = 1;
+  while (clusters * clusters < n) ++clusters;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  std::vector<std::uint64_t> centers = distinct_u64(clusters, 0, key_span - 1, r);
+  while (out.size() < n) {
+    const std::uint64_t c = centers[r.index(centers.size())];
+    const std::uint64_t offset = r.uniform_u64(0, 4 * n);
+    const std::uint64_t v = (c + offset) % key_span;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> probe_keys(const std::vector<std::uint64_t>& keys, std::size_t count,
+                                      util::rng& r) {
+  SW_EXPECTS(!keys.empty());
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = r.index(sorted.size() - 1);
+    const std::uint64_t lo = sorted[j], hi = sorted[j + 1];
+    out.push_back(hi - lo <= 1 ? lo : lo + 1 + r.uniform_u64(0, hi - lo - 2));
+  }
+  return out;
+}
+
+template <int D>
+std::vector<seq::qpoint<D>> uniform_points(std::size_t n, util::rng& r) {
+  std::unordered_set<seq::qpoint<D>, seq::qpoint_hash<D>> seen;
+  std::vector<seq::qpoint<D>> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    seq::qpoint<D> p;
+    for (int d = 0; d < D; ++d) p.x[d] = r.uniform_u64(0, seq::coord_span - 1);
+    if (seen.insert(p).second) out.push_back(p);
+  }
+  return out;
+}
+
+template <int D>
+std::vector<seq::qpoint<D>> clustered_points(std::size_t n, util::rng& r) {
+  std::size_t clusters = 1;
+  while (clusters * clusters < n) ++clusters;
+  std::vector<seq::qpoint<D>> centers = uniform_points<D>(clusters, r);
+  std::unordered_set<seq::qpoint<D>, seq::qpoint_hash<D>> seen;
+  std::vector<seq::qpoint<D>> out;
+  out.reserve(n);
+  const std::uint64_t radius = seq::coord_span >> 12;
+  while (out.size() < n) {
+    seq::qpoint<D> p = centers[r.index(centers.size())];
+    for (int d = 0; d < D; ++d) {
+      const std::uint64_t offset = r.uniform_u64(0, 2 * radius);
+      p.x[d] = (p.x[d] + offset) % seq::coord_span;
+    }
+    if (seen.insert(p).second) out.push_back(p);
+  }
+  return out;
+}
+
+template <int D>
+std::vector<seq::qpoint<D>> chain_points(std::size_t n) {
+  std::vector<seq::qpoint<D>> out;
+  out.reserve(n);
+  // Pair i sits at scale 2^(62-2i): its two points differ only in the lowest
+  // dimension, so the pair's enclosing cube is tiny and deep, and every later
+  // pair nests inside the quadrant nearer the origin.
+  for (std::size_t i = 0; out.size() < n; ++i) {
+    const int shift = std::max(1, 60 - 2 * static_cast<int>(i));
+    const seq::coord_t base = seq::coord_t{1} << shift;
+    seq::qpoint<D> a, b;
+    for (int d = 0; d < D; ++d) {
+      a.x[d] = base;
+      b.x[d] = base;
+    }
+    b.x[0] = base + (base >> 1);
+    out.push_back(a);
+    if (out.size() < n) out.push_back(b);
+    if (shift == 1) break;  // grid floor reached
+  }
+  // Top up with scattered distinct points if n exceeded the grid's depth
+  // budget (keeps the requested size without disturbing the chain).
+  util::rng filler(0xC0FFEE);
+  while (out.size() < n) {
+    seq::qpoint<D> p;
+    for (int d = 0; d < D; ++d) {
+      p.x[d] = (seq::coord_span / 2) + filler.uniform_u64(0, seq::coord_span / 2 - 1);
+    }
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::string> random_strings(std::size_t n, std::size_t len_lo, std::size_t len_hi,
+                                        const std::string& alphabet, util::rng& r) {
+  SW_EXPECTS(!alphabet.empty() && len_lo >= 1 && len_lo <= len_hi);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const std::size_t len = len_lo + r.index(len_hi - len_lo + 1);
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) s.push_back(alphabet[r.index(alphabet.size())]);
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> shared_prefix_strings(std::size_t n, util::rng& r) {
+  static const std::string digits = "0123456789";
+  std::size_t groups = 1;
+  while (groups * groups < n) ++groups;
+  const auto prefixes = random_strings(groups, 6, 10, digits, r);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::string s = prefixes[r.index(prefixes.size())];
+    const std::size_t tail = 3 + r.index(5);
+    for (std::size_t i = 0; i < tail; ++i) s.push_back(digits[r.index(digits.size())]);
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> dna_strings(std::size_t n, std::size_t length, util::rng& r) {
+  return random_strings(n, length, length, "ACGT", r);
+}
+
+box segment_box() { return box{0.0, 1.0, 0.0, 1.0}; }
+
+std::vector<seq::segment> random_disjoint_segments(std::size_t n, util::rng& r) {
+  SW_EXPECTS(n >= 1);
+  // One distinct-x pool for all 2n endpoints: grid + jitter keeps every x
+  // unique (general position).
+  std::vector<double> xs(2 * n);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double cell = 0.96 / static_cast<double>(xs.size());
+    xs[i] = 0.02 + (static_cast<double>(i) + 0.1 + 0.8 * r.uniform_real()) * cell;
+  }
+  std::shuffle(xs.begin(), xs.end(), r.engine());
+
+  // Horizontal bands keep segments pairwise disjoint regardless of x-extents.
+  std::vector<std::size_t> band(n);
+  for (std::size_t i = 0; i < n; ++i) band[i] = i;
+  std::shuffle(band.begin(), band.end(), r.engine());
+
+  std::vector<seq::segment> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y_lo = 0.02 + 0.96 * (static_cast<double>(band[i]) + 0.25) / static_cast<double>(n);
+    const double y_hi = 0.02 + 0.96 * (static_cast<double>(band[i]) + 0.75) / static_cast<double>(n);
+    seq::segment s;
+    s.x1 = xs[2 * i];
+    s.x2 = xs[2 * i + 1];
+    if (s.x1 > s.x2) std::swap(s.x1, s.x2);
+    s.y1 = y_lo + (y_hi - y_lo) * r.uniform_real();
+    s.y2 = y_lo + (y_hi - y_lo) * r.uniform_real();
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> interior_probes(std::size_t count, util::rng& r) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(0.025 + 0.95 * r.uniform_real(), 0.025 + 0.95 * r.uniform_real());
+  }
+  return out;
+}
+
+template std::vector<seq::qpoint<2>> uniform_points<2>(std::size_t, util::rng&);
+template std::vector<seq::qpoint<3>> uniform_points<3>(std::size_t, util::rng&);
+template std::vector<seq::qpoint<2>> clustered_points<2>(std::size_t, util::rng&);
+template std::vector<seq::qpoint<3>> clustered_points<3>(std::size_t, util::rng&);
+template std::vector<seq::qpoint<2>> chain_points<2>(std::size_t);
+template std::vector<seq::qpoint<3>> chain_points<3>(std::size_t);
+
+}  // namespace skipweb::workloads

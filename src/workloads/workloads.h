@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/quadtree.h"
+#include "seq/trapmap.h"
+#include "util/rng.h"
+
+namespace skipweb::workloads {
+
+// Synthetic data generators shared by tests, benches and examples. The paper
+// has no public testbed or traces; these generators produce the key/point/
+// string/segment distributions its analyses assume (plus adversarial cases),
+// per the substitution policy in DESIGN.md §1.
+
+// --- 1-D keys --------------------------------------------------------------
+
+// n distinct keys uniform over [0, 2^62).
+std::vector<std::uint64_t> uniform_keys(std::size_t n, util::rng& r);
+
+// n distinct keys grouped into sqrt(n) tight clusters: stresses structures
+// whose balance depends on key spacing (skip-webs must not).
+std::vector<std::uint64_t> clustered_keys(std::size_t n, util::rng& r);
+
+// Probe values interleaved between existing keys (forces true
+// nearest-neighbour work rather than exact hits).
+std::vector<std::uint64_t> probe_keys(const std::vector<std::uint64_t>& keys, std::size_t count,
+                                      util::rng& r);
+
+// --- d-dimensional points ----------------------------------------------------
+
+// n distinct points uniform in the unit cube.
+template <int D>
+std::vector<seq::qpoint<D>> uniform_points(std::size_t n, util::rng& r);
+
+// n distinct points in sqrt(n) Gaussian-ish clusters.
+template <int D>
+std::vector<seq::qpoint<D>> clustered_points(std::size_t n, util::rng& r);
+
+// Adversarial "deep chain": pairs of nearby points at geometrically shrinking
+// scales toward the origin corner. The compressed quadtree's depth grows by
+// ~1 per pair (until the 62-bit grid floor), i.e. Θ(n) depth for n ≲ 124 —
+// the worst case the skip quadtree routes around (paper §3.1).
+template <int D>
+std::vector<seq::qpoint<D>> chain_points(std::size_t n);
+
+// --- strings -----------------------------------------------------------------
+
+// n distinct strings over `alphabet` with lengths in [len_lo, len_hi].
+std::vector<std::string> random_strings(std::size_t n, std::size_t len_lo, std::size_t len_hi,
+                                        const std::string& alphabet, util::rng& r);
+
+// Strings in groups sharing long common prefixes (deep tries; the ISBN /
+// publisher-prefix scenario from the paper's introduction).
+std::vector<std::string> shared_prefix_strings(std::size_t n, util::rng& r);
+
+// DNA reads over {A,C,G,T}.
+std::vector<std::string> dna_strings(std::size_t n, std::size_t length, util::rng& r);
+
+// --- segments ----------------------------------------------------------------
+
+// n pairwise-disjoint non-crossing segments with distinct endpoint
+// x-coordinates inside the unit box (each confined to its own horizontal
+// band, with all 2n x-coordinates drawn from one distinct pool).
+std::vector<seq::segment> random_disjoint_segments(std::size_t n, util::rng& r);
+
+// The bounding box the generated segments live in (slightly inside [0,1]^2).
+struct box {
+  double xmin = 0.0, xmax = 1.0, ymin = 0.0, ymax = 1.0;
+};
+box segment_box();
+
+// Query points strictly inside the box avoiding all segment walls (generic
+// position probes for point-location tests).
+std::vector<std::pair<double, double>> interior_probes(std::size_t count, util::rng& r);
+
+}  // namespace skipweb::workloads

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/bucket_skipweb.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using skipweb::core::bucket_skipweb;
+using skipweb::net::host_id;
+using skipweb::net::network;
+using skipweb::util::rng;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+void check_against_oracle(const bucket_skipweb& web, const std::set<std::uint64_t>& oracle,
+                          const std::vector<std::uint64_t>& probes, network& net) {
+  std::uint32_t origin = 0;
+  for (const auto q : probes) {
+    const auto r = web.nearest(q, h(origin));
+    origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+    auto it = oracle.upper_bound(q);
+    const bool has_pred = it != oracle.begin();
+    ASSERT_EQ(r.has_pred, has_pred) << "q=" << q;
+    if (has_pred) EXPECT_EQ(r.pred, *std::prev(it));
+    const bool has_succ = it != oracle.end();
+    ASSERT_EQ(r.has_succ, has_succ) << "q=" << q;
+    if (has_succ) EXPECT_EQ(r.succ, *it);
+  }
+}
+
+class BucketSkipwebM : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BucketSkipwebM, NearestMatchesOracle) {
+  const std::size_t M = GetParam();
+  rng r(2001);
+  const auto keys = wl::uniform_keys(512, r);
+  network net(1);
+  bucket_skipweb web(keys, 142, net, M);
+  EXPECT_TRUE(web.check_block_invariants());
+  const std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  check_against_oracle(web, oracle, wl::probe_keys(keys, 300, r), net);
+}
+
+TEST_P(BucketSkipwebM, MixedWorkloadMatchesOracle) {
+  const std::size_t M = GetParam();
+  rng r(2002);
+  auto pool = wl::uniform_keys(400, r);
+  const std::vector<std::uint64_t> initial(pool.begin(), pool.begin() + 128);
+  network net(1);
+  bucket_skipweb web(initial, 143, net, M);
+  std::set<std::uint64_t> oracle(initial.begin(), initial.end());
+
+  for (int op = 0; op < 500; ++op) {
+    const auto& k = pool[r.index(pool.size())];
+    const auto origin = h(static_cast<std::uint32_t>(r.index(net.host_count())));
+    switch (r.index(3)) {
+      case 0: {
+        if (oracle.count(k) == 0) {
+          web.insert(k, origin);
+          oracle.insert(k);
+        }
+        break;
+      }
+      case 1: {
+        if (oracle.count(k) > 0 && oracle.size() >= 2) {
+          web.erase(k, origin);
+          oracle.erase(k);
+        }
+        break;
+      }
+      default:
+        EXPECT_EQ(web.contains(k, origin), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(web.size(), oracle.size());
+  EXPECT_TRUE(web.lists().check_invariants());
+  EXPECT_TRUE(web.check_block_invariants());
+  check_against_oracle(web, oracle, wl::probe_keys(pool, 150, r), net);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemorySizes, BucketSkipwebM, ::testing::Values(4, 8, 16, 64, 256),
+                         [](const auto& info) { return "M" + std::to_string(info.param); });
+
+TEST(BucketSkipweb, StratumAnatomy) {
+  rng r(2003);
+  const auto keys = wl::uniform_keys(1024, r);
+  network net(1);
+  bucket_skipweb web(keys, 144, net, 16);
+  // M=16: L = 4 levels per stratum; levels_for(1024) = 10 -> strata 0..2.
+  EXPECT_EQ(web.stratum_levels(), 4u);
+  EXPECT_EQ(web.strata(), 3);
+  EXPECT_EQ(web.block_capacity(), 4u);
+  EXPECT_TRUE(web.check_block_invariants());
+}
+
+TEST(BucketSkipweb, HostCountScalesAsNLogNOverM) {
+  rng r(2004);
+  const std::size_t n = 1024;
+  const auto keys = wl::uniform_keys(n, r);
+  for (const std::size_t M : {16u, 64u, 256u}) {
+    network net(1);
+    bucket_skipweb web(keys, 145, net, M);
+    const double expect = static_cast<double>(n) * std::log2(static_cast<double>(n)) /
+                          static_cast<double>(M);
+    const auto blocks = static_cast<double>(web.live_block_count());
+    EXPECT_LT(blocks, 6.0 * expect) << "M=" << M;
+    EXPECT_GT(blocks, 0.3 * expect) << "M=" << M;
+  }
+}
+
+TEST(BucketSkipweb, PerHostMemoryIsThetaM) {
+  rng r(2005);
+  const auto keys = wl::uniform_keys(2048, r);
+  for (const std::size_t M : {16u, 64u, 256u}) {
+    network net(1);
+    bucket_skipweb web(keys, 146, net, M);
+    // Ledger units per node ~4 (node + 3 refs); block holds <= 2B items over
+    // L levels: <= 2*4*M units + constants.
+    EXPECT_LE(net.max_memory(), 8 * M + 64) << "M=" << M;
+  }
+}
+
+TEST(BucketSkipweb, LargerMMeansFewerMessages) {
+  rng r(2006);
+  const std::size_t n = 4096;
+  const auto keys = wl::uniform_keys(n, r);
+  const auto probes = wl::probe_keys(keys, 300, r);
+  double prev_mean = 1e18;
+  for (const std::size_t M : {8u, 64u, 512u}) {
+    network net(1);
+    bucket_skipweb web(keys, 147, net, M);
+    skipweb::util::accumulator acc;
+    std::uint32_t origin = 0;
+    for (const auto q : probes) {
+      acc.add(static_cast<double>(web.nearest(q, h(origin)).messages));
+      origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+    }
+    EXPECT_LT(acc.mean(), prev_mean) << "M=" << M;
+    prev_mean = acc.mean();
+  }
+}
+
+// The paper's headline: with M = Theta(log n), queries cost
+// O(log n / log log n) — strictly fewer messages than the unbucketed
+// O(log n) routing, with the gap widening in n.
+TEST(BucketSkipweb, BeatsLogNRouting) {
+  rng r(2007);
+  const std::size_t n = 8192;
+  const auto keys = wl::uniform_keys(n, r);
+  const std::size_t M = static_cast<std::size_t>(std::log2(n)) * 2;  // Theta(log n)
+  network net(1);
+  bucket_skipweb web(keys, 148, net, M);
+  skipweb::util::accumulator acc;
+  std::uint32_t origin = 0;
+  for (const auto q : wl::probe_keys(keys, 400, r)) {
+    acc.add(static_cast<double>(web.nearest(q, h(origin)).messages));
+    origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+  }
+  // log2(8192) = 13; log n / log log n ~ 3.5. Allow generous constants but
+  // demand clearly sublogarithmic routing.
+  EXPECT_LT(acc.mean(), 13.0);
+  EXPECT_GT(acc.mean(), 1.0);
+}
+
+TEST(BucketSkipweb, BlockSplitsKeepInvariants) {
+  rng r(2008);
+  auto pool = wl::uniform_keys(600, r);
+  const std::vector<std::uint64_t> initial(pool.begin(), pool.begin() + 64);
+  network net(1);
+  bucket_skipweb web(initial, 149, net, 16);  // B = 4: splits happen fast
+  for (std::size_t i = 64; i < pool.size(); ++i) {
+    web.insert(pool[i], h(static_cast<std::uint32_t>(i % net.host_count())));
+    if (i % 100 == 0) EXPECT_TRUE(web.check_block_invariants());
+  }
+  EXPECT_EQ(web.size(), 600u);
+  EXPECT_TRUE(web.check_block_invariants());
+  const std::set<std::uint64_t> oracle(pool.begin(), pool.end());
+  check_against_oracle(web, oracle, wl::probe_keys(pool, 200, r), net);
+}
+
+TEST(BucketSkipweb, ShrinkToTinyKeepsWorking) {
+  rng r(2009);
+  auto keys = wl::uniform_keys(256, r);
+  network net(1);
+  bucket_skipweb web(keys, 150, net, 32);
+  std::shuffle(keys.begin(), keys.end(), r.engine());
+  for (std::size_t i = 0; i + 2 < keys.size(); ++i) {
+    web.erase(keys[i], h(0));
+  }
+  EXPECT_EQ(web.size(), 2u);
+  EXPECT_TRUE(web.check_block_invariants());
+  const auto res = web.nearest(keys[keys.size() - 1], h(0));
+  EXPECT_TRUE(res.has_pred);
+}
+
+TEST(BucketSkipweb, RejectsTinyM) {
+  rng r(2010);
+  const auto keys = wl::uniform_keys(16, r);
+  network net(1);
+  EXPECT_THROW(bucket_skipweb(keys, 151, net, 2), skipweb::util::contract_error);
+}
+
+TEST(BucketSkipweb, ClusteredKeysUnaffected) {
+  // Balance must come from the random level bits, not the key distribution.
+  rng r(2011);
+  const auto keys = wl::clustered_keys(1024, r);
+  network net(1);
+  bucket_skipweb web(keys, 152, net, 32);
+  EXPECT_TRUE(web.check_block_invariants());
+  const std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  check_against_oracle(web, oracle, wl::probe_keys(keys, 200, r), net);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/cursor.h"
+#include "net/network.h"
+#include "net/placement.h"
+#include "net/types.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace skipweb::net;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+TEST(Network, StartsEmpty) {
+  network net(4);
+  EXPECT_EQ(net.host_count(), 4u);
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_EQ(net.total_memory(), 0u);
+  EXPECT_EQ(net.max_memory(), 0u);
+  EXPECT_EQ(net.max_visits(), 0u);
+}
+
+TEST(Network, MemoryLedgerPerKind) {
+  network net(2);
+  net.charge(h(0), memory_kind::item, 3);
+  net.charge(h(0), memory_kind::pointer, 5);
+  net.charge(h(1), memory_kind::host_ref, 2);
+  EXPECT_EQ(net.memory_used(h(0)), 8u);
+  EXPECT_EQ(net.memory_used(h(0), memory_kind::item), 3u);
+  EXPECT_EQ(net.memory_used(h(0), memory_kind::pointer), 5u);
+  EXPECT_EQ(net.memory_used(h(1)), 2u);
+  EXPECT_EQ(net.max_memory(), 8u);
+  EXPECT_EQ(net.total_memory(), 10u);
+  EXPECT_DOUBLE_EQ(net.mean_memory(), 5.0);
+
+  net.charge(h(0), memory_kind::item, -3);
+  EXPECT_EQ(net.memory_used(h(0), memory_kind::item), 0u);
+}
+
+TEST(Network, NegativeChargeBelowZeroIsContractViolation) {
+  network net(1);
+  net.charge(h(0), memory_kind::node, 1);
+  EXPECT_THROW(net.charge(h(0), memory_kind::node, -2), skipweb::util::contract_error);
+}
+
+TEST(Network, InvalidHostRejected) {
+  network net(2);
+  EXPECT_THROW(net.charge(h(2), memory_kind::item, 1), skipweb::util::contract_error);
+  EXPECT_THROW(net.charge(invalid_host, memory_kind::item, 1), skipweb::util::contract_error);
+  EXPECT_THROW((void)net.memory_used(h(9)), skipweb::util::contract_error);
+  EXPECT_THROW((void)net.visits(h(9)), skipweb::util::contract_error);
+}
+
+TEST(Cursor, LocalMovesAreFree) {
+  network net(3);
+  cursor c(net, h(1));
+  c.move_to(h(1));
+  c.move_to(h(1));
+  EXPECT_EQ(c.messages(), 0u);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Cursor, EachInterHostHopCostsOneMessage) {
+  network net(3);
+  cursor c(net, h(0));
+  c.move_to(h(1));
+  c.move_to(h(2));
+  c.move_to(h(2));
+  c.move_to(h(0));
+  EXPECT_EQ(c.messages(), 3u);
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(c.at(), h(0));
+}
+
+TEST(Cursor, VisitsAccumulateAtDestination) {
+  network net(3);
+  cursor a(net, h(0)), b(net, h(1));
+  a.move_to(h(2));
+  b.move_to(h(2));
+  a.move_to(h(1));
+  EXPECT_EQ(net.visits(h(2)), 2u);
+  EXPECT_EQ(net.visits(h(1)), 1u);
+  EXPECT_EQ(net.visits(h(0)), 0u);
+  EXPECT_EQ(net.max_visits(), 2u);
+}
+
+TEST(Cursor, MovesViaAddress) {
+  network net(2);
+  cursor c(net, h(0));
+  c.move_to(address{h(1), 7});
+  EXPECT_EQ(c.at(), h(1));
+  EXPECT_EQ(c.messages(), 1u);
+}
+
+TEST(Cursor, ConcurrentCursorsShareNetworkTotals) {
+  network net(4);
+  cursor a(net, h(0)), b(net, h(3));
+  a.move_to(h(1));
+  b.move_to(h(2));
+  b.move_to(h(1));
+  EXPECT_EQ(a.messages(), 1u);
+  EXPECT_EQ(b.messages(), 2u);
+  EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(Network, ResetTrafficKeepsMemory) {
+  network net(2);
+  net.charge(h(0), memory_kind::node, 4);
+  cursor c(net, h(0));
+  c.move_to(h(1));
+  net.reset_traffic();
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_EQ(net.visits(h(1)), 0u);
+  EXPECT_EQ(net.memory_used(h(0)), 4u);
+}
+
+TEST(Placement, TowerIsIdentity) {
+  const auto p = tower_placement(5);
+  ASSERT_EQ(p.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(p[i], h(i));
+}
+
+TEST(Placement, BalancedIsEvenAndCoversAllHosts) {
+  skipweb::util::rng r(3);
+  const std::size_t count = 1000, hosts = 10;
+  const auto p = balanced_placement(count, hosts, r);
+  std::vector<int> load(hosts, 0);
+  for (const auto& hid : p) {
+    ASSERT_LT(hid.value, hosts);
+    ++load[hid.value];
+  }
+  for (int l : load) EXPECT_EQ(l, 100);
+}
+
+TEST(Placement, BalancedIsShuffled) {
+  skipweb::util::rng r(3);
+  const auto p = balanced_placement(100, 10, r);
+  const auto rr = round_robin_placement(100, 10);
+  EXPECT_NE(p, rr);
+}
+
+TEST(Placement, RoundRobinDeterministic) {
+  const auto p = round_robin_placement(7, 3);
+  const std::vector<host_id> want = {h(0), h(1), h(2), h(0), h(1), h(2), h(0)};
+  EXPECT_EQ(p, want);
+}
+
+TEST(Types, HostIdValidity) {
+  EXPECT_FALSE(invalid_host.valid());
+  EXPECT_TRUE(h(0).valid());
+  EXPECT_FALSE(null_address.valid());
+  EXPECT_TRUE((address{h(1), 0}).valid());
+}
+
+TEST(Types, Ordering) {
+  EXPECT_LT(h(1), h(2));
+  EXPECT_EQ(h(3), h(3));
+  const address a{h(1), 5}, b{h(1), 6}, c{h(2), 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "seq/quadtree.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb::seq;
+using skipweb::util::rng;
+
+template <int D>
+qpoint<D> pt(std::initializer_list<coord_t> coords) {
+  qpoint<D> p;
+  int d = 0;
+  for (auto c : coords) p.x[d++] = c;
+  return p;
+}
+
+TEST(Qcube, ContainmentAndQuadrants) {
+  qcube<2> root{};  // whole space
+  EXPECT_TRUE(root.contains(pt<2>({0, 0})));
+  EXPECT_TRUE(root.contains(pt<2>({coord_span - 1, coord_span - 1})));
+  EXPECT_EQ(root.quadrant_of(pt<2>({0, 0})), 0);
+  EXPECT_EQ(root.quadrant_of(pt<2>({coord_span / 2, 0})), 1);
+  EXPECT_EQ(root.quadrant_of(pt<2>({0, coord_span / 2})), 2);
+  EXPECT_EQ(root.quadrant_of(pt<2>({coord_span / 2, coord_span / 2})), 3);
+
+  qcube<2> q{{coord_span / 2, 0}, 1};
+  EXPECT_TRUE(q.contains(pt<2>({coord_span / 2, 0})));
+  EXPECT_FALSE(q.contains(pt<2>({0, 0})));
+  EXPECT_TRUE(root.contains(q));
+  EXPECT_FALSE(q.contains(root));
+  EXPECT_TRUE(q.contains(q));
+}
+
+TEST(Qcube, SmallestEnclosingOfPoints) {
+  // Points differing only in the top bit of x: the whole space.
+  const auto a = pt<2>({0, 0});
+  const auto b = pt<2>({coord_span / 2, 0});
+  const auto c = smallest_enclosing(a, b);
+  EXPECT_EQ(c.level, 0);
+
+  // Points equal except the lowest bit: a level-(coord_bits-1) cube.
+  const auto d = pt<2>({4, 4});
+  const auto e = pt<2>({5, 4});
+  const auto f = smallest_enclosing(d, e);
+  EXPECT_EQ(f.level, coord_bits - 1);
+  EXPECT_TRUE(f.contains(d));
+  EXPECT_TRUE(f.contains(e));
+}
+
+TEST(Qcube, SmallestEnclosingIsMinimal) {
+  rng r(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    qpoint<2> a, b;
+    for (int d = 0; d < 2; ++d) {
+      a.x[d] = r.uniform_u64(0, coord_span - 1);
+      b.x[d] = r.uniform_u64(0, coord_span - 1);
+    }
+    if (a == b) continue;
+    const auto c = smallest_enclosing(a, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+    // One level deeper (either child quadrant) must separate them.
+    EXPECT_NE(c.quadrant_of(a), c.quadrant_of(b));
+  }
+}
+
+TEST(Quadtree, EmptyAndSingle) {
+  quadtree<2> t;
+  EXPECT_EQ(t.point_count(), 0u);
+  EXPECT_EQ(t.node_count(), 1u);  // root only
+  t.insert(pt<2>({7, 9}));
+  EXPECT_EQ(t.point_count(), 1u);
+  EXPECT_TRUE(t.contains_point(pt<2>({7, 9})));
+  EXPECT_FALSE(t.contains_point(pt<2>({7, 10})));
+}
+
+TEST(Quadtree, RejectsDuplicates) {
+  quadtree<2> t;
+  t.insert(pt<2>({3, 3}));
+  EXPECT_THROW(t.insert(pt<2>({3, 3})), skipweb::util::contract_error);
+}
+
+TEST(Quadtree, NodeCountIsLinear) {
+  rng r(17);
+  const auto pts = skipweb::workloads::uniform_points<2>(2000, r);
+  quadtree<2> t(pts);
+  EXPECT_EQ(t.point_count(), 2000u);
+  // Compressed: at most n-1 interesting cubes + root.
+  EXPECT_LE(t.node_count(), 2000u);
+}
+
+TEST(Quadtree, NonRootNodesAreInteresting) {
+  rng r(19);
+  const auto pts = skipweb::workloads::uniform_points<2>(500, r);
+  quadtree<2> t(pts);
+  for (std::size_t i = 0; i < 500; ++i) {
+    // Walk all nodes via locate of each point and check the occupancy
+    // invariant along the way.
+    int at = t.locate(pts[i]);
+    while (at >= 0) {
+      if (at != t.root()) {
+        EXPECT_GE(t.node(at).occupied, 2);
+      }
+      at = t.node(at).parent;
+    }
+  }
+}
+
+TEST(Quadtree, InsertEraseRoundTrip) {
+  rng r(23);
+  auto pts = skipweb::workloads::uniform_points<2>(400, r);
+  quadtree<2> t;
+  for (const auto& p : pts) t.insert(p);
+  EXPECT_EQ(t.point_count(), 400u);
+  for (const auto& p : pts) EXPECT_TRUE(t.contains_point(p));
+
+  std::shuffle(pts.begin(), pts.end(), r.engine());
+  for (std::size_t i = 0; i < 200; ++i) t.erase(pts[i]);
+  EXPECT_EQ(t.point_count(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(t.contains_point(pts[i]));
+  for (std::size_t i = 200; i < 400; ++i) EXPECT_TRUE(t.contains_point(pts[i]));
+
+  // Erase the rest; only the root should remain.
+  for (std::size_t i = 200; i < 400; ++i) t.erase(pts[i]);
+  EXPECT_EQ(t.point_count(), 0u);
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(Quadtree, EraseMissingPointIsContractViolation) {
+  quadtree<2> t;
+  t.insert(pt<2>({10, 10}));
+  EXPECT_THROW(t.erase(pt<2>({11, 11})), skipweb::util::contract_error);
+}
+
+TEST(Quadtree, IncrementalEqualsBulk) {
+  rng r(29);
+  const auto pts = skipweb::workloads::uniform_points<2>(300, r);
+  quadtree<2> bulk(pts);
+  quadtree<2> inc;
+  for (const auto& p : pts) inc.insert(p);
+  EXPECT_EQ(bulk.node_count(), inc.node_count());
+  auto a = bulk.points();
+  auto b = inc.points();
+  auto key = [](const qpoint<2>& p) { return std::pair{p.x[0], p.x[1]}; };
+  std::sort(a.begin(), a.end(), [&](auto& u, auto& v) { return key(u) < key(v); });
+  std::sort(b.begin(), b.end(), [&](auto& u, auto& v) { return key(u) < key(v); });
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// The subset property that powers skip-web identity hyperlinks: every node
+// cube of quadtree(T) is a node cube of quadtree(S) for T ⊆ S.
+TEST(Quadtree, SubsetNodesAppearInSuperset) {
+  rng r(31);
+  const auto pts = skipweb::workloads::uniform_points<2>(600, r);
+  std::vector<qpoint<2>> half;
+  for (const auto& p : pts) {
+    if (r.bit()) half.push_back(p);
+  }
+  if (half.size() < 2) GTEST_SKIP();
+  quadtree<2> full(pts), sparse(half);
+  for (const auto& p : half) {
+    int at = sparse.locate(p);
+    while (at >= 0) {
+      if (at != sparse.root()) {
+        EXPECT_GE(full.node_for_cube(sparse.node(at).box), 0)
+            << "sparse cube missing from dense tree";
+      }
+      at = sparse.node(at).parent;
+    }
+  }
+}
+
+TEST(Quadtree, LocateFindsDeepestContainingCube) {
+  rng r(37);
+  const auto pts = skipweb::workloads::uniform_points<2>(500, r);
+  quadtree<2> t(pts);
+  for (int trial = 0; trial < 200; ++trial) {
+    qpoint<2> q;
+    for (int d = 0; d < 2; ++d) q.x[d] = r.uniform_u64(0, coord_span - 1);
+    const int at = t.locate(q);
+    EXPECT_TRUE(t.node(at).box.contains(q));
+    // No child cube of `at` contains q (deepest).
+    for (const auto& e : t.node(at).child) {
+      if (e.node >= 0) {
+        EXPECT_FALSE(t.node(e.node).box.contains(q));
+      }
+    }
+  }
+}
+
+TEST(Quadtree, NearestMatchesBruteForce2D) {
+  rng r(41);
+  const auto pts = skipweb::workloads::uniform_points<2>(300, r);
+  quadtree<2> t(pts);
+  for (int trial = 0; trial < 100; ++trial) {
+    qpoint<2> q;
+    for (int d = 0; d < 2; ++d) q.x[d] = r.uniform_u64(0, coord_span - 1);
+    const auto got = t.nearest(q);
+    auto best = ~quadtree<2>::dist2_t{0};
+    qpoint<2> want{};
+    for (const auto& p : pts) {
+      const auto d2 = quadtree<2>::point_dist2(p, q);
+      if (d2 < best) {
+        best = d2;
+        want = p;
+      }
+    }
+    EXPECT_EQ(quadtree<2>::point_dist2(got, q), best);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Quadtree, NearestMatchesBruteForce3D) {
+  rng r(43);
+  const auto pts = skipweb::workloads::uniform_points<3>(200, r);
+  quadtree<3> t(pts);
+  for (int trial = 0; trial < 50; ++trial) {
+    qpoint<3> q;
+    for (int d = 0; d < 3; ++d) q.x[d] = r.uniform_u64(0, coord_span - 1);
+    const auto got = t.nearest(q);
+    auto best = ~quadtree<3>::dist2_t{0};
+    for (const auto& p : pts) best = std::min(best, quadtree<3>::point_dist2(p, q));
+    EXPECT_TRUE(quadtree<3>::point_dist2(got, q) == best);
+  }
+}
+
+// The adversarial chain drives depth linearly (until the grid floor) — the
+// Θ(n)-depth regime the paper's §3.1 claim is about.
+TEST(Quadtree, ChainPointsForceDeepTree) {
+  const auto pts = skipweb::workloads::chain_points<2>(40);
+  quadtree<2> t(pts);
+  EXPECT_GE(t.depth(), 15);  // ~n/2 nested interesting cubes for 40 points
+
+  rng r(47);
+  const auto random_pts = skipweb::workloads::uniform_points<2>(40, r);
+  quadtree<2> rt(random_pts);
+  EXPECT_LT(rt.depth(), t.depth());  // random data stays shallow
+}
+
+TEST(Quadtree, OctreeBasicOps) {
+  rng r(53);
+  auto pts = skipweb::workloads::uniform_points<3>(300, r);
+  quadtree<3> t(pts);
+  EXPECT_EQ(t.point_count(), 300u);
+  for (const auto& p : pts) EXPECT_TRUE(t.contains_point(p));
+  for (std::size_t i = 0; i < 100; ++i) t.erase(pts[i]);
+  EXPECT_EQ(t.point_count(), 200u);
+  for (std::size_t i = 100; i < 300; ++i) EXPECT_TRUE(t.contains_point(pts[i]));
+}
+
+TEST(Quadtree, LocateFromCountsSteps) {
+  rng r(59);
+  const auto pts = skipweb::workloads::uniform_points<2>(400, r);
+  quadtree<2> t(pts);
+  qpoint<2> q;
+  for (int d = 0; d < 2; ++d) q.x[d] = r.uniform_u64(0, coord_span - 1);
+  std::uint64_t steps = 0;
+  const int at = t.locate_from(t.root(), q, &steps);
+  EXPECT_GE(steps, 1u);
+  std::uint64_t resume_steps = 0;
+  EXPECT_EQ(t.locate_from(at, q, &resume_steps), at);
+  EXPECT_EQ(resume_steps, 1u);  // already at the deepest cube
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/skip_quadtree.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using core::skip_quadtree;
+using net::host_id;
+using net::network;
+using util::rng;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+template <int D>
+seq::qpoint<D> random_probe(rng& r) {
+  seq::qpoint<D> q;
+  for (int d = 0; d < D; ++d) q.x[d] = r.uniform_u64(0, seq::coord_span - 1);
+  return q;
+}
+
+TEST(SkipQuadtree, LocateAgreesWithSequentialOracle) {
+  rng r(3001);
+  const auto pts = wl::uniform_points<2>(512, r);
+  network net(512);
+  skip_quadtree<2> web(pts, 71, net);
+  const seq::quadtree<2> oracle(pts);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto q = random_probe<2>(r);
+    const auto res = web.locate(q, h(static_cast<std::uint32_t>(trial % 512)));
+    const int want = oracle.locate(q);
+    EXPECT_TRUE(res.cell == oracle.node(want).box)
+        << "distributed locate found a different cell";
+  }
+}
+
+TEST(SkipQuadtree, ContainsFindsExactPoints) {
+  rng r(3002);
+  const auto pts = wl::uniform_points<2>(256, r);
+  network net(256);
+  skip_quadtree<2> web(pts, 72, net);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(web.contains(pts[i], h(static_cast<std::uint32_t>(i % 256))));
+  }
+  for (int i = 0; i < 64; ++i) {
+    const auto q = random_probe<2>(r);
+    EXPECT_FALSE(web.contains(q, h(0)));  // random 62-bit points never collide
+  }
+}
+
+TEST(SkipQuadtree, NearestMatchesSequentialOracle) {
+  rng r(3003);
+  const auto pts = wl::uniform_points<2>(300, r);
+  network net(300);
+  skip_quadtree<2> web(pts, 73, net);
+  const seq::quadtree<2> oracle(pts);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto q = random_probe<2>(r);
+    std::uint64_t msgs = 0;
+    const auto got = web.nearest(q, h(static_cast<std::uint32_t>(trial % 300)), &msgs);
+    const auto want = oracle.nearest(q);
+    EXPECT_TRUE(seq::quadtree<2>::point_dist2(got, q) == seq::quadtree<2>::point_dist2(want, q));
+    EXPECT_GT(msgs, 0u);
+  }
+}
+
+TEST(SkipQuadtree, OctreeLocateAgrees) {
+  rng r(3004);
+  const auto pts = wl::uniform_points<3>(256, r);
+  network net(256);
+  skip_quadtree<3> web(pts, 74, net);
+  const seq::quadtree<3> oracle(pts);
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto q = random_probe<3>(r);
+    const auto res = web.locate(q, h(static_cast<std::uint32_t>(trial % 256)));
+    EXPECT_TRUE(res.cell == oracle.node(oracle.locate(q)).box);
+  }
+}
+
+TEST(SkipQuadtree, InsertThenLocate) {
+  rng r(3005);
+  auto pts = wl::uniform_points<2>(300, r);
+  const std::vector<seq::qpoint<2>> initial(pts.begin(), pts.begin() + 200);
+  network net(200);
+  skip_quadtree<2> web(initial, 75, net);
+  for (std::size_t i = 200; i < 300; ++i) {
+    const auto msgs = web.insert(pts[i], h(static_cast<std::uint32_t>(i % 200)));
+    EXPECT_GT(msgs, 0u);
+  }
+  EXPECT_EQ(web.size(), 300u);
+  const seq::quadtree<2> oracle(pts);
+  EXPECT_EQ(web.ground().node_count(), oracle.node_count());
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto q = random_probe<2>(r);
+    EXPECT_TRUE(web.locate(q, h(0)).cell == oracle.node(oracle.locate(q)).box);
+  }
+  for (const auto& p : pts) EXPECT_TRUE(web.contains(p, h(3)));
+}
+
+TEST(SkipQuadtree, EraseThenLocate) {
+  rng r(3006);
+  auto pts = wl::uniform_points<2>(300, r);
+  network net(300);
+  skip_quadtree<2> web(pts, 76, net);
+  std::shuffle(pts.begin(), pts.end(), r.engine());
+  for (std::size_t i = 0; i < 150; ++i) {
+    web.erase(pts[i], h(static_cast<std::uint32_t>(i % 300)));
+  }
+  EXPECT_EQ(web.size(), 150u);
+  const std::vector<seq::qpoint<2>> rest(pts.begin() + 150, pts.end());
+  const seq::quadtree<2> oracle(rest);
+  EXPECT_EQ(web.ground().node_count(), oracle.node_count());
+  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(pts[i], h(1)));
+  for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(pts[i], h(2)));
+}
+
+TEST(SkipQuadtree, MessagesLogarithmicOnDeepTree) {
+  // The paper's §3.1 claim: O(log n) point-location messages even when the
+  // compressed quadtree has linear depth.
+  const auto pts = wl::chain_points<2>(56);  // depth ~28 for 56 points
+  network net(56);
+  skip_quadtree<2> web(pts, 77, net);
+  EXPECT_GE(web.depth(), 20);
+
+  rng r(3007);
+  skipweb::util::accumulator acc;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Probe near the origin corner so the search must route down the spine.
+    seq::qpoint<2> q;
+    const int shift = 1 + static_cast<int>(r.index(58));
+    for (int d = 0; d < 2; ++d) q.x[d] = (seq::coord_t{1} << shift) + r.uniform_u64(0, 3);
+    const auto res = web.locate(q, h(static_cast<std::uint32_t>(trial % 56)));
+    acc.add(static_cast<double>(res.messages));
+  }
+  // Depth is ~28; log2(56) ~ 5.8. Messages should track the latter.
+  EXPECT_LT(acc.mean(), 3.0 * 5.8);
+  EXPECT_LT(acc.max(), static_cast<double>(web.depth() * 2));
+}
+
+TEST(SkipQuadtree, QueryMessagesGrowLogarithmically) {
+  rng r(3008);
+  auto mean_messages = [&](std::size_t n) {
+    const auto pts = wl::uniform_points<2>(n, r);
+    network net(n);
+    skip_quadtree<2> web(pts, 78, net);
+    skipweb::util::accumulator acc;
+    for (int trial = 0; trial < 150; ++trial) {
+      const auto q = random_probe<2>(r);
+      acc.add(static_cast<double>(web.locate(q, h(static_cast<std::uint32_t>(trial % n))).messages));
+    }
+    return acc.mean();
+  };
+  const double at_256 = mean_messages(256);
+  const double at_2048 = mean_messages(2048);
+  EXPECT_GT(at_2048, at_256 * 0.8);
+  EXPECT_LT(at_2048, at_256 * 2.2);  // 8x the data, ~1.375x log growth
+}
+
+TEST(SkipQuadtree, MemoryPerHostIsLogarithmic) {
+  rng r(3009);
+  const std::size_t n = 1024;
+  const auto pts = wl::uniform_points<2>(n, r);
+  network net(n);
+  skip_quadtree<2> web(pts, 79, net);
+  // Total ~n levels*(node + 5 refs + point) over n hosts: mean O(log n).
+  const double mean = net.mean_memory();
+  EXPECT_LT(mean, 14.0 * (static_cast<double>(web.levels()) + 1));
+  // Hash placement keeps the max within a small factor of the mean.
+  EXPECT_LT(static_cast<double>(net.max_memory()), 6.0 * mean + 32.0);
+}
+
+TEST(SkipQuadtree, ClusteredDataStillRoutesWell) {
+  rng r(3010);
+  const auto pts = wl::clustered_points<2>(512, r);
+  network net(512);
+  skip_quadtree<2> web(pts, 80, net);
+  const seq::quadtree<2> oracle(pts);
+  skipweb::util::accumulator acc;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto q = random_probe<2>(r);
+    const auto res = web.locate(q, h(static_cast<std::uint32_t>(trial % 512)));
+    EXPECT_TRUE(res.cell == oracle.node(oracle.locate(q)).box);
+    acc.add(static_cast<double>(res.messages));
+  }
+  EXPECT_LT(acc.mean(), 40.0);
+}
+
+TEST(SkipQuadtree, RejectsDuplicatesAndMissing) {
+  rng r(3011);
+  const auto pts = wl::uniform_points<2>(64, r);
+  network net(64);
+  skip_quadtree<2> web(pts, 81, net);
+  EXPECT_THROW(web.insert(pts[0], h(0)), skipweb::util::contract_error);
+  EXPECT_THROW(web.erase(random_probe<2>(r), h(0)), skipweb::util::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/skip_trie.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using core::skip_trie;
+using net::host_id;
+using net::network;
+using util::rng;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+TEST(SkipTrie, ContainsMatchesOracle) {
+  rng r(4001);
+  const auto keys = wl::random_strings(400, 2, 12, "abc", r);
+  network net(400);
+  skip_trie web(keys, 91, net);
+  const std::set<std::string> oracle(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(web.contains(keys[i], h(static_cast<std::uint32_t>(i % 400))));
+  }
+  const auto probes = wl::random_strings(200, 2, 12, "abc", r);
+  for (const auto& q : probes) {
+    EXPECT_EQ(web.contains(q, h(0)), oracle.count(q) > 0) << q;
+  }
+}
+
+TEST(SkipTrie, LongestCommonPrefixMatchesOracle) {
+  rng r(4002);
+  const auto keys = wl::shared_prefix_strings(300, r);
+  network net(300);
+  skip_trie web(keys, 92, net);
+  const seq::trie oracle(keys);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string q = keys[r.index(keys.size())];
+    // Perturb: truncate and/or extend with random digits.
+    q = q.substr(0, 1 + r.index(q.size()));
+    for (std::size_t i = 0; i < r.index(4); ++i) q.push_back("0123456789"[r.index(10)]);
+    EXPECT_EQ(web.longest_common_prefix(q, h(static_cast<std::uint32_t>(trial % 300))),
+              oracle.longest_common_prefix(q))
+        << q;
+  }
+}
+
+TEST(SkipTrie, WithPrefixMatchesOracle) {
+  rng r(4003);
+  const auto keys = wl::shared_prefix_strings(300, r);
+  network net(300);
+  skip_trie web(keys, 93, net);
+  const seq::trie oracle(keys);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string& base = keys[r.index(keys.size())];
+    const std::string prefix = base.substr(0, 1 + r.index(base.size()));
+    std::uint64_t msgs = 0;
+    const auto got = web.with_prefix(prefix, h(static_cast<std::uint32_t>(trial % 300)), 0, &msgs);
+    EXPECT_EQ(got, oracle.with_prefix(prefix)) << prefix;
+    EXPECT_GT(msgs, 0u);
+  }
+}
+
+TEST(SkipTrie, WithPrefixRespectsLimit) {
+  rng r(4004);
+  const auto keys = wl::shared_prefix_strings(200, r);
+  network net(200);
+  skip_trie web(keys, 94, net);
+  const auto all = web.with_prefix("", h(0));
+  EXPECT_EQ(all.size(), 200u);
+  const auto capped = web.with_prefix("", h(0), 10);
+  EXPECT_EQ(capped.size(), 10u);
+}
+
+TEST(SkipTrie, InsertThenQuery) {
+  rng r(4005);
+  auto keys = wl::random_strings(300, 3, 10, "abcd", r);
+  const std::vector<std::string> initial(keys.begin(), keys.begin() + 200);
+  network net(200);
+  skip_trie web(initial, 95, net);
+  for (std::size_t i = 200; i < 300; ++i) {
+    const auto msgs = web.insert(keys[i], h(static_cast<std::uint32_t>(i % 200)));
+    EXPECT_GT(msgs, 0u);
+  }
+  EXPECT_EQ(web.size(), 300u);
+  const seq::trie oracle(keys);
+  EXPECT_EQ(web.ground().node_count(), oracle.node_count());
+  for (const auto& k : keys) EXPECT_TRUE(web.contains(k, h(7)));
+  const auto probes = wl::random_strings(100, 3, 10, "abcd", r);
+  const std::set<std::string> oset(keys.begin(), keys.end());
+  for (const auto& q : probes) EXPECT_EQ(web.contains(q, h(1)), oset.count(q) > 0);
+}
+
+TEST(SkipTrie, EraseThenQuery) {
+  rng r(4006);
+  auto keys = wl::random_strings(300, 3, 10, "ab", r);
+  network net(300);
+  skip_trie web(keys, 96, net);
+  std::shuffle(keys.begin(), keys.end(), r.engine());
+  for (std::size_t i = 0; i < 150; ++i) {
+    web.erase(keys[i], h(static_cast<std::uint32_t>(i % 300)));
+  }
+  EXPECT_EQ(web.size(), 150u);
+  const std::vector<std::string> rest(keys.begin() + 150, keys.end());
+  const seq::trie oracle(rest);
+  EXPECT_EQ(web.ground().node_count(), oracle.node_count());
+  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(keys[i], h(4)));
+  for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(keys[i], h(5)));
+}
+
+TEST(SkipTrie, MessagesLogarithmicOnDeepTrie) {
+  // Strings forming one long chain: a, aa, aaa, ... — trie depth Θ(n), yet
+  // search messages stay O(log n) (the §3.2 claim).
+  std::vector<std::string> keys;
+  std::string s;
+  for (int i = 0; i < 128; ++i) {
+    s.push_back('a');
+    keys.push_back(s);
+  }
+  network net(128);
+  skip_trie web(keys, 97, net);
+  rng r(4007);
+  skipweb::util::accumulator acc;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto& q = keys[r.index(keys.size())];
+    std::uint64_t msgs = 0;
+    EXPECT_TRUE(web.contains(q, h(static_cast<std::uint32_t>(trial % 128)), &msgs));
+    acc.add(static_cast<double>(msgs));
+  }
+  // Depth is 128; log2(128) = 7. Allow constants, demand far below depth.
+  EXPECT_LT(acc.mean(), 30.0);
+}
+
+TEST(SkipTrie, QueryMessagesGrowLogarithmically) {
+  rng r(4008);
+  auto mean_messages = [&](std::size_t n) {
+    const auto keys = wl::random_strings(n, 4, 12, "abc", r);
+    network net(n);
+    skip_trie web(keys, 98, net);
+    skipweb::util::accumulator acc;
+    for (int trial = 0; trial < 150; ++trial) {
+      std::uint64_t msgs = 0;
+      (void)web.contains(keys[r.index(keys.size())],
+                         h(static_cast<std::uint32_t>(trial % n)), &msgs);
+      acc.add(static_cast<double>(msgs));
+    }
+    return acc.mean();
+  };
+  const double at_256 = mean_messages(256);
+  const double at_2048 = mean_messages(2048);
+  EXPECT_LT(at_2048, at_256 * 2.2);
+}
+
+TEST(SkipTrie, DnaWorkload) {
+  rng r(4009);
+  const auto reads = wl::dna_strings(400, 24, r);
+  network net(400);
+  skip_trie web(reads, 99, net);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(web.contains(reads[i], h(static_cast<std::uint32_t>(i))));
+  }
+  // Prefix query over the first 6 bases.
+  const std::string probe = reads[0].substr(0, 6);
+  const auto matches = web.with_prefix(probe, h(0));
+  EXPECT_FALSE(matches.empty());
+  for (const auto& m : matches) EXPECT_EQ(m.compare(0, 6, probe), 0);
+}
+
+TEST(SkipTrie, RejectsDuplicatesAndMissing) {
+  rng r(4010);
+  const auto keys = wl::random_strings(64, 3, 8, "ab", r);
+  network net(64);
+  skip_trie web(keys, 100, net);
+  EXPECT_THROW(web.insert(keys[0], h(0)), skipweb::util::contract_error);
+  EXPECT_THROW(web.erase("zzzz", h(0)), skipweb::util::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "seq/skiplist.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using skipweb::seq::skiplist;
+using skipweb::util::rng;
+
+TEST(Skiplist, EmptyBehaviour) {
+  skiplist<int> s{rng(1)};
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(5));
+  int out = 0;
+  EXPECT_FALSE(s.predecessor(5, out));
+  EXPECT_FALSE(s.successor(5, out));
+  EXPECT_EQ(s.tower_node_count(), 0u);
+}
+
+TEST(Skiplist, InsertContainsErase) {
+  skiplist<int> s{rng(2)};
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.insert(9));
+  EXPECT_FALSE(s.insert(5));  // duplicate
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Skiplist, ToVectorIsSorted) {
+  skiplist<int> s{rng(3)};
+  for (int k : {9, 1, 7, 3, 5}) s.insert(k);
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(Skiplist, PredecessorSuccessorSemantics) {
+  skiplist<int> s{rng(4)};
+  for (int k : {10, 20, 30}) s.insert(k);
+  int out = 0;
+  ASSERT_TRUE(s.predecessor(25, out));
+  EXPECT_EQ(out, 20);
+  ASSERT_TRUE(s.predecessor(20, out));
+  EXPECT_EQ(out, 20);
+  EXPECT_FALSE(s.predecessor(9, out));
+  ASSERT_TRUE(s.successor(25, out));
+  EXPECT_EQ(out, 30);
+  ASSERT_TRUE(s.successor(30, out));
+  EXPECT_EQ(out, 30);
+  EXPECT_FALSE(s.successor(31, out));
+}
+
+// Randomized differential test against std::set across a mixed workload.
+TEST(Skiplist, MatchesStdSetUnderMixedOps) {
+  rng r(42);
+  skiplist<std::uint64_t> s{rng(43)};
+  std::set<std::uint64_t> oracle;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t k = r.uniform_u64(0, 499);
+    switch (r.index(4)) {
+      case 0:
+      case 1: {
+        EXPECT_EQ(s.insert(k), oracle.insert(k).second);
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(s.erase(k), oracle.erase(k) > 0);
+        break;
+      }
+      default: {
+        EXPECT_EQ(s.contains(k), oracle.count(k) > 0);
+        std::uint64_t out = 0;
+        auto it = oracle.upper_bound(k);
+        const bool has_pred = it != oracle.begin();
+        EXPECT_EQ(s.predecessor(k, out), has_pred);
+        if (has_pred) {
+          EXPECT_EQ(out, *std::prev(it));
+        }
+        auto su = oracle.lower_bound(k);
+        EXPECT_EQ(s.successor(k, out), su != oracle.end());
+        if (su != oracle.end()) {
+          EXPECT_EQ(out, *su);
+        }
+        break;
+      }
+    }
+    if (op % 5000 == 0) {
+      EXPECT_EQ(s.size(), oracle.size());
+      EXPECT_EQ(s.to_vector(), std::vector<std::uint64_t>(oracle.begin(), oracle.end()));
+    }
+  }
+  EXPECT_EQ(s.to_vector(), std::vector<std::uint64_t>(oracle.begin(), oracle.end()));
+}
+
+// Figure 1's space claim: expected O(n) — the tower nodes sum to ~2n.
+TEST(Skiplist, ExpectedSpaceIsLinear) {
+  rng r(7);
+  const std::size_t n = 20000;
+  skiplist<std::uint64_t> s{rng(8)};
+  for (auto k : skipweb::workloads::uniform_keys(n, r)) s.insert(k);
+  const double per_key = static_cast<double>(s.tower_node_count()) / static_cast<double>(n);
+  EXPECT_GT(per_key, 1.8);
+  EXPECT_LT(per_key, 2.2);
+}
+
+// Figure 1's query claim: expected O(log n) search steps — measure the mean
+// search path at two sizes and check it grows like log n, not like n.
+TEST(Skiplist, SearchStepsGrowLogarithmically) {
+  rng r(11);
+  auto mean_steps = [&](std::size_t n) {
+    skiplist<std::uint64_t> s{rng(12)};
+    auto keys = skipweb::workloads::uniform_keys(n, r);
+    for (auto k : keys) s.insert(k);
+    skipweb::util::accumulator acc;
+    for (auto q : skipweb::workloads::probe_keys(keys, 400, r)) {
+      (void)s.contains(q);
+      acc.add(static_cast<double>(s.last_search_steps()));
+    }
+    return acc.mean();
+  };
+  const double at_1k = mean_steps(1 << 10);
+  const double at_16k = mean_steps(1 << 14);
+  // log growth: 16x the data should cost ~+40% steps, far from 16x.
+  EXPECT_LT(at_16k, at_1k * 2.5);
+  EXPECT_GT(at_16k, at_1k);  // but it does grow
+}
+
+TEST(Skiplist, DeterministicForFixedSeeds) {
+  auto build = [] {
+    rng r(21);
+    skiplist<std::uint64_t> s{rng(22)};
+    for (auto k : skipweb::workloads::uniform_keys(500, r)) s.insert(k);
+    return s.tower_node_count();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Skiplist, EraseEverythingLeavesCleanStructure) {
+  rng r(31);
+  skiplist<std::uint64_t> s{rng(32)};
+  auto keys = skipweb::workloads::uniform_keys(300, r);
+  for (auto k : keys) s.insert(k);
+  std::shuffle(keys.begin(), keys.end(), r.engine());
+  for (auto k : keys) EXPECT_TRUE(s.erase(k));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.tower_node_count(), 0u);
+  // Structure remains usable.
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_TRUE(s.contains(1));
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/skipweb_1d.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using skipweb::core::skipweb_1d;
+using skipweb::net::host_id;
+using skipweb::net::network;
+using skipweb::util::rng;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+// Shared oracle check: query every probe from a rotating origin and compare
+// pred/succ against std::set.
+void check_against_oracle(const skipweb_1d& web, const std::set<std::uint64_t>& oracle,
+                          const std::vector<std::uint64_t>& probes, network& net) {
+  std::uint32_t origin = 0;
+  for (const auto q : probes) {
+    const auto r = web.nearest(q, h(origin));
+    origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+    auto it = oracle.upper_bound(q);
+    const bool has_pred = it != oracle.begin();
+    ASSERT_EQ(r.has_pred, has_pred) << "q=" << q;
+    if (has_pred) EXPECT_EQ(r.pred, *std::prev(it));
+    it = oracle.upper_bound(q);
+    const bool has_succ = it != oracle.end();
+    ASSERT_EQ(r.has_succ, has_succ) << "q=" << q;
+    if (has_succ) EXPECT_EQ(r.succ, *it);
+  }
+}
+
+class Skipweb1dPlacement : public ::testing::TestWithParam<skipweb_1d::placement> {};
+
+TEST_P(Skipweb1dPlacement, NearestMatchesOracle) {
+  rng r(1001);
+  const auto keys = wl::uniform_keys(512, r);
+  network net(GetParam() == skipweb_1d::placement::tower ? 512 : 64);
+  skipweb_1d web(keys, 42, net, GetParam());
+  const std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  check_against_oracle(web, oracle, wl::probe_keys(keys, 300, r), net);
+  // Exact hits as well.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(web.contains(keys[i], h(static_cast<std::uint32_t>(i % net.host_count()))));
+  }
+}
+
+TEST_P(Skipweb1dPlacement, InsertThenQuery) {
+  rng r(1002);
+  auto keys = wl::uniform_keys(300, r);
+  const std::vector<std::uint64_t> initial(keys.begin(), keys.begin() + 200);
+  network net(GetParam() == skipweb_1d::placement::tower ? 200 : 32);
+  skipweb_1d web(initial, 43, net, GetParam());
+  std::set<std::uint64_t> oracle(initial.begin(), initial.end());
+
+  for (std::size_t i = 200; i < 300; ++i) {
+    web.insert(keys[i], h(static_cast<std::uint32_t>(i % net.host_count())));
+    oracle.insert(keys[i]);
+  }
+  EXPECT_EQ(web.size(), 300u);
+  EXPECT_TRUE(web.lists().check_invariants());
+  check_against_oracle(web, oracle, wl::probe_keys(keys, 200, r), net);
+}
+
+TEST_P(Skipweb1dPlacement, EraseThenQuery) {
+  rng r(1003);
+  auto keys = wl::uniform_keys(300, r);
+  network net(GetParam() == skipweb_1d::placement::tower ? 300 : 32);
+  skipweb_1d web(keys, 44, net, GetParam());
+  std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+
+  std::shuffle(keys.begin(), keys.end(), r.engine());
+  for (std::size_t i = 0; i < 150; ++i) {
+    web.erase(keys[i], h(static_cast<std::uint32_t>(i % net.host_count())));
+    oracle.erase(keys[i]);
+  }
+  EXPECT_EQ(web.size(), 150u);
+  EXPECT_TRUE(web.lists().check_invariants());
+  check_against_oracle(web, oracle, wl::probe_keys(keys, 200, r), net);
+}
+
+TEST_P(Skipweb1dPlacement, MixedWorkloadMatchesOracle) {
+  rng r(1004);
+  auto pool = wl::uniform_keys(400, r);
+  const std::vector<std::uint64_t> initial(pool.begin(), pool.begin() + 100);
+  network net(GetParam() == skipweb_1d::placement::tower ? 100 : 24);
+  skipweb_1d web(initial, 45, net, GetParam());
+  std::set<std::uint64_t> oracle(initial.begin(), initial.end());
+
+  for (int op = 0; op < 600; ++op) {
+    const auto& k = pool[r.index(pool.size())];
+    const auto origin = h(static_cast<std::uint32_t>(r.index(net.host_count())));
+    switch (r.index(3)) {
+      case 0: {
+        if (oracle.count(k) == 0) {
+          web.insert(k, origin);
+          oracle.insert(k);
+        }
+        break;
+      }
+      case 1: {
+        if (oracle.count(k) > 0 && oracle.size() >= 2) {
+          web.erase(k, origin);
+          oracle.erase(k);
+        }
+        break;
+      }
+      default:
+        EXPECT_EQ(web.contains(k, origin), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(web.size(), oracle.size());
+  EXPECT_TRUE(web.lists().check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, Skipweb1dPlacement,
+                         ::testing::Values(skipweb_1d::placement::tower,
+                                           skipweb_1d::placement::balanced),
+                         [](const auto& info) {
+                           return info.param == skipweb_1d::placement::tower ? "Tower"
+                                                                             : "Balanced";
+                         });
+
+TEST(Skipweb1d, RejectsDuplicateInsertAndMissingErase) {
+  rng r(1010);
+  const auto keys = wl::uniform_keys(32, r);
+  network net(32);
+  skipweb_1d web(keys, 46, net, skipweb_1d::placement::tower);
+  EXPECT_THROW(web.insert(keys[0], h(0)), skipweb::util::contract_error);
+  EXPECT_THROW(web.erase(keys[0] + 1, h(0)), skipweb::util::contract_error);
+}
+
+TEST(Skipweb1d, QueryMessagesGrowLogarithmically) {
+  rng r(1011);
+  auto mean_messages = [&](std::size_t n) {
+    auto keys = wl::uniform_keys(n, r);
+    network net(n);
+    skipweb_1d web(keys, 47, net, skipweb_1d::placement::tower);
+    skipweb::util::accumulator acc;
+    std::uint32_t origin = 0;
+    for (const auto q : wl::probe_keys(keys, 200, r)) {
+      acc.add(static_cast<double>(web.nearest(q, h(origin)).messages));
+      origin = static_cast<std::uint32_t>((origin + 1) % n);
+    }
+    return acc.mean();
+  };
+  const double at_256 = mean_messages(256);
+  const double at_4096 = mean_messages(4096);
+  EXPECT_GT(at_4096, at_256);           // grows
+  EXPECT_LT(at_4096, at_256 * 2.5);     // like log n, not n (16x data, ~1.5x cost)
+}
+
+TEST(Skipweb1d, TowerMemoryIsLogarithmicPerHost) {
+  rng r(1012);
+  const std::size_t n = 1024;
+  const auto keys = wl::uniform_keys(n, r);
+  network net(n);
+  skipweb_1d web(keys, 48, net, skipweb_1d::placement::tower);
+  // Every host stores exactly one tower: levels+1 nodes and O(levels) refs.
+  const auto max_mem = net.max_memory();
+  EXPECT_LE(max_mem, 6u * (static_cast<std::uint64_t>(web.levels()) + 2));
+  EXPECT_GE(net.mean_memory(), static_cast<double>(web.levels()));
+}
+
+TEST(Skipweb1d, BalancedPlacementSpreadsMemory) {
+  rng r(1013);
+  const std::size_t n = 2048, hosts = 128;
+  const auto keys = wl::uniform_keys(n, r);
+  network net(hosts);
+  skipweb_1d web(keys, 49, net, skipweb_1d::placement::balanced);
+  // ~n(levels+1)*4/hosts memory units per host; the max should be within 2x
+  // of the mean (hashing balance).
+  EXPECT_LT(static_cast<double>(net.max_memory()), 1.6 * net.mean_memory());
+}
+
+TEST(Skipweb1d, SearchFromEveryOriginAgrees) {
+  rng r(1014);
+  const auto keys = wl::uniform_keys(128, r);
+  network net(128);
+  skipweb_1d web(keys, 50, net, skipweb_1d::placement::tower);
+  const std::uint64_t q = wl::probe_keys(keys, 1, r)[0];
+  const auto want = web.nearest(q, h(0));
+  for (std::uint32_t o = 1; o < 128; o += 7) {
+    const auto got = web.nearest(q, h(o));
+    EXPECT_EQ(got.has_pred, want.has_pred);
+    EXPECT_EQ(got.pred, want.pred);
+    EXPECT_EQ(got.has_succ, want.has_succ);
+    EXPECT_EQ(got.succ, want.succ);
+  }
+}
+
+TEST(Skipweb1d, DeterministicForFixedSeeds) {
+  rng r1(1015), r2(1015);
+  const auto k1 = wl::uniform_keys(200, r1);
+  const auto k2 = wl::uniform_keys(200, r2);
+  network n1(200), n2(200);
+  skipweb_1d w1(k1, 51, n1, skipweb_1d::placement::tower);
+  skipweb_1d w2(k2, 51, n2, skipweb_1d::placement::tower);
+  const auto q = k1[10] + 1;
+  EXPECT_EQ(w1.nearest(q, h(3)).messages, w2.nearest(q, h(3)).messages);
+}
+
+TEST(Skipweb1d, SingleItemStructure) {
+  network net(1);
+  skipweb_1d web({42}, 52, net, skipweb_1d::placement::tower);
+  const auto below = web.nearest(41, h(0));
+  EXPECT_FALSE(below.has_pred);
+  ASSERT_TRUE(below.has_succ);
+  EXPECT_EQ(below.succ, 42u);
+  const auto hit = web.nearest(42, h(0));
+  ASSERT_TRUE(hit.has_pred);
+  EXPECT_EQ(hit.pred, 42u);
+  EXPECT_THROW(web.erase(42, h(0)), skipweb::util::contract_error);  // never empty
+}
+
+TEST(Skipweb1d, EraseOfRootAnchorStillSearchable) {
+  rng r(1016);
+  auto keys = wl::uniform_keys(64, r);
+  network net(64);
+  skipweb_1d web(keys, 53, net, skipweb_1d::placement::tower);
+  // Erase the anchor items of the first few hosts, then query from them.
+  std::sort(keys.begin(), keys.end());
+  for (int i = 0; i < 8; ++i) web.erase(keys[static_cast<std::size_t>(i)], h(40));
+  for (std::uint32_t o = 0; o < 8; ++o) {
+    const auto res = web.nearest(keys[20], h(o));
+    EXPECT_TRUE(res.has_pred);
+    EXPECT_EQ(res.pred, keys[20]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "seq/trapmap.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb::seq;
+using skipweb::util::rng;
+namespace wl = skipweb::workloads;
+
+trapmap make_map(const std::vector<segment>& segs) {
+  const auto box = wl::segment_box();
+  return trapmap(segs, box.xmin, box.xmax, box.ymin, box.ymax);
+}
+
+TEST(Trapmap, EmptyMapIsOneTrapezoid) {
+  trapmap m({}, 0, 1, 0, 1);
+  EXPECT_EQ(m.trapezoid_count(), 1u);
+  EXPECT_EQ(m.locate(0.5, 0.5), 0);
+  EXPECT_NEAR(m.area(0), 1.0, 1e-12);
+}
+
+TEST(Trapmap, SingleSegmentMakesFourTrapezoids) {
+  trapmap m({segment{0.25, 0.5, 0.75, 0.5}}, 0, 1, 0, 1);
+  EXPECT_EQ(m.trapezoid_count(), 4u);
+  // Left of the segment, above, below, and right.
+  const int left = m.locate(0.1, 0.5);
+  const int above = m.locate(0.5, 0.8);
+  const int below = m.locate(0.5, 0.2);
+  const int right = m.locate(0.9, 0.5);
+  std::set<int> distinct = {left, above, below, right};
+  EXPECT_EQ(distinct.size(), 4u);
+  for (int t : distinct) EXPECT_GE(t, 0);
+}
+
+TEST(Trapmap, TrapezoidCountIs3NPlus1) {
+  rng r(101);
+  for (std::size_t n : {1u, 2u, 5u, 17u, 64u, 200u}) {
+    const auto segs = wl::random_disjoint_segments(n, r);
+    const auto m = make_map(segs);
+    EXPECT_EQ(m.trapezoid_count(), 3 * n + 1) << "n=" << n;
+  }
+}
+
+TEST(Trapmap, AreasPartitionTheBox) {
+  rng r(103);
+  const auto segs = wl::random_disjoint_segments(60, r);
+  const auto m = make_map(segs);
+  double total = 0;
+  for (std::size_t i = 0; i < m.trapezoid_count(); ++i) total += m.area(static_cast<int>(i));
+  const auto box = wl::segment_box();
+  EXPECT_NEAR(total, (box.xmax - box.xmin) * (box.ymax - box.ymin), 1e-9);
+}
+
+TEST(Trapmap, EveryProbeLandsInExactlyOneTrapezoid) {
+  rng r(107);
+  const auto segs = wl::random_disjoint_segments(40, r);
+  const auto m = make_map(segs);
+  for (const auto& [x, y] : wl::interior_probes(300, r)) {
+    int count = 0;
+    for (std::size_t t = 0; t < m.trapezoid_count(); ++t) {
+      count += m.contains(static_cast<int>(t), x, y);
+    }
+    EXPECT_EQ(count, 1) << "probe (" << x << "," << y << ")";
+  }
+}
+
+TEST(Trapmap, AdjacencyIsSymmetric) {
+  rng r(109);
+  const auto segs = wl::random_disjoint_segments(50, r);
+  const auto m = make_map(segs);
+  for (std::size_t i = 0; i < m.trapezoid_count(); ++i) {
+    const auto& t = m.trap(static_cast<int>(i));
+    for (int rn : t.right_nb) {
+      if (rn < 0) continue;
+      const auto& u = m.trap(rn);
+      EXPECT_TRUE(u.left_nb[0] == static_cast<int>(i) || u.left_nb[1] == static_cast<int>(i));
+      EXPECT_DOUBLE_EQ(u.left_x, t.right_x);
+    }
+    for (int ln : t.left_nb) {
+      if (ln < 0) continue;
+      const auto& u = m.trap(ln);
+      EXPECT_TRUE(u.right_nb[0] == static_cast<int>(i) || u.right_nb[1] == static_cast<int>(i));
+      EXPECT_DOUBLE_EQ(u.right_x, t.left_x);
+    }
+  }
+}
+
+TEST(Trapmap, TrapezoidGeometryIsSane) {
+  rng r(113);
+  const auto segs = wl::random_disjoint_segments(30, r);
+  const auto m = make_map(segs);
+  for (std::size_t i = 0; i < m.trapezoid_count(); ++i) {
+    const auto& t = m.trap(static_cast<int>(i));
+    EXPECT_LT(t.left_x, t.right_x);
+    const auto [x, y] = m.interior_point(static_cast<int>(i));
+    EXPECT_TRUE(m.contains(static_cast<int>(i), x, y));
+    EXPECT_GT(m.area(static_cast<int>(i)), 0.0);
+  }
+}
+
+TEST(Trapmap, OverlapsIsSymmetricAndReflexive) {
+  rng r(127);
+  const auto segs = wl::random_disjoint_segments(25, r);
+  std::vector<segment> half;
+  for (const auto& s : segs) {
+    if (r.bit()) half.push_back(s);
+  }
+  const auto dense = make_map(segs);
+  const auto sparse = make_map(half);
+  for (std::size_t a = 0; a < sparse.trapezoid_count(); ++a) {
+    for (std::size_t b = 0; b < dense.trapezoid_count(); ++b) {
+      EXPECT_EQ(sparse.overlaps(static_cast<int>(a), dense, static_cast<int>(b)),
+                dense.overlaps(static_cast<int>(b), sparse, static_cast<int>(a)));
+    }
+  }
+}
+
+// The conflict lists must cover point location: for any probe, the dense
+// trapezoid containing it conflicts with the sparse trapezoid containing it.
+TEST(Trapmap, ConflictsCoverPointLocation) {
+  rng r(131);
+  const auto segs = wl::random_disjoint_segments(40, r);
+  std::vector<segment> half;
+  for (const auto& s : segs) {
+    if (r.bit()) half.push_back(s);
+  }
+  const auto dense = make_map(segs);
+  const auto sparse = make_map(half);
+  for (const auto& [x, y] : wl::interior_probes(200, r)) {
+    const int st = sparse.locate(x, y);
+    const int dt = dense.locate(x, y);
+    ASSERT_GE(st, 0);
+    ASSERT_GE(dt, 0);
+    const auto confl = sparse.conflicts(st, dense);
+    EXPECT_NE(std::find(confl.begin(), confl.end(), dt), confl.end())
+        << "conflict list misses the containing dense trapezoid";
+  }
+}
+
+TEST(Trapmap, ConflictsMatchBruteForceOverlapScan) {
+  rng r(137);
+  const auto segs = wl::random_disjoint_segments(20, r);
+  std::vector<segment> half;
+  for (const auto& s : segs) {
+    if (r.bit()) half.push_back(s);
+  }
+  const auto dense = make_map(segs);
+  const auto sparse = make_map(half);
+  for (std::size_t t = 0; t < sparse.trapezoid_count(); ++t) {
+    auto got = sparse.conflicts(static_cast<int>(t), dense);
+    std::sort(got.begin(), got.end());
+    std::vector<int> want;
+    for (std::size_t u = 0; u < dense.trapezoid_count(); ++u) {
+      if (sparse.overlaps(static_cast<int>(t), dense, static_cast<int>(u))) {
+        want.push_back(static_cast<int>(u));
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+// Lemma 5: expected O(1) conflicts between a trapezoid of D(T) and D(S),
+// independent of n.
+TEST(Trapmap, Lemma5ExpectedConstantConflicts) {
+  rng r(139);
+  auto mean_conflicts = [&](std::size_t n) {
+    skipweb::util::accumulator acc;
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto segs = wl::random_disjoint_segments(n, r);
+      std::vector<segment> half;
+      for (const auto& s : segs) {
+        if (r.bit()) half.push_back(s);
+      }
+      const auto dense = make_map(segs);
+      const auto sparse = make_map(half);
+      for (const auto& [x, y] : wl::interior_probes(50, r)) {
+        const int st = sparse.locate(x, y);
+        EXPECT_GE(st, 0);
+        if (st < 0) continue;
+        acc.add(static_cast<double>(sparse.conflicts(st, dense).size()));
+      }
+    }
+    return acc.mean();
+  };
+  const double small = mean_conflicts(64);
+  const double large = mean_conflicts(512);
+  EXPECT_LT(large, small * 1.6 + 1.0);  // flat in n
+  EXPECT_LT(large, 12.0);               // genuinely constant-sized
+}
+
+TEST(Trapmap, RejectsBadInput) {
+  // Vertical segment.
+  EXPECT_THROW(trapmap({segment{0.5, 0.2, 0.5, 0.8}}, 0, 1, 0, 1),
+               skipweb::util::contract_error);
+  // Outside the box.
+  EXPECT_THROW(trapmap({segment{-0.5, 0.2, 0.5, 0.4}}, 0, 1, 0, 1),
+               skipweb::util::contract_error);
+  // Shared endpoint x (violates general position).
+  EXPECT_THROW(trapmap({segment{0.2, 0.2, 0.5, 0.2}, segment{0.2, 0.6, 0.6, 0.6}}, 0, 1, 0, 1),
+               skipweb::util::contract_error);
+}
+
+TEST(Trapmap, NormalizesSegmentOrientation) {
+  trapmap m({segment{0.75, 0.5, 0.25, 0.4}}, 0, 1, 0, 1);  // given right-to-left
+  EXPECT_EQ(m.trapezoid_count(), 4u);
+  EXPECT_LT(m.seg(0).x1, m.seg(0).x2);
+}
+
+}  // namespace

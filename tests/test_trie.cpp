@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "seq/trie.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using skipweb::seq::trie;
+using skipweb::util::rng;
+
+TEST(Trie, EmptyBehaviour) {
+  trie t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.node_count(), 1u);  // root
+  EXPECT_FALSE(t.contains("a"));
+  EXPECT_EQ(t.longest_common_prefix("abc"), "");
+  EXPECT_TRUE(t.with_prefix("a").empty());
+}
+
+TEST(Trie, InsertAndContains) {
+  trie t;
+  t.insert("cat");
+  t.insert("car");
+  t.insert("cart");
+  t.insert("dog");
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_TRUE(t.contains("cat"));
+  EXPECT_TRUE(t.contains("car"));
+  EXPECT_TRUE(t.contains("cart"));
+  EXPECT_TRUE(t.contains("dog"));
+  EXPECT_FALSE(t.contains("ca"));
+  EXPECT_FALSE(t.contains("cats"));
+  EXPECT_FALSE(t.contains("d"));
+}
+
+TEST(Trie, DuplicateInsertIsContractViolation) {
+  trie t;
+  t.insert("abc");
+  EXPECT_THROW(t.insert("abc"), skipweb::util::contract_error);
+}
+
+TEST(Trie, KeyThatIsPrefixOfAnother) {
+  trie t;
+  t.insert("abcd");
+  t.insert("ab");  // key ending at what becomes a mid node
+  EXPECT_TRUE(t.contains("ab"));
+  EXPECT_TRUE(t.contains("abcd"));
+  EXPECT_FALSE(t.contains("abc"));
+  t.insert("abc");
+  EXPECT_TRUE(t.contains("abc"));
+}
+
+TEST(Trie, CompressionInvariant) {
+  // Non-root nodes must be branching or key-ends.
+  trie t({"romane", "romanus", "romulus", "rubens", "ruber", "rubicon"});
+  for (const auto& k : t.keys()) EXPECT_TRUE(t.contains(k));
+  std::size_t checked = 0;
+  for (const auto& path : t.keys()) {
+    int v = t.node_for_path(path);
+    while (v >= 0) {
+      const auto& n = t.node(v);
+      if (v != t.root()) {
+        EXPECT_TRUE(n.children.size() >= 2 || n.is_key) << "path " << n.path;
+      }
+      v = n.parent;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Trie, KeysAreSortedAndComplete) {
+  std::vector<std::string> keys = {"b", "ba", "abc", "abd", "a", "c", "cab"};
+  trie t(keys);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(t.keys(), keys);
+}
+
+TEST(Trie, WithPrefixEnumerates) {
+  trie t({"car", "cart", "cat", "dog", "cargo"});
+  EXPECT_EQ(t.with_prefix("ca"), (std::vector<std::string>{"car", "cargo", "cart", "cat"}));
+  EXPECT_EQ(t.with_prefix("car"), (std::vector<std::string>{"car", "cargo", "cart"}));
+  EXPECT_EQ(t.with_prefix("carg"), (std::vector<std::string>{"cargo"}));  // inside an edge
+  EXPECT_EQ(t.with_prefix("dog"), (std::vector<std::string>{"dog"}));
+  EXPECT_TRUE(t.with_prefix("dx").empty());
+  EXPECT_TRUE(t.with_prefix("carts").empty());
+  EXPECT_EQ(t.with_prefix("").size(), 5u);
+  EXPECT_EQ(t.with_prefix("ca", 2), (std::vector<std::string>{"car", "cargo"}));  // capped
+}
+
+TEST(Trie, LongestCommonPrefix) {
+  trie t({"hello", "help", "world"});
+  EXPECT_EQ(t.longest_common_prefix("helping"), "help");
+  EXPECT_EQ(t.longest_common_prefix("hel"), "hel");
+  EXPECT_EQ(t.longest_common_prefix("helx"), "hel");
+  EXPECT_EQ(t.longest_common_prefix("w"), "w");
+  EXPECT_EQ(t.longest_common_prefix("xyz"), "");
+}
+
+TEST(Trie, EraseRestoresInvariants) {
+  trie t({"car", "cart", "cat"});
+  t.erase("cart");
+  EXPECT_FALSE(t.contains("cart"));
+  EXPECT_TRUE(t.contains("car"));
+  EXPECT_TRUE(t.contains("cat"));
+  t.erase("car");
+  EXPECT_TRUE(t.contains("cat"));
+  // "ca" chain must have been merged away: only root + "cat" leaf remain.
+  EXPECT_EQ(t.node_count(), 2u);
+  t.erase("cat");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(Trie, EraseMissingIsContractViolation) {
+  trie t({"abc"});
+  EXPECT_THROW(t.erase("abx"), skipweb::util::contract_error);
+  EXPECT_THROW(t.erase("ab"), skipweb::util::contract_error);
+}
+
+TEST(Trie, EmptyStringKey) {
+  trie t;
+  t.insert("");
+  EXPECT_TRUE(t.contains(""));
+  t.insert("a");
+  EXPECT_TRUE(t.contains(""));
+  EXPECT_EQ(t.with_prefix("").size(), 2u);
+  t.erase("");
+  EXPECT_FALSE(t.contains(""));
+  EXPECT_TRUE(t.contains("a"));
+}
+
+TEST(Trie, MatchesStdSetUnderMixedOps) {
+  rng r(71);
+  trie t;
+  std::set<std::string> oracle;
+  const auto pool = skipweb::workloads::random_strings(300, 1, 8, "abc", r);
+  for (int op = 0; op < 8000; ++op) {
+    const std::string& s = pool[r.index(pool.size())];
+    switch (r.index(3)) {
+      case 0: {
+        if (oracle.insert(s).second) {
+          t.insert(s);
+        }
+        break;
+      }
+      case 1: {
+        if (oracle.erase(s) > 0) {
+          t.erase(s);
+        }
+        break;
+      }
+      default:
+        EXPECT_EQ(t.contains(s), oracle.count(s) > 0) << s;
+    }
+  }
+  EXPECT_EQ(t.keys(), std::vector<std::string>(oracle.begin(), oracle.end()));
+}
+
+TEST(Trie, WithPrefixMatchesOracle) {
+  rng r(73);
+  const auto keys = skipweb::workloads::shared_prefix_strings(400, r);
+  trie t(keys);
+  std::set<std::string> oracle(keys.begin(), keys.end());
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string& base = keys[r.index(keys.size())];
+    const std::string prefix = base.substr(0, 1 + r.index(base.size()));
+    std::vector<std::string> want;
+    for (const auto& k : oracle) {
+      if (k.size() >= prefix.size() && k.compare(0, prefix.size(), prefix) == 0) {
+        want.push_back(k);
+      }
+    }
+    EXPECT_EQ(t.with_prefix(prefix), want) << "prefix " << prefix;
+  }
+}
+
+// Subset property behind the skip-web identity hyperlinks: every node path
+// of trie(T) exists in trie(S) for T ⊆ S.
+TEST(Trie, SubsetNodesAppearInSuperset) {
+  rng r(79);
+  const auto keys = skipweb::workloads::random_strings(500, 2, 10, "ab", r);
+  std::vector<std::string> half;
+  for (const auto& k : keys) {
+    if (r.bit()) half.push_back(k);
+  }
+  trie full(keys), sparse(half);
+  for (const auto& k : half) {
+    int v = sparse.node_for_path(k);
+    ASSERT_GE(v, 0);
+    while (v >= 0) {
+      if (v != sparse.root()) {
+        EXPECT_GE(full.node_for_path(sparse.node(v).path), 0)
+            << "sparse node " << sparse.node(v).path << " missing from dense trie";
+      }
+      v = sparse.node(v).parent;
+    }
+  }
+}
+
+TEST(Trie, LocateReportsPartialEdgeMatches) {
+  trie t({"abcdef", "abcxyz"});
+  // Root -> node "abc" (branching), edges "def" and "xyz".
+  const auto loc = t.locate("abcde");
+  EXPECT_EQ(t.node(loc.node).path, "abc");
+  EXPECT_EQ(loc.matched, 5u);
+  EXPECT_EQ(loc.partial_edge, 2u);
+
+  const auto diverge = t.locate("abq");
+  EXPECT_EQ(t.node(diverge.node).path, "");
+  EXPECT_EQ(diverge.matched, 2u);
+
+  std::uint64_t steps = 0;
+  const auto full = t.locate("abcdef", &steps);
+  EXPECT_EQ(t.node(full.node).path, "abcdef");
+  EXPECT_TRUE(t.node(full.node).is_key);
+  EXPECT_EQ(steps, 3u);  // root, "abc", "abcdef"
+}
+
+TEST(Trie, LocateFromContinuesDescent) {
+  trie t({"abcdef", "abcxyz", "abcdeq"});
+  const int mid = t.node_for_path("abc");
+  ASSERT_GE(mid, 0);
+  std::uint64_t steps = 0;
+  const auto loc = t.locate_from(mid, "abcdef", &steps);
+  EXPECT_EQ(t.node(loc.node).path, "abcdef");
+  EXPECT_LE(steps, 3u);
+}
+
+}  // namespace
