@@ -33,7 +33,7 @@ void measure(const char* label, Structure& s, net::network& net,
   util::accumulator acc;
   std::uint32_t o = 0;
   for (const auto q : probes) {
-    acc.add(static_cast<double>(s.nearest(q, net::host_id{o}).messages));
+    acc.add(static_cast<double>(s.nearest(q, net::host_id{o}).stats.messages));
     o = static_cast<std::uint32_t>((o + 1) % net.host_count());
   }
   print_row({label, fmt(acc.mean(), 2), fmt(acc.max(), 0),

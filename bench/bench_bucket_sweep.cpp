@@ -35,7 +35,7 @@ int main() {
     util::accumulator acc;
     std::uint32_t o = 0;
     for (const auto q : probes) {
-      acc.add(static_cast<double>(web.nearest(q, net::host_id{o}).messages));
+      acc.add(static_cast<double>(web.nearest(q, net::host_id{o}).stats.messages));
       o = static_cast<std::uint32_t>((o + 1) % net.host_count());
     }
     const double H = static_cast<double>(web.live_block_count());
@@ -57,7 +57,7 @@ int main() {
     net::network net(1);
     baselines::bucket_skip_graph g(keys, 79, net, H);
     util::accumulator acc;
-    for (const auto q : probes) acc.add(static_cast<double>(g.nearest(q, net::host_id{0}).messages));
+    for (const auto q : probes) acc.add(static_cast<double>(g.nearest(q, net::host_id{0}).stats.messages));
     print_row({fmt_u(H), fmt(acc.mean(), 2), fmt(std::log2(static_cast<double>(H)), 1)});
   }
   return 0;

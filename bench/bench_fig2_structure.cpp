@@ -46,7 +46,7 @@ int main() {
   const auto probes = wl::probe_keys(keys, 512, r);
   for (std::size_t i = 0; i < probes.size(); ++i) {
     msgs.add(static_cast<double>(
-        web.nearest(probes[i], net::host_id{static_cast<std::uint32_t>(i % n)}).messages));
+        web.nearest(probes[i], net::host_id{static_cast<std::uint32_t>(i % n)}).stats.messages));
   }
   std::printf(
       "descents from %zu distinct top-level roots: %.2f mean messages, %.0f max "

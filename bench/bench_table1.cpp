@@ -3,25 +3,22 @@
 // deterministic SkipNet, bucket skip graphs, skip-webs, bucket skip-webs —
 // on the four cost axes H/M, C(n), Q(n), U(n).
 //
-// Absolute numbers are implementation constants; what must match the paper
-// is the *relative shape*: NoN and the (bucketed) skip-web route in
-// o(log n); the skip-web does it with O(log n) memory while NoN pays
-// O(log² n) memory and O(log² n) update messages; bucket variants trade
-// H < n hosts for O(n/H) storage.
+// Every row is built and driven exclusively through the unified
+// api::distributed_index interface, selected by name from the backend
+// registry: the bench knows no concrete structure type. Absolute numbers are
+// implementation constants; what must match the paper is the *relative
+// shape*: NoN and the (bucketed) skip-web route in o(log n); the skip-web
+// does it with O(log n) memory while NoN pays O(log² n) memory and
+// O(log² n) update messages; bucket variants trade H < n hosts for O(n/H)
+// storage.
 
 #include <cmath>
 #include <cstdio>
 #include <functional>
 #include <set>
 
-#include "baselines/bucket_skipgraph.h"
-#include "baselines/det_skipnet.h"
-#include "baselines/family_tree.h"
-#include "baselines/non_skipgraph.h"
-#include "baselines/skipgraph.h"
+#include "api/registry.h"
 #include "bench_common.h"
-#include "core/bucket_skipweb.h"
-#include "core/skipweb_1d.h"
 #include "net/network.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
@@ -40,10 +37,10 @@ struct measurement {
   double update_mean = 0;
 };
 
-// Runs the standard workload against any structure exposing the common
-// nearest/insert/erase API.
-template <typename Structure>
-measurement run_workload(Structure& s, net::network& net, const std::vector<std::uint64_t>& keys,
+// Runs the standard workload against any registered backend, touching only
+// the distributed_index interface.
+measurement run_workload(api::distributed_index& s, net::network& net,
+                         const std::vector<std::uint64_t>& keys,
                          const std::vector<std::uint64_t>& probes,
                          const std::vector<std::uint64_t>& fresh, util::rng& r) {
   measurement m;
@@ -54,7 +51,7 @@ measurement run_workload(Structure& s, net::network& net, const std::vector<std:
   util::accumulator q_acc;
   std::uint32_t origin = 0;
   for (const auto q : probes) {
-    q_acc.add(static_cast<double>(s.nearest(q, net::host_id{origin}).messages));
+    q_acc.add(static_cast<double>(s.nearest(q, net::host_id{origin}).stats.messages));
     origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
   }
   m.query_mean = q_acc.mean();
@@ -65,11 +62,11 @@ measurement run_workload(Structure& s, net::network& net, const std::vector<std:
   util::accumulator u_acc;
   for (const auto k : fresh) {
     u_acc.add(static_cast<double>(
-        s.insert(k, net::host_id{static_cast<std::uint32_t>(r.index(net.host_count()))})));
+        s.insert(k, net::host_id{static_cast<std::uint32_t>(r.index(net.host_count()))}).messages));
   }
   for (const auto k : fresh) {
     u_acc.add(static_cast<double>(
-        s.erase(k, net::host_id{static_cast<std::uint32_t>(r.index(net.host_count()))})));
+        s.erase(k, net::host_id{static_cast<std::uint32_t>(r.index(net.host_count()))}).messages));
   }
   m.update_mean = u_acc.mean();
   return m;
@@ -81,6 +78,14 @@ void report(const char* method, std::size_t n, const measurement& m) {
             18);
 }
 
+// One table row: a display label, a registry backend name, and the options
+// that configure the backend into the paper's regime for that row.
+struct table_row {
+  const char* label;
+  const char* backend;
+  std::function<api::index_options(std::size_t)> options;
+};
+
 }  // namespace
 
 int main() {
@@ -88,6 +93,41 @@ int main() {
       "Table 1 - 1-D nearest-neighbour structures: measured H, M(max), C(n), Q(n), U(n)");
   print_row({"method", "n", "H", "M_max", "C(n)", "Q(n) msgs", "U(n) msgs"}, 18);
   print_rule();
+
+  const std::vector<table_row> rows = {
+      {"skip graph", "skip_graph",
+       [](std::size_t) { return api::index_options{}.seed(1); }},
+      {"NoN skip graph", "non_skipgraph",
+       [](std::size_t) { return api::index_options{}.seed(2); }},
+      {"family tree*", "family_tree",
+       [](std::size_t) { return api::index_options{}.seed(3); }},
+      {"det SkipNet*", "det_skipnet",
+       [](std::size_t) { return api::index_options{}; }},
+      {"bucket skipgraph", "bucket_skipgraph",
+       [](std::size_t n) {
+         return api::index_options{}.seed(4).buckets(std::max<std::size_t>(2, n / 8));
+       }},
+      // The paper's "skip-webs" row: blocked layout with M = Theta(log n),
+      // H ~ n hosts.
+      {"skip-web", "bucket_skipweb",
+       [](std::size_t n) {
+         return api::index_options{}.seed(5).bucket_size(
+             static_cast<std::size_t>(2.0 * std::log2(static_cast<double>(n))));
+       }},
+      // The "bucket skip-webs" row: M = n^(1/2) >> log n, H << n hosts.
+      {"bucket skip-web", "bucket_skipweb",
+       [](std::size_t n) {
+         return api::index_options{}.seed(6).bucket_size(
+             static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) * 4);
+       }},
+      // Framework reference point: the unblocked skip-web with towers, whose
+      // costs must coincide with skip graphs (Figure 2's caption).
+      {"skip-web (tower)", "skipweb1d",
+       [](std::size_t n) {
+         return api::index_options{}.seed(7).placement(api::placement_policy::tower).initial_hosts(
+             n);
+       }},
+  };
 
   for (const std::size_t n : {std::size_t{256}, std::size_t{1024}, std::size_t{4096}}) {
     util::rng r(9000 + n);
@@ -102,52 +142,10 @@ int main() {
       if (present.insert(k).second) inserts.push_back(k);
     }
 
-    {
+    for (const auto& row : rows) {
       net::network net(1);
-      baselines::skip_graph s(keys, 1, net);
-      report("skip graph", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      net::network net(1);
-      baselines::non_skip_graph s(keys, 2, net);
-      report("NoN skip graph", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      net::network net(1);
-      baselines::family_tree s(keys, 3, net);
-      report("family tree*", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      net::network net(1);
-      baselines::det_skipnet s(keys, net);
-      report("det SkipNet*", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      net::network net(1);
-      baselines::bucket_skip_graph s(keys, 4, net, std::max<std::size_t>(2, n / 8));
-      report("bucket skipgraph", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      // The paper's "skip-webs" row: blocked layout with M = Theta(log n),
-      // H ~ n hosts.
-      const auto M = static_cast<std::size_t>(2.0 * std::log2(static_cast<double>(n)));
-      net::network net(1);
-      core::bucket_skipweb s(keys, 5, net, M);
-      report("skip-web", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      // The "bucket skip-webs" row: M = n^(1/2) >> log n, H << n hosts.
-      const auto M = static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) * 4;
-      net::network net(1);
-      core::bucket_skipweb s(keys, 6, net, M);
-      report("bucket skip-web", n, run_workload(s, net, keys, probes, inserts, r));
-    }
-    {
-      // Framework reference point: the unblocked skip-web with towers, whose
-      // costs must coincide with skip graphs (Figure 2's caption).
-      net::network net(n);
-      core::skipweb_1d s(keys, 7, net, core::skipweb_1d::placement::tower);
-      report("skip-web (tower)", n, run_workload(s, net, keys, probes, inserts, r));
+      const auto idx = api::make_index(row.backend, keys, row.options(n), net);
+      report(row.label, n, run_workload(*idx, net, keys, probes, inserts, r));
     }
     print_rule();
   }

@@ -53,7 +53,7 @@ int main() {
       util::accumulator acc;
       std::uint32_t o = 0;
       for (const auto q : wl::probe_keys(keys, 300, r)) {
-        acc.add(static_cast<double>(web.nearest(q, net::host_id{o}).messages));
+        acc.add(static_cast<double>(web.nearest(q, net::host_id{o}).stats.messages));
         o = static_cast<std::uint32_t>((o + 1) % n);
       }
       emit(s, "1-D skip-web", n, acc.mean(), acc.max(), double(net.max_memory()));
@@ -72,7 +72,7 @@ int main() {
       util::accumulator acc;
       std::uint32_t o = 0;
       for (const auto q : wl::probe_keys(keys, 300, r)) {
-        acc.add(static_cast<double>(web.nearest(q, net::host_id{o}).messages));
+        acc.add(static_cast<double>(web.nearest(q, net::host_id{o}).stats.messages));
         o = static_cast<std::uint32_t>((o + 1) % net.host_count());
       }
       emit(s, "1-D blocked", n, acc.mean(), acc.max(), double(net.max_memory()));
@@ -92,7 +92,7 @@ int main() {
         seq::qpoint<2> q;
         for (int d = 0; d < 2; ++d) q.x[d] = r.uniform_u64(0, seq::coord_span - 1);
         acc.add(static_cast<double>(
-            web.locate(q, net::host_id{static_cast<std::uint32_t>(i % n)}).messages));
+            web.locate(q, net::host_id{static_cast<std::uint32_t>(i % n)}).stats.messages));
       }
       emit(s, "skip quadtree", n, acc.mean(), acc.max(), double(net.max_memory()));
     }
@@ -107,10 +107,9 @@ int main() {
       core::skip_trie web(keys, 14, net);
       util::accumulator acc;
       for (std::size_t i = 0; i < 300; ++i) {
-        std::uint64_t msgs = 0;
-        (void)web.contains(keys[r.index(keys.size())],
-                           net::host_id{static_cast<std::uint32_t>(i % n)}, &msgs);
-        acc.add(static_cast<double>(msgs));
+        const auto res = web.contains(keys[r.index(keys.size())],
+                                      net::host_id{static_cast<std::uint32_t>(i % n)});
+        acc.add(static_cast<double>(res.stats.messages));
       }
       emit(s, "skip trie", n, acc.mean(), acc.max(), double(net.max_memory()));
     }
@@ -127,7 +126,7 @@ int main() {
       util::accumulator acc;
       std::uint32_t o = 0;
       for (const auto& [x, y] : wl::interior_probes(300, r)) {
-        acc.add(static_cast<double>(web.locate(x, y, net::host_id{o}).messages));
+        acc.add(static_cast<double>(web.locate(x, y, net::host_id{o}).stats.messages));
         o = static_cast<std::uint32_t>((o + 1) % n);
       }
       emit(s, "skip trapmap", n, acc.mean(), acc.max(), double(net.max_memory()));
@@ -150,7 +149,7 @@ int main() {
       const int shift = 1 + static_cast<int>(r.index(58));
       for (int d = 0; d < 2; ++d) q.x[d] = (seq::coord_t{1} << shift) + r.uniform_u64(0, 3);
       acc.add(static_cast<double>(
-          web.locate(q, net::host_id{static_cast<std::uint32_t>(i % n)}).messages));
+          web.locate(q, net::host_id{static_cast<std::uint32_t>(i % n)}).stats.messages));
     }
     print_row({fmt_u(n), fmt_u(static_cast<std::uint64_t>(web.depth())), fmt(acc.mean(), 2),
                fmt(acc.max(), 0), fmt(std::log2(double(n)), 1)});

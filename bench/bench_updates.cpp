@@ -57,8 +57,8 @@ int main() {
       net::network net(n);
       core::skipweb_1d s(keys, 21, net, core::skipweb_1d::placement::tower);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0})); }, fresh.size());
+          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0}).messages); }, fresh.size());
       print_row({"1-D skip-web", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1), fmt(lll, 2)});
     }
     {
@@ -66,8 +66,8 @@ int main() {
       net::network net(1);
       core::bucket_skipweb s(keys, 22, net, M);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0})); }, fresh.size());
+          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0}).messages); }, fresh.size());
       print_row({"1-D blocked", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1), fmt(lll, 2)});
     }
     {
@@ -77,8 +77,8 @@ int main() {
       net::network net(n);
       core::skip_quadtree<2> s(pts, 23, net);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(extra[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(extra[i], net::host_id{0})); }, extra.size());
+          [&](std::size_t i) { return double(s.insert(extra[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(extra[i], net::host_id{0}).messages); }, extra.size());
       print_row({"skip quadtree", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1), "-"});
     }
     {
@@ -88,8 +88,8 @@ int main() {
       net::network net(n);
       core::skip_trie s(strs, 24, net);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(extra[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(extra[i], net::host_id{0})); }, extra.size());
+          [&](std::size_t i) { return double(s.insert(extra[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(extra[i], net::host_id{0}).messages); }, extra.size());
       print_row({"skip trie", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1), "-"});
     }
     if (n <= 1024) {  // trapezoidal maps rebuild per level: keep the sweep light
@@ -101,24 +101,24 @@ int main() {
       net::network net(n);
       core::skip_trapmap s(initial, box.xmin, box.xmax, box.ymin, box.ymax, 27, net);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(extra[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(extra[i], net::host_id{0})); }, extra.size());
+          [&](std::size_t i) { return double(s.insert(extra[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(extra[i], net::host_id{0}).messages); }, extra.size());
       print_row({"skip trapmap", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1), "-"});
     }
     {
       net::network net(1);
       baselines::skip_graph s(keys, 25, net);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0})); }, fresh.size());
+          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0}).messages); }, fresh.size());
       print_row({"skip graph", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1), "-"});
     }
     {
       net::network net(1);
       baselines::non_skip_graph s(keys, 26, net);
       const auto [im, dm] = run_updates(
-          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0})); },
-          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0})); }, fresh.size());
+          [&](std::size_t i) { return double(s.insert(fresh[i], net::host_id{0}).messages); },
+          [&](std::size_t i) { return double(s.erase(fresh[i], net::host_id{0}).messages); }, fresh.size());
       print_row({"NoN skip graph", fmt_u(n), fmt(im, 2), fmt(dm, 2), fmt(logn, 1),
                  "log^2 n=" + fmt(logn * logn, 0)});
     }

@@ -39,7 +39,7 @@ int main() {
         "visitor at (%.3f, %.3f): cell #%d spanning x in [%.3f, %.3f], wall %d above, "
         "wall %d below  (%llu messages)\n",
         x, y, res.trap, cell.left_x, cell.right_x, cell.top, cell.bottom,
-        static_cast<unsigned long long>(res.messages));
+        static_cast<unsigned long long>(res.stats.messages));
   }
 
   std::printf(

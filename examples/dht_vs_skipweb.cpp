@@ -33,31 +33,30 @@ int main() {
   // Round 1: exact match — both are fast.
   const auto k = keys[500];
   const auto hit = dht.lookup(k, net::host_id{0});
-  std::uint64_t web_msgs = 0;
-  (void)web.contains(k, net::host_id{0}, &web_msgs);
+  const auto web_hit = web.contains(k, net::host_id{0});
   std::printf("exact match:        chord %llu hops | skip-web %llu messages\n",
-              static_cast<unsigned long long>(hit.messages),
-              static_cast<unsigned long long>(web_msgs));
+              static_cast<unsigned long long>(hit.stats.messages),
+              static_cast<unsigned long long>(web_hit.stats.messages));
 
   // Round 2: nearest neighbour — the DHT must flood.
   const auto q = wl::probe_keys(keys, 1, rng)[0];
-  std::uint64_t flood_msgs = 0;
-  const auto flood_pred = dht.nearest_by_flooding(q, net::host_id{0}, &flood_msgs);
+  const auto flood = dht.nearest_by_flooding(q, net::host_id{0});
   const auto res = web.nearest(q, net::host_id{0});
   std::printf("nearest neighbour:  chord %llu messages (flood) | skip-web %llu messages\n",
-              static_cast<unsigned long long>(flood_msgs),
-              static_cast<unsigned long long>(res.messages));
+              static_cast<unsigned long long>(flood.stats.messages),
+              static_cast<unsigned long long>(res.stats.messages));
   std::printf("  both agree: pred = %llu %s\n", static_cast<unsigned long long>(res.pred),
-              res.pred == flood_pred ? "(match)" : "(MISMATCH!)");
+              res.has_pred && flood.has_pred && res.pred == flood.pred ? "(match)"
+                                                                       : "(MISMATCH!)");
 
   // Round 3: range query — natural on the skip-web, impossible without a
   // flood on the DHT.
   std::vector<std::uint64_t> sorted = keys;
   std::sort(sorted.begin(), sorted.end());
-  std::uint64_t range_msgs = 0;
-  const auto window = web.range(sorted[1000], sorted[1040], net::host_id{0}, 0, &range_msgs);
+  const auto window = web.range(sorted[1000], sorted[1040], net::host_id{0});
   std::printf("range of %zu keys:   chord would flood all %zu hosts | skip-web %llu messages\n",
-              window.size(), dht.ring_size(), static_cast<unsigned long long>(range_msgs));
+              window.value.size(), dht.ring_size(),
+              static_cast<unsigned long long>(window.stats.messages));
 
   std::printf(
       "\nthe point (paper section 1.2): hashing spreads load but erases order; the\n"

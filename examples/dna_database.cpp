@@ -27,30 +27,32 @@ int main() {
               db.size(), read_len, db.levels());
 
   // Exact lookup of a sequenced read.
-  std::uint64_t msgs = 0;
   const auto& probe = library[123];
-  const bool present = db.contains(probe, net::host_id{5}, &msgs);
+  const auto present = db.contains(probe, net::host_id{5});
   std::printf("\nexact read  %s\n  -> %s (%llu messages)\n", probe.c_str(),
-              present ? "present" : "absent", static_cast<unsigned long long>(msgs));
+              present.value ? "present" : "absent",
+              static_cast<unsigned long long>(present.stats.messages));
 
   // Prefix scan: all reads sharing a 10-base prefix (a primer match).
   const std::string primer = probe.substr(0, 10);
-  const auto matches = db.with_prefix(primer, net::host_id{6}, 8, &msgs);
+  const auto matches = db.with_prefix(primer, net::host_id{6}, 8);
   std::printf("\nprimer %s* -> %zu matching reads (%llu messages):\n", primer.c_str(),
-              matches.size(), static_cast<unsigned long long>(msgs));
-  for (const auto& m : matches) std::printf("  %s\n", m.c_str());
+              matches.value.size(), static_cast<unsigned long long>(matches.stats.messages));
+  for (const auto& m : matches.value) std::printf("  %s\n", m.c_str());
 
   // Longest-match probe: how much of a novel fragment is covered.
   std::string fragment = probe.substr(0, 18) + "TTTTTTTT";
-  const auto covered = db.longest_common_prefix(fragment, net::host_id{7}, &msgs);
+  const auto covered = db.longest_common_prefix(fragment, net::host_id{7});
   std::printf("\nnovel fragment %s\n  longest stored prefix: %zu bases (%llu messages)\n",
-              fragment.c_str(), covered.size(), static_cast<unsigned long long>(msgs));
+              fragment.c_str(), covered.value.size(),
+              static_cast<unsigned long long>(covered.stats.messages));
 
   // The library is dynamic: sequence new reads in, retire corrupt ones.
   auto fresh = wl::dna_strings(1, read_len + 4, rng)[0];  // longer: never collides
   const auto ins = db.insert(fresh, net::host_id{8});
   const auto del = db.erase(fresh, net::host_id{9});
   std::printf("\nsequenced a new read in %llu messages, retired it in %llu.\n",
-              static_cast<unsigned long long>(ins), static_cast<unsigned long long>(del));
+              static_cast<unsigned long long>(ins.messages),
+              static_cast<unsigned long long>(del.messages));
   return 0;
 }

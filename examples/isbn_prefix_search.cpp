@@ -50,24 +50,24 @@ int main() {
 
   // Publisher query: everything under one registration prefix.
   for (const std::string publisher : {"978019", "978055"}) {
-    std::uint64_t messages = 0;
-    const auto titles = index.with_prefix(publisher, net::host_id{42}, 5, &messages);
+    const auto titles = index.with_prefix(publisher, net::host_id{42}, 5);
     std::printf("\npublisher prefix %s -> %zu titles shown (capped), %llu messages:\n",
-                publisher.c_str(), titles.size(), static_cast<unsigned long long>(messages));
-    for (const auto& t : titles) std::printf("  ISBN %s\n", t.c_str());
+                publisher.c_str(), titles.value.size(),
+                static_cast<unsigned long long>(titles.stats.messages));
+    for (const auto& t : titles.value) std::printf("  ISBN %s\n", t.c_str());
   }
 
   // Exact lookup and a typo probe (longest matching prefix).
   const std::string exact = catalogue.front();
-  std::uint64_t msgs = 0;
-  const bool found = index.contains(exact, net::host_id{7}, &msgs);
+  const auto found = index.contains(exact, net::host_id{7});
   std::printf("\nexact lookup %s -> %s (%llu messages)\n", exact.c_str(),
-              found ? "found" : "missing", static_cast<unsigned long long>(msgs));
+              found.value ? "found" : "missing",
+              static_cast<unsigned long long>(found.stats.messages));
 
   std::string typo = exact;
   typo[9] = typo[9] == '9' ? '0' : '9';
-  const auto lcp = index.longest_common_prefix(typo, net::host_id{7}, &msgs);
+  const auto lcp = index.longest_common_prefix(typo, net::host_id{7});
   std::printf("typo probe  %s -> longest stored prefix '%s' (%llu messages)\n", typo.c_str(),
-              lcp.c_str(), static_cast<unsigned long long>(msgs));
+              lcp.value.c_str(), static_cast<unsigned long long>(lcp.stats.messages));
   return 0;
 }

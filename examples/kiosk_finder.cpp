@@ -35,10 +35,10 @@ int main() {
     seq::qpoint<2> me;
     for (int d = 0; d < 2; ++d) me.x[d] = rng.uniform_u64(0, seq::coord_span - 1);
 
-    std::uint64_t messages = 0;
-    const auto kiosk =
-        campus.nearest(me, net::host_id{static_cast<std::uint32_t>(trial * 137 % kiosks)},
-                       &messages);
+    const auto found =
+        campus.nearest(me, net::host_id{static_cast<std::uint32_t>(trial * 137 % kiosks)});
+    const auto& kiosk = found.value;
+    const std::uint64_t messages = found.stats.messages;
     const double dx = (static_cast<double>(kiosk.x[0]) - static_cast<double>(me.x[0])) /
                       static_cast<double>(seq::coord_span);
     const double dy = (static_cast<double>(kiosk.x[1]) - static_cast<double>(me.x[1])) /
@@ -51,11 +51,11 @@ int main() {
 
   // Kiosks go out of service and come back: O(log n)-message updates.
   const auto& gone = locations[7];
-  auto msgs = campus.erase(gone, net::host_id{11});
+  auto stats = campus.erase(gone, net::host_id{11});
   std::printf("kiosk decommissioned in %llu messages (now %zu kiosks)\n",
-              static_cast<unsigned long long>(msgs), campus.size());
-  msgs = campus.insert(gone, net::host_id{12});
+              static_cast<unsigned long long>(stats.messages), campus.size());
+  stats = campus.insert(gone, net::host_id{12});
   std::printf("kiosk reinstalled   in %llu messages (back to %zu)\n",
-              static_cast<unsigned long long>(msgs), campus.size());
+              static_cast<unsigned long long>(stats.messages), campus.size());
   return 0;
 }

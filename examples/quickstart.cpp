@@ -1,11 +1,11 @@
-// Quickstart: build a one-dimensional skip-web over 1024 simulated hosts,
-// run nearest-neighbour queries and updates, and read the cost ledgers —
-// the 60-second tour of the library's public API.
+// Quickstart: build a one-dimensional skip-web through the unified
+// distributed_index API, run nearest-neighbour queries and updates, and read
+// the cost ledgers — the 60-second tour of the library's public surface.
 
 #include <cstdio>
 #include <vector>
 
-#include "core/skipweb_1d.h"
+#include "api/registry.h"
 #include "net/network.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
@@ -18,40 +18,50 @@ int main() {
   const std::size_t n = 1024;
   net::network network(n);
 
-  // 2. 1024 distinct keys, one host each (the "tower" placement skip graphs
-  //    use; try placement::balanced to spread nodes arbitrarily instead).
+  // 2. 1024 distinct keys, indexed by a backend picked from the registry by
+  //    name. Swap "skipweb1d" for "bucket_skipweb", "skip_graph", "chord", …
+  //    and the rest of this program runs unchanged.
   util::rng rng(2024);
   namespace wl = skipweb::workloads;
   const auto keys = wl::uniform_keys(n, rng);
-  core::skipweb_1d web(keys, /*seed=*/7, network, core::skipweb_1d::placement::tower);
+  const auto web = api::make_index(
+      "skipweb1d", keys,
+      api::index_options{}.seed(7).placement(api::placement_policy::tower).initial_hosts(n),
+      network);
 
-  std::printf("built a 1-D skip-web: %zu keys, %d levels above the base list\n", web.size(),
-              web.levels());
+  const auto backend = web->backend();
+  std::printf("built %.*s over %zu keys (backends available:", static_cast<int>(backend.size()),
+              backend.data(), web->size());
+  for (const auto& name : api::registered_backends()) std::printf(" %s", name.c_str());
+  std::printf(")\n");
   std::printf("per-host memory: mean %.1f ledger units, max %llu (Theorem 2: O(log n))\n",
               network.mean_memory(),
               static_cast<unsigned long long>(network.max_memory()));
 
-  // 3. Nearest-neighbour queries from arbitrary hosts.
+  // 3. Nearest-neighbour queries from arbitrary hosts. Every operation
+  //    returns an api::op_stats receipt: messages, host visits, comparisons.
   const auto probes = wl::probe_keys(keys, 5, rng);
   for (std::size_t i = 0; i < probes.size(); ++i) {
-    const auto res = web.nearest(probes[i], net::host_id{static_cast<std::uint32_t>(i * 31 % n)});
-    std::printf("query %llu -> pred %llu, succ %llu   (%llu messages)\n",
+    const auto res = web->nearest(probes[i], net::host_id{static_cast<std::uint32_t>(i * 31 % n)});
+    std::printf("query %llu -> pred %llu, succ %llu   (%llu messages, %llu comparisons)\n",
                 static_cast<unsigned long long>(probes[i]),
                 static_cast<unsigned long long>(res.pred),
                 static_cast<unsigned long long>(res.succ),
-                static_cast<unsigned long long>(res.messages));
+                static_cast<unsigned long long>(res.stats.messages),
+                static_cast<unsigned long long>(res.stats.comparisons));
   }
 
   // 4. Updates: any host can insert or delete keys it owns (paper section 4).
   const std::uint64_t fresh = probes[0] + 1;
-  const auto ins_msgs = web.insert(fresh, net::host_id{3});
+  const auto ins = web->insert(fresh, net::host_id{3});
   std::printf("inserted %llu in %llu messages; contains -> %s\n",
-              static_cast<unsigned long long>(fresh), static_cast<unsigned long long>(ins_msgs),
-              web.contains(fresh, net::host_id{99}) ? "yes" : "no");
-  const auto del_msgs = web.erase(fresh, net::host_id{5});
+              static_cast<unsigned long long>(fresh),
+              static_cast<unsigned long long>(ins.messages),
+              web->contains(fresh, net::host_id{99}).value ? "yes" : "no");
+  const auto del = web->erase(fresh, net::host_id{5});
   std::printf("erased it in %llu messages; contains -> %s\n",
-              static_cast<unsigned long long>(del_msgs),
-              web.contains(fresh, net::host_id{99}) ? "yes" : "no");
+              static_cast<unsigned long long>(del.messages),
+              web->contains(fresh, net::host_id{99}).value ? "yes" : "no");
 
   std::printf("\nnext steps: examples/isbn_prefix_search (tries), kiosk_finder (quadtrees),\n"
               "campus_map (trapezoidal maps), dna_database (DNA reads).\n");

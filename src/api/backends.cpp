@@ -1,0 +1,163 @@
+// Built-in backends of the registry: thin adapters pinning each concrete
+// structure behind the distributed_index interface. Post-redesign all 1-D
+// structures share the exact same operation signatures (api::nn_result /
+// api::op_stats / api::op_result returns), so one adapter template covers
+// everything except chord, whose hashing makes ordered queries special.
+
+#include <cmath>
+#include <utility>
+
+#include "api/distributed_index.h"
+#include "api/registry.h"
+#include "baselines/bucket_skipgraph.h"
+#include "baselines/chord.h"
+#include "baselines/det_skipnet.h"
+#include "baselines/family_tree.h"
+#include "baselines/non_skipgraph.h"
+#include "baselines/skipgraph.h"
+#include "core/bucket_skipweb.h"
+#include "core/skipweb_1d.h"
+#include "net/network.h"
+
+namespace skipweb::api {
+
+namespace {
+
+constexpr capability base_caps =
+    capability::nearest | capability::contains | capability::insert | capability::erase |
+    capability::range;
+
+template <typename S>
+class adapter final : public distributed_index {
+ public:
+  template <typename... Args>
+  explicit adapter(std::string_view name, Args&&... args)
+      : name_(name), impl_(std::forward<Args>(args)...) {}
+
+  [[nodiscard]] std::string_view backend() const override { return name_; }
+  [[nodiscard]] std::size_t size() const override { return impl_.size(); }
+
+  [[nodiscard]] capability capabilities() const override {
+    if constexpr (has_native_range) {
+      return base_caps | capability::native_range;
+    } else {
+      return base_caps;
+    }
+  }
+
+  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const override {
+    return impl_.nearest(q, origin);
+  }
+  [[nodiscard]] op_result<bool> contains(std::uint64_t q, net::host_id origin) const override {
+    return impl_.contains(q, origin);
+  }
+  op_stats insert(std::uint64_t key, net::host_id origin) override {
+    return impl_.insert(key, origin);
+  }
+  op_stats erase(std::uint64_t key, net::host_id origin) override {
+    return impl_.erase(key, origin);
+  }
+  [[nodiscard]] op_result<std::vector<std::uint64_t>> range(std::uint64_t lo, std::uint64_t hi,
+                                                            net::host_id origin,
+                                                            std::size_t limit) const override {
+    if constexpr (has_native_range) {
+      return impl_.range(lo, hi, origin, limit);
+    } else {
+      return distributed_index::range(lo, hi, origin, limit);
+    }
+  }
+
+ private:
+  static constexpr bool has_native_range =
+      requires(const S& s) { s.range(std::uint64_t{}, std::uint64_t{}, net::host_id{}, std::size_t{}); };
+
+  std::string name_;
+  S impl_;
+};
+
+// Chord resolves exact matches in O(log H) hops but has no order-preserving
+// routing: `nearest` floods every host, and `range` (inherited default)
+// floods once per result key — the paper's §1.2 contrast, priced honestly.
+class chord_adapter final : public distributed_index {
+ public:
+  // `hosts` is derived from keys.size() by the factory *before* the key
+  // vector is moved (argument evaluation order is unspecified).
+  chord_adapter(std::size_t hosts, std::vector<std::uint64_t> keys, const index_options& opts,
+                net::network& net)
+      : impl_(hosts, std::move(keys), opts.seed(), net) {}
+
+  [[nodiscard]] std::string_view backend() const override { return "chord"; }
+  [[nodiscard]] std::size_t size() const override { return impl_.size(); }
+  [[nodiscard]] capability capabilities() const override { return base_caps; }
+
+  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const override {
+    return impl_.nearest_by_flooding(q, origin);
+  }
+  [[nodiscard]] op_result<bool> contains(std::uint64_t q, net::host_id origin) const override {
+    const auto r = impl_.lookup(q, origin);
+    return {r.found, r.stats};
+  }
+  op_stats insert(std::uint64_t key, net::host_id origin) override {
+    return impl_.insert(key, origin);
+  }
+  op_stats erase(std::uint64_t key, net::host_id origin) override {
+    return impl_.erase(key, origin);
+  }
+
+ private:
+  baselines::chord impl_;
+};
+
+template <typename S, typename... Args>
+std::unique_ptr<distributed_index> make_adapter(std::string_view name, Args&&... args) {
+  return std::make_unique<adapter<S>>(name, std::forward<Args>(args)...);
+}
+
+}  // namespace
+
+void register_builtin_backends(const backend_registrar& add) {
+  add("skipweb1d", [](std::vector<std::uint64_t> keys, const index_options& opts,
+                                   net::network& net) {
+    const auto p = opts.placement() == placement_policy::balanced
+                       ? core::skipweb_1d::placement::balanced
+                       : core::skipweb_1d::placement::tower;
+    return make_adapter<core::skipweb_1d>("skipweb1d", std::move(keys), opts.seed(), net, p);
+  });
+  add("bucket_skipweb", [](std::vector<std::uint64_t> keys,
+                                        const index_options& opts, net::network& net) {
+    const auto M = opts.bucket_size_or_default(keys.size());
+    return make_adapter<core::bucket_skipweb>("bucket_skipweb", std::move(keys), opts.seed(), net,
+                                              M);
+  });
+  add("skip_graph", [](std::vector<std::uint64_t> keys, const index_options& opts,
+                                    net::network& net) {
+    return make_adapter<baselines::skip_graph>("skip_graph", std::move(keys), opts.seed(), net);
+  });
+  add("non_skipgraph", [](std::vector<std::uint64_t> keys, const index_options& opts,
+                                       net::network& net) {
+    return make_adapter<baselines::non_skip_graph>("non_skipgraph", std::move(keys), opts.seed(),
+                                                   net);
+  });
+  add("bucket_skipgraph", [](std::vector<std::uint64_t> keys,
+                                          const index_options& opts, net::network& net) {
+    const auto buckets = opts.buckets_or_default(keys.size());
+    return make_adapter<baselines::bucket_skip_graph>("bucket_skipgraph", std::move(keys),
+                                                      opts.seed(), net, buckets);
+  });
+  add("det_skipnet", [](std::vector<std::uint64_t> keys, const index_options& opts,
+                                     net::network& net) {
+    (void)opts;  // deterministic: no seed
+    return make_adapter<baselines::det_skipnet>("det_skipnet", std::move(keys), net);
+  });
+  add("family_tree", [](std::vector<std::uint64_t> keys, const index_options& opts,
+                                     net::network& net) {
+    return make_adapter<baselines::family_tree>("family_tree", std::move(keys), opts.seed(), net);
+  });
+  add("chord", [](std::vector<std::uint64_t> keys, const index_options& opts,
+                               net::network& net) {
+    const auto hosts = opts.buckets_or_default(keys.size());
+    return std::make_unique<chord_adapter>(hosts, std::move(keys), opts, net);
+  });
+}
+
+}  // namespace skipweb::api

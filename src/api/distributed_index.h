@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/op_stats.h"
+#include "net/types.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::api {
+
+// What a backend can do. `range` without `native_range` means the generic
+// successor-walk fallback (O(k log n) messages) answers range queries;
+// `native_range` marks a backend whose own layout walks the base list
+// directly (O(log n + k) or better).
+enum class capability : std::uint32_t {
+  nearest = 1u << 0,
+  contains = 1u << 1,
+  insert = 1u << 2,
+  erase = 1u << 3,
+  range = 1u << 4,
+  native_range = 1u << 5,
+};
+
+[[nodiscard]] constexpr capability operator|(capability a, capability b) {
+  return static_cast<capability>(static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr bool has(capability set, capability c) {
+  return (static_cast<std::uint32_t>(set) & static_cast<std::uint32_t>(c)) ==
+         static_cast<std::uint32_t>(c);
+}
+
+// Thrown when an operation outside a backend's capability set is invoked
+// (e.g. ordered queries on chord, whose hashing destroys key locality).
+class unsupported_operation : public std::logic_error {
+ public:
+  unsupported_operation(std::string_view backend, std::string_view op)
+      : std::logic_error(std::string(backend) + " does not support " + std::string(op)) {}
+};
+
+// The uniform public surface of every 1-D distributed dictionary in the
+// library — the paper's framework promise (§2) made literal: benches, tests
+// and workloads drive *any* substrate through this interface, selecting the
+// concrete structure by name through the registry (see registry.h).
+//
+// Keys are the item universe; `origin` is the host the operation is issued
+// from (costs include routing from that host's search root). All operations
+// return their op_stats receipt.
+class distributed_index {
+ public:
+  virtual ~distributed_index() = default;
+  distributed_index(const distributed_index&) = delete;
+  distributed_index& operator=(const distributed_index&) = delete;
+
+  // Registry name of the backend ("skipweb1d", "chord", ...).
+  [[nodiscard]] virtual std::string_view backend() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual capability capabilities() const = 0;
+  [[nodiscard]] bool supports(capability c) const { return has(capabilities(), c); }
+
+  [[nodiscard]] virtual nn_result nearest(std::uint64_t q, net::host_id origin) const = 0;
+  virtual op_stats insert(std::uint64_t key, net::host_id origin) = 0;
+  virtual op_stats erase(std::uint64_t key, net::host_id origin) = 0;
+
+  // Default: membership is the nearest-neighbour query's predecessor test.
+  [[nodiscard]] virtual op_result<bool> contains(std::uint64_t q, net::host_id origin) const {
+    const auto r = nearest(q, origin);
+    return {r.has_pred && r.pred == q, r.stats};
+  }
+
+  // Keys in [lo, hi], ascending; `limit` caps the output (0 = unlimited).
+  // Default: route to lo, then repeated nearest-successor queries — correct
+  // for any backend with `nearest`, at O(k log n) messages. Backends with a
+  // walkable base list override this with their native O(log n + k) range.
+  [[nodiscard]] virtual op_result<std::vector<std::uint64_t>> range(std::uint64_t lo,
+                                                                    std::uint64_t hi,
+                                                                    net::host_id origin,
+                                                                    std::size_t limit = 0) const {
+    SW_EXPECTS(lo <= hi);  // same contract as the native implementations
+    op_result<std::vector<std::uint64_t>> out;
+    auto r = nearest(lo, origin);
+    out.stats += r.stats;
+    bool have = false;
+    std::uint64_t next = 0;
+    if (r.has_pred && r.pred == lo) {
+      next = lo;
+      have = true;
+    } else if (r.has_succ) {
+      next = r.succ;
+      have = true;
+    }
+    while (have && next <= hi) {
+      out.value.push_back(next);
+      // No successor can qualify past hi: skip the final (for chord, a whole
+      // network flood) query.
+      if (next == hi) break;
+      if (limit != 0 && out.value.size() >= limit) break;
+      const auto s = nearest(next, origin);
+      out.stats += s.stats;
+      have = s.has_succ;
+      next = s.succ;
+    }
+    return out;
+  }
+
+ protected:
+  distributed_index() = default;
+};
+
+}  // namespace skipweb::api

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+namespace skipweb::api {
+
+// The uniform cost receipt of one distributed operation. Every public
+// operation of every backend — core skip-webs and baselines alike — returns
+// one of these (alone, or embedded in an `nn_result` / `op_result`),
+// replacing the per-class `messages` fields and `std::uint64_t*` out-params
+// the structures used to expose.
+//
+// The three counters mirror the paper's cost axes (§1.1):
+//   messages    — inter-host hops of the operation's locus (Q(n)/U(n));
+//   host_visits — hosts the locus touched, revisits included (the per-op
+//                 share of the congestion ledger C(n));
+//   comparisons — key/point comparisons the router performed. Counted where
+//                 the routing loops compare keys; purely local bookkeeping
+//                 (e.g. binary search inside one bucket) may be uncounted.
+struct op_stats {
+  std::uint64_t messages = 0;
+  std::uint64_t host_visits = 0;
+  std::uint64_t comparisons = 0;
+
+  op_stats& operator+=(const op_stats& o) {
+    messages += o.messages;
+    host_visits += o.host_visits;
+    comparisons += o.comparisons;
+    return *this;
+  }
+  friend op_stats operator+(op_stats a, const op_stats& b) { return a += b; }
+  friend bool operator==(const op_stats&, const op_stats&) = default;
+
+  // Snapshot the counters of a cursor-like object (anything exposing
+  // messages()/visits()/comparisons(), i.e. net::cursor). Templated so this
+  // header stays a leaf with no dependency on the net layer.
+  template <typename Cursor>
+  [[nodiscard]] static op_stats of(const Cursor& c) {
+    return {c.messages(), c.visits(), c.comparisons()};
+  }
+};
+
+// An operation that yields a value alongside its cost receipt.
+template <typename T>
+struct op_result {
+  T value{};
+  op_stats stats;
+};
+
+// THE nearest-neighbour result. One definition for the whole library: the
+// level-0 predecessor (largest key <= q) and successor (smallest key > q).
+struct nn_result {
+  bool has_pred = false, has_succ = false;
+  std::uint64_t pred = 0, succ = 0;
+  op_stats stats;
+};
+
+}  // namespace skipweb::api

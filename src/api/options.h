@@ -1,0 +1,82 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace skipweb::api {
+
+// Node→host assignment policy for backends that support a choice (paper
+// §2.4). Backends with a fixed layout (blocked, bucketed, hashed) ignore it.
+enum class placement_policy : std::uint8_t {
+  tower,     // item i's whole tower on host i (H = n; skip-graph layout)
+  balanced,  // nodes hashed over the existing hosts (arbitrary assignment)
+};
+
+// Build-time options shared by every backend, consumed by the registry's
+// uniform build entry point (`make_index`). Chainable builder:
+//
+//   auto idx = api::make_index("bucket_skipweb", keys,
+//                              api::index_options{}.seed(7).bucket_size(16),
+//                              net);
+//
+// Fields a backend does not use are ignored; zero means "derive a sensible
+// default from n" (see the *_or_default helpers).
+class index_options {
+ public:
+  index_options& seed(std::uint64_t v) {
+    seed_ = v;
+    return *this;
+  }
+  index_options& placement(placement_policy p) {
+    placement_ = p;
+    return *this;
+  }
+  // Hosts guaranteed to exist before the build (make_index grows the network
+  // to this count). Backends that allocate their own hosts add on top.
+  index_options& initial_hosts(std::size_t h) {
+    initial_hosts_ = h;
+    return *this;
+  }
+  // Per-host memory target M for blocked layouts (bucket skip-web).
+  index_options& bucket_size(std::size_t m) {
+    bucket_size_ = m;
+    return *this;
+  }
+  // Bucket/host count for bucketed baselines (bucket skip graph, chord ring).
+  index_options& buckets(std::size_t b) {
+    buckets_ = b;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] placement_policy placement() const { return placement_; }
+  [[nodiscard]] std::size_t initial_hosts() const { return initial_hosts_; }
+  [[nodiscard]] std::size_t bucket_size() const { return bucket_size_; }
+  [[nodiscard]] std::size_t buckets() const { return buckets_; }
+
+  // M defaults to Theta(log n) — the regime where the blocked skip-web hits
+  // its O(log n / log log n) query bound (paper §2.4.1).
+  [[nodiscard]] std::size_t bucket_size_or_default(std::size_t n) const {
+    if (bucket_size_ != 0) return bucket_size_;
+    std::size_t m = 4;
+    while ((std::size_t{1} << (m / 2)) < std::max<std::size_t>(n, 2)) ++m;
+    return m;
+  }
+
+  // Bucket count defaults to n/8 (H < n, each host holding a handful of
+  // items), clamped to [1, n].
+  [[nodiscard]] std::size_t buckets_or_default(std::size_t n) const {
+    if (buckets_ != 0) return std::min(buckets_, std::max<std::size_t>(n, 1));
+    return std::clamp<std::size_t>(n / 8, 1, std::max<std::size_t>(n, 1));
+  }
+
+ private:
+  std::uint64_t seed_ = 1;
+  placement_policy placement_ = placement_policy::tower;
+  std::size_t initial_hosts_ = 1;
+  std::size_t bucket_size_ = 0;
+  std::size_t buckets_ = 0;
+};
+
+}  // namespace skipweb::api

@@ -1,0 +1,88 @@
+#include "api/registry.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "net/network.h"
+
+namespace skipweb::api {
+
+// Defined in backends.cpp; registers every builtin through the supplied
+// registrar. Built-ins are wired by an explicit call (not global
+// constructors) so a static library link cannot strip them.
+void register_builtin_backends(const backend_registrar& add);
+
+namespace {
+
+struct registry_state {
+  std::mutex mu;
+  std::map<std::string, backend_factory, std::less<>> factories;
+};
+
+registry_state& state() {
+  static registry_state s;
+  return s;
+}
+
+// Registration without the builtin bootstrap: used by the builtins
+// themselves (going through the public register_backend would re-enter the
+// ensure_builtins call_once).
+void register_backend_impl(std::string name, backend_factory make) {
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  s.factories.insert_or_assign(std::move(name), std::move(make));
+}
+
+// Runs before any lookup or user registration, outside the registry lock.
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] { register_builtin_backends(register_backend_impl); });
+}
+
+}  // namespace
+
+void register_backend(std::string name, backend_factory make) {
+  // Builtins first, so a user registration under a builtin name (made before
+  // any registry query) is an override, not something the lazy builtin pass
+  // later clobbers.
+  ensure_builtins();
+  register_backend_impl(std::move(name), std::move(make));
+}
+
+bool backend_known(std::string_view name) {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  return s.factories.find(name) != s.factories.end();
+}
+
+std::vector<std::string> registered_backends() {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  std::vector<std::string> names;
+  names.reserve(s.factories.size());
+  for (const auto& [name, make] : s.factories) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<distributed_index> make_index(std::string_view backend,
+                                              std::vector<std::uint64_t> keys,
+                                              const index_options& opts, net::network& net) {
+  ensure_builtins();
+  backend_factory make;
+  {
+    auto& s = state();
+    std::scoped_lock lock(s.mu);
+    const auto it = s.factories.find(backend);
+    if (it == s.factories.end()) {
+      throw std::out_of_range("unknown backend: " + std::string(backend));
+    }
+    make = it->second;
+  }
+  while (net.host_count() < opts.initial_hosts()) net.add_host();
+  return make(std::move(keys), opts, net);
+}
+
+}  // namespace skipweb::api

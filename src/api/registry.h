@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/distributed_index.h"
+#include "api/options.h"
+
+namespace skipweb::net {
+class network;
+}
+
+namespace skipweb::api {
+
+// String-keyed backend registry: benches, workloads and tests select the
+// concrete structure at runtime by name, so adding a scenario is one loop
+// over `registered_backends()` instead of one hand-wired block per class.
+//
+// Built-in names (registered on first use): "skipweb1d", "bucket_skipweb",
+// "skip_graph", "non_skipgraph", "bucket_skipgraph", "det_skipnet",
+// "family_tree", "chord". Downstream code may register more.
+
+using backend_factory = std::function<std::unique_ptr<distributed_index>(
+    std::vector<std::uint64_t> keys, const index_options& opts, net::network& net)>;
+
+// Signature the builtin bootstrap registers through (see registry.cpp).
+using backend_registrar = std::function<void(std::string, backend_factory)>;
+
+// Registers (or replaces) a backend under `name`. Registering a builtin
+// name overrides it, regardless of registration order.
+void register_backend(std::string name, backend_factory make);
+
+[[nodiscard]] bool backend_known(std::string_view name);
+
+// All registered names, sorted.
+[[nodiscard]] std::vector<std::string> registered_backends();
+
+// The uniform build entry point: grows `net` to opts.initial_hosts(), then
+// builds the named backend over `keys`. Throws std::out_of_range for an
+// unknown name.
+[[nodiscard]] std::unique_ptr<distributed_index> make_index(std::string_view backend,
+                                                            std::vector<std::uint64_t> keys,
+                                                            const index_options& opts,
+                                                            net::network& net);
+
+}  // namespace skipweb::api

@@ -43,15 +43,14 @@ std::size_t bucket_skip_graph::bucket_index(std::uint64_t q) const {
   return static_cast<std::size_t>(it - buckets_.begin()) - 1;
 }
 
-bucket_skip_graph::nn_result bucket_skip_graph::nearest(std::uint64_t q,
-                                                        net::host_id origin) const {
+api::nn_result bucket_skip_graph::nearest(std::uint64_t q, net::host_id origin) const {
   net::cursor cur(*net_, origin);
   const auto routed = router_->nearest(q, origin);
   const std::size_t idx = bucket_index(q);
   cur.move_to(buckets_[idx].host);
 
   const auto& ks = buckets_[idx].keys;
-  nn_result out;
+  api::nn_result out;
   const auto up = std::upper_bound(ks.begin(), ks.end(), q);
   if (up != ks.begin()) {
     out.has_pred = true;
@@ -82,18 +81,16 @@ bucket_skip_graph::nn_result bucket_skip_graph::nearest(std::uint64_t q,
       }
     }
   }
-  out.messages = routed.messages + cur.messages();
+  out.stats = routed.stats + api::op_stats::of(cur);
   return out;
 }
 
-bool bucket_skip_graph::contains(std::uint64_t q, net::host_id origin,
-                                 std::uint64_t* messages) const {
+api::op_result<bool> bucket_skip_graph::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
-std::uint64_t bucket_skip_graph::insert(std::uint64_t key, net::host_id origin) {
+api::op_stats bucket_skip_graph::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   const auto routed = router_->nearest(key, origin);
   const std::size_t idx = bucket_index(key);
@@ -104,10 +101,10 @@ std::uint64_t bucket_skip_graph::insert(std::uint64_t key, net::host_id origin) 
   ks.insert(at, key);
   net_->charge(buckets_[idx].host, net::memory_kind::item, 1);
   ++size_;
-  return routed.messages + cur.messages();
+  return routed.stats + api::op_stats::of(cur);
 }
 
-std::uint64_t bucket_skip_graph::erase(std::uint64_t key, net::host_id origin) {
+api::op_stats bucket_skip_graph::erase(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   const auto routed = router_->nearest(key, origin);
   const std::size_t idx = bucket_index(key);
@@ -118,7 +115,7 @@ std::uint64_t bucket_skip_graph::erase(std::uint64_t key, net::host_id origin) {
   ks.erase(at);
   net_->charge(buckets_[idx].host, net::memory_kind::item, -1);
   --size_;
-  return routed.messages + cur.messages();
+  return routed.stats + api::op_stats::of(cur);
 }
 
 bool bucket_skip_graph::check_invariants() const {

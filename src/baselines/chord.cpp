@@ -57,9 +57,7 @@ std::size_t chord::successor_index(std::uint64_t position) const {
   return static_cast<std::size_t>(it - ring_.begin());
 }
 
-chord::lookup_result chord::lookup(std::uint64_t key, net::host_id origin) const {
-  net::cursor cur(*net_, origin);
-  const std::uint64_t target = hash_key(key);
+std::size_t chord::route_to(std::uint64_t target, net::host_id origin, net::cursor& cur) const {
   const std::size_t dest = successor_index(target);
 
   // Greedy finger routing: from the current node, jump to the finger that
@@ -72,6 +70,7 @@ chord::lookup_result chord::lookup(std::uint64_t key, net::host_id origin) const
     std::size_t best = (at + 1) % ring_.size();  // the successor never overshoots
     std::uint64_t best_ahead = ring_[best].position - here;
     for (const std::size_t f : ring_[at].fingers) {
+      cur.note_comparisons();
       const std::uint64_t ahead = ring_[f].position - here;
       if (ahead != 0 && ahead <= need && ahead > best_ahead) {
         best = f;
@@ -82,33 +81,66 @@ chord::lookup_result chord::lookup(std::uint64_t key, net::host_id origin) const
     cur.move_to(ring_[at].host);
   }
   SW_ASSERT(at == dest);
+  return dest;
+}
+
+chord::lookup_result chord::lookup(std::uint64_t key, net::host_id origin) const {
+  net::cursor cur(*net_, origin);
+  const std::size_t dest = route_to(hash_key(key), origin, cur);
 
   lookup_result out;
   out.owner = ring_[dest].host;
   const auto& ks = ring_[dest].keys;
   out.found = std::binary_search(ks.begin(), ks.end(), key);
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-std::uint64_t chord::nearest_by_flooding(std::uint64_t q, net::host_id origin,
-                                         std::uint64_t* messages) const {
+api::op_stats chord::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
-  std::uint64_t best = 0;
-  bool found = false;
+  const std::size_t dest = route_to(hash_key(key), origin, cur);
+  auto& owner = ring_[dest];
+  const auto at = std::lower_bound(owner.keys.begin(), owner.keys.end(), key);
+  SW_EXPECTS(at == owner.keys.end() || *at != key);  // duplicates rejected
+  owner.keys.insert(at, key);
+  net_->charge(owner.host, net::memory_kind::item, 1);
+  ++size_;
+  return api::op_stats::of(cur);
+}
+
+api::op_stats chord::erase(std::uint64_t key, net::host_id origin) {
+  net::cursor cur(*net_, origin);
+  const std::size_t dest = route_to(hash_key(key), origin, cur);
+  auto& owner = ring_[dest];
+  const auto at = std::lower_bound(owner.keys.begin(), owner.keys.end(), key);
+  SW_EXPECTS(at != owner.keys.end() && *at == key);  // key must be present
+  owner.keys.erase(at);
+  net_->charge(owner.host, net::memory_kind::item, -1);
+  --size_;
+  return api::op_stats::of(cur);
+}
+
+api::nn_result chord::nearest_by_flooding(std::uint64_t q, net::host_id origin) const {
+  net::cursor cur(*net_, origin);
+  api::nn_result out;
   for (const auto& node : ring_) {
     cur.move_to(node.host);  // one message per host: the whole network
+    cur.note_comparisons();
     const auto it = std::upper_bound(node.keys.begin(), node.keys.end(), q);
     if (it != node.keys.begin()) {
       const std::uint64_t cand = *std::prev(it);
-      if (!found || cand > best) {
-        best = cand;
-        found = true;
+      if (!out.has_pred || cand > out.pred) {
+        out.has_pred = true;
+        out.pred = cand;
       }
     }
+    if (it != node.keys.end() && (!out.has_succ || *it < out.succ)) {
+      out.has_succ = true;
+      out.succ = *it;
+    }
   }
-  if (messages != nullptr) *messages = cur.messages();
-  return best;
+  out.stats = api::op_stats::of(cur);
+  return out;
 }
 
 }  // namespace skipweb::baselines

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "util/rng.h"
@@ -28,18 +29,22 @@ class chord {
   struct lookup_result {
     bool found = false;
     net::host_id owner;
-    std::uint64_t messages = 0;
+    api::op_stats stats;
   };
 
   // Exact-match lookup: route to the key's successor host, then check its
   // local store.
   [[nodiscard]] lookup_result lookup(std::uint64_t key, net::host_id origin) const;
 
+  // Exact-match updates: finger-route to the key's owner, then edit its
+  // local store — the one thing a DHT does well, O(log H) messages.
+  api::op_stats insert(std::uint64_t key, net::host_id origin);
+  api::op_stats erase(std::uint64_t key, net::host_id origin);
+
   // Chord has no order-preserving routing: the only way to answer a
   // nearest-neighbour query is to flood every host. Implemented literally so
   // benches can print the contrast with skip-webs.
-  [[nodiscard]] std::uint64_t nearest_by_flooding(std::uint64_t q, net::host_id origin,
-                                                  std::uint64_t* messages) const;
+  [[nodiscard]] api::nn_result nearest_by_flooding(std::uint64_t q, net::host_id origin) const;
 
  private:
   struct ring_node {
@@ -51,6 +56,9 @@ class chord {
 
   [[nodiscard]] static std::uint64_t hash_key(std::uint64_t k);
   [[nodiscard]] std::size_t successor_index(std::uint64_t position) const;
+  // Finger-route the cursor from `origin` to the ring node owning `target`;
+  // returns its ring index.
+  std::size_t route_to(std::uint64_t target, net::host_id origin, net::cursor& cur) const;
 
   std::vector<ring_node> ring_;  // sorted by position
   net::network* net_;

@@ -69,13 +69,13 @@ int det_skipnet::root_for(net::host_id origin) const {
   return item;
 }
 
-det_skipnet::nn_result det_skipnet::nearest(std::uint64_t q, net::host_id origin) const {
+api::nn_result det_skipnet::nearest(std::uint64_t q, net::host_id origin) const {
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_->levels()));
   const auto [pred, succ] = core::route_search(*lists_, q, root, lists_->levels(), cur,
                                                [this](int i, int l) { return host_of(i, l); });
-  nn_result out;
+  api::nn_result out;
   if (pred >= 0) {
     out.has_pred = true;
     out.pred = lists_->key(pred);
@@ -84,14 +84,13 @@ det_skipnet::nn_result det_skipnet::nearest(std::uint64_t q, net::host_id origin
     out.has_succ = true;
     out.succ = lists_->key(succ);
   }
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-bool det_skipnet::contains(std::uint64_t q, net::host_id origin, std::uint64_t* messages) const {
+api::op_result<bool> det_skipnet::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
 std::uint64_t det_skipnet::worst_case_search_messages() const {
@@ -99,12 +98,12 @@ std::uint64_t det_skipnet::worst_case_search_messages() const {
   for (int i = 0; i < static_cast<int>(lists_->arena_size()); ++i) {
     if (!lists_->alive(i)) continue;
     const auto r = nearest(lists_->key(i), net::host_id{0});
-    worst = std::max(worst, r.messages);
+    worst = std::max(worst, r.stats.messages);
   }
   return worst;
 }
 
-std::uint64_t det_skipnet::insert(std::uint64_t key, net::host_id origin) {
+api::op_stats det_skipnet::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_->levels()));
@@ -127,15 +126,17 @@ std::uint64_t det_skipnet::insert(std::uint64_t key, net::host_id origin) {
   net_->charge(fresh, net::memory_kind::node, node_charge_);
   net_->charge(fresh, net::memory_kind::host_ref, 2 * node_charge_);
 
-  std::uint64_t messages = cur.messages();
+  auto stats = api::op_stats::of(cur);
   if (++updates_since_rebuild_ > lists_->size() / 2) {
-    messages += static_cast<std::uint64_t>(lists_->size());  // bulk re-vectoring traffic
+    // Bulk re-vectoring traffic: one message (and visit) per surviving host.
+    stats.messages += static_cast<std::uint64_t>(lists_->size());
+    stats.host_visits += static_cast<std::uint64_t>(lists_->size());
     rebuild();
   }
-  return messages;
+  return stats;
 }
 
-std::uint64_t det_skipnet::erase(std::uint64_t key, net::host_id origin) {
+api::op_stats det_skipnet::erase(std::uint64_t key, net::host_id origin) {
   SW_EXPECTS(lists_->size() >= 2);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
@@ -156,12 +157,13 @@ std::uint64_t det_skipnet::erase(std::uint64_t key, net::host_id origin) {
   net_->charge(h, net::memory_kind::host_ref, -2 * node_charge_);
   lists_->unsplice(pred0);
 
-  std::uint64_t messages = cur.messages();
+  auto stats = api::op_stats::of(cur);
   if (++updates_since_rebuild_ > lists_->size() / 2) {
-    messages += static_cast<std::uint64_t>(lists_->size());
+    stats.messages += static_cast<std::uint64_t>(lists_->size());
+    stats.host_visits += static_cast<std::uint64_t>(lists_->size());
     rebuild();
   }
-  return messages;
+  return stats;
 }
 
 void det_skipnet::rebuild() {

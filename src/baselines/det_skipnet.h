@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "core/level_lists.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -32,18 +33,11 @@ class det_skipnet {
   [[nodiscard]] std::size_t size() const { return lists_->size(); }
   [[nodiscard]] int levels() const { return lists_->levels(); }
 
-  struct nn_result {
-    bool has_pred = false, has_succ = false;
-    std::uint64_t pred = 0, succ = 0;
-    std::uint64_t messages = 0;
-  };
+  [[nodiscard]] api::nn_result nearest(std::uint64_t q, net::host_id origin) const;
+  [[nodiscard]] api::op_result<bool> contains(std::uint64_t q, net::host_id origin) const;
 
-  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
-  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const;
-
-  std::uint64_t insert(std::uint64_t key, net::host_id origin);
-  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+  api::op_stats insert(std::uint64_t key, net::host_id origin);
+  api::op_stats erase(std::uint64_t key, net::host_id origin);
 
   // Worst-case search cost over every key (the determinism claim).
   [[nodiscard]] std::uint64_t worst_case_search_messages() const;

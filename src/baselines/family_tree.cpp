@@ -86,12 +86,13 @@ int family_tree::root_for(net::host_id origin, net::cursor& cur) const {
   return item;
 }
 
-family_tree::nn_result family_tree::nearest(std::uint64_t q, net::host_id origin) const {
+api::nn_result family_tree::nearest(std::uint64_t q, net::host_id origin) const {
   net::cursor cur(*net_, origin);
   int item = root_for(origin, cur);
   int pred = -1, succ = -1;
   while (item >= 0) {
     const auto& n = nodes_[static_cast<std::size_t>(item)];
+    cur.note_comparisons();
     if (n.key <= q) {
       pred = item;
       item = n.right;
@@ -101,7 +102,7 @@ family_tree::nn_result family_tree::nearest(std::uint64_t q, net::host_id origin
     }
     if (item >= 0) cur.move_to(nodes_[static_cast<std::size_t>(item)].host);
   }
-  nn_result out;
+  api::nn_result out;
   if (pred >= 0) {
     out.has_pred = true;
     out.pred = nodes_[static_cast<std::size_t>(pred)].key;
@@ -110,14 +111,13 @@ family_tree::nn_result family_tree::nearest(std::uint64_t q, net::host_id origin
     out.has_succ = true;
     out.succ = nodes_[static_cast<std::size_t>(succ)].key;
   }
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-bool family_tree::contains(std::uint64_t q, net::host_id origin, std::uint64_t* messages) const {
+api::op_result<bool> family_tree::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
 void family_tree::set_child(int parent, int old_child, int new_child) {
@@ -158,7 +158,7 @@ void family_tree::rotate_up(int x, net::cursor& cur) {
   if (g >= 0) cur.move_to(nodes_[static_cast<std::size_t>(g)].host);
 }
 
-std::uint64_t family_tree::insert(std::uint64_t key, net::host_id origin) {
+api::op_stats family_tree::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   int item = root_for(origin, cur);
   int parent = -1;
@@ -223,10 +223,10 @@ std::uint64_t family_tree::insert(std::uint64_t key, net::host_id origin) {
   }
   ++size_;
   charge(idx, +1);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
-std::uint64_t family_tree::erase(std::uint64_t key, net::host_id origin) {
+api::op_stats family_tree::erase(std::uint64_t key, net::host_id origin) {
   SW_EXPECTS(size_ >= 2);
   net::cursor cur(*net_, origin);
   int item = root_for(origin, cur);
@@ -266,7 +266,7 @@ std::uint64_t family_tree::erase(std::uint64_t key, net::host_id origin) {
   charge(item, -1);
   free_.push_back(item);
   --size_;
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
 bool family_tree::check_invariants() const {

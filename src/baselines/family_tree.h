@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "util/rng.h"
@@ -29,18 +30,11 @@ class family_tree {
 
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  struct nn_result {
-    bool has_pred = false, has_succ = false;
-    std::uint64_t pred = 0, succ = 0;
-    std::uint64_t messages = 0;
-  };
+  [[nodiscard]] api::nn_result nearest(std::uint64_t q, net::host_id origin) const;
+  [[nodiscard]] api::op_result<bool> contains(std::uint64_t q, net::host_id origin) const;
 
-  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
-  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const;
-
-  std::uint64_t insert(std::uint64_t key, net::host_id origin);
-  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+  api::op_stats insert(std::uint64_t key, net::host_id origin);
+  api::op_stats erase(std::uint64_t key, net::host_id origin);
 
   // Max references any host stores: must stay O(1) (the row's point).
   [[nodiscard]] std::uint64_t max_refs_per_host() const;

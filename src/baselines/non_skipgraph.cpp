@@ -35,7 +35,7 @@ std::vector<int> non_skip_graph::neighbors(int item) const {
   return out;
 }
 
-non_skip_graph::nn_result non_skip_graph::nearest(std::uint64_t q, net::host_id origin) const {
+api::nn_result non_skip_graph::nearest(std::uint64_t q, net::host_id origin) const {
   net::cursor cur(*net_, origin);
   int item = root_for(origin);
   cur.move_to(elem(item).host);
@@ -46,6 +46,7 @@ non_skip_graph::nn_result non_skip_graph::nearest(std::uint64_t q, net::host_id 
   for (;;) {
     auto better = [&](std::uint64_t cand, std::uint64_t best) {
       const auto dist = [&](std::uint64_t k) { return k <= q ? q - k : k - q; };
+      cur.note_comparisons();
       return dist(cand) < dist(best);
     };
     int best = item;
@@ -61,7 +62,7 @@ non_skip_graph::nn_result non_skip_graph::nearest(std::uint64_t q, net::host_id 
     cur.move_to(elem(item).host);
   }
 
-  nn_result out;
+  api::nn_result out;
   const int pred = elem(item).key <= q ? item : elem(item).prev[0];
   const int succ = elem(item).key <= q ? elem(item).next[0] : item;
   if (pred >= 0) {
@@ -72,15 +73,13 @@ non_skip_graph::nn_result non_skip_graph::nearest(std::uint64_t q, net::host_id 
     out.has_succ = true;
     out.succ = elem(succ).key;
   }
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-bool non_skip_graph::contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages) const {
+api::op_result<bool> non_skip_graph::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
 void non_skip_graph::after_link_change(int item, net::cursor& cur) {

@@ -102,9 +102,11 @@ std::pair<int, int> skip_graph::route(std::uint64_t q, net::host_id origin,
   cur.move_to(elem(item).host);
   for (int l = elem(item).height() - 1; l >= 0; --l) {
     if (l >= elem(item).height()) continue;  // towers shrink as we move
+    cur.note_comparisons();
     if (elem(item).key <= q) {
       for (;;) {
         const int nx = elem(item).next[static_cast<std::size_t>(l)];
+        if (nx >= 0) cur.note_comparisons();
         if (nx < 0 || elem(nx).key > q) break;
         item = nx;
         cur.move_to(elem(item).host);
@@ -113,6 +115,7 @@ std::pair<int, int> skip_graph::route(std::uint64_t q, net::host_id origin,
     } else {
       for (;;) {
         const int pv = elem(item).prev[static_cast<std::size_t>(l)];
+        if (pv >= 0) cur.note_comparisons();
         if (pv < 0 || elem(pv).key <= q) break;
         item = pv;
         cur.move_to(elem(item).host);
@@ -124,10 +127,10 @@ std::pair<int, int> skip_graph::route(std::uint64_t q, net::host_id origin,
   return {elem(item).prev[0], item};
 }
 
-skip_graph::nn_result skip_graph::nearest(std::uint64_t q, net::host_id origin) const {
+api::nn_result skip_graph::nearest(std::uint64_t q, net::host_id origin) const {
   net::cursor cur(*net_, origin);
   const auto [pred, succ] = route(q, origin, cur);
-  nn_result out;
+  api::nn_result out;
   if (pred >= 0) {
     out.has_pred = true;
     out.pred = elem(pred).key;
@@ -136,27 +139,26 @@ skip_graph::nn_result skip_graph::nearest(std::uint64_t q, net::host_id origin) 
     out.has_succ = true;
     out.succ = elem(succ).key;
   }
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-bool skip_graph::contains(std::uint64_t q, net::host_id origin, std::uint64_t* messages) const {
+api::op_result<bool> skip_graph::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
-std::uint64_t skip_graph::insert(std::uint64_t key, net::host_id origin) {
+api::op_stats skip_graph::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   const auto [pred0, succ0] = route(key, origin, cur);
   SW_EXPECTS(pred0 < 0 || elem(pred0).key != key);
   const auto bits = util::draw_membership(rng_);
   const int item = splice(key, bits, pred0, succ0, cur);
   after_link_change(item, cur);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
-std::uint64_t skip_graph::erase(std::uint64_t key, net::host_id origin) {
+api::op_stats skip_graph::erase(std::uint64_t key, net::host_id origin) {
   SW_EXPECTS(size_ >= 2);
   net::cursor cur(*net_, origin);
   const auto [pred0, succ0] = route(key, origin, cur);
@@ -164,7 +166,7 @@ std::uint64_t skip_graph::erase(std::uint64_t key, net::host_id origin) {
   SW_EXPECTS(pred0 >= 0 && elem(pred0).key == key);
   after_link_change(pred0, cur);
   unsplice(pred0, cur);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
 int skip_graph::splice(std::uint64_t key, util::membership_bits bits, int pred0, int succ0,

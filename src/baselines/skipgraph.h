@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "util/membership.h"
@@ -27,18 +28,11 @@ class skip_graph {
 
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  struct nn_result {
-    bool has_pred = false, has_succ = false;
-    std::uint64_t pred = 0, succ = 0;
-    std::uint64_t messages = 0;
-  };
+  [[nodiscard]] api::nn_result nearest(std::uint64_t q, net::host_id origin) const;
+  [[nodiscard]] api::op_result<bool> contains(std::uint64_t q, net::host_id origin) const;
 
-  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
-  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const;
-
-  std::uint64_t insert(std::uint64_t key, net::host_id origin);
-  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+  api::op_stats insert(std::uint64_t key, net::host_id origin);
+  api::op_stats erase(std::uint64_t key, net::host_id origin);
 
   // Highest list level in use (for tests: O(log n) whp).
   [[nodiscard]] int max_height() const;

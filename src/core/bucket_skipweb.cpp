@@ -139,8 +139,8 @@ int bucket_skipweb::root_for(net::host_id origin) const {
   return item;
 }
 
-bucket_skipweb::nn_result bucket_skipweb::nearest(std::uint64_t q, net::host_id origin) const {
-  nn_result out;
+api::nn_result bucket_skipweb::nearest(std::uint64_t q, net::host_id origin) const {
+  api::nn_result out;
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -154,35 +154,34 @@ bucket_skipweb::nn_result bucket_skipweb::nearest(std::uint64_t q, net::host_id 
     out.has_succ = true;
     out.succ = lists_.key(succ);
   }
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-bool bucket_skipweb::contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages) const {
+api::op_result<bool> bucket_skipweb::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
-std::vector<std::uint64_t> bucket_skipweb::range(std::uint64_t lo, std::uint64_t hi,
-                                                 net::host_id origin, std::size_t limit,
-                                                 std::uint64_t* messages) const {
+api::op_result<std::vector<std::uint64_t>> bucket_skipweb::range(std::uint64_t lo,
+                                                                 std::uint64_t hi,
+                                                                 net::host_id origin,
+                                                                 std::size_t limit) const {
   SW_EXPECTS(lo <= hi);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
   const auto [pred, succ] = route_search(lists_, lo, root, lists_.levels(), cur,
                                          [this](int i, int l) { return host_of(i, l); });
-  std::vector<std::uint64_t> out;
+  api::op_result<std::vector<std::uint64_t>> out;
   int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
   while (item >= 0 && lists_.key(item) <= hi) {
-    if (limit != 0 && out.size() >= limit) break;
+    if (limit != 0 && out.value.size() >= limit) break;
     cur.move_to(host_of(item, 0));  // free while the walk stays in one block
-    out.push_back(lists_.key(item));
+    out.value.push_back(lists_.key(item));
     item = lists_.next(item, 0);
   }
-  if (messages != nullptr) *messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
@@ -248,7 +247,7 @@ void bucket_skipweb::leave_block(int item, int stratum, net::cursor& cur) {
   }
 }
 
-std::uint64_t bucket_skipweb::insert(std::uint64_t key, net::host_id origin) {
+api::op_stats bucket_skipweb::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -267,10 +266,10 @@ std::uint64_t bucket_skipweb::insert(std::uint64_t key, net::host_id origin) {
   // the O(log n / log log n) update bound comes from — messages go to basic
   // levels only, non-basic cone updates ride along on the block host.
   for (int s = 0; s < strata_count_; ++s) join_block(item, s, cur);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
-std::uint64_t bucket_skipweb::erase(std::uint64_t key, net::host_id origin) {
+api::op_stats bucket_skipweb::erase(std::uint64_t key, net::host_id origin) {
   SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
@@ -291,7 +290,7 @@ std::uint64_t bucket_skipweb::erase(std::uint64_t key, net::host_id origin) {
     leave_block(item, s, cur);
   }
   lists_.unsplice(item);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
 bool bucket_skipweb::check_block_invariants() const {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "core/level_lists.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -41,25 +42,19 @@ class bucket_skipweb {
   [[nodiscard]] std::size_t live_block_count() const;
   [[nodiscard]] const level_lists& lists() const { return lists_; }
 
-  struct nn_result {
-    bool has_pred = false, has_succ = false;
-    std::uint64_t pred = 0, succ = 0;
-    std::uint64_t messages = 0;
-  };
+  [[nodiscard]] api::nn_result nearest(std::uint64_t q, net::host_id origin) const;
+  [[nodiscard]] api::op_result<bool> contains(std::uint64_t q, net::host_id origin) const;
 
-  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
-  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const;
-
-  std::uint64_t insert(std::uint64_t key, net::host_id origin);
-  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+  api::op_stats insert(std::uint64_t key, net::host_id origin);
+  api::op_stats erase(std::uint64_t key, net::host_id origin);
 
   // Range query [lo, hi]: route to lo, then walk the base list. Blocked
   // placement makes the walk nearly free — consecutive keys share blocks, so
   // the expected cost is O(log n / log M + k/B) messages for k results.
-  [[nodiscard]] std::vector<std::uint64_t> range(std::uint64_t lo, std::uint64_t hi,
-                                                 net::host_id origin, std::size_t limit = 0,
-                                                 std::uint64_t* messages = nullptr) const;
+  [[nodiscard]] api::op_result<std::vector<std::uint64_t>> range(std::uint64_t lo,
+                                                                 std::uint64_t hi,
+                                                                 net::host_id origin,
+                                                                 std::size_t limit = 0) const;
 
   [[nodiscard]] net::host_id host_of(int item, int level) const;
 

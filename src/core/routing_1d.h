@@ -28,11 +28,13 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
     // A node caches its neighbours' keys alongside the remote references
     // (standard in skip graphs), so overshoot checks are local; only actual
     // advances of the query locus hop.
+    cur.note_comparisons();
     if (lists.key(item) <= q) {
       // Approach from the left: advance while the next same-list item does
       // not overshoot.
       for (;;) {
         const int nx = lists.next(item, l);
+        if (nx >= 0) cur.note_comparisons();
         if (nx < 0 || lists.key(nx) > q) break;
         item = nx;
         cur.move_to(host_of(item, l));
@@ -41,6 +43,7 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
       // Approach from the right, symmetrically.
       for (;;) {
         const int pv = lists.prev(item, l);
+        if (pv >= 0) cur.note_comparisons();
         if (pv < 0 || lists.key(pv) <= q) break;
         item = pv;
         cur.move_to(host_of(item, l));

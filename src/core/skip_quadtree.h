@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "seq/quadtree.h"
@@ -78,7 +79,7 @@ class skip_quadtree {
   struct locate_result {
     cube cell;                 // deepest interesting cube of D(S) containing q
     bool is_point = false;     // q coincides with a stored point
-    std::uint64_t messages = 0;
+    api::op_stats stats;
   };
 
   // Distributed point location (the paper's core query): find the smallest
@@ -105,15 +106,13 @@ class skip_quadtree {
     locate_result out;
     out.cell = cell;
     out.is_point = ground().contains_point(q);
-    out.messages = cur.messages();
+    out.stats = api::op_stats::of(cur);
     return out;
   }
 
-  [[nodiscard]] bool contains(const point& q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const {
+  [[nodiscard]] api::op_result<bool> contains(const point& q, net::host_id origin) const {
     const auto r = locate(q, origin);
-    if (messages != nullptr) *messages = r.messages;
-    return r.is_point;
+    return {r.is_point, r.stats};
   }
 
   // Exact distributed nearest neighbour: locate q's cell cheaply via the
@@ -121,8 +120,7 @@ class skip_quadtree {
   // paper reduces approximate NN to point location via [6]; the exact
   // variant exercises the same routing and is testable against the
   // sequential oracle.)
-  [[nodiscard]] point nearest(const point& q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const {
+  [[nodiscard]] api::op_result<point> nearest(const point& q, net::host_id origin) const {
     SW_EXPECTS(size() > 0);
     net::cursor cur(*net_, origin);
     const tree& g = ground();
@@ -153,13 +151,12 @@ class skip_quadtree {
         if (e.node >= 0) heap.push({tree::cube_dist2(g.node(e.node).box, q), e.node, -1});
       }
     }
-    if (messages != nullptr) *messages = cur.messages();
-    return best_point;
+    return {best_point, api::op_stats::of(cur)};
   }
 
   // Insert a point (paper §4): one structural O(1) edit per level of the
   // point's own prefix chain, found by the same top-down descent.
-  std::uint64_t insert(const point& p, net::host_id origin) {
+  api::op_stats insert(const point& p, net::host_id origin) {
     SW_EXPECTS(bits_.find(p) == bits_.end());
     net::cursor cur(*net_, origin);
     const auto bits = util::draw_membership(rng_);
@@ -181,11 +178,11 @@ class skip_quadtree {
         charge_node(l, prefix, created, +1);
       }
     }
-    return cur.messages();
+    return api::op_stats::of(cur);
   }
 
   // Remove a point; splices out at most one cube per level of its chain.
-  std::uint64_t erase(const point& p, net::host_id origin) {
+  api::op_stats erase(const point& p, net::host_id origin) {
     SW_EXPECTS(bits_.size() >= 2);  // the structure never becomes empty
     auto bit_it = bits_.find(p);
     SW_EXPECTS(bit_it != bits_.end());
@@ -208,7 +205,7 @@ class skip_quadtree {
       if (t.point_count() == 0) trees_[static_cast<std::size_t>(l)].erase(it);
     }
     bits_.erase(bit_it);
-    return cur.messages();
+    return api::op_stats::of(cur);
   }
 
   // Host assignment for a structure node (the §2.4 balanced placement).

@@ -146,17 +146,17 @@ skip_trapmap::pl_result skip_trapmap::locate(double x, double y, net::host_id or
   }
   pl_result out;
   out.trap = trap;
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-std::uint64_t skip_trapmap::rebuild_chain(util::membership_bits bits, const seq::segment& s,
+api::op_stats skip_trapmap::rebuild_chain(util::membership_bits bits, const seq::segment& s,
                                           bool add, net::host_id origin) {
   // Route to the segment's location first (a probe just above its midpoint;
   // generated workloads keep neighbouring segments far beyond this offset).
   const double xm = 0.5 * (s.x1 + s.x2);
   const double ym = s.y_at(xm) + 1e-9;
-  std::uint64_t messages = locate(xm, ym, origin).messages;
+  api::op_stats stats = locate(xm, ym, origin).stats;
 
   // The affected maps: the chain of the segment's own prefix plus, at each
   // level >= 1, the sibling set whose conflict lists point into the rebuilt
@@ -229,10 +229,10 @@ std::uint64_t skip_trapmap::rebuild_chain(util::membership_bits bits, const seq:
       charge_map_nodes(l, prefix, it->second, +1);
     }
   }
-  return messages + cur.messages();
+  return stats + api::op_stats::of(cur);
 }
 
-std::uint64_t skip_trapmap::insert(const seq::segment& s, net::host_id origin) {
+api::op_stats skip_trapmap::insert(const seq::segment& s, net::host_id origin) {
   seq::segment norm = s;
   if (norm.x1 > norm.x2) {
     std::swap(norm.x1, norm.x2);
@@ -242,13 +242,13 @@ std::uint64_t skip_trapmap::insert(const seq::segment& s, net::host_id origin) {
     SW_EXPECTS(!(existing == norm));  // duplicates rejected
   }
   const auto bits = util::draw_membership(rng_);
-  const auto messages = rebuild_chain(bits, norm, /*add=*/true, origin);
+  const auto stats = rebuild_chain(bits, norm, /*add=*/true, origin);
   seg_bits_.emplace_back(norm, bits);
   ++segment_count_;
-  return messages;
+  return stats;
 }
 
-std::uint64_t skip_trapmap::erase(const seq::segment& s, net::host_id origin) {
+api::op_stats skip_trapmap::erase(const seq::segment& s, net::host_id origin) {
   SW_EXPECTS(segment_count_ >= 2);  // the structure never becomes empty
   seq::segment norm = s;
   if (norm.x1 > norm.x2) {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "seq/trapmap.h"
@@ -49,7 +50,7 @@ class skip_trapmap {
 
   struct pl_result {
     int trap = -1;  // ground-map trapezoid containing the query point
-    std::uint64_t messages = 0;
+    api::op_stats stats;
   };
 
   // Distributed point location for a query point in general position (not on
@@ -57,11 +58,11 @@ class skip_trapmap {
   [[nodiscard]] pl_result locate(double x, double y, net::host_id origin) const;
 
   // Insert/erase a segment (paper §4): the new segment must keep the set
-  // pairwise disjoint with distinct endpoint x's. Returns messages charged:
-  // routing + one per trapezoid created/destroyed across the segment's
-  // level chain + conflict refreshes (output-sensitive).
-  std::uint64_t insert(const seq::segment& s, net::host_id origin);
-  std::uint64_t erase(const seq::segment& s, net::host_id origin);
+  // pairwise disjoint with distinct endpoint x's. Charges: routing + one
+  // message per trapezoid created/destroyed across the segment's level chain
+  // + conflict refreshes (output-sensitive).
+  api::op_stats insert(const seq::segment& s, net::host_id origin);
+  api::op_stats erase(const seq::segment& s, net::host_id origin);
 
   [[nodiscard]] net::host_id host_of(int level, std::uint64_t prefix, int trap) const;
 
@@ -84,7 +85,7 @@ class skip_trapmap {
 
   void charge_map_nodes(int level, std::uint64_t prefix, const level_map& lm, std::int64_t sign);
   void refresh_conflicts(int level, std::uint64_t prefix);
-  std::uint64_t rebuild_chain(util::membership_bits bits, const seq::segment& s, bool add,
+  api::op_stats rebuild_chain(util::membership_bits bits, const seq::segment& s, bool add,
                               net::host_id origin);
 
   std::vector<std::unordered_map<std::uint64_t, level_map>> maps_;

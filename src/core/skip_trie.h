@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "seq/trie.h"
@@ -63,7 +64,7 @@ class skip_trie {
     std::string matched_path;   // deepest ground-trie node path that prefixes q
     std::size_t matched = 0;    // characters of q matched (incl. partial edge)
     bool is_key = false;        // q itself is stored
-    std::uint64_t messages = 0;
+    api::op_stats stats;
   };
 
   // Distributed descent for a query string (exact-match / longest-prefix).
@@ -89,38 +90,35 @@ class skip_trie {
     const seq::trie& g = ground();
     out.is_key = last.partial_edge == 0 && last.matched == q.size() &&
                  g.node(g.node_for_path(path)).is_key && path.size() == q.size();
-    out.messages = cur.messages();
+    out.stats = api::op_stats::of(cur);
     return out;
   }
 
-  [[nodiscard]] bool contains(const std::string& q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const {
+  [[nodiscard]] api::op_result<bool> contains(const std::string& q, net::host_id origin) const {
     const auto r = locate(q, origin);
-    if (messages != nullptr) *messages = r.messages;
-    return r.is_key;
+    return {r.is_key, r.stats};
   }
 
   // Longest prefix of q that prefixes any stored string (paper's string
   // queries; used for approximate/auto-complete searches).
-  [[nodiscard]] std::string longest_common_prefix(const std::string& q, net::host_id origin,
-                                                  std::uint64_t* messages = nullptr) const {
+  [[nodiscard]] api::op_result<std::string> longest_common_prefix(const std::string& q,
+                                                                  net::host_id origin) const {
     const auto r = locate(q, origin);
-    if (messages != nullptr) *messages = r.messages;
-    return q.substr(0, r.matched);
+    return {q.substr(0, r.matched), r.stats};
   }
 
   // All stored strings with the given prefix (the ISBN/publisher scenario):
   // locate the subtree via the skip levels, then walk it, paying one hop per
   // trie node visited (output-sensitive enumeration).
-  [[nodiscard]] std::vector<std::string> with_prefix(const std::string& prefix,
-                                                     net::host_id origin, std::size_t limit = 0,
-                                                     std::uint64_t* messages = nullptr) const {
+  [[nodiscard]] api::op_result<std::vector<std::string>> with_prefix(
+      const std::string& prefix, net::host_id origin, std::size_t limit = 0) const {
     net::cursor cur(*net_, origin);
     const auto loc = locate(prefix, origin);
-    std::vector<std::string> out;
+    api::op_result<std::vector<std::string>> res;
+    std::vector<std::string>& out = res.value;
     if (loc.matched < prefix.size()) {
-      if (messages != nullptr) *messages = loc.messages;
-      return out;  // no stored string extends the query prefix
+      res.stats = loc.stats;
+      return res;  // no stored string extends the query prefix
     }
     const seq::trie& g = ground();
     const std::uint64_t p0 = tries_[0].begin()->first;
@@ -152,13 +150,13 @@ class skip_trie {
     }
     std::sort(out.begin(), out.end());
     if (limit != 0 && out.size() > limit) out.resize(limit);
-    if (messages != nullptr) *messages = loc.messages + cur.messages();
-    return out;
+    res.stats = loc.stats + api::op_stats::of(cur);
+    return res;
   }
 
   // Insert a string (paper §4): O(1) structural edits per level of the
   // string's own prefix chain.
-  std::uint64_t insert(const std::string& s, net::host_id origin) {
+  api::op_stats insert(const std::string& s, net::host_id origin) {
     SW_EXPECTS(bits_.find(s) == bits_.end());
     net::cursor cur(*net_, origin);
     const auto bits = util::draw_membership(rng_);
@@ -182,10 +180,10 @@ class skip_trie {
         }
       }
     }
-    return cur.messages();
+    return api::op_stats::of(cur);
   }
 
-  std::uint64_t erase(const std::string& s, net::host_id origin) {
+  api::op_stats erase(const std::string& s, net::host_id origin) {
     SW_EXPECTS(bits_.size() >= 2);  // the structure never becomes empty
     auto bit_it = bits_.find(s);
     SW_EXPECTS(bit_it != bits_.end());
@@ -212,7 +210,7 @@ class skip_trie {
       // property still guarantees it exists one level denser.
     }
     bits_.erase(bit_it);
-    return cur.messages();
+    return api::op_stats::of(cur);
   }
 
   [[nodiscard]] net::host_id host_of(int level, std::uint64_t prefix, int node) const {

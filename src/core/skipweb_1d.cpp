@@ -71,8 +71,8 @@ int skipweb_1d::root_for(net::host_id origin) const {
   return item;
 }
 
-skipweb_1d::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) const {
-  nn_result out;
+api::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) const {
+  api::nn_result out;
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -86,38 +86,37 @@ skipweb_1d::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) 
     out.has_succ = true;
     out.succ = lists_.key(succ);
   }
-  out.messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-bool skipweb_1d::contains(std::uint64_t q, net::host_id origin, std::uint64_t* messages) const {
+api::op_result<bool> skipweb_1d::contains(std::uint64_t q, net::host_id origin) const {
   const auto r = nearest(q, origin);
-  if (messages != nullptr) *messages = r.messages;
-  return r.has_pred && r.pred == q;
+  return {r.has_pred && r.pred == q, r.stats};
 }
 
-std::vector<std::uint64_t> skipweb_1d::range(std::uint64_t lo, std::uint64_t hi,
-                                             net::host_id origin, std::size_t limit,
-                                             std::uint64_t* messages) const {
+api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, std::uint64_t hi,
+                                                             net::host_id origin,
+                                                             std::size_t limit) const {
   SW_EXPECTS(lo <= hi);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
   const auto [pred, succ] = route_search(lists_, lo, root, lists_.levels(), cur,
                                          [this](int i, int l) { return host_of(i, l); });
-  std::vector<std::uint64_t> out;
+  api::op_result<std::vector<std::uint64_t>> out;
   int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
   while (item >= 0 && lists_.key(item) <= hi) {
-    if (limit != 0 && out.size() >= limit) break;
+    if (limit != 0 && out.value.size() >= limit) break;
     cur.move_to(host_of(item, 0));
-    out.push_back(lists_.key(item));
+    out.value.push_back(lists_.key(item));
     item = lists_.next(item, 0);
   }
-  if (messages != nullptr) *messages = cur.messages();
+  out.stats = api::op_stats::of(cur);
   return out;
 }
 
-std::uint64_t skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
+api::op_stats skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -149,10 +148,10 @@ std::uint64_t skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
     if (right >= 0) cur.move_to(host_of(right, l));
   }
   charge_item_memory(item, +1);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
-std::uint64_t skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
+api::op_stats skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
   SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
@@ -173,7 +172,7 @@ std::uint64_t skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
   }
   charge_item_memory(item, -1);
   lists_.unsplice(item);
-  return cur.messages();
+  return api::op_stats::of(cur);
 }
 
 void skipweb_1d::charge_item_memory(int item, std::int64_t sign) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "core/level_lists.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -39,30 +40,23 @@ class skipweb_1d {
   [[nodiscard]] placement policy() const { return policy_; }
   [[nodiscard]] const level_lists& lists() const { return lists_; }
 
-  struct nn_result {
-    bool has_pred = false, has_succ = false;
-    std::uint64_t pred = 0, succ = 0;
-    std::uint64_t messages = 0;
-  };
-
   // Nearest-neighbour query issued from `origin`: the level-0 predecessor
-  // and successor of q. The message count is the number of inter-host hops
-  // of the query locus.
-  [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const;
+  // and successor of q, with the op's cost receipt in `.stats`.
+  [[nodiscard]] api::nn_result nearest(std::uint64_t q, net::host_id origin) const;
 
-  [[nodiscard]] bool contains(std::uint64_t q, net::host_id origin,
-                              std::uint64_t* messages = nullptr) const;
+  [[nodiscard]] api::op_result<bool> contains(std::uint64_t q, net::host_id origin) const;
 
-  // Insert/erase issued from `origin` (paper §4); returns messages used.
-  std::uint64_t insert(std::uint64_t key, net::host_id origin);
-  std::uint64_t erase(std::uint64_t key, net::host_id origin);
+  // Insert/erase issued from `origin` (paper §4).
+  api::op_stats insert(std::uint64_t key, net::host_id origin);
+  api::op_stats erase(std::uint64_t key, net::host_id origin);
 
   // Range query [lo, hi] (one of the paper's §1 motivating query types):
   // route to lo, then walk the base list — O(log n + k) expected messages
   // for k results. `limit` caps the output (0 = unlimited).
-  [[nodiscard]] std::vector<std::uint64_t> range(std::uint64_t lo, std::uint64_t hi,
-                                                 net::host_id origin, std::size_t limit = 0,
-                                                 std::uint64_t* messages = nullptr) const;
+  [[nodiscard]] api::op_result<std::vector<std::uint64_t>> range(std::uint64_t lo,
+                                                                 std::uint64_t hi,
+                                                                 net::host_id origin,
+                                                                 std::size_t limit = 0) const;
 
   // Where a given level node lives (exposed for tests and benches).
   [[nodiscard]] net::host_id host_of(int item, int level) const;

@@ -30,13 +30,21 @@ class cursor {
 
   void move_to(const address& a) { move_to(a.host); }
 
+  // Key/point comparisons performed while routing: protocols call this next
+  // to their comparison sites so api::op_stats can report them per-op.
+  void note_comparisons(std::uint64_t n = 1) { comparisons_ += n; }
+
   [[nodiscard]] host_id at() const { return at_; }
   [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  // Hosts this operation's locus touched, revisits included (origin counts).
+  [[nodiscard]] std::uint64_t visits() const { return messages_ + 1; }
+  [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
 
  private:
   network* net_;
   host_id at_;
   std::uint64_t messages_ = 0;
+  std::uint64_t comparisons_ = 0;
 };
 
 }  // namespace skipweb::net

@@ -1,0 +1,196 @@
+// Conformance suite for the unified distributed_index API: the same
+// nearest / contains / insert / erase / range assertions run against every
+// backend the registry knows, selected by name. A new backend earns coverage
+// by registering itself — no new test code.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using net::host_id;
+using net::network;
+using util::rng;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+class ApiConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  [[nodiscard]] static api::index_options options() {
+    // Small knobs so bucketed backends exercise several buckets/blocks.
+    return api::index_options{}.seed(97).initial_hosts(8).bucket_size(16).buckets(24);
+  }
+};
+
+TEST_P(ApiConformance, RegistryBuildsTheNamedBackend) {
+  rng r(8001);
+  const auto keys = wl::uniform_keys(200, r);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), keys, options(), net);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->backend(), GetParam());
+  EXPECT_EQ(idx->size(), keys.size());
+  EXPECT_GE(net.host_count(), 8u);  // initial_hosts honoured
+}
+
+TEST_P(ApiConformance, NearestMatchesOracle) {
+  rng r(8002);
+  const auto keys = wl::uniform_keys(256, r);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), keys, options(), net);
+  const std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  std::uint32_t origin = 0;
+  for (const auto q : wl::probe_keys(keys, 150, r)) {
+    const auto res = idx->nearest(q, h(origin));
+    origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+    auto it = oracle.upper_bound(q);
+    const bool has_pred = it != oracle.begin();
+    ASSERT_EQ(res.has_pred, has_pred) << q;
+    if (has_pred) {
+      EXPECT_EQ(res.pred, *std::prev(it));
+    }
+    const bool has_succ = it != oracle.end();
+    ASSERT_EQ(res.has_succ, has_succ) << q;
+    if (has_succ) {
+      EXPECT_EQ(res.succ, *it);
+    }
+    // The receipt is coherent: a visit per hop plus the origin (backends
+    // composing two routing cursors, e.g. bucket_skipgraph, count it twice).
+    EXPECT_GT(res.stats.host_visits, res.stats.messages);
+    EXPECT_LE(res.stats.host_visits, res.stats.messages + 2);
+  }
+}
+
+TEST_P(ApiConformance, ContainsMatchesOracle) {
+  rng r(8003);
+  const auto keys = wl::uniform_keys(200, r);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), keys, options(), net);
+  const std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_TRUE(idx->contains(keys[i], h(static_cast<std::uint32_t>(i % net.host_count()))).value)
+        << keys[i];
+  }
+  for (const auto q : wl::probe_keys(keys, 60, r)) {
+    EXPECT_EQ(idx->contains(q, h(0)).value, oracle.count(q) > 0) << q;
+  }
+}
+
+TEST_P(ApiConformance, InsertEraseRoundTrip) {
+  rng r(8004);
+  auto pool = wl::uniform_keys(300, r);
+  const std::vector<std::uint64_t> initial(pool.begin(), pool.begin() + 200);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), initial, options(), net);
+  ASSERT_TRUE(idx->supports(api::capability::insert));
+  ASSERT_TRUE(idx->supports(api::capability::erase));
+
+  std::set<std::uint64_t> oracle(initial.begin(), initial.end());
+  for (std::size_t i = 200; i < 300; ++i) {
+    if (!oracle.insert(pool[i]).second) continue;
+    const auto stats = idx->insert(pool[i], h(static_cast<std::uint32_t>(i % net.host_count())));
+    EXPECT_GT(stats.host_visits, 0u);
+  }
+  EXPECT_EQ(idx->size(), oracle.size());
+  for (std::size_t i = 0; i < 100; ++i) {
+    oracle.erase(pool[i * 2]);
+    (void)idx->erase(pool[i * 2], h(0));
+  }
+  EXPECT_EQ(idx->size(), oracle.size());
+  for (const auto q : wl::probe_keys(pool, 80, r)) {
+    EXPECT_EQ(idx->contains(q, h(0)).value, oracle.count(q) > 0) << q;
+  }
+}
+
+TEST_P(ApiConformance, RangeMatchesOracle) {
+  rng r(8005);
+  const auto keys = wl::uniform_keys(200, r);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), keys, options(), net);
+  ASSERT_TRUE(idx->supports(api::capability::range));
+
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t i = r.index(sorted.size());
+    const std::size_t j = i + r.index(std::min<std::size_t>(sorted.size() - i, 30));
+    const std::vector<std::uint64_t> want(sorted.begin() + static_cast<std::ptrdiff_t>(i),
+                                          sorted.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+    const auto got = idx->range(sorted[i], sorted[j], h(0));
+    EXPECT_EQ(got.value, want) << "trial " << trial;
+  }
+  // Limits, empty windows, and the shared lo <= hi contract.
+  EXPECT_EQ(idx->range(sorted.front(), sorted.back(), h(0), 7).value.size(), 7u);
+  EXPECT_TRUE(idx->range(sorted.back() + 1, sorted.back() + 50, h(0)).value.empty());
+  EXPECT_THROW((void)idx->range(10, 5, h(0)), util::contract_error);
+}
+
+TEST_P(ApiConformance, StatsReceiptsAreNonTrivial) {
+  rng r(8006);
+  const auto keys = wl::uniform_keys(256, r);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), keys, options(), net);
+  net.reset_traffic();
+  std::uint64_t messages = 0;
+  for (const auto q : wl::probe_keys(keys, 50, r)) {
+    messages += idx->nearest(q, h(0)).stats.messages;
+  }
+  EXPECT_GT(messages, 0u);
+  // Per-op receipts reconcile with the network's global traffic ledger.
+  EXPECT_EQ(messages, net.total_messages());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ApiConformance,
+                         ::testing::ValuesIn(api::registered_backends()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// Registry misuse and capability edges.
+TEST(ApiRegistry, UnknownBackendThrows) {
+  rng r(8100);
+  const auto keys = wl::uniform_keys(16, r);
+  network net(1);
+  EXPECT_THROW((void)api::make_index("no_such_backend", keys, api::index_options{}, net),
+               std::out_of_range);
+}
+
+TEST(ApiRegistry, KnowsItsBuiltins) {
+  for (const char* name : {"skipweb1d", "bucket_skipweb", "skip_graph", "non_skipgraph",
+                           "bucket_skipgraph", "det_skipnet", "family_tree", "chord"}) {
+    EXPECT_TRUE(api::backend_known(name)) << name;
+  }
+  EXPECT_FALSE(api::backend_known("btree"));
+  EXPECT_GE(api::registered_backends().size(), 8u);
+}
+
+TEST(ApiRegistry, CustomBackendsCanRegister) {
+  api::register_backend("skipweb1d_balanced_alias",
+                        [](std::vector<std::uint64_t> keys, const api::index_options& opts,
+                           net::network& net) {
+                          return api::make_index(
+                              "skipweb1d", std::move(keys),
+                              api::index_options(opts).placement(api::placement_policy::balanced),
+                              net);
+                        });
+  EXPECT_TRUE(api::backend_known("skipweb1d_balanced_alias"));
+  rng r(8101);
+  const auto keys = wl::uniform_keys(64, r);
+  network net(16);
+  const auto idx = api::make_index("skipweb1d_balanced_alias", keys, api::index_options{}, net);
+  EXPECT_EQ(idx->size(), 64u);
+  EXPECT_TRUE(idx->contains(keys[0], h(1)).value);
+}
+
+}  // namespace

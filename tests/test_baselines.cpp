@@ -92,7 +92,7 @@ TEST(SkipGraph, MixedWorkloadMatchesOracle) {
         }
         break;
       default:
-        EXPECT_EQ(g.contains(k, origin), oracle.count(k) > 0);
+        EXPECT_EQ(g.contains(k, origin).value, oracle.count(k) > 0);
     }
   }
   EXPECT_EQ(g.size(), oracle.size());
@@ -109,7 +109,7 @@ TEST(SkipGraph, QueriesGrowLogarithmically) {
     util::accumulator acc;
     std::uint32_t o = 0;
     for (const auto q : wl::probe_keys(keys, 200, r)) {
-      acc.add(static_cast<double>(g.nearest(q, h(o)).messages));
+      acc.add(static_cast<double>(g.nearest(q, h(o)).stats.messages));
       o = static_cast<std::uint32_t>((o + 1) % net.host_count());
     }
     return acc.mean();
@@ -143,8 +143,8 @@ TEST(NonSkipGraph, LookaheadBeatsPlainRouting) {
   util::accumulator plain_acc, non_acc;
   std::uint32_t o = 0;
   for (const auto q : probes) {
-    plain_acc.add(static_cast<double>(plain.nearest(q, h(o)).messages));
-    non_acc.add(static_cast<double>(non.nearest(q, h(o)).messages));
+    plain_acc.add(static_cast<double>(plain.nearest(q, h(o)).stats.messages));
+    non_acc.add(static_cast<double>(non.nearest(q, h(o)).stats.messages));
     o = static_cast<std::uint32_t>((o + 1) % n);
   }
   EXPECT_LT(non_acc.mean(), plain_acc.mean() * 0.75);  // clearly faster
@@ -170,8 +170,8 @@ TEST(NonSkipGraph, UpdatesCostMoreThanPlain) {
   non_skip_graph non(initial, 214, net2);
   util::accumulator plain_acc, non_acc;
   for (std::size_t i = 512; i < 600; ++i) {
-    plain_acc.add(static_cast<double>(plain.insert(keys[i], h(0))));
-    non_acc.add(static_cast<double>(non.insert(keys[i], h(0))));
+    plain_acc.add(static_cast<double>(plain.insert(keys[i], h(0)).messages));
+    non_acc.add(static_cast<double>(non.insert(keys[i], h(0)).messages));
   }
   EXPECT_GT(non_acc.mean(), plain_acc.mean() * 2.0);  // the log² n refresh bill
   // Both remain correct afterwards.
@@ -219,7 +219,7 @@ TEST_P(BucketSkipGraphH, MixedWorkload) {
         }
         break;
       default:
-        EXPECT_EQ(g.contains(k, origin), oracle.count(k) > 0);
+        EXPECT_EQ(g.contains(k, origin).value, oracle.count(k) > 0);
     }
   }
   EXPECT_TRUE(g.check_invariants());
@@ -238,7 +238,7 @@ TEST(BucketSkipGraph, FewerBucketsFewerMessages) {
     network net(1);
     bucket_skip_graph g(keys, 223, net, buckets);
     util::accumulator acc;
-    for (const auto q : probes) acc.add(static_cast<double>(g.nearest(q, h(0)).messages));
+    for (const auto q : probes) acc.add(static_cast<double>(g.nearest(q, h(0)).stats.messages));
     EXPECT_LT(acc.mean(), prev) << buckets;
     prev = acc.mean();
   }
@@ -291,7 +291,7 @@ TEST(FamilyTree, MixedWorkloadMatchesOracle) {
         }
         break;
       default:
-        EXPECT_EQ(t.contains(k, origin), oracle.count(k) > 0);
+        EXPECT_EQ(t.contains(k, origin).value, oracle.count(k) > 0);
     }
     if (op % 100 == 0) EXPECT_TRUE(t.check_invariants());
   }
@@ -308,7 +308,7 @@ TEST(FamilyTree, QueriesGrowLogarithmically) {
     util::accumulator acc;
     std::uint32_t o = 0;
     for (const auto q : wl::probe_keys(keys, 200, r)) {
-      acc.add(static_cast<double>(t.nearest(q, h(o)).messages));
+      acc.add(static_cast<double>(t.nearest(q, h(o)).stats.messages));
       o = static_cast<std::uint32_t>((o + 1) % net.host_count());
     }
     return acc.mean();
@@ -350,7 +350,7 @@ TEST(DetSkipnet, DeterministicAcrossRuns) {
   det_skipnet s1(k1, n1), s2(k2, n2);
   for (int i = 0; i < 50; ++i) {
     const auto q = k1[static_cast<std::size_t>(i * 5)];
-    EXPECT_EQ(s1.nearest(q, h(3)).messages, s2.nearest(q, h(3)).messages);
+    EXPECT_EQ(s1.nearest(q, h(3)).stats.messages, s2.nearest(q, h(3)).stats.messages);
   }
 }
 
@@ -396,7 +396,7 @@ TEST(Chord, LookupHopsAreLogarithmicInHosts) {
     util::accumulator acc;
     for (std::size_t i = 0; i < 200; ++i) {
       acc.add(static_cast<double>(
-          c.lookup(keys[i % keys.size()], h(static_cast<std::uint32_t>(i % hosts))).messages));
+          c.lookup(keys[i % keys.size()], h(static_cast<std::uint32_t>(i % hosts))).stats.messages));
     }
     return acc.mean();
   };
@@ -415,12 +415,12 @@ TEST(Chord, NearestNeighbourNeedsFlooding) {
   std::sort(sorted.begin(), sorted.end());
   const auto probes = wl::probe_keys(keys, 20, r);
   for (const auto q : probes) {
-    std::uint64_t msgs = 0;
-    const auto got = c.nearest_by_flooding(q, h(0), &msgs);
+    const auto got = c.nearest_by_flooding(q, h(0));
     const auto it = std::upper_bound(sorted.begin(), sorted.end(), q);
     ASSERT_NE(it, sorted.begin());
-    EXPECT_EQ(got, *std::prev(it));
-    EXPECT_GE(msgs, 127u);  // visits essentially every host
+    ASSERT_TRUE(got.has_pred);
+    EXPECT_EQ(got.pred, *std::prev(it));
+    EXPECT_GE(got.stats.messages, 127u);  // visits essentially every host
   }
 }
 

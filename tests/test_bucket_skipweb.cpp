@@ -78,7 +78,7 @@ TEST_P(BucketSkipwebM, MixedWorkloadMatchesOracle) {
         break;
       }
       default:
-        EXPECT_EQ(web.contains(k, origin), oracle.count(k) > 0);
+        EXPECT_EQ(web.contains(k, origin).value, oracle.count(k) > 0);
     }
   }
   EXPECT_EQ(web.size(), oracle.size());
@@ -141,7 +141,7 @@ TEST(BucketSkipweb, LargerMMeansFewerMessages) {
     skipweb::util::accumulator acc;
     std::uint32_t origin = 0;
     for (const auto q : probes) {
-      acc.add(static_cast<double>(web.nearest(q, h(origin)).messages));
+      acc.add(static_cast<double>(web.nearest(q, h(origin)).stats.messages));
       origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
     }
     EXPECT_LT(acc.mean(), prev_mean) << "M=" << M;
@@ -162,7 +162,7 @@ TEST(BucketSkipweb, BeatsLogNRouting) {
   skipweb::util::accumulator acc;
   std::uint32_t origin = 0;
   for (const auto q : wl::probe_keys(keys, 400, r)) {
-    acc.add(static_cast<double>(web.nearest(q, h(origin)).messages));
+    acc.add(static_cast<double>(web.nearest(q, h(origin)).stats.messages));
     origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
   }
   // log2(8192) = 13; log n / log log n ~ 3.5. Allow generous constants but

@@ -53,7 +53,7 @@ TEST(Integration, AllOneDimensionalStructuresAgree) {
     const bool has_pred = it != oracle.begin();
     const std::uint64_t pred = has_pred ? *std::prev(it) : 0;
 
-    // Each structure has its own nn_result type; normalize for comparison.
+    // Every structure now returns the one shared api::nn_result.
     const std::vector<std::pair<bool, std::uint64_t>> answers = {
         {web.nearest(q, h(0)).has_pred, web.nearest(q, h(0)).pred},
         {bweb.nearest(q, h(0)).has_pred, bweb.nearest(q, h(0)).pred},
@@ -88,21 +88,22 @@ TEST(Integration, RangeQueriesMatchOracle) {
     const std::uint64_t lo = sorted[i], hi = sorted[j];
     std::vector<std::uint64_t> want(sorted.begin() + static_cast<std::ptrdiff_t>(i),
                                     sorted.begin() + static_cast<std::ptrdiff_t>(j) + 1);
-    std::uint64_t m1 = 0, m2 = 0;
-    EXPECT_EQ(web.range(lo, hi, h(static_cast<std::uint32_t>(trial % 512)), 0, &m1), want);
-    EXPECT_EQ(bweb.range(lo, hi, h(0), 0, &m2), want);
-    EXPECT_GT(m1, 0u);
+    const auto r1 = web.range(lo, hi, h(static_cast<std::uint32_t>(trial % 512)));
+    const auto r2 = bweb.range(lo, hi, h(0));
+    EXPECT_EQ(r1.value, want);
+    EXPECT_EQ(r2.value, want);
+    EXPECT_GT(r1.stats.messages, 0u);
     // The blocked layout walks B keys per hop: long ranges must be cheaper.
     if (want.size() > 64) {
-      EXPECT_LT(m2, m1);
+      EXPECT_LT(r2.stats.messages, r1.stats.messages);
     }
   }
 
   // Limit handling + empty ranges.
   const auto capped = web.range(sorted.front(), sorted.back(), h(1), 5);
-  EXPECT_EQ(capped.size(), 5u);
+  EXPECT_EQ(capped.value.size(), 5u);
   const auto empty = web.range(sorted.back() + 1, sorted.back() + 100, h(1));
-  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.value.empty());
   EXPECT_THROW((void)web.range(10, 5, h(0)), util::contract_error);
 }
 
@@ -127,7 +128,7 @@ TEST(Integration, RangeAfterChurn) {
     const std::size_t j = i + r.index(sorted.size() - i);
     const std::vector<std::uint64_t> want(sorted.begin() + static_cast<std::ptrdiff_t>(i),
                                           sorted.begin() + static_cast<std::ptrdiff_t>(j) + 1);
-    EXPECT_EQ(web.range(sorted[i], sorted[j], h(0)), want);
+    EXPECT_EQ(web.range(sorted[i], sorted[j], h(0)).value, want);
   }
 }
 
@@ -169,7 +170,7 @@ TEST(Integration, WholeSessionsAreDeterministic) {
       const auto q = wl::probe_keys(keys, 1, r)[0];
       checksum = checksum * 31 + web.nearest(q, h(static_cast<std::uint32_t>(op) %
                                                   static_cast<std::uint32_t>(net.host_count())))
-                                    .messages;
+                                    .stats.messages;
     }
     return std::tuple{checksum, net.total_messages(), net.max_memory()};
   };

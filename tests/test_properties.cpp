@@ -166,10 +166,10 @@ TEST_P(SeedSweep, TrieContainsMatchesOracle) {
   const std::set<std::string> oracle(keys.begin(), keys.end());
   const auto probes = wl::random_strings(150, 3, 12, "abc", r);
   for (const auto& q : probes) {
-    ASSERT_EQ(web.contains(q, h(7)), oracle.count(q) > 0) << q;
+    ASSERT_EQ(web.contains(q, h(7)).value, oracle.count(q) > 0) << q;
   }
   for (const auto& k : keys) {
-    ASSERT_TRUE(web.contains(k, h(9))) << k;
+    ASSERT_TRUE(web.contains(k, h(9)).value) << k;
   }
 }
 
@@ -183,7 +183,7 @@ TEST_P(SeedSweep, MessageTailsAreLogarithmic) {
   core::skipweb_1d web(keys, GetParam() + 3, net, core::skipweb_1d::placement::tower);
   std::uint64_t worst = 0;
   for (const auto q : wl::probe_keys(keys, 200, r)) {
-    worst = std::max(worst, web.nearest(q, h(static_cast<std::uint32_t>(worst % n))).messages);
+    worst = std::max(worst, web.nearest(q, h(static_cast<std::uint32_t>(worst % n))).stats.messages);
   }
   EXPECT_LE(worst, 8u * 9u);  // 8x log2(512): far beyond any plausible tail
 }

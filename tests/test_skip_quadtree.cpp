@@ -48,11 +48,11 @@ TEST(SkipQuadtree, ContainsFindsExactPoints) {
   network net(256);
   skip_quadtree<2> web(pts, 72, net);
   for (std::size_t i = 0; i < 64; ++i) {
-    EXPECT_TRUE(web.contains(pts[i], h(static_cast<std::uint32_t>(i % 256))));
+    EXPECT_TRUE(web.contains(pts[i], h(static_cast<std::uint32_t>(i % 256))).value);
   }
   for (int i = 0; i < 64; ++i) {
     const auto q = random_probe<2>(r);
-    EXPECT_FALSE(web.contains(q, h(0)));  // random 62-bit points never collide
+    EXPECT_FALSE(web.contains(q, h(0)).value);  // random 62-bit points never collide
   }
 }
 
@@ -64,11 +64,11 @@ TEST(SkipQuadtree, NearestMatchesSequentialOracle) {
   const seq::quadtree<2> oracle(pts);
   for (int trial = 0; trial < 60; ++trial) {
     const auto q = random_probe<2>(r);
-    std::uint64_t msgs = 0;
-    const auto got = web.nearest(q, h(static_cast<std::uint32_t>(trial % 300)), &msgs);
+    const auto res = web.nearest(q, h(static_cast<std::uint32_t>(trial % 300)));
     const auto want = oracle.nearest(q);
-    EXPECT_TRUE(seq::quadtree<2>::point_dist2(got, q) == seq::quadtree<2>::point_dist2(want, q));
-    EXPECT_GT(msgs, 0u);
+    EXPECT_TRUE(seq::quadtree<2>::point_dist2(res.value, q) ==
+                seq::quadtree<2>::point_dist2(want, q));
+    EXPECT_GT(res.stats.messages, 0u);
   }
 }
 
@@ -92,8 +92,8 @@ TEST(SkipQuadtree, InsertThenLocate) {
   network net(200);
   skip_quadtree<2> web(initial, 75, net);
   for (std::size_t i = 200; i < 300; ++i) {
-    const auto msgs = web.insert(pts[i], h(static_cast<std::uint32_t>(i % 200)));
-    EXPECT_GT(msgs, 0u);
+    const auto stats = web.insert(pts[i], h(static_cast<std::uint32_t>(i % 200)));
+    EXPECT_GT(stats.messages, 0u);
   }
   EXPECT_EQ(web.size(), 300u);
   const seq::quadtree<2> oracle(pts);
@@ -102,7 +102,7 @@ TEST(SkipQuadtree, InsertThenLocate) {
     const auto q = random_probe<2>(r);
     EXPECT_TRUE(web.locate(q, h(0)).cell == oracle.node(oracle.locate(q)).box);
   }
-  for (const auto& p : pts) EXPECT_TRUE(web.contains(p, h(3)));
+  for (const auto& p : pts) EXPECT_TRUE(web.contains(p, h(3)).value);
 }
 
 TEST(SkipQuadtree, EraseThenLocate) {
@@ -118,8 +118,8 @@ TEST(SkipQuadtree, EraseThenLocate) {
   const std::vector<seq::qpoint<2>> rest(pts.begin() + 150, pts.end());
   const seq::quadtree<2> oracle(rest);
   EXPECT_EQ(web.ground().node_count(), oracle.node_count());
-  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(pts[i], h(1)));
-  for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(pts[i], h(2)));
+  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(pts[i], h(1)).value);
+  for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(pts[i], h(2)).value);
 }
 
 TEST(SkipQuadtree, MessagesLogarithmicOnDeepTree) {
@@ -138,7 +138,7 @@ TEST(SkipQuadtree, MessagesLogarithmicOnDeepTree) {
     const int shift = 1 + static_cast<int>(r.index(58));
     for (int d = 0; d < 2; ++d) q.x[d] = (seq::coord_t{1} << shift) + r.uniform_u64(0, 3);
     const auto res = web.locate(q, h(static_cast<std::uint32_t>(trial % 56)));
-    acc.add(static_cast<double>(res.messages));
+    acc.add(static_cast<double>(res.stats.messages));
   }
   // Depth is ~28; log2(56) ~ 5.8. Messages should track the latter.
   EXPECT_LT(acc.mean(), 3.0 * 5.8);
@@ -154,7 +154,8 @@ TEST(SkipQuadtree, QueryMessagesGrowLogarithmically) {
     skipweb::util::accumulator acc;
     for (int trial = 0; trial < 150; ++trial) {
       const auto q = random_probe<2>(r);
-      acc.add(static_cast<double>(web.locate(q, h(static_cast<std::uint32_t>(trial % n))).messages));
+      acc.add(static_cast<double>(
+          web.locate(q, h(static_cast<std::uint32_t>(trial % n))).stats.messages));
     }
     return acc.mean();
   };
@@ -188,7 +189,7 @@ TEST(SkipQuadtree, ClusteredDataStillRoutesWell) {
     const auto q = random_probe<2>(r);
     const auto res = web.locate(q, h(static_cast<std::uint32_t>(trial % 512)));
     EXPECT_TRUE(res.cell == oracle.node(oracle.locate(q)).box);
-    acc.add(static_cast<double>(res.messages));
+    acc.add(static_cast<double>(res.stats.messages));
   }
   EXPECT_LT(acc.mean(), 40.0);
 }

@@ -72,7 +72,7 @@ TEST(SkipTrapmap, QueryMessagesGrowLogarithmically) {
     skipweb::util::accumulator acc;
     std::uint32_t o = 0;
     for (const auto& [x, y] : wl::interior_probes(200, r)) {
-      acc.add(static_cast<double>(web.locate(x, y, h(o)).messages));
+      acc.add(static_cast<double>(web.locate(x, y, h(o)).stats.messages));
       o = static_cast<std::uint32_t>((o + 1) % n);
     }
     return acc.mean();
@@ -127,8 +127,8 @@ TEST(SkipTrapmap, DynamicUpdatesMatchOracle) {
 
   // Insert the remaining segments one by one.
   for (std::size_t i = 64; i < segs.size(); ++i) {
-    const auto msgs = web.insert(segs[i], h(static_cast<std::uint32_t>(i % 96)));
-    EXPECT_GT(msgs, 0u);
+    const auto stats = web.insert(segs[i], h(static_cast<std::uint32_t>(i % 96)));
+    EXPECT_GT(stats.messages, 0u);
   }
   EXPECT_EQ(web.size(), segs.size());
 
@@ -167,13 +167,13 @@ TEST(SkipTrapmap, UpdateCostIsOutputSensitiveNotLinear) {
   segs.pop_back();
   network net(256);
   auto web = make_web(segs, 119, net);
-  const auto msgs = web.insert(extra, h(3));
+  const auto ins_stats = web.insert(extra, h(3));
   // A segment cuts O(1) expected trapezoids per level: total O(log n), far
   // below the 3n+1 trapezoids a naive global rebuild would touch.
-  EXPECT_LT(msgs, 30u * static_cast<std::uint64_t>(web.levels() + 1));
-  EXPECT_GT(msgs, 0u);
-  const auto del_msgs = web.erase(extra, h(4));
-  EXPECT_LT(del_msgs, 30u * static_cast<std::uint64_t>(web.levels() + 1));
+  EXPECT_LT(ins_stats.messages, 30u * static_cast<std::uint64_t>(web.levels() + 1));
+  EXPECT_GT(ins_stats.messages, 0u);
+  const auto del_stats = web.erase(extra, h(4));
+  EXPECT_LT(del_stats.messages, 30u * static_cast<std::uint64_t>(web.levels() + 1));
 }
 
 TEST(SkipTrapmap, UpdateRejectsDuplicatesAndMissing) {

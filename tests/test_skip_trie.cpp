@@ -29,11 +29,11 @@ TEST(SkipTrie, ContainsMatchesOracle) {
   skip_trie web(keys, 91, net);
   const std::set<std::string> oracle(keys.begin(), keys.end());
   for (std::size_t i = 0; i < 100; ++i) {
-    EXPECT_TRUE(web.contains(keys[i], h(static_cast<std::uint32_t>(i % 400))));
+    EXPECT_TRUE(web.contains(keys[i], h(static_cast<std::uint32_t>(i % 400))).value);
   }
   const auto probes = wl::random_strings(200, 2, 12, "abc", r);
   for (const auto& q : probes) {
-    EXPECT_EQ(web.contains(q, h(0)), oracle.count(q) > 0) << q;
+    EXPECT_EQ(web.contains(q, h(0)).value, oracle.count(q) > 0) << q;
   }
 }
 
@@ -48,7 +48,7 @@ TEST(SkipTrie, LongestCommonPrefixMatchesOracle) {
     // Perturb: truncate and/or extend with random digits.
     q = q.substr(0, 1 + r.index(q.size()));
     for (std::size_t i = 0; i < r.index(4); ++i) q.push_back("0123456789"[r.index(10)]);
-    EXPECT_EQ(web.longest_common_prefix(q, h(static_cast<std::uint32_t>(trial % 300))),
+    EXPECT_EQ(web.longest_common_prefix(q, h(static_cast<std::uint32_t>(trial % 300))).value,
               oracle.longest_common_prefix(q))
         << q;
   }
@@ -63,10 +63,9 @@ TEST(SkipTrie, WithPrefixMatchesOracle) {
   for (int trial = 0; trial < 60; ++trial) {
     const std::string& base = keys[r.index(keys.size())];
     const std::string prefix = base.substr(0, 1 + r.index(base.size()));
-    std::uint64_t msgs = 0;
-    const auto got = web.with_prefix(prefix, h(static_cast<std::uint32_t>(trial % 300)), 0, &msgs);
-    EXPECT_EQ(got, oracle.with_prefix(prefix)) << prefix;
-    EXPECT_GT(msgs, 0u);
+    const auto got = web.with_prefix(prefix, h(static_cast<std::uint32_t>(trial % 300)));
+    EXPECT_EQ(got.value, oracle.with_prefix(prefix)) << prefix;
+    EXPECT_GT(got.stats.messages, 0u);
   }
 }
 
@@ -75,9 +74,9 @@ TEST(SkipTrie, WithPrefixRespectsLimit) {
   const auto keys = wl::shared_prefix_strings(200, r);
   network net(200);
   skip_trie web(keys, 94, net);
-  const auto all = web.with_prefix("", h(0));
+  const auto all = web.with_prefix("", h(0)).value;
   EXPECT_EQ(all.size(), 200u);
-  const auto capped = web.with_prefix("", h(0), 10);
+  const auto capped = web.with_prefix("", h(0), 10).value;
   EXPECT_EQ(capped.size(), 10u);
 }
 
@@ -88,16 +87,16 @@ TEST(SkipTrie, InsertThenQuery) {
   network net(200);
   skip_trie web(initial, 95, net);
   for (std::size_t i = 200; i < 300; ++i) {
-    const auto msgs = web.insert(keys[i], h(static_cast<std::uint32_t>(i % 200)));
-    EXPECT_GT(msgs, 0u);
+    const auto stats = web.insert(keys[i], h(static_cast<std::uint32_t>(i % 200)));
+    EXPECT_GT(stats.messages, 0u);
   }
   EXPECT_EQ(web.size(), 300u);
   const seq::trie oracle(keys);
   EXPECT_EQ(web.ground().node_count(), oracle.node_count());
-  for (const auto& k : keys) EXPECT_TRUE(web.contains(k, h(7)));
+  for (const auto& k : keys) EXPECT_TRUE(web.contains(k, h(7)).value);
   const auto probes = wl::random_strings(100, 3, 10, "abcd", r);
   const std::set<std::string> oset(keys.begin(), keys.end());
-  for (const auto& q : probes) EXPECT_EQ(web.contains(q, h(1)), oset.count(q) > 0);
+  for (const auto& q : probes) EXPECT_EQ(web.contains(q, h(1)).value, oset.count(q) > 0);
 }
 
 TEST(SkipTrie, EraseThenQuery) {
@@ -113,8 +112,8 @@ TEST(SkipTrie, EraseThenQuery) {
   const std::vector<std::string> rest(keys.begin() + 150, keys.end());
   const seq::trie oracle(rest);
   EXPECT_EQ(web.ground().node_count(), oracle.node_count());
-  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(keys[i], h(4)));
-  for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(keys[i], h(5)));
+  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(keys[i], h(4)).value);
+  for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(keys[i], h(5)).value);
 }
 
 TEST(SkipTrie, MessagesLogarithmicOnDeepTrie) {
@@ -132,9 +131,9 @@ TEST(SkipTrie, MessagesLogarithmicOnDeepTrie) {
   skipweb::util::accumulator acc;
   for (int trial = 0; trial < 100; ++trial) {
     const auto& q = keys[r.index(keys.size())];
-    std::uint64_t msgs = 0;
-    EXPECT_TRUE(web.contains(q, h(static_cast<std::uint32_t>(trial % 128)), &msgs));
-    acc.add(static_cast<double>(msgs));
+    const auto res = web.contains(q, h(static_cast<std::uint32_t>(trial % 128)));
+    EXPECT_TRUE(res.value);
+    acc.add(static_cast<double>(res.stats.messages));
   }
   // Depth is 128; log2(128) = 7. Allow constants, demand far below depth.
   EXPECT_LT(acc.mean(), 30.0);
@@ -148,10 +147,9 @@ TEST(SkipTrie, QueryMessagesGrowLogarithmically) {
     skip_trie web(keys, 98, net);
     skipweb::util::accumulator acc;
     for (int trial = 0; trial < 150; ++trial) {
-      std::uint64_t msgs = 0;
-      (void)web.contains(keys[r.index(keys.size())],
-                         h(static_cast<std::uint32_t>(trial % n)), &msgs);
-      acc.add(static_cast<double>(msgs));
+      const auto res = web.contains(keys[r.index(keys.size())],
+                                    h(static_cast<std::uint32_t>(trial % n)));
+      acc.add(static_cast<double>(res.stats.messages));
     }
     return acc.mean();
   };
@@ -166,11 +164,11 @@ TEST(SkipTrie, DnaWorkload) {
   network net(400);
   skip_trie web(reads, 99, net);
   for (std::size_t i = 0; i < 50; ++i) {
-    EXPECT_TRUE(web.contains(reads[i], h(static_cast<std::uint32_t>(i))));
+    EXPECT_TRUE(web.contains(reads[i], h(static_cast<std::uint32_t>(i))).value);
   }
   // Prefix query over the first 6 bases.
   const std::string probe = reads[0].substr(0, 6);
-  const auto matches = web.with_prefix(probe, h(0));
+  const auto matches = web.with_prefix(probe, h(0)).value;
   EXPECT_FALSE(matches.empty());
   for (const auto& m : matches) EXPECT_EQ(m.compare(0, 6, probe), 0);
 }

@@ -51,7 +51,7 @@ TEST_P(Skipweb1dPlacement, NearestMatchesOracle) {
   check_against_oracle(web, oracle, wl::probe_keys(keys, 300, r), net);
   // Exact hits as well.
   for (std::size_t i = 0; i < 50; ++i) {
-    EXPECT_TRUE(web.contains(keys[i], h(static_cast<std::uint32_t>(i % net.host_count()))));
+    EXPECT_TRUE(web.contains(keys[i], h(static_cast<std::uint32_t>(i % net.host_count()))).value);
   }
 }
 
@@ -116,7 +116,7 @@ TEST_P(Skipweb1dPlacement, MixedWorkloadMatchesOracle) {
         break;
       }
       default:
-        EXPECT_EQ(web.contains(k, origin), oracle.count(k) > 0);
+        EXPECT_EQ(web.contains(k, origin).value, oracle.count(k) > 0);
     }
   }
   EXPECT_EQ(web.size(), oracle.size());
@@ -149,7 +149,7 @@ TEST(Skipweb1d, QueryMessagesGrowLogarithmically) {
     skipweb::util::accumulator acc;
     std::uint32_t origin = 0;
     for (const auto q : wl::probe_keys(keys, 200, r)) {
-      acc.add(static_cast<double>(web.nearest(q, h(origin)).messages));
+      acc.add(static_cast<double>(web.nearest(q, h(origin)).stats.messages));
       origin = static_cast<std::uint32_t>((origin + 1) % n);
     }
     return acc.mean();
@@ -207,7 +207,7 @@ TEST(Skipweb1d, DeterministicForFixedSeeds) {
   skipweb_1d w1(k1, 51, n1, skipweb_1d::placement::tower);
   skipweb_1d w2(k2, 51, n2, skipweb_1d::placement::tower);
   const auto q = k1[10] + 1;
-  EXPECT_EQ(w1.nearest(q, h(3)).messages, w2.nearest(q, h(3)).messages);
+  EXPECT_EQ(w1.nearest(q, h(3)).stats.messages, w2.nearest(q, h(3)).stats.messages);
 }
 
 TEST(Skipweb1d, SingleItemStructure) {
