@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/stats.h"
@@ -38,11 +40,147 @@ inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
 
 // Growth-shape verdict: correlation of the measured series against a model
 // curve, printed so the reader can see "tracks log n" at a glance.
+// Correlation needs at least two samples (and nonzero variance); anything
+// less is reported as such instead of printing NaN garbage.
 inline std::string shape_verdict(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return "n/a (<2 samples)";
   const double corr = util::correlation(xs, ys);
+  if (!std::isfinite(corr)) return "n/a (degenerate)";
   if (corr > 0.97) return "matches (r=" + fmt(corr) + ")";
   if (corr > 0.85) return "tracks  (r=" + fmt(corr) + ")";
   return "differs (r=" + fmt(corr) + ")";
+}
+
+// --- machine-readable output -------------------------------------------------
+//
+// Streaming JSON writer for the perf-trajectory files: every bench can dump
+// its rows as BENCH_<name>.json (see write_bench_json below) so successive
+// runs can be diffed mechanically instead of by eyeballing tables. The
+// writer is append-only with automatic comma placement; the caller is
+// responsible for balanced begin/end calls.
+class json_writer {
+ public:
+  json_writer& begin_object() {
+    comma();
+    out_ += '{';
+    comma_ = false;
+    return *this;
+  }
+  json_writer& end_object() {
+    out_ += '}';
+    comma_ = true;
+    return *this;
+  }
+  json_writer& begin_array() {
+    comma();
+    out_ += '[';
+    comma_ = false;
+    return *this;
+  }
+  json_writer& end_array() {
+    out_ += ']';
+    comma_ = true;
+    return *this;
+  }
+  json_writer& key(std::string_view k) {
+    comma();
+    quoted(k);
+    out_ += ':';
+    comma_ = false;
+    return *this;
+  }
+  json_writer& value(std::string_view v) {
+    comma();
+    quoted(v);
+    comma_ = true;
+    return *this;
+  }
+  json_writer& value(const char* v) { return value(std::string_view(v)); }
+  json_writer& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    comma_ = true;
+    return *this;
+  }
+  json_writer& value(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+      out_ += buf;
+    } else {
+      out_ += "null";  // JSON has no NaN/inf
+    }
+    comma_ = true;
+    return *this;
+  }
+  json_writer& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    comma_ = true;
+    return *this;
+  }
+  json_writer& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    comma_ = true;
+    return *this;
+  }
+  json_writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  template <typename V>
+  json_writer& field(std::string_view k, V v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma() {
+    if (comma_) out_ += ',';
+  }
+  void quoted(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool comma_ = false;
+};
+
+// Writes `json` to BENCH_<name>.json in the working directory and announces
+// the path on stdout. Returns false (with a note on stderr) on I/O failure
+// so benches can keep printing their tables regardless.
+inline bool write_bench_json(const std::string& name, const std::string& json) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace skipweb::bench

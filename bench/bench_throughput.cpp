@@ -1,0 +1,323 @@
+// Wall-clock throughput harness: drives batched search/insert/erase mixes
+// through the api registry across every backend and several n, measuring
+// ops/sec alongside the message/visit/comparison ledgers, and emits the
+// whole run as BENCH_throughput.json for perf-trajectory tracking.
+//
+// The message ledgers model the *distributed* cost (the paper's Q/U/C
+// axes); ops/sec measures what the simulator itself costs on real hardware.
+// Both matter: the first validates the paper, the second is the number that
+// must go up PR over PR (see DESIGN.md "Performance model & memory layout").
+//
+// Usage:
+//   bench_throughput [--n 1024,4096,16384] [--backends a,b|all]
+//                    [--mixes search,mixed,churn] [--max-ops N]
+//                    [--time SECONDS_PER_CELL] [--batch B] [--seed S]
+//                    [--out NAME] [--smoke]
+//
+// --batch B > 1 runs pure-search cells through nearest_batch() in groups of
+// B (identical results and receipts; overlapped memory latency). Mixed and
+// churn cells always run one op at a time.
+//
+// --smoke shrinks everything for CI (two small n, tight time budget).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "bench_common.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using namespace skipweb::bench;
+namespace wl = skipweb::workloads;
+
+using clock_t_ = std::chrono::steady_clock;
+
+struct mix_t {
+  const char* name;
+  int search_pct;  // remainder splits evenly between insert and erase
+  int insert_pct;
+  int erase_pct;
+};
+
+constexpr mix_t kMixes[] = {
+    {"search", 100, 0, 0},
+    {"mixed", 80, 10, 10},
+    {"churn", 0, 50, 50},
+};
+
+// Ops per timing check; also the ceiling for --batch group size.
+constexpr std::uint64_t kBatch = 128;
+
+struct config {
+  std::vector<std::size_t> ns = {1024, 4096, 16384};
+  std::vector<std::string> backends;  // empty = all registered
+  std::vector<std::string> mixes = {"search", "mixed", "churn"};
+  std::uint64_t max_ops = 50000;
+  double time_budget = 0.25;  // seconds per (backend, mix, n) cell
+  std::size_t batch = 16;     // >1: drive pure-search cells via nearest_batch
+  std::uint64_t seed = 1;
+  std::string out = "throughput";
+};
+
+struct cell_result {
+  double build_seconds = 0;
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t searches = 0, inserts = 0, erases = 0;
+  api::op_stats totals;
+
+  [[nodiscard]] double ops_per_sec() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0; }
+  [[nodiscard]] double per_op(std::uint64_t c) const {
+    return ops > 0 ? static_cast<double>(c) / static_cast<double>(ops) : 0.0;
+  }
+};
+
+std::vector<std::string> split_list(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+const mix_t* find_mix(const std::string& name) {
+  for (const auto& m : kMixes) {
+    if (name == m.name) return &m;
+  }
+  return nullptr;
+}
+
+// One timed cell: build the backend over n keys, then run the mix until the
+// time budget or the op cap is hit. Erases pop keys the bench inserted
+// (LIFO) and recycle them into the fresh-key pool, so the key population
+// hovers at n and insert keys are always absent / erase keys always present.
+cell_result run_cell(const std::string& backend, const mix_t& mix, std::size_t n,
+                     const config& cfg) {
+  util::rng r(cfg.seed * 7919 + n);
+  auto all = wl::uniform_keys(n + 8192, r);
+  std::vector<std::uint64_t> keys(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<std::uint64_t> fresh(all.begin() + static_cast<std::ptrdiff_t>(n), all.end());
+  const auto probes = wl::probe_keys(keys, 4096, r);
+
+  cell_result res;
+  net::network net(1);
+  const auto t_build0 = clock_t_::now();
+  const auto idx = api::make_index(backend, keys, api::index_options{}.seed(cfg.seed), net);
+  res.build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+
+  std::vector<std::uint64_t> inserted;  // keys this bench added, LIFO
+  std::size_t probe_i = 0;
+  std::uint32_t origin = 0;
+
+  // Pure-search cells can go through the batched entry point: same ops,
+  // same receipts, overlapped latency.
+  if (mix.search_pct == 100 && cfg.batch > 1) {
+    std::vector<std::uint64_t> group(cfg.batch);
+    const auto t0 = clock_t_::now();
+    while (res.ops < cfg.max_ops) {
+      for (std::uint64_t b = 0; b + cfg.batch <= kBatch && res.ops < cfg.max_ops; b += cfg.batch) {
+        const auto o = net::host_id{origin};
+        origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+        for (auto& q : group) {
+          q = probes[probe_i];
+          probe_i = (probe_i + 1) % probes.size();
+        }
+        for (const auto& nn : idx->nearest_batch(group, o)) res.totals += nn.stats;
+        res.searches += group.size();
+        res.ops += group.size();
+      }
+      res.seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+      if (res.seconds >= cfg.time_budget) break;
+    }
+    res.seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    return res;
+  }
+
+  const auto t0 = clock_t_::now();
+  while (res.ops < cfg.max_ops) {
+    for (std::uint64_t b = 0; b < kBatch && res.ops < cfg.max_ops; ++b) {
+      const auto o = net::host_id{origin};
+      origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+      int kind = static_cast<int>(r.index(100));
+      bool do_insert = kind >= mix.search_pct && kind < mix.search_pct + mix.insert_pct;
+      bool do_erase = kind >= mix.search_pct + mix.insert_pct;
+      if (do_erase && inserted.empty()) {
+        do_erase = false;
+        do_insert = true;  // nothing of ours to erase yet
+      }
+      if (do_insert && fresh.empty()) {
+        do_insert = false;
+        do_erase = !inserted.empty();
+      }
+      if (do_insert) {
+        const auto k = fresh.back();
+        fresh.pop_back();
+        res.totals += idx->insert(k, o);
+        inserted.push_back(k);
+        ++res.inserts;
+      } else if (do_erase) {
+        const auto k = inserted.back();
+        inserted.pop_back();
+        res.totals += idx->erase(k, o);
+        fresh.push_back(k);
+        ++res.erases;
+      } else {
+        const auto q = probes[probe_i];
+        probe_i = (probe_i + 1) % probes.size();
+        res.totals += idx->nearest(q, o).stats;
+        ++res.searches;
+      }
+      ++res.ops;
+    }
+    res.seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    if (res.seconds >= cfg.time_budget) break;
+  }
+  res.seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+  return res;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n 1024,4096,...] [--backends a,b|all] [--mixes search,mixed,churn]\n"
+               "          [--max-ops N] [--time SECONDS] [--batch B] [--seed S] [--out NAME]\n"
+               "          [--smoke]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") {
+      cfg.ns.clear();
+      for (const auto& s : split_list(need("--n"))) cfg.ns.push_back(std::strtoull(s.c_str(), nullptr, 10));
+    } else if (a == "--backends") {
+      const auto v = split_list(need("--backends"));
+      cfg.backends = (v.size() == 1 && v[0] == "all") ? std::vector<std::string>{} : v;
+    } else if (a == "--mixes") {
+      cfg.mixes = split_list(need("--mixes"));
+    } else if (a == "--max-ops") {
+      cfg.max_ops = std::strtoull(need("--max-ops"), nullptr, 10);
+    } else if (a == "--time") {
+      cfg.time_budget = std::strtod(need("--time"), nullptr);
+    } else if (a == "--batch") {
+      cfg.batch = std::strtoull(need("--batch"), nullptr, 10);
+      if (cfg.batch == 0) cfg.batch = 1;
+      if (cfg.batch > kBatch) cfg.batch = kBatch;  // group cap; larger spins zero ops
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--out") {
+      cfg.out = need("--out");
+    } else if (a == "--smoke") {
+      cfg.ns = {256, 1024};
+      cfg.max_ops = 2000;
+      cfg.time_budget = 0.05;
+    } else {
+      usage(argv[0]);
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+  if (cfg.backends.empty()) cfg.backends = api::registered_backends();
+  for (const auto& m : cfg.mixes) {
+    if (find_mix(m) == nullptr) {
+      std::fprintf(stderr, "unknown mix '%s'\n", m.c_str());
+      return 2;
+    }
+  }
+  for (const auto& b : cfg.backends) {
+    if (!api::backend_known(b)) {
+      std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
+      return 2;
+    }
+  }
+
+#if SW_CONTRACTS
+  const bool contracts = true;
+#else
+  const bool contracts = false;
+#endif
+#if defined(NDEBUG)
+  const bool ndebug = true;
+#else
+  const bool ndebug = false;
+#endif
+
+  print_header("Throughput - wall-clock ops/sec per backend per workload mix");
+  std::printf("contracts=%s ndebug=%s  (release-bench preset: contracts off, -O3 -DNDEBUG)\n",
+              contracts ? "on" : "off", ndebug ? "on" : "off");
+  print_rule();
+  print_row({"backend", "mix", "n", "ops", "sec", "ops/sec", "msgs/op", "visits/op", "cmps/op",
+             "build_s"},
+            17);
+  print_rule();
+
+  json_writer jw;
+  jw.begin_object();
+  jw.field("bench", "throughput");
+  jw.field("contracts", contracts);
+  jw.field("ndebug", ndebug);
+  jw.field("seed", cfg.seed);
+  jw.field("batch", static_cast<std::uint64_t>(cfg.batch));
+  jw.key("samples").begin_array();
+
+  for (const auto& backend : cfg.backends) {
+    for (const auto& mix_name : cfg.mixes) {
+      const mix_t& mix = *find_mix(mix_name);
+      for (const std::size_t n : cfg.ns) {
+        const auto res = run_cell(backend, mix, n, cfg);
+        print_row({backend, mix.name, fmt_u(n), fmt_u(res.ops), fmt(res.seconds, 3),
+                   fmt(res.ops_per_sec(), 0), fmt(res.per_op(res.totals.messages), 2),
+                   fmt(res.per_op(res.totals.host_visits), 2),
+                   fmt(res.per_op(res.totals.comparisons), 2), fmt(res.build_seconds, 3)},
+                  17);
+        jw.begin_object();
+        jw.field("backend", backend);
+        jw.field("mix", mix.name);
+        jw.field("n", n);
+        jw.field("ops", res.ops);
+        jw.field("seconds", res.seconds);
+        jw.field("ops_per_sec", res.ops_per_sec());
+        jw.field("build_seconds", res.build_seconds);
+        jw.field("messages_per_op", res.per_op(res.totals.messages));
+        jw.field("host_visits_per_op", res.per_op(res.totals.host_visits));
+        jw.field("comparisons_per_op", res.per_op(res.totals.comparisons));
+        jw.field("searches", res.searches);
+        jw.field("inserts", res.inserts);
+        jw.field("erases", res.erases);
+        jw.end_object();
+      }
+    }
+    print_rule();
+  }
+
+  jw.end_array();
+  jw.end_object();
+  write_bench_json(cfg.out, jw.str());
+  return 0;
+}

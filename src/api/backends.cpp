@@ -48,6 +48,14 @@ class adapter final : public distributed_index {
   [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const override {
     return impl_.nearest(q, origin);
   }
+  [[nodiscard]] std::vector<nn_result> nearest_batch(const std::vector<std::uint64_t>& qs,
+                                                     net::host_id origin) const override {
+    if constexpr (has_nearest_batch) {
+      return impl_.nearest_batch(qs, origin);
+    } else {
+      return distributed_index::nearest_batch(qs, origin);
+    }
+  }
   [[nodiscard]] op_result<bool> contains(std::uint64_t q, net::host_id origin) const override {
     return impl_.contains(q, origin);
   }
@@ -70,6 +78,8 @@ class adapter final : public distributed_index {
  private:
   static constexpr bool has_native_range =
       requires(const S& s) { s.range(std::uint64_t{}, std::uint64_t{}, net::host_id{}, std::size_t{}); };
+  static constexpr bool has_nearest_batch =
+      requires(const S& s) { s.nearest_batch(std::vector<std::uint64_t>{}, net::host_id{}); };
 
   std::string name_;
   S impl_;

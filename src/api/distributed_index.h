@@ -65,6 +65,18 @@ class distributed_index {
   virtual op_stats insert(std::uint64_t key, net::host_id origin) = 0;
   virtual op_stats erase(std::uint64_t key, net::host_id origin) = 0;
 
+  // Batched nearest: must behave exactly as nearest() called once per query
+  // (same results, same per-op cost receipts). The default is that loop;
+  // backends with an interleaved router override it to overlap the
+  // independent lookups' memory latency (see core::route_search_batch).
+  [[nodiscard]] virtual std::vector<nn_result> nearest_batch(
+      const std::vector<std::uint64_t>& qs, net::host_id origin) const {
+    std::vector<nn_result> out;
+    out.reserve(qs.size());
+    for (const auto q : qs) out.push_back(nearest(q, origin));
+    return out;
+  }
+
   // Default: membership is the nearest-neighbour query's predecessor test.
   [[nodiscard]] virtual op_result<bool> contains(std::uint64_t q, net::host_id origin) const {
     const auto r = nearest(q, origin);

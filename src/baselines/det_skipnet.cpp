@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/routing_1d.h"
+#include "util/prefetch.h"
 #include "util/sw_assert.h"
 
 namespace skipweb::baselines {
@@ -73,8 +74,9 @@ api::nn_result det_skipnet::nearest(std::uint64_t q, net::host_id origin) const 
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_->levels()));
-  const auto [pred, succ] = core::route_search(*lists_, q, root, lists_->levels(), cur,
-                                               [this](int i, int l) { return host_of(i, l); });
+  const auto [pred, succ] = core::route_search(
+      *lists_, q, root, lists_->levels(), cur, [this](int i, int l) { return host_of(i, l); },
+      [this](int i) { util::prefetch(&owner_[static_cast<std::size_t>(i)]); });
   api::nn_result out;
   if (pred >= 0) {
     out.has_pred = true;
@@ -108,7 +110,9 @@ api::op_stats det_skipnet::insert(std::uint64_t key, net::host_id origin) {
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_->levels()));
   auto host_fn = [this](int i, int l) { return host_of(i, l); };
-  const auto [pred0, succ0] = core::route_search(*lists_, key, root, lists_->levels(), cur, host_fn);
+  const auto [pred0, succ0] = core::route_search(
+      *lists_, key, root, lists_->levels(), cur, host_fn,
+      [this](int i) { util::prefetch(&owner_[static_cast<std::size_t>(i)]); });
   SW_EXPECTS(pred0 < 0 || lists_->key(pred0) != key);
 
   // Deterministic drift splice: adopt the predecessor's vector (successor's
@@ -142,7 +146,9 @@ api::op_stats det_skipnet::erase(std::uint64_t key, net::host_id origin) {
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_->levels()));
   auto host_fn = [this](int i, int l) { return host_of(i, l); };
-  const auto [pred0, succ0] = core::route_search(*lists_, key, root, lists_->levels(), cur, host_fn);
+  const auto [pred0, succ0] = core::route_search(
+      *lists_, key, root, lists_->levels(), cur, host_fn,
+      [this](int i) { util::prefetch(&owner_[static_cast<std::size_t>(i)]); });
   (void)succ0;
   SW_EXPECTS(pred0 >= 0 && lists_->key(pred0) == key);
   for (int l = 0; l <= lists_->levels(); ++l) {

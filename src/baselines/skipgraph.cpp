@@ -1,7 +1,7 @@
 #include "baselines/skipgraph.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <numeric>
 
 #include "util/sw_assert.h"
 
@@ -28,30 +28,53 @@ void skip_graph::build(std::vector<std::uint64_t> keys) {
   // Link level by level until every list is a singleton: the members of a
   // level-l list share an l-bit prefix; an element whose level-l list is a
   // singleton does not take part in level l+1.
+  //
+  // No hash maps: `active` is kept grouped by the current prefix (a stable
+  // one-bit partition per level, radix style), so each level-l list is a
+  // maximal run of equal masked bits — link adjacent run members, keep runs
+  // of length >= 2, repartition by the next bit.
   std::vector<int> active(elems_.size());
-  for (std::size_t i = 0; i < elems_.size(); ++i) active[i] = static_cast<int>(i);
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<int> survivors, scratch;
   int level = 0;
   while (!active.empty() && level < util::max_levels) {
-    std::unordered_map<std::uint64_t, int> last;  // prefix -> last element seen
-    std::unordered_map<std::uint64_t, int> count;
-    for (const int i : active) {
-      elems_[static_cast<std::size_t>(i)].prev.push_back(-1);
-      elems_[static_cast<std::size_t>(i)].next.push_back(-1);
-      const auto p = util::prefix_of(elems_[static_cast<std::size_t>(i)].bits, level).bits;
-      ++count[p];
-      auto [it, fresh] = last.try_emplace(p, i);
-      if (!fresh) {
-        elems_[static_cast<std::size_t>(it->second)].next[static_cast<std::size_t>(level)] = i;
-        elems_[static_cast<std::size_t>(i)].prev[static_cast<std::size_t>(level)] = it->second;
-        it->second = i;
+    const std::uint64_t mask =
+        level == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << level) - 1;
+    survivors.clear();
+    const int* act = active.data();
+    const std::size_t m = active.size();
+    std::size_t i = 0;
+    while (i < m) {
+      const std::uint64_t p = elems_[static_cast<std::size_t>(act[i])].bits & mask;
+      std::size_t j = i;
+      int prev_in_run = -1;
+      while (j < m) {
+        const int e = act[j];
+        if ((elems_[static_cast<std::size_t>(e)].bits & mask) != p) break;
+        elems_[static_cast<std::size_t>(e)].prev.push_back(prev_in_run);
+        elems_[static_cast<std::size_t>(e)].next.push_back(-1);
+        if (prev_in_run >= 0) {
+          elems_[static_cast<std::size_t>(prev_in_run)].next[static_cast<std::size_t>(level)] = e;
+        }
+        prev_in_run = e;
+        ++j;
       }
+      if (j - i >= 2) {
+        survivors.insert(survivors.end(), active.begin() + static_cast<std::ptrdiff_t>(i),
+                         active.begin() + static_cast<std::ptrdiff_t>(j));
+      }
+      i = j;
     }
-    std::vector<int> survivors;
-    for (const int i : active) {
-      const auto p = util::prefix_of(elems_[static_cast<std::size_t>(i)].bits, level).bits;
-      if (count[p] >= 2) survivors.push_back(i);
+    // Stable partition by the next membership bit: groups for level+1 become
+    // contiguous while each keeps its key order.
+    scratch.clear();
+    for (const int s : survivors) {
+      if (!util::membership_bit(elems_[static_cast<std::size_t>(s)].bits, level)) scratch.push_back(s);
     }
-    active.swap(survivors);
+    for (const int s : survivors) {
+      if (util::membership_bit(elems_[static_cast<std::size_t>(s)].bits, level)) scratch.push_back(s);
+    }
+    active.swap(scratch);
     ++level;
   }
 

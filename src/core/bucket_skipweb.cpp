@@ -1,7 +1,6 @@
 #include "core/bucket_skipweb.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "core/routing_1d.h"
 

@@ -1,10 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <numeric>
 #include <vector>
 
 #include "util/membership.h"
+#include "util/prefetch.h"
 #include "util/rng.h"
 #include "util/sw_assert.h"
 
@@ -16,6 +17,17 @@ namespace skipweb::core {
 // doubly-linked sorted list. Level 0 is the single global sorted list; lists
 // thin out by half per level up to ceil(log2 n) levels, so top-level lists
 // have O(1) expected size.
+//
+// Memory layout: a structure-of-arrays arena. Keys, membership vectors,
+// uids, redirects and alive flags live in parallel arrays indexed by arena
+// slot, and the level links live in two flat half-link pools (forward and
+// backward), each with a fixed stride of levels+1 records per item. A
+// 16-byte half-link holds the link *and a cache of that neighbour's key* —
+// the standard skip-graph trick (see routing_1d.h): the router's
+// advance-or-stop decision is one 16-byte load from the current item's own
+// record instead of a per-item heap-vector chase plus a random key load,
+// and a walk in one direction touches only that direction's pool. See
+// DESIGN.md "Performance model & memory layout".
 //
 // This class owns only the *structure* (arena + links). The distributed
 // protocols in skipweb_1d.h / bucket_skipweb.h do their own routing and
@@ -42,67 +54,95 @@ class level_lists {
  private:
   level_lists(std::vector<std::uint64_t> sorted_keys,
               const std::vector<util::membership_bits>* explicit_bits, util::rng* r, int levels)
-      : levels_(levels) {
+      : levels_(levels), stride_(static_cast<std::size_t>(levels) + 1) {
     SW_EXPECTS(levels_ >= 0 && levels_ < util::max_levels);
     SW_EXPECTS(explicit_bits == nullptr || explicit_bits->size() == sorted_keys.size());
-    items_.reserve(sorted_keys.size());
     for (std::size_t i = 0; i + 1 < sorted_keys.size(); ++i) {
       SW_EXPECTS(sorted_keys[i] < sorted_keys[i + 1]);
     }
-    for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
-      item_t it;
-      it.key = sorted_keys[i];
-      it.bits = explicit_bits != nullptr ? (*explicit_bits)[i] : util::draw_membership(*r);
-      it.uid = next_uid_++;
-      it.prev.assign(static_cast<std::size_t>(levels_) + 1, -1);
-      it.next.assign(static_cast<std::size_t>(levels_) + 1, -1);
-      items_.push_back(std::move(it));
+    const std::size_t n = sorted_keys.size();
+    keys_ = std::move(sorted_keys);
+    bits_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bits_[i] = explicit_bits != nullptr ? (*explicit_bits)[i] : util::draw_membership(*r);
     }
-    // Link each level: consecutive items sharing the l-bit prefix. One hash
-    // map of "last seen item per prefix" keeps the build O(n) per level.
+    uids_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) uids_[i] = next_uid_++;
+    redirect_.assign(n, -1);
+    alive_.assign(n, 1);
+    fwd_.assign(n * stride_, half_link{});
+    bwd_.assign(n * stride_, half_link{});
+
+    // Link each level with one radix-style counting pass instead of a hash
+    // map per level: `order` keeps the items grouped by their l-bit prefix
+    // (groups contiguous, key-sorted within, since the one-bit partition per
+    // level is stable), so the level-l lists are exactly the maximal runs of
+    // equal masked bits — link adjacent run members and move on.
+    std::vector<std::int32_t> order(n), scratch(n);
+    std::iota(order.begin(), order.end(), std::int32_t{0});
     for (int l = 0; l <= levels_; ++l) {
-      std::unordered_map<std::uint64_t, int> last;
-      last.reserve(items_.size());
-      for (int i = 0; i < static_cast<int>(items_.size()); ++i) {
-        const auto p = util::prefix_of(items_[static_cast<std::size_t>(i)].bits, l);
-        auto [it, fresh] = last.try_emplace(p.bits, i);
-        if (!fresh) {
-          const int found = it->second;
-          items_[static_cast<std::size_t>(found)].next[static_cast<std::size_t>(l)] = i;
-          items_[static_cast<std::size_t>(i)].prev[static_cast<std::size_t>(l)] = found;
-          it->second = i;
+      if (l > 0) {
+        std::size_t z = 0;
+        for (const auto i : order) {
+          if (!util::membership_bit(bits_[static_cast<std::size_t>(i)], l - 1)) scratch[z++] = i;
+        }
+        for (const auto i : order) {
+          if (util::membership_bit(bits_[static_cast<std::size_t>(i)], l - 1)) scratch[z++] = i;
+        }
+        order.swap(scratch);
+      }
+      const std::uint64_t mask = (std::uint64_t{1} << l) - 1;  // l < 64 always
+      for (std::size_t k = 1; k < n; ++k) {
+        const auto a = order[k - 1];
+        const auto b = order[k];
+        if ((bits_[static_cast<std::size_t>(a)] & mask) ==
+            (bits_[static_cast<std::size_t>(b)] & mask)) {
+          link(a, b, l);
         }
       }
     }
-    alive_count_ = items_.size();
+    alive_count_ = n;
+    alive_hint_ = n > 0 ? 0 : -1;
   }
 
  public:
   [[nodiscard]] int levels() const { return levels_; }
   [[nodiscard]] std::size_t size() const { return alive_count_; }
-  [[nodiscard]] std::size_t arena_size() const { return items_.size(); }
+  [[nodiscard]] std::size_t arena_size() const { return keys_.size(); }
 
-  [[nodiscard]] bool alive(int item) const { return items_[static_cast<std::size_t>(item)].alive; }
-  [[nodiscard]] std::uint64_t key(int item) const {
-    return items_[static_cast<std::size_t>(item)].key;
-  }
+  [[nodiscard]] bool alive(int item) const { return alive_[static_cast<std::size_t>(item)] != 0; }
+  [[nodiscard]] std::uint64_t key(int item) const { return keys_[static_cast<std::size_t>(item)]; }
   [[nodiscard]] util::membership_bits bits(int item) const {
-    return items_[static_cast<std::size_t>(item)].bits;
+    return bits_[static_cast<std::size_t>(item)];
   }
   // Stable identity for host hashing (arena slots are recycled, uids are not).
-  [[nodiscard]] std::uint64_t uid(int item) const {
-    return items_[static_cast<std::size_t>(item)].uid;
+  [[nodiscard]] std::uint64_t uid(int item) const { return uids_[static_cast<std::size_t>(item)]; }
+
+  [[nodiscard]] int next(int item, int level) const { return fwd_[slot(item, level)].to; }
+  [[nodiscard]] int prev(int item, int level) const { return bwd_[slot(item, level)].to; }
+
+  // The cached key of next(item, level) / prev(item, level) — valid whenever
+  // the link is (the structural edits keep link and key cache in sync), so
+  // routing can test a neighbour's key without touching the neighbour.
+  [[nodiscard]] std::uint64_t next_key(int item, int level) const {
+    return fwd_[slot(item, level)].key;
+  }
+  [[nodiscard]] std::uint64_t prev_key(int item, int level) const {
+    return bwd_[slot(item, level)].key;
   }
 
-  [[nodiscard]] int next(int item, int level) const {
-    return items_[static_cast<std::size_t>(item)].next[static_cast<std::size_t>(level)];
-  }
-  [[nodiscard]] int prev(int item, int level) const {
-    return items_[static_cast<std::size_t>(item)].prev[static_cast<std::size_t>(level)];
+  // Hints for the router: pull the half-link it will read next into cache
+  // while the hop bookkeeping resolves.
+  void prefetch_next(int item, int level) const { util::prefetch(&fwd_[slot(item, level)]); }
+  void prefetch_prev(int item, int level) const { util::prefetch(&bwd_[slot(item, level)]); }
+  // Warm an item's slot-indexed rows before a search starts there.
+  void prefetch_item(int item) const {
+    util::prefetch(&keys_[static_cast<std::size_t>(item)]);
+    util::prefetch(&alive_[static_cast<std::size_t>(item)]);
   }
 
   [[nodiscard]] util::level_prefix prefix(int item, int level) const {
-    return util::prefix_of(items_[static_cast<std::size_t>(item)].bits, level);
+    return util::prefix_of(bits_[static_cast<std::size_t>(item)], level);
   }
 
   [[nodiscard]] bool same_list(int a, int b, int level) const {
@@ -112,7 +152,7 @@ class level_lists {
   // Where an unspliced (deleted) item's traffic should be redirected: its
   // level-0 successor at deletion time (for stale root pointers).
   [[nodiscard]] int redirect(int item) const {
-    return items_[static_cast<std::size_t>(item)].redirect;
+    return redirect_[static_cast<std::size_t>(item)];
   }
 
   // Per-level insertion neighbours, as discovered by the distributed insert
@@ -132,17 +172,26 @@ class level_lists {
     if (!free_.empty()) {
       idx = free_.back();
       free_.pop_back();
-      items_[static_cast<std::size_t>(idx)] = item_t{};
+      const std::size_t base = static_cast<std::size_t>(idx) * stride_;
+      for (std::size_t k = 0; k < stride_; ++k) {
+        fwd_[base + k] = half_link{};
+        bwd_[base + k] = half_link{};
+      }
+      redirect_[static_cast<std::size_t>(idx)] = -1;
+      alive_[static_cast<std::size_t>(idx)] = 1;
     } else {
-      idx = static_cast<int>(items_.size());
-      items_.emplace_back();
+      idx = static_cast<int>(keys_.size());
+      keys_.emplace_back();
+      bits_.emplace_back();
+      uids_.emplace_back();
+      redirect_.push_back(-1);
+      alive_.push_back(1);
+      fwd_.resize(fwd_.size() + stride_, half_link{});
+      bwd_.resize(bwd_.size() + stride_, half_link{});
     }
-    item_t& it = items_[static_cast<std::size_t>(idx)];
-    it.key = key;
-    it.bits = bits;
-    it.uid = next_uid_++;
-    it.prev.assign(static_cast<std::size_t>(levels_) + 1, -1);
-    it.next.assign(static_cast<std::size_t>(levels_) + 1, -1);
+    keys_[static_cast<std::size_t>(idx)] = key;
+    bits_[static_cast<std::size_t>(idx)] = bits;
+    uids_[static_cast<std::size_t>(idx)] = next_uid_++;
 
     for (int l = 0; l <= levels_; ++l) {
       const auto [left, right] = nbrs[static_cast<std::size_t>(l)];
@@ -155,61 +204,80 @@ class level_lists {
         SW_EXPECTS(alive(right) && this->key(right) > key && prefix(right, l) == p);
         SW_EXPECTS(prev(right, l) == left);
       }
-      it.prev[static_cast<std::size_t>(l)] = left;
-      it.next[static_cast<std::size_t>(l)] = right;
-      if (left >= 0) items_[static_cast<std::size_t>(left)].next[static_cast<std::size_t>(l)] = idx;
-      if (right >= 0) items_[static_cast<std::size_t>(right)].prev[static_cast<std::size_t>(l)] = idx;
+      if (left >= 0) link(left, idx, l);
+      if (right >= 0) link(idx, right, l);
     }
     ++alive_count_;
+    alive_hint_ = idx;
     return idx;
   }
 
   void unsplice(int item) {
     SW_EXPECTS(alive(item));
-    item_t& it = items_[static_cast<std::size_t>(item)];
-    it.redirect = it.next[0] >= 0 ? it.next[0] : it.prev[0];
+    const int nx0 = next(item, 0);
+    const int pv0 = prev(item, 0);
+    redirect_[static_cast<std::size_t>(item)] = nx0 >= 0 ? nx0 : pv0;
     for (int l = 0; l <= levels_; ++l) {
-      const int pv = it.prev[static_cast<std::size_t>(l)];
-      const int nx = it.next[static_cast<std::size_t>(l)];
-      if (pv >= 0) items_[static_cast<std::size_t>(pv)].next[static_cast<std::size_t>(l)] = nx;
-      if (nx >= 0) items_[static_cast<std::size_t>(nx)].prev[static_cast<std::size_t>(l)] = pv;
-      it.prev[static_cast<std::size_t>(l)] = -1;
-      it.next[static_cast<std::size_t>(l)] = -1;
+      const int pv = prev(item, l);
+      const int nx = next(item, l);
+      if (pv >= 0 && nx >= 0) {
+        link(pv, nx, l);
+      } else if (pv >= 0) {
+        fwd_[slot(pv, l)] = half_link{};
+      } else if (nx >= 0) {
+        bwd_[slot(nx, l)] = half_link{};
+      }
+      fwd_[slot(item, l)] = half_link{};
+      bwd_[slot(item, l)] = half_link{};
     }
-    it.alive = false;
+    alive_[static_cast<std::size_t>(item)] = 0;
     --alive_count_;
     free_.push_back(item);
+    // Keep the alive hint live: the redirect target was alive a moment ago.
+    if (alive_hint_ == item) alive_hint_ = redirect_[static_cast<std::size_t>(item)];
   }
 
-  // Any alive item (smallest arena slot), or -1; used to seed root pointers.
+  // Any alive item, or -1; used to seed root pointers. Amortized O(1): a
+  // cached hint (maintained by splice_in/unsplice) is tried first, chasing
+  // redirects of items that died since; a full arena scan is the last resort.
   [[nodiscard]] int any_alive() const {
-    for (int i = 0; i < static_cast<int>(items_.size()); ++i) {
-      if (items_[static_cast<std::size_t>(i)].alive) return i;
+    int h = alive_hint_;
+    while (h >= 0 && alive_[static_cast<std::size_t>(h)] == 0) {
+      h = redirect_[static_cast<std::size_t>(h)];
     }
+    if (h >= 0) {
+      alive_hint_ = h;
+      return h;
+    }
+    for (int i = 0; i < static_cast<int>(arena_size()); ++i) {
+      if (alive_[static_cast<std::size_t>(i)] != 0) {
+        alive_hint_ = i;
+        return i;
+      }
+    }
+    alive_hint_ = -1;
     return -1;
   }
 
   // Structural invariants, checked by tests after randomized workloads:
-  // every level's lists are sorted, doubly-linked consistently, and contain
-  // exactly the alive items whose prefix matches.
+  // every level's lists are sorted, doubly-linked consistently with true key
+  // caches, and contain exactly the alive items whose prefix matches.
   [[nodiscard]] bool check_invariants() const {
     for (int l = 0; l <= levels_; ++l) {
-      for (int i = 0; i < static_cast<int>(items_.size()); ++i) {
-        const auto& it = items_[static_cast<std::size_t>(i)];
-        if (!it.alive) continue;
-        const int nx = it.next[static_cast<std::size_t>(l)];
+      for (int i = 0; i < static_cast<int>(arena_size()); ++i) {
+        if (!alive(i)) continue;
+        const int nx = next(i, l);
         if (nx >= 0) {
-          const auto& nt = items_[static_cast<std::size_t>(nx)];
-          if (!nt.alive) return false;
-          if (nt.key <= it.key) return false;
-          if (util::prefix_of(nt.bits, l) != util::prefix_of(it.bits, l)) return false;
-          if (nt.prev[static_cast<std::size_t>(l)] != i) return false;
+          if (!alive(nx)) return false;
+          if (key(nx) <= key(i)) return false;
+          if (prefix(nx, l) != prefix(i, l)) return false;
+          if (prev(nx, l) != i) return false;
+          if (next_key(i, l) != key(nx)) return false;
+          if (prev_key(nx, l) != key(i)) return false;
           // No alive same-prefix item strictly between them.
-          for (int j = 0; j < static_cast<int>(items_.size()); ++j) {
-            const auto& jt = items_[static_cast<std::size_t>(j)];
-            if (!jt.alive || j == i || j == nx) continue;
-            if (jt.key > it.key && jt.key < nt.key &&
-                util::prefix_of(jt.bits, l) == util::prefix_of(it.bits, l)) {
+          for (int j = 0; j < static_cast<int>(arena_size()); ++j) {
+            if (!alive(j) || j == i || j == nx) continue;
+            if (key(j) > key(i) && key(j) < key(nx) && prefix(j, l) == prefix(i, l)) {
               return false;
             }
           }
@@ -220,20 +288,38 @@ class level_lists {
   }
 
  private:
-  struct item_t {
+  // Half of a level node: the link in one direction plus a cache of that
+  // neighbour's key, packed so the router's advance-or-stop decision is one
+  // 16-byte load from one pool.
+  struct half_link {
+    std::int32_t to = -1;
     std::uint64_t key = 0;
-    util::membership_bits bits = 0;
-    std::uint64_t uid = 0;
-    std::vector<int> prev, next;
-    int redirect = -1;
-    bool alive = true;
   };
 
-  std::vector<item_t> items_;
+  [[nodiscard]] std::size_t slot(int item, int level) const {
+    return static_cast<std::size_t>(item) * stride_ + static_cast<std::size_t>(level);
+  }
+
+  // Make b follow a in the level-l list, refreshing both key caches.
+  void link(int a, int b, int l) {
+    fwd_[slot(a, l)] = {b, keys_[static_cast<std::size_t>(b)]};
+    bwd_[slot(b, l)] = {a, keys_[static_cast<std::size_t>(a)]};
+  }
+
+  // Parallel arrays indexed by arena slot; see the class comment for layout.
+  std::vector<std::uint64_t> keys_;
+  std::vector<util::membership_bits> bits_;
+  std::vector<std::uint64_t> uids_;
+  std::vector<std::int32_t> redirect_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<half_link> fwd_;  // stride_ records per item: next links, one per level
+  std::vector<half_link> bwd_;  // stride_ records per item: prev links
   std::vector<int> free_;
   std::uint64_t next_uid_ = 0;
   int levels_ = 0;
+  std::size_t stride_ = 1;
   std::size_t alive_count_ = 0;
+  mutable int alive_hint_ = -1;  // mutable: any_alive() repairs it lazily
 };
 
 }  // namespace skipweb::core

@@ -18,43 +18,168 @@ namespace skipweb::core {
 
 // Top-down descent locating q: returns the level-0 predecessor item (largest
 // key <= q) and successor item (smallest key > q), -1 when absent.
-template <typename HostOf>
+// `host_prefetch(item)` is a hint-only callback fired as soon as the next
+// hop's item is known, so a placement with an owner table can start that
+// lookup while the link record resolves (pass a no-op when placement is
+// computed, not stored).
+template <typename HostOf, typename HostPrefetch>
 std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int start_item,
-                                 int start_level, net::cursor& cur, HostOf&& host_of) {
+                                 int start_level, net::cursor& cur, HostOf&& host_of,
+                                 HostPrefetch&& host_prefetch) {
   SW_EXPECTS(lists.alive(start_item));
   int item = start_item;
+  // The current item's key rides along in a register; on an advance it is
+  // refreshed from the key cache just read, so the hot loop never loads
+  // keys at all — each advance-or-stop decision is one node-record load.
+  std::uint64_t item_key = lists.key(item);
   for (int l = start_level; l >= 0; --l) {
     cur.move_to(host_of(item, l));  // descend the item's tower
     // A node caches its neighbours' keys alongside the remote references
-    // (standard in skip graphs), so overshoot checks are local; only actual
-    // advances of the query locus hop.
+    // (standard in skip graphs; level_lists stores them in the node record),
+    // so overshoot checks are local; only actual advances of the query
+    // locus hop.
     cur.note_comparisons();
-    if (lists.key(item) <= q) {
+    if (item_key <= q) {
       // Approach from the left: advance while the next same-list item does
       // not overshoot.
       for (;;) {
         const int nx = lists.next(item, l);
-        if (nx >= 0) cur.note_comparisons();
-        if (nx < 0 || lists.key(nx) > q) break;
+        if (nx < 0) break;
+        cur.note_comparisons();
+        const std::uint64_t nk = lists.next_key(item, l);
+        if (nk > q) break;
         item = nx;
+        item_key = nk;
+        // Overlap the next iteration's loads with the hop bookkeeping.
+        lists.prefetch_next(item, l);
+        host_prefetch(item);
         cur.move_to(host_of(item, l));
       }
     } else {
       // Approach from the right, symmetrically.
       for (;;) {
         const int pv = lists.prev(item, l);
-        if (pv >= 0) cur.note_comparisons();
-        if (pv < 0 || lists.key(pv) <= q) break;
+        if (pv < 0) break;
+        cur.note_comparisons();
+        const std::uint64_t pk = lists.prev_key(item, l);
+        if (pk <= q) break;
         item = pv;
+        item_key = pk;
+        lists.prefetch_prev(item, l);
+        host_prefetch(item);
         cur.move_to(host_of(item, l));
       }
     }
   }
   // item now flanks q in the global level-0 list.
-  if (lists.key(item) <= q) {
+  if (item_key <= q) {
     return {item, lists.next(item, 0)};
   }
   return {lists.prev(item, 0), item};
+}
+
+template <typename HostOf>
+std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int start_item,
+                                 int start_level, net::cursor& cur, HostOf&& host_of) {
+  return route_search(lists, q, start_item, start_level, cur, std::forward<HostOf>(host_of),
+                      [](int) {});
+}
+
+// Interleaved batch descent: `count` independent searches sharing one start
+// advance in lockstep, one link-record decision per query per round, with
+// every query's next read prefetched a full round ahead. The per-query
+// routes, results and cursor receipts are IDENTICAL to running route_search
+// serially (tests assert this); what changes is wall-clock — the searches'
+// memory-latency chains resolve in parallel instead of back to back, which
+// is where the simulator's single-thread throughput ceiling sits. Keep
+// `count` modest (a few dozen): each active query holds about one
+// outstanding cache miss.
+template <typename HostOf, typename HostPrefetch>
+void route_search_batch(const level_lists& lists, const std::uint64_t* qs, std::size_t count,
+                        int start_item, int start_level, net::cursor* curs,
+                        std::pair<int, int>* out, HostOf&& host_of,
+                        HostPrefetch&& host_prefetch) {
+  SW_EXPECTS(lists.alive(start_item));
+  struct qstate {
+    std::uint64_t q = 0;
+    std::uint64_t item_key = 0;
+    std::int32_t item = -1;
+    std::int32_t level = 0;
+    bool entering = true;  // pending level-entry bookkeeping (hop + comparison)
+    bool done = false;
+  };
+  std::vector<qstate> st(count);
+  const std::uint64_t start_key = lists.key(start_item);
+  lists.prefetch_next(start_item, start_level);
+  for (std::size_t i = 0; i < count; ++i) {
+    st[i] = {qs[i], start_key, start_item, start_level, true, false};
+  }
+  std::size_t remaining = count;
+  while (remaining > 0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      qstate& s = st[i];
+      if (s.done) continue;
+      net::cursor& cur = curs[i];
+      if (s.entering) {
+        cur.move_to(host_of(s.item, s.level));
+        cur.note_comparisons();
+        s.entering = false;
+      }
+      // One advance-or-stop decision, exactly as in route_search's walk.
+      bool stopped;
+      if (s.item_key <= s.q) {
+        const int nx = lists.next(s.item, s.level);
+        stopped = nx < 0;
+        if (!stopped) {
+          cur.note_comparisons();
+          const std::uint64_t nk = lists.next_key(s.item, s.level);
+          if (nk > s.q) {
+            stopped = true;
+          } else {
+            s.item = nx;
+            s.item_key = nk;
+            lists.prefetch_next(s.item, s.level);
+            host_prefetch(s.item);
+            cur.move_to(host_of(s.item, s.level));
+          }
+        }
+      } else {
+        const int pv = lists.prev(s.item, s.level);
+        stopped = pv < 0;
+        if (!stopped) {
+          cur.note_comparisons();
+          const std::uint64_t pk = lists.prev_key(s.item, s.level);
+          if (pk <= s.q) {
+            stopped = true;
+          } else {
+            s.item = pv;
+            s.item_key = pk;
+            lists.prefetch_prev(s.item, s.level);
+            host_prefetch(s.item);
+            cur.move_to(host_of(s.item, s.level));
+          }
+        }
+      }
+      if (stopped) {
+        if (s.level == 0) {
+          out[i] = s.item_key <= s.q
+                       ? std::pair<int, int>{s.item, lists.next(s.item, 0)}
+                       : std::pair<int, int>{lists.prev(s.item, 0), static_cast<int>(s.item)};
+          s.done = true;
+          --remaining;
+        } else {
+          --s.level;
+          s.entering = true;
+          // The next round's decision reads this record; warm it now.
+          if (s.item_key <= s.q) {
+            lists.prefetch_next(s.item, s.level);
+          } else {
+            lists.prefetch_prev(s.item, s.level);
+          }
+        }
+      }
+    }
+  }
 }
 
 // Given the level-0 insertion flanks of a new key with membership `bits`,

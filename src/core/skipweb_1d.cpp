@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/routing_1d.h"
+#include "util/prefetch.h"
 
 namespace skipweb::core {
 
@@ -53,6 +54,10 @@ skipweb_1d::skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net:
   for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) charge_item_memory(i, +1);
 }
 
+void skipweb_1d::prefetch_host(int item) const {
+  if (policy_ == placement::tower) util::prefetch(&owner_[static_cast<std::size_t>(item)]);
+}
+
 net::host_id skipweb_1d::host_of(int item, int level) const {
   if (policy_ == placement::tower) return owner_[static_cast<std::size_t>(item)];
   return net::host_id{
@@ -77,7 +82,9 @@ api::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) const {
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
   const auto [pred, succ] =
-      route_search(lists_, q, root, lists_.levels(), cur, [this](int i, int l) { return host_of(i, l); });
+      route_search(lists_, q, root, lists_.levels(), cur,
+                   [this](int i, int l) { return host_of(i, l); },
+                   [this](int i) { prefetch_host(i); });
   if (pred >= 0) {
     out.has_pred = true;
     out.pred = lists_.key(pred);
@@ -87,6 +94,43 @@ api::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) const {
     out.succ = lists_.key(succ);
   }
   out.stats = api::op_stats::of(cur);
+  return out;
+}
+
+std::vector<api::nn_result> skipweb_1d::nearest_batch(const std::vector<std::uint64_t>& qs,
+                                                      net::host_id origin) const {
+  std::vector<api::nn_result> out(qs.size());
+  if (qs.empty()) return out;
+  const int root = root_for(origin);
+  // Interleave in chunks: each in-flight query holds about one outstanding
+  // miss, and a couple dozen chains saturate the core's miss parallelism.
+  constexpr std::size_t kChunk = 24;
+  std::vector<net::cursor> curs;
+  std::vector<std::pair<int, int>> flanks(kChunk);
+  for (std::size_t base = 0; base < qs.size(); base += kChunk) {
+    const std::size_t count = std::min(kChunk, qs.size() - base);
+    curs.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      curs.emplace_back(*net_, origin);
+      curs.back().move_to(host_of(root, lists_.levels()));
+    }
+    route_search_batch(
+        lists_, qs.data() + base, count, root, lists_.levels(), curs.data(), flanks.data(),
+        [this](int i, int l) { return host_of(i, l); }, [this](int i) { prefetch_host(i); });
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto [pred, succ] = flanks[i];
+      api::nn_result& r = out[base + i];
+      if (pred >= 0) {
+        r.has_pred = true;
+        r.pred = lists_.key(pred);
+      }
+      if (succ >= 0) {
+        r.has_succ = true;
+        r.succ = lists_.key(succ);
+      }
+      r.stats = api::op_stats::of(curs[i]);
+    }
+  }
   return out;
 }
 
@@ -103,7 +147,8 @@ api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, s
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
   const auto [pred, succ] = route_search(lists_, lo, root, lists_.levels(), cur,
-                                         [this](int i, int l) { return host_of(i, l); });
+                                         [this](int i, int l) { return host_of(i, l); },
+                                         [this](int i) { prefetch_host(i); });
   api::op_result<std::vector<std::uint64_t>> out;
   int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
   while (item >= 0 && lists_.key(item) <= hi) {
@@ -121,7 +166,8 @@ api::op_stats skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
   auto host_fn = [this](int i, int l) { return host_of(i, l); };
-  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn);
+  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn,
+                                           [this](int i) { prefetch_host(i); });
   SW_EXPECTS(pred0 < 0 || lists_.key(pred0) != key);  // duplicate keys rejected
 
   const auto bits = util::draw_membership(rng_);
@@ -157,7 +203,8 @@ api::op_stats skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
   auto host_fn = [this](int i, int l) { return host_of(i, l); };
-  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn);
+  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn,
+                                           [this](int i) { prefetch_host(i); });
   (void)succ0;
   SW_EXPECTS(pred0 >= 0 && lists_.key(pred0) == key);  // key must be present
   const int item = pred0;

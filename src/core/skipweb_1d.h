@@ -44,6 +44,14 @@ class skipweb_1d {
   // and successor of q, with the op's cost receipt in `.stats`.
   [[nodiscard]] api::nn_result nearest(std::uint64_t q, net::host_id origin) const;
 
+  // Batched nearest: identical results and per-op receipts to calling
+  // nearest() once per query, but the independent lookups are interleaved so
+  // their memory-latency chains overlap (see route_search_batch). This is
+  // the server-side batching a real deployment would do; bench_throughput
+  // uses it for its batched search cells.
+  [[nodiscard]] std::vector<api::nn_result> nearest_batch(const std::vector<std::uint64_t>& qs,
+                                                          net::host_id origin) const;
+
   [[nodiscard]] api::op_result<bool> contains(std::uint64_t q, net::host_id origin) const;
 
   // Insert/erase issued from `origin` (paper §4).
@@ -64,6 +72,10 @@ class skipweb_1d {
  private:
   [[nodiscard]] int root_for(net::host_id origin) const;
   void charge_item_memory(int item, std::int64_t sign);
+  // Hint-only: start the owner-table lookup for `item` early (tower
+  // placement stores owners; balanced placement computes them — nothing to
+  // prefetch).
+  void prefetch_host(int item) const;
   static level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r);
 
   util::rng rng_;       // declared before lists_: it feeds the level build

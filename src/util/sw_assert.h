@@ -3,11 +3,29 @@
 #include <stdexcept>
 #include <string>
 
+// Contract checking is compiled in when SW_CONTRACTS is 1 and compiles to
+// nothing (conditions left unevaluated) when it is 0. When the build system
+// does not say, the default follows NDEBUG: contracts on in debug builds,
+// off in optimized ones, so benches measure the structure rather than the
+// assertions. The CMake option SKIPWEB_CONTRACTS (default ON) pins the
+// choice PUBLICly on the library target — every consumer of one build
+// agrees, and the default keeps contracts on in every build type so the
+// test suite's contract-violation tests stay meaningful; the release-bench
+// preset turns them off.
+#if !defined(SW_CONTRACTS)
+#if defined(NDEBUG)
+#define SW_CONTRACTS 0
+#else
+#define SW_CONTRACTS 1
+#endif
+#endif
+
 namespace skipweb::util {
 
 // Thrown when a library contract (pre/postcondition or invariant) is
-// violated. Contracts stay enabled in release builds: the checks guard
-// protocol correctness, not hot inner loops.
+// violated. The checks guard protocol correctness, not hot inner loops, but
+// they do sit on the update path — see SW_CONTRACTS above for how builds
+// opt out.
 class contract_error : public std::logic_error {
  public:
   using std::logic_error::logic_error;
@@ -21,9 +39,21 @@ class contract_error : public std::logic_error {
 
 }  // namespace skipweb::util
 
+#if SW_CONTRACTS
+
 #define SW_EXPECTS(cond) \
   ((cond) ? void(0) : ::skipweb::util::contract_failure("precondition", #cond, __FILE__, __LINE__))
 #define SW_ENSURES(cond) \
   ((cond) ? void(0) : ::skipweb::util::contract_failure("postcondition", #cond, __FILE__, __LINE__))
 #define SW_ASSERT(cond) \
   ((cond) ? void(0) : ::skipweb::util::contract_failure("invariant", #cond, __FILE__, __LINE__))
+
+#else
+
+// sizeof keeps the condition parsed (no unused-variable warnings) but
+// unevaluated (no codegen).
+#define SW_EXPECTS(cond) (static_cast<void>(sizeof((cond) ? 1 : 0)))
+#define SW_ENSURES(cond) (static_cast<void>(sizeof((cond) ? 1 : 0)))
+#define SW_ASSERT(cond) (static_cast<void>(sizeof((cond) ? 1 : 0)))
+
+#endif

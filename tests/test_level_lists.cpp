@@ -21,6 +21,25 @@ level_lists make(std::size_t n, std::uint64_t seed) {
   return level_lists(std::move(keys), r, level_lists::levels_for(n));
 }
 
+// Oracle insert: find the per-level neighbours by brute force, then splice.
+// Returns the arena slot, or -1 when the key is already present.
+int oracle_insert(level_lists& ll, std::uint64_t key, skipweb::util::membership_bits bits) {
+  for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
+    if (ll.alive(i) && ll.key(i) == key) return -1;
+  }
+  std::vector<level_lists::neighbors> nbrs(static_cast<std::size_t>(ll.levels()) + 1);
+  for (int l = 0; l <= ll.levels(); ++l) {
+    int best_left = -1, best_right = -1;
+    for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
+      if (!ll.alive(i) || ll.prefix(i, l) != skipweb::util::prefix_of(bits, l)) continue;
+      if (ll.key(i) < key && (best_left < 0 || ll.key(i) > ll.key(best_left))) best_left = i;
+      if (ll.key(i) > key && (best_right < 0 || ll.key(i) < ll.key(best_right))) best_right = i;
+    }
+    nbrs[static_cast<std::size_t>(l)] = {best_left, best_right};
+  }
+  return ll.splice_in(key, bits, nbrs);
+}
+
 TEST(LevelLists, LevelsForIsCeilLog2) {
   EXPECT_EQ(level_lists::levels_for(1), 0);
   EXPECT_EQ(level_lists::levels_for(2), 1);
@@ -45,7 +64,9 @@ TEST(LevelLists, LevelZeroIsOneGlobalSortedList) {
   std::size_t count = 0;
   std::uint64_t last = 0;
   for (int i = head; i >= 0; i = ll.next(i, 0)) {
-    if (count > 0) EXPECT_GT(ll.key(i), last);
+    if (count > 0) {
+      EXPECT_GT(ll.key(i), last);
+    }
     last = ll.key(i);
     ++count;
   }
@@ -97,26 +118,10 @@ TEST(LevelLists, TopLevelListsAreSmall) {
 TEST(LevelLists, SpliceInMaintainsInvariants) {
   rng r(9119);  // distinct from the workload stream: fresh keys, no replays
   auto ll = make(64, 19);
-  // Oracle insert: find per-level neighbours by brute force, then splice.
   for (int round = 0; round < 64; ++round) {
     const std::uint64_t key = r.uniform_u64(0, std::uint64_t{1} << 62);
-    bool dup = false;
-    for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
-      if (ll.alive(i) && ll.key(i) == key) dup = true;
-    }
-    if (dup) continue;
     const auto bits = skipweb::util::draw_membership(r);
-    std::vector<level_lists::neighbors> nbrs(static_cast<std::size_t>(ll.levels()) + 1);
-    for (int l = 0; l <= ll.levels(); ++l) {
-      int best_left = -1, best_right = -1;
-      for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
-        if (!ll.alive(i) || ll.prefix(i, l) != skipweb::util::prefix_of(bits, l)) continue;
-        if (ll.key(i) < key && (best_left < 0 || ll.key(i) > ll.key(best_left))) best_left = i;
-        if (ll.key(i) > key && (best_right < 0 || ll.key(i) < ll.key(best_right))) best_right = i;
-      }
-      nbrs[static_cast<std::size_t>(l)] = {best_left, best_right};
-    }
-    ll.splice_in(key, bits, nbrs);
+    oracle_insert(ll, key, bits);
   }
   EXPECT_EQ(ll.size(), 128u);
   EXPECT_TRUE(ll.check_invariants());
@@ -190,6 +195,76 @@ TEST(LevelLists, UidsAreStableAcrossReuse) {
   const int reused = ll.splice_in(key, bits, nbrs);
   EXPECT_EQ(reused, 0);             // arena slot recycled
   EXPECT_NE(ll.uid(reused), uid0);  // identity is not
+}
+
+TEST(LevelLists, ChurnRecyclesSlotsWithoutReusingUids) {
+  // Randomized insert/erase churn that exercises the free list hard: the
+  // arena must recycle slots (bounded growth) while uids stay unique
+  // forever, and the structure must stay consistent throughout.
+  constexpr std::size_t n0 = 48;
+  auto ll = make(n0, 43);
+  rng r(47);
+  std::set<std::uint64_t> uids_seen;
+  for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
+    EXPECT_TRUE(uids_seen.insert(ll.uid(i)).second);
+  }
+  std::size_t live = n0;
+  std::size_t max_live = n0;
+  for (int round = 0; round < 400; ++round) {
+    const bool do_insert = live <= 2 || (live < 96 && r.bit());
+    if (do_insert) {
+      const int slot =
+          oracle_insert(ll, r.uniform_u64(0, std::uint64_t{1} << 62), skipweb::util::draw_membership(r));
+      if (slot < 0) continue;  // duplicate key drawn; try again next round
+      EXPECT_TRUE(uids_seen.insert(ll.uid(slot)).second)
+          << "uid reused on arena slot " << slot;
+      ++live;
+      max_live = std::max(max_live, live);
+    } else {
+      // Erase a uniformly random alive item.
+      std::vector<int> alive_items;
+      for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
+        if (ll.alive(i)) alive_items.push_back(i);
+      }
+      ll.unsplice(alive_items[r.index(alive_items.size())]);
+      --live;
+    }
+    EXPECT_EQ(ll.size(), live);
+  }
+  // Slots were recycled: the arena never outgrew the high-water mark of live
+  // items (growth only happens when the free list is empty).
+  EXPECT_LE(ll.arena_size(), max_live);
+  EXPECT_TRUE(ll.check_invariants());
+}
+
+TEST(LevelLists, AnyAliveStaysLiveUnderChurn) {
+  auto ll = make(16, 53);
+  rng r(59);
+  // Drain the structure one item at a time, interleaved with the occasional
+  // re-insert; any_alive() must always return an alive slot (the cached
+  // hint must never go stale), and -1 exactly when empty.
+  std::size_t live = 16;
+  while (live > 0) {
+    const int a = ll.any_alive();
+    ASSERT_GE(a, 0);
+    EXPECT_TRUE(ll.alive(a));
+    if (live < 8 && r.index(4) == 0) {
+      if (oracle_insert(ll, r.uniform_u64(0, std::uint64_t{1} << 62),
+                        skipweb::util::draw_membership(r)) >= 0) {
+        ++live;
+        continue;
+      }
+    }
+    // Erase the hinted item itself half the time to force hint repair.
+    std::vector<int> alive_items;
+    for (int i = 0; i < static_cast<int>(ll.arena_size()); ++i) {
+      if (ll.alive(i)) alive_items.push_back(i);
+    }
+    ll.unsplice(r.bit() ? a : alive_items[r.index(alive_items.size())]);
+    --live;
+  }
+  EXPECT_EQ(ll.any_alive(), -1);
+  EXPECT_EQ(ll.size(), 0u);
 }
 
 }  // namespace
