@@ -1,13 +1,16 @@
 // The paper's geographic-information-system example (§1.3, §3.3): point
-// location in a planar subdivision "as would be created by a campus or city
-// map". A trapezoidal-map skip-web distributes the map; "which region am I
-// in" queries follow conflict hyperlinks down the levels in O(log n)
-// messages (Lemma 5 keeps each hop O(1) candidates).
+// location "as would be created by a campus or city map", here built
+// through the *spatial registry* over the trapezoidal-map backend. Campus
+// points of interest become platform segments in a distributed trapezoidal
+// map; "which cell am I in" follows conflict hyperlinks down the skip
+// levels in O(log n) messages (Lemma 5 keeps each hop O(1) candidates),
+// and the same spatial_index surface answers range and nearest-POI queries
+// — swap the backend string for "skip_quadtree2" and compare receipts.
 
 #include <cstdio>
 #include <vector>
 
-#include "core/skip_trapmap.h"
+#include "api/spatial_registry.h"
 #include "net/network.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
@@ -16,35 +19,44 @@ int main() {
   using namespace skipweb;
   namespace wl = skipweb::workloads;
 
-  // The "campus map": disjoint wall segments partitioning the quad.
-  const std::size_t walls = 600;
+  // Campus points of interest: buildings, fountains, food carts.
+  const std::size_t pois = 600;
   util::rng rng(314);
-  const auto segments = wl::random_disjoint_segments(walls, rng);
-  const auto box = wl::segment_box();
+  const auto sites = wl::spatial_points(2, pois, /*clustered=*/true, rng);
 
-  net::network network(walls);
-  core::skip_trapmap map(segments, box.xmin, box.xmax, box.ymin, box.ymax, /*seed=*/31, network);
-  std::printf("campus map: %zu wall segments -> %zu trapezoidal cells, %d skip levels\n",
-              map.size(), map.ground().trapezoid_count(), map.levels());
-  std::printf("mean conflict-list length %.2f (Lemma 5: O(1))\n", map.mean_conflicts());
+  net::network network(1);
+  const auto map = api::make_spatial_index(
+      "skip_trapmap", sites, api::index_options{}.seed(31).initial_hosts(pois), network);
+  std::printf("campus map: backend %s over %zu points of interest (%d-d)\n",
+              std::string(map->backend()).c_str(), map->size(), map->dims());
 
-  // Visitors ask which cell they stand in; the answer names the bounding
-  // walls above and below.
-  const auto probes = wl::interior_probes(5, rng);
-  for (std::size_t i = 0; i < probes.size(); ++i) {
-    const auto [x, y] = probes[i];
-    const auto res = map.locate(x, y, net::host_id{static_cast<std::uint32_t>(i * 97 % walls)});
-    const auto& cell = map.ground().trap(res.trap);
+  auto as_unit = [](std::uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(seq::coord_span);
+  };
+
+  // Visitors ask which map cell they stand in; the trapezoidal decomposition
+  // names the cell and its width (the locate receipt's scale).
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto me = wl::spatial_probe(2, rng);
+    const auto res = map->locate(me, net::host_id{static_cast<std::uint32_t>(trial * 97 % pois)});
     std::printf(
-        "visitor at (%.3f, %.3f): cell #%d spanning x in [%.3f, %.3f], wall %d above, "
-        "wall %d below  (%llu messages)\n",
-        x, y, res.trap, cell.left_x, cell.right_x, cell.top, cell.bottom,
-        static_cast<unsigned long long>(res.stats.messages));
+        "visitor at (%.3f, %.3f): cell #%llu, width %.4f of campus  (%llu messages)\n",
+        as_unit(me.x[0]), as_unit(me.x[1]), static_cast<unsigned long long>(res.cell),
+        as_unit(res.scale), static_cast<unsigned long long>(res.stats.messages));
   }
 
+  // The nearest point of interest, through the generic expanding-range
+  // reduction (exact answer; the receipt prices the backend's sweeps).
+  api::spatial_point centre;
+  for (int d = 0; d < 2; ++d) centre.x[static_cast<std::size_t>(d)] = seq::coord_span / 2;
+  const auto nn = map->approx_nn(centre, net::host_id{3});
+  std::printf("nearest POI to the campus centre: (%.3f, %.3f) in %llu messages\n",
+              as_unit(nn.value.x[0]), as_unit(nn.value.x[1]),
+              static_cast<unsigned long long>(nn.stats.messages));
+
   std::printf(
-      "\n(point location over %zu cells touched ~%d hosts per query - the skip levels do\n"
-      "for the plane what skip lists do for sorted keys.)\n",
-      map.ground().trapezoid_count(), map.levels() + 3);
+      "\n(point location over %zu points of interest routes through the skip levels - the\n"
+      "levels do for the plane what skip lists do for sorted keys.)\n",
+      map->size());
   return 0;
 }

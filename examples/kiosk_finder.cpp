@@ -1,13 +1,16 @@
 // The paper's location-based-services example (§1): "a nearest-neighbor
 // query in a two-dimensional point set could reveal the closest open
-// computer kiosk or empty parking space on a college campus." A skip
-// quadtree spreads the kiosk locations over the hosts; point location and
-// nearest-kiosk queries route in O(log n) messages.
+// computer kiosk or empty parking space on a college campus." The kiosk
+// directory is built through the *spatial registry*: pick the backend by
+// name ("skip_quadtree2" here — swap the string for "skip_trie" or
+// "skip_trapmap" and the code runs unchanged) and drive it through the
+// uniform spatial_index surface: locate, approx_nn, orthogonal_range,
+// insert/erase, all returning op_stats receipts.
 
 #include <cstdio>
 #include <vector>
 
-#include "core/skip_quadtree.h"
+#include "api/spatial_registry.h"
 #include "net/network.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
@@ -20,42 +23,49 @@ int main() {
   // quads, libraries and labs.
   const std::size_t kiosks = 1500;
   util::rng rng(99);
-  const auto locations = wl::clustered_points<2>(kiosks, rng);
+  const auto locations = wl::spatial_points(2, kiosks, /*clustered=*/true, rng);
 
-  net::network network(kiosks);
-  core::skip_quadtree<2> campus(locations, /*seed=*/23, network);
-  std::printf("campus directory: %zu kiosks, compressed quadtree depth %d, %d skip levels\n",
-              campus.size(), campus.depth(), campus.levels());
+  net::network network(1);
+  const auto campus = api::make_spatial_index(
+      "skip_quadtree2", locations, api::index_options{}.seed(23).initial_hosts(kiosks), network);
+  std::printf("campus directory: backend %s over %zu kiosks (%d-d)\n",
+              std::string(campus->backend()).c_str(), campus->size(), campus->dims());
   std::printf("per-host memory: mean %.1f units, max %llu (O(log n) per host)\n",
               network.mean_memory(), static_cast<unsigned long long>(network.max_memory()));
 
   // A student at a random spot asks for the nearest kiosk; the query starts
   // at the host of their choosing (their own machine).
+  auto as_unit = [](std::uint64_t v) {
+    return static_cast<double>(v) / static_cast<double>(seq::coord_span);
+  };
   for (int trial = 0; trial < 4; ++trial) {
-    seq::qpoint<2> me;
-    for (int d = 0; d < 2; ++d) me.x[d] = rng.uniform_u64(0, seq::coord_span - 1);
-
+    const auto me = wl::spatial_probe(2, rng);
     const auto found =
-        campus.nearest(me, net::host_id{static_cast<std::uint32_t>(trial * 137 % kiosks)});
-    const auto& kiosk = found.value;
-    const std::uint64_t messages = found.stats.messages;
-    const double dx = (static_cast<double>(kiosk.x[0]) - static_cast<double>(me.x[0])) /
-                      static_cast<double>(seq::coord_span);
-    const double dy = (static_cast<double>(kiosk.x[1]) - static_cast<double>(me.x[1])) /
-                      static_cast<double>(seq::coord_span);
+        campus->approx_nn(me, net::host_id{static_cast<std::uint32_t>(trial * 137 % kiosks)});
+    const double dx = as_unit(found.value.x[0]) - as_unit(me.x[0]);
+    const double dy = as_unit(found.value.x[1]) - as_unit(me.x[1]);
     std::printf("student at (%.4f, %.4f): nearest kiosk offset (%+.4f, %+.4f), %llu messages\n",
-                static_cast<double>(me.x[0]) / static_cast<double>(seq::coord_span),
-                static_cast<double>(me.x[1]) / static_cast<double>(seq::coord_span), dx, dy,
-                static_cast<unsigned long long>(messages));
+                as_unit(me.x[0]), as_unit(me.x[1]), dx, dy,
+                static_cast<unsigned long long>(found.stats.messages));
   }
+
+  // "Which kiosks are in this quad?" — an orthogonal range over the corner
+  // tenth of campus (the paper's §3 range operation, native on the quadtree).
+  api::spatial_box quad;
+  for (int d = 0; d < 2; ++d) {
+    quad.hi.x[static_cast<std::size_t>(d)] = seq::coord_span / 10;
+  }
+  const auto in_quad = campus->orthogonal_range(quad, net::host_id{5});
+  std::printf("kiosks in the first quad (10%% corner box): %zu, found in %llu messages\n",
+              in_quad.value.size(), static_cast<unsigned long long>(in_quad.stats.messages));
 
   // Kiosks go out of service and come back: O(log n)-message updates.
   const auto& gone = locations[7];
-  auto stats = campus.erase(gone, net::host_id{11});
+  auto stats = campus->erase(gone, net::host_id{11});
   std::printf("kiosk decommissioned in %llu messages (now %zu kiosks)\n",
-              static_cast<unsigned long long>(stats.messages), campus.size());
-  stats = campus.insert(gone, net::host_id{12});
+              static_cast<unsigned long long>(stats.messages), campus->size());
+  stats = campus->insert(gone, net::host_id{12});
   std::printf("kiosk reinstalled   in %llu messages (back to %zu)\n",
-              static_cast<unsigned long long>(stats.messages), campus.size());
+              static_cast<unsigned long long>(stats.messages), campus->size());
   return 0;
 }

@@ -1,0 +1,225 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "api/op_stats.h"
+#include "net/types.h"
+#include "seq/quadtree.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::api {
+
+// The multi-dimensional counterpart of `distributed_index`: one abstract
+// surface over every spatial skip-web in the library (skip quadtrees and
+// octrees, the Morton-coded skip trie, the trapezoidal-map skip-web), so
+// benches, tests and workloads drive *any* of them through the registry
+// (see spatial_registry.h) exactly like the 1-D backends.
+//
+// Points live on the shared 62-bit grid of seq/quadtree.h; a spatial_point
+// carries up to three coordinates and a backend reads the first `dims()` of
+// them (the rest must be zero). Comparison is lexicographic, which fixes
+// the output order of range queries across backends.
+struct spatial_point {
+  std::array<std::uint64_t, 3> x{};
+
+  friend bool operator==(const spatial_point&, const spatial_point&) = default;
+  friend auto operator<=>(const spatial_point&, const spatial_point&) = default;
+};
+
+// A closed axis-aligned query box [lo, hi] (per-dimension inclusive).
+struct spatial_box {
+  spatial_point lo, hi;
+};
+
+// What a spatial backend can do. `native_range` / `native_nn` mark backends
+// whose own layout answers the query (the skip quadtree walks its cubes);
+// without them the generic fallbacks run: approx_nn via expanding range
+// boxes, and orthogonal_range priced as whatever sweep the backend affords.
+enum class spatial_capability : std::uint32_t {
+  locate = 1u << 0,
+  insert = 1u << 1,
+  erase = 1u << 2,
+  orthogonal_range = 1u << 3,
+  approx_nn = 1u << 4,
+  native_range = 1u << 5,
+  native_nn = 1u << 6,
+};
+
+[[nodiscard]] constexpr spatial_capability operator|(spatial_capability a, spatial_capability b) {
+  return static_cast<spatial_capability>(static_cast<std::uint32_t>(a) |
+                                         static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] constexpr bool has(spatial_capability set, spatial_capability c) {
+  return (static_cast<std::uint32_t>(set) & static_cast<std::uint32_t>(c)) ==
+         static_cast<std::uint32_t>(c);
+}
+
+// THE point-location result. `cell` names the located cell in the backend's
+// own vocabulary (cube hash, trie path hash, trapezoid id) — stable across
+// repeated queries on an unmodified structure, which is what the batched
+// entry point's receipt-equality contract is stated in terms of. `scale` is
+// the located cell's side (grid units), the seed radius for the generic
+// nearest-neighbour search.
+struct spatial_locate_result {
+  bool found = false;  // the query coincides with a stored point
+  std::uint64_t cell = 0;
+  std::uint64_t scale = 0;
+  op_stats stats;
+};
+
+// Conversions between the wire type and the grid point types.
+template <int D>
+[[nodiscard]] inline spatial_point to_spatial(const seq::qpoint<D>& p) {
+  spatial_point out;
+  for (int d = 0; d < D; ++d) out.x[static_cast<std::size_t>(d)] = p.x[static_cast<std::size_t>(d)];
+  return out;
+}
+
+template <int D>
+[[nodiscard]] inline seq::qpoint<D> from_spatial(const spatial_point& p) {
+  seq::qpoint<D> out;
+  for (int d = 0; d < D; ++d) out.x[static_cast<std::size_t>(d)] = p.x[static_cast<std::size_t>(d)];
+  return out;
+}
+
+// Exact squared L2 distance over the first `dims` coordinates (128-bit:
+// 62-bit coordinates overflow doubles, and NN verdicts must be exact).
+__extension__ using spatial_dist2 = unsigned __int128;
+
+[[nodiscard]] inline spatial_dist2 spatial_point_dist2(const spatial_point& a,
+                                                       const spatial_point& b, int dims) {
+  spatial_dist2 s = 0;
+  for (int d = 0; d < dims; ++d) {
+    const std::uint64_t av = a.x[static_cast<std::size_t>(d)];
+    const std::uint64_t bv = b.x[static_cast<std::size_t>(d)];
+    const std::uint64_t diff = av > bv ? av - bv : bv - av;
+    s += static_cast<spatial_dist2>(diff) * diff;
+  }
+  return s;
+}
+
+// Smallest r with r*r >= v (double guess, exact integer fix-up).
+[[nodiscard]] inline std::uint64_t spatial_isqrt_ceil(spatial_dist2 v) {
+  if (v == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(v)));
+  while (static_cast<spatial_dist2>(r) * r < v) ++r;
+  while (r > 0 && static_cast<spatial_dist2>(r - 1) * (r - 1) >= v) --r;
+  return r;
+}
+
+// The closed box of L-infinity radius r around q, clamped to the grid.
+[[nodiscard]] inline spatial_box spatial_box_around(const spatial_point& q, std::uint64_t r,
+                                                    int dims) {
+  spatial_box b;
+  for (int d = 0; d < dims; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    b.lo.x[i] = q.x[i] >= r ? q.x[i] - r : 0;
+    // No overflow: q.x < 2^62 and every caller's radius stays below 2^63
+    // (the largest is approx_nn's exactness fix-up, <= sqrt(3) * 2^62), so
+    // the sum fits uint64 — but only by that ~1.5x margin.
+    b.hi.x[i] = std::min(q.x[i] + r, seq::coord_span - 1);
+  }
+  return b;
+}
+
+// The uniform public surface of every multi-dimensional distributed
+// structure. `origin` is the host the operation is issued from; every
+// operation returns its op_stats receipt (see DESIGN.md).
+class spatial_index {
+ public:
+  virtual ~spatial_index() = default;
+  spatial_index(const spatial_index&) = delete;
+  spatial_index& operator=(const spatial_index&) = delete;
+
+  // Registry name of the backend ("skip_quadtree2", "skip_trie", ...).
+  [[nodiscard]] virtual std::string_view backend() const = 0;
+  // Coordinates a point carries here (2 or 3); higher slots must be zero.
+  [[nodiscard]] virtual int dims() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual spatial_capability capabilities() const = 0;
+  [[nodiscard]] bool supports(spatial_capability c) const { return has(capabilities(), c); }
+
+  [[nodiscard]] virtual spatial_locate_result locate(const spatial_point& q,
+                                                     net::host_id origin) const = 0;
+  virtual op_stats insert(const spatial_point& p, net::host_id origin) = 0;
+  virtual op_stats erase(const spatial_point& p, net::host_id origin) = 0;
+
+  // All stored points inside the closed box, ascending lexicographically;
+  // `limit` caps the output (0 = unlimited; which points survive the cap is
+  // backend-defined, since enumeration order is the backend's walk order).
+  [[nodiscard]] virtual op_result<std::vector<spatial_point>> orthogonal_range(
+      const spatial_box& b, net::host_id origin, std::size_t limit = 0) const = 0;
+
+  // Batched point location: must behave exactly as locate() called once per
+  // query — same results, same per-op receipts. The default is that loop;
+  // backends with an interleaved router override it to overlap the
+  // independent descents' memory latency (see skip_quadtree::locate_batch).
+  [[nodiscard]] virtual std::vector<spatial_locate_result> locate_batch(
+      const std::vector<spatial_point>& qs, net::host_id origin) const {
+    std::vector<spatial_locate_result> out;
+    out.reserve(qs.size());
+    for (const auto& q : qs) out.push_back(locate(q, origin));
+    return out;
+  }
+
+  // Nearest stored point under L2. The paper reduces approximate NN to point
+  // location; this default reduces it to orthogonal range instead — locate
+  // seeds the radius, boxes double until one is inhabited, and one final box
+  // of the best candidate's L2 radius makes the answer *exact* (the L-inf
+  // box contains the L2 ball), so current backends all deliver eps = 0.
+  // Backends with a native search (the quadtree's best-first cube walk)
+  // override it.
+  [[nodiscard]] virtual op_result<spatial_point> approx_nn(const spatial_point& q,
+                                                           net::host_id origin) const {
+    SW_EXPECTS(size() > 0);
+    op_result<spatial_point> out;
+    const auto loc = locate(q, origin);
+    out.stats += loc.stats;
+    std::uint64_t r = std::max<std::uint64_t>(loc.scale, 1);
+    std::vector<spatial_point> cand;
+    for (;;) {
+      auto res = orthogonal_range(spatial_box_around(q, r, dims()), origin);
+      out.stats += res.stats;
+      if (!res.value.empty()) {
+        cand = std::move(res.value);
+        break;
+      }
+      SW_ASSERT(r < seq::coord_span);  // the full-space box cannot be empty
+      r = std::min(r * 2, seq::coord_span);
+    }
+    spatial_point best = nearest_of(cand, q);
+    const std::uint64_t r2 = spatial_isqrt_ceil(spatial_point_dist2(best, q, dims()));
+    if (r2 > r) {
+      auto res = orthogonal_range(spatial_box_around(q, r2, dims()), origin);
+      out.stats += res.stats;
+      best = nearest_of(res.value, q);
+    }
+    out.value = best;
+    return out;
+  }
+
+ protected:
+  spatial_index() = default;
+
+  [[nodiscard]] spatial_point nearest_of(const std::vector<spatial_point>& pts,
+                                         const spatial_point& q) const {
+    SW_ASSERT(!pts.empty());
+    spatial_point best = pts.front();
+    spatial_dist2 best_d = spatial_point_dist2(best, q, dims());
+    for (const auto& p : pts) {
+      const auto d = spatial_point_dist2(p, q, dims());
+      if (d < best_d || (d == best_d && p < best)) {
+        best = p;
+        best_d = d;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace skipweb::api

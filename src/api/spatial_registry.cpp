@@ -1,0 +1,101 @@
+#include "api/spatial_registry.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "net/network.h"
+
+namespace skipweb::api {
+
+// Defined in spatial_backends.cpp; registers every builtin through the
+// supplied registrar. Built-ins are wired by an explicit call (not global
+// constructors) so a static library link cannot strip them.
+void register_builtin_spatial_backends(const spatial_registrar& add);
+
+namespace {
+
+struct entry_t {
+  int dims = 0;
+  spatial_factory make;
+};
+
+struct registry_state {
+  std::mutex mu;
+  std::map<std::string, entry_t, std::less<>> factories;
+};
+
+registry_state& state() {
+  static registry_state s;
+  return s;
+}
+
+// Registration without the builtin bootstrap: used by the builtins
+// themselves (the public register_spatial_backend would re-enter the
+// ensure_builtins call_once).
+void register_impl(std::string name, int dims, spatial_factory make) {
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  s.factories.insert_or_assign(std::move(name), entry_t{dims, std::move(make)});
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] { register_builtin_spatial_backends(register_impl); });
+}
+
+}  // namespace
+
+void register_spatial_backend(std::string name, int dims, spatial_factory make) {
+  ensure_builtins();
+  register_impl(std::move(name), dims, std::move(make));
+}
+
+bool spatial_backend_known(std::string_view name) {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  return s.factories.find(name) != s.factories.end();
+}
+
+int spatial_backend_dims(std::string_view name) {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  const auto it = s.factories.find(name);
+  if (it == s.factories.end()) {
+    throw std::out_of_range("unknown spatial backend: " + std::string(name));
+  }
+  return it->second.dims;
+}
+
+std::vector<std::string> registered_spatial_backends() {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  std::vector<std::string> names;
+  names.reserve(s.factories.size());
+  for (const auto& [name, e] : s.factories) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
+                                                  std::vector<spatial_point> pts,
+                                                  const index_options& opts, net::network& net) {
+  ensure_builtins();
+  spatial_factory make;
+  {
+    auto& s = state();
+    std::scoped_lock lock(s.mu);
+    const auto it = s.factories.find(backend);
+    if (it == s.factories.end()) {
+      throw std::out_of_range("unknown spatial backend: " + std::string(backend));
+    }
+    make = it->second.make;
+  }
+  while (net.host_count() < opts.initial_hosts()) net.add_host();
+  return make(std::move(pts), opts, net);
+}
+
+}  // namespace skipweb::api

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/options.h"
+#include "api/spatial_index.h"
+
+namespace skipweb::net {
+class network;
+}
+
+namespace skipweb::api {
+
+// String-keyed registry for the multi-dimensional backends, mirroring the
+// 1-D registry (registry.h): benches, workloads and tests select a spatial
+// structure at runtime by name, and a new backend earns the whole oracle
+// conformance suite by registering itself.
+//
+// Built-in names (registered on first use): "skip_quadtree2",
+// "skip_quadtree3", "skip_trie" (Morton-coded), "skip_trapmap". Downstream
+// code may register more.
+
+using spatial_factory = std::function<std::unique_ptr<spatial_index>(
+    std::vector<spatial_point> pts, const index_options& opts, net::network& net)>;
+
+// Signature the builtin bootstrap registers through (spatial_backends.cpp).
+// `dims` is declared at registration so workload generators can produce
+// points of the right dimensionality before any instance exists.
+using spatial_registrar = std::function<void(std::string, int, spatial_factory)>;
+
+// Registers (or replaces) a backend under `name` with its dimensionality.
+void register_spatial_backend(std::string name, int dims, spatial_factory make);
+
+[[nodiscard]] bool spatial_backend_known(std::string_view name);
+
+// Declared dimensionality of a registered backend; throws std::out_of_range
+// for an unknown name.
+[[nodiscard]] int spatial_backend_dims(std::string_view name);
+
+// All registered names, sorted.
+[[nodiscard]] std::vector<std::string> registered_spatial_backends();
+
+// The uniform build entry point: grows `net` to opts.initial_hosts(), then
+// builds the named backend over `pts`. Throws std::out_of_range for an
+// unknown name.
+[[nodiscard]] std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
+                                                                std::vector<spatial_point> pts,
+                                                                const index_options& opts,
+                                                                net::network& net);
+
+}  // namespace skipweb::api

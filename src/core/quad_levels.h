@@ -1,0 +1,490 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/quadtree.h"
+#include "util/membership.h"
+#include "util/prefetch.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::core {
+
+// The level-set anatomy of a skip quadtree/octree (paper §3.1), kept as a
+// flat arena in the style of core::level_lists: the multi-dimensional
+// counterpart of the 1-D SoA overhaul.
+//
+// Every point carries a membership bit vector; level l holds one compressed
+// quadtree per l-bit prefix set S_b. All trees of one level share a single
+// per-level arena of cube records in parallel arrays (boxes, child entries,
+// parent/down slot indices, occupancy), and points live once in a global
+// point arena that every level references by slot.
+//
+// Two layout decisions carry the query hot path:
+//
+// - **The identity-on-cubes hyperlink is a stored slot index.** The paper's
+//   inter-level jump ("the same cube one level denser") used to be a hash
+//   lookup per level on a per-tree `unordered_map<cube, node>`; here every
+//   node carries `down_`, the slot of the identical cube in the parent-level
+//   tree, so a descent crosses levels with one indexed load and the query
+//   path touches no hash map at all (the only hashes left are the per-level
+//   root directories, consulted once to find the top of a chain).
+// - **Child entries cache the child's cube.** The descend decision
+//   ("does the child cube contain q?") reads the current node's own child
+//   record instead of dereferencing the child — the same neighbour-key
+//   caching `level_lists` does for 1-D links. A step therefore costs one
+//   contiguous row read; the child's full record is only touched when the
+//   walk actually moves there.
+//
+// This class owns only the structure. The distributed protocol
+// (skip_quadtree.h) does the routing, message metering, and memory-ledger
+// charging on top of the primitives here.
+template <int D>
+class quad_levels {
+ public:
+  static constexpr int fanout = 1 << D;
+  using point = seq::qpoint<D>;
+  using cube = seq::qcube<D>;
+
+  // A quadrant entry: a child node (with its cube cached), a single point,
+  // or nothing.
+  struct entry {
+    std::int32_t node = -1;
+    std::int32_t point = -1;
+    cube box;  // the child node's cube, valid iff node >= 0
+    [[nodiscard]] bool empty() const { return node < 0 && point < 0; }
+  };
+
+  struct tree_ref {
+    std::int32_t root = -1;
+    std::int32_t points = 0;  // live points stored in this tree
+  };
+
+  explicit quad_levels(int levels) : levels_(levels) {
+    SW_EXPECTS(levels_ >= 0 && levels_ < util::max_levels);
+    lv_.resize(static_cast<std::size_t>(levels_) + 1);
+  }
+
+  [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] std::size_t point_count() const { return live_points_; }
+  [[nodiscard]] std::size_t node_count(int level) const {
+    return lv(level).live_nodes;
+  }
+  [[nodiscard]] std::size_t tree_count(int level) const { return lv(level).trees.size(); }
+
+  // --- point arena ----------------------------------------------------------
+
+  int new_point(const point& p, util::membership_bits bits) {
+    int pid;
+    if (!pfree_.empty()) {
+      pid = pfree_.back();
+      pfree_.pop_back();
+    } else {
+      pid = static_cast<int>(pts_.size());
+      pts_.emplace_back();
+      pbits_.emplace_back();
+    }
+    pts_[static_cast<std::size_t>(pid)] = p;
+    pbits_[static_cast<std::size_t>(pid)] = bits;
+    ++live_points_;
+    return pid;
+  }
+
+  void free_point(int pid) {
+    pfree_.push_back(pid);
+    --live_points_;
+  }
+
+  [[nodiscard]] const point& point_at(int pid) const {
+    return pts_[static_cast<std::size_t>(pid)];
+  }
+  [[nodiscard]] util::membership_bits point_bits(int pid) const {
+    return pbits_[static_cast<std::size_t>(pid)];
+  }
+
+  // Point slot of p if stored, else -1: a local descent of the ground tree
+  // (the "client already knows its key" convention — not metered).
+  [[nodiscard]] int find_point(const point& p) const {
+    const tree_ref* g = tree(0, 0);
+    if (g == nullptr) return -1;
+    const int at = locate_local(0, g->root, p);
+    const entry& e = child_at(0, at, box_at(0, at).quadrant_of(p));
+    return (e.point >= 0 && pts_[static_cast<std::size_t>(e.point)] == p) ? e.point : -1;
+  }
+
+  // --- tree directory -------------------------------------------------------
+
+  [[nodiscard]] const tree_ref* tree(int level, std::uint64_t prefix) const {
+    const auto& m = lv(level).trees;
+    const auto it = m.find(prefix);
+    return it == m.end() ? nullptr : &it->second;
+  }
+
+  // Root slot of the (level, prefix) tree, creating an empty tree (root =
+  // whole space, down unresolved) when absent. Second member: freshly made?
+  std::pair<int, bool> ensure_tree(int level, std::uint64_t prefix) {
+    auto& m = lv(level).trees;
+    auto [it, fresh] = m.try_emplace(prefix);
+    if (fresh) it->second.root = new_node(level, cube{}, -1);
+    return {it->second.root, fresh};
+  }
+
+  void bump_tree(int level, std::uint64_t prefix, int delta) {
+    auto& m = lv(level).trees;
+    const auto it = m.find(prefix);
+    SW_ASSERT(it != m.end());
+    it->second.points += delta;
+    SW_ASSERT(it->second.points >= 0);
+  }
+
+  // Destroys the (level, prefix) tree when its last point left; returns the
+  // freed root slot (for ledger de-charging) or -1 when the tree lives on.
+  int destroy_tree_if_empty(int level, std::uint64_t prefix) {
+    auto& m = lv(level).trees;
+    const auto it = m.find(prefix);
+    SW_ASSERT(it != m.end());
+    if (it->second.points > 0) return -1;
+    const int root = it->second.root;
+    SW_ASSERT(occupied_of(level, root) == 0);
+    free_node(level, root);
+    m.erase(it);
+    return root;
+  }
+
+  // --- node accessors -------------------------------------------------------
+
+  [[nodiscard]] const cube& box_at(int level, int slot) const {
+    return lv(level).box[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] const entry& child_at(int level, int slot, int quad) const {
+    return lv(level).child[static_cast<std::size_t>(slot) * fanout + static_cast<std::size_t>(quad)];
+  }
+  [[nodiscard]] int parent_of(int level, int slot) const {
+    return lv(level).parent[static_cast<std::size_t>(slot)];
+  }
+  // The identity hyperlink: slot of the same cube one level denser (-1 at
+  // ground level and on a fresh root whose link is still being resolved).
+  [[nodiscard]] int down_of(int level, int slot) const {
+    return lv(level).down[static_cast<std::size_t>(slot)];
+  }
+  void set_down(int level, int slot, int to) {
+    lv(level).down[static_cast<std::size_t>(slot)] = to;
+  }
+  [[nodiscard]] int occupied_of(int level, int slot) const {
+    return lv(level).occupied[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] bool alive_at(int level, int slot) const {
+    return lv(level).alive[static_cast<std::size_t>(slot)] != 0;
+  }
+
+  // Warm the child row a descend step will read next.
+  void prefetch_node(int level, int slot) const {
+    util::prefetch(&lv(level).child[static_cast<std::size_t>(slot) * fanout]);
+  }
+
+  // --- traversal primitives -------------------------------------------------
+
+  // One descend step toward q: the child node whose (cached) cube contains
+  // q, or -1 when the walk stops here. The caller meters the hop.
+  [[nodiscard]] int step(int level, int node, const point& q) const {
+    const level_arena& a = lv(level);
+    const cube& b = a.box[static_cast<std::size_t>(node)];
+    if (b.level >= seq::coord_bits) return -1;
+    const entry& e =
+        a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(b.quadrant_of(q))];
+    if (e.node < 0 || !e.box.contains(q)) return -1;
+    return e.node;
+  }
+
+  // Full local descent (no metering): build-time and oracle helper.
+  [[nodiscard]] int locate_local(int level, int node, const point& q) const {
+    for (;;) {
+      const int nx = step(level, node, q);
+      if (nx < 0) return node;
+      node = nx;
+    }
+  }
+
+  // Is q stored as a point entry directly under `node` (its deepest cube)?
+  [[nodiscard]] bool point_here(int level, int node, const point& q) const {
+    const entry& e = child_at(level, node, box_at(level, node).quadrant_of(q));
+    return e.point >= 0 && pts_[static_cast<std::size_t>(e.point)] == q;
+  }
+
+  // --- structural updates ---------------------------------------------------
+
+  struct insert_outcome {
+    int created = -1;   // freshly interesting cube (at most one), or -1
+    int attached = -1;  // deepest node containing the point after the edit
+  };
+
+  // Insert point `pid` under `node`, which must be the deepest node of its
+  // tree whose cube contains the point (the descend endpoint).
+  insert_outcome insert_at(int level, int node, int pid) {
+    level_arena& a = lv(level);
+    const point& p = pts_[static_cast<std::size_t>(pid)];
+    const int quad = a.box[static_cast<std::size_t>(node)].quadrant_of(p);
+    const entry e = a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(quad)];
+
+    if (e.empty()) {
+      entry& slot_e =
+          a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(quad)];
+      slot_e.point = pid;
+      ++a.occupied[static_cast<std::size_t>(node)];
+      return {-1, node};
+    }
+    if (e.point >= 0) {
+      const point other = pts_[static_cast<std::size_t>(e.point)];
+      SW_EXPECTS(!(other == p));  // duplicate points are not representable
+      const cube c = seq::smallest_enclosing(p, other);
+      const int fresh = new_node(level, c, node);
+      attach_point(level, fresh, p, pid);
+      attach_point(level, fresh, other, e.point);
+      set_child_node(level, node, quad, fresh);
+      return {fresh, fresh};
+    }
+    // Occupied by a child cube that does not contain p: wedge a new
+    // interesting cube above it.
+    SW_ASSERT(!e.box.contains(p));
+    const cube c = seq::smallest_enclosing(e.box, p);
+    const int fresh = new_node(level, c, node);
+    attach_point(level, fresh, p, pid);
+    attach_node(level, fresh, e.node);
+    set_child_node(level, node, quad, fresh);
+    return {fresh, fresh};
+  }
+
+  // Remove point `pid` from `node` (its deepest containing node), splicing
+  // out the at most one cube that stops being interesting. Returns the freed
+  // slot or -1. A root left empty is handled by destroy_tree_if_empty.
+  int erase_at(int level, int node, int pid) {
+    level_arena& a = lv(level);
+    const point& p = pts_[static_cast<std::size_t>(pid)];
+    const int quad = a.box[static_cast<std::size_t>(node)].quadrant_of(p);
+    entry& e = a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(quad)];
+    SW_EXPECTS(e.point == pid);
+    e = entry{};
+    const int left = --a.occupied[static_cast<std::size_t>(node)];
+
+    const int parent = a.parent[static_cast<std::size_t>(node)];
+    if (parent < 0 || left >= 2) return -1;
+    SW_ASSERT(left == 1);  // non-root nodes are interesting: >= 2 occupants
+    // Splice: replace this node in its parent by its single remaining entry.
+    entry remaining{};
+    for (int q = 0; q < fanout; ++q) {
+      const entry& ce =
+          a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(q)];
+      if (!ce.empty()) remaining = ce;
+    }
+    for (int q = 0; q < fanout; ++q) {
+      entry& pe = a.child[static_cast<std::size_t>(parent) * fanout + static_cast<std::size_t>(q)];
+      if (pe.node == node) {
+        pe = remaining;  // cached cube (if any) travels with the entry
+        break;
+      }
+    }
+    if (remaining.node >= 0) a.parent[static_cast<std::size_t>(remaining.node)] = parent;
+    free_node(level, node);
+    return node;
+  }
+
+  // Walk up from `from` to the node whose cube equals `target` (used to
+  // resolve the down link of a cube that just became interesting one level
+  // sparser; the subset property guarantees the cube exists on this path).
+  [[nodiscard]] int resolve_cube(int level, int from, const cube& target) const {
+    int at = from;
+    while (at >= 0 && !(box_at(level, at) == target)) at = parent_of(level, at);
+    SW_ASSERT(at >= 0);
+    return at;
+  }
+
+  // --- whole-structure helpers ---------------------------------------------
+
+  // Depth of the ground tree (longest root-to-node path).
+  [[nodiscard]] int depth() const {
+    const tree_ref* g = tree(0, 0);
+    if (g == nullptr) return 0;
+    int best = 0;
+    std::vector<std::pair<int, int>> stack{{g->root, 0}};
+    while (!stack.empty()) {
+      const auto [slot, d] = stack.back();
+      stack.pop_back();
+      if (d > best) best = d;
+      for (int q = 0; q < fanout; ++q) {
+        const entry& e = child_at(0, slot, q);
+        if (e.node >= 0) stack.emplace_back(e.node, d + 1);
+      }
+    }
+    return best;
+  }
+
+  // Structural invariants, for tests after randomized churn:
+  //  - per tree: occupancy counts match entries, parents are consistent,
+  //    child cubes (and their caches) nest properly, every non-root node is
+  //    interesting (>= 2 occupants);
+  //  - partition by prefix: level l's trees hold exactly the live points
+  //    whose membership matches each prefix (so S_b = the b-prefixed items);
+  //  - nesting: every node cube at level l is a node cube of the parent
+  //    prefix tree at level l-1, and `down` points exactly at it.
+  [[nodiscard]] bool check_invariants() const {
+    std::vector<char> seen(pts_.size(), 0);
+    for (const int f : pfree_) seen[static_cast<std::size_t>(f)] = 2;  // dead slots
+    for (int l = 0; l <= levels_; ++l) {
+      std::size_t live_here = 0, points_here = 0;
+      for (const auto& [prefix, tr] : lv(l).trees) {
+        std::size_t tree_points = 0;
+        std::vector<int> stack{tr.root};
+        if (parent_of(l, tr.root) != -1) return false;
+        while (!stack.empty()) {
+          const int v = stack.back();
+          stack.pop_back();
+          ++live_here;
+          if (!alive_at(l, v)) return false;
+          int occ = 0;
+          for (int q = 0; q < fanout; ++q) {
+            const entry& e = child_at(l, v, q);
+            if (e.empty()) continue;
+            ++occ;
+            if (e.node >= 0 && e.point >= 0) return false;
+            if (e.point >= 0) {
+              ++tree_points;
+              const point& p = pts_[static_cast<std::size_t>(e.point)];
+              if (seen[static_cast<std::size_t>(e.point)] == 2) return false;
+              if (!box_at(l, v).contains(p)) return false;
+              if (box_at(l, v).quadrant_of(p) != q) return false;
+              if (util::prefix_of(pbits_[static_cast<std::size_t>(e.point)], l).bits != prefix) {
+                return false;
+              }
+              if (l == 0) seen[static_cast<std::size_t>(e.point)] = 1;
+            } else {
+              if (!(e.box == box_at(l, e.node))) return false;  // cube cache in sync
+              if (!box_at(l, v).contains(e.box)) return false;
+              if (e.box.level <= box_at(l, v).level) return false;
+              if (parent_of(l, e.node) != v) return false;
+              stack.push_back(e.node);
+            }
+          }
+          if (occ != occupied_of(l, v)) return false;
+          if (v != tr.root && occ < 2) return false;  // non-root nodes are interesting
+          // Nesting + identity hyperlink into the parent-prefix tree.
+          if (l > 0) {
+            const int dn = down_of(l, v);
+            if (dn < 0 || !alive_at(l - 1, dn)) return false;
+            if (!(box_at(l - 1, dn) == box_at(l, v))) return false;
+            const auto parent_prefix = util::level_prefix{l, prefix}.parent().bits;
+            const tree_ref* pt = tree(l - 1, parent_prefix);
+            if (pt == nullptr) return false;
+            // dn must belong to the parent-prefix tree: walk to its root.
+            int r = dn;
+            while (parent_of(l - 1, r) >= 0) r = parent_of(l - 1, r);
+            if (r != pt->root) return false;
+          }
+        }
+        if (tree_points != static_cast<std::size_t>(tr.points)) return false;
+        if (tree_points == 0) return false;  // empty trees are destroyed
+        points_here += tree_points;
+      }
+      if (live_here != lv(l).live_nodes) return false;
+      if (points_here != live_points_) return false;  // partition covers every point
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == 0) return false;  // live point missing from the ground tree
+    }
+    return true;
+  }
+
+ private:
+  // Parallel arrays indexed by node slot; one arena per level, so the cube
+  // records of a level stay contiguous. Slots recycle through `free`.
+  struct level_arena {
+    std::vector<cube> box;
+    std::vector<entry> child;  // fanout records per slot
+    std::vector<std::int32_t> parent;
+    std::vector<std::int32_t> down;
+    std::vector<std::uint8_t> occupied;
+    std::vector<std::uint8_t> alive;
+    std::vector<std::int32_t> free;
+    std::unordered_map<std::uint64_t, tree_ref> trees;
+    std::size_t live_nodes = 0;
+  };
+
+  [[nodiscard]] const level_arena& lv(int level) const {
+    return lv_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] level_arena& lv(int level) { return lv_[static_cast<std::size_t>(level)]; }
+
+  int new_node(int level, const cube& c, int parent) {
+    level_arena& a = lv(level);
+    int slot;
+    if (!a.free.empty()) {
+      slot = a.free.back();
+      a.free.pop_back();
+      for (int q = 0; q < fanout; ++q) {
+        a.child[static_cast<std::size_t>(slot) * fanout + static_cast<std::size_t>(q)] = entry{};
+      }
+    } else {
+      slot = static_cast<int>(a.box.size());
+      a.box.emplace_back();
+      a.child.resize(a.child.size() + fanout);
+      a.parent.emplace_back();
+      a.down.emplace_back();
+      a.occupied.emplace_back();
+      a.alive.emplace_back();
+    }
+    a.box[static_cast<std::size_t>(slot)] = c;
+    a.parent[static_cast<std::size_t>(slot)] = parent;
+    a.down[static_cast<std::size_t>(slot)] = -1;
+    a.occupied[static_cast<std::size_t>(slot)] = 0;
+    a.alive[static_cast<std::size_t>(slot)] = 1;
+    ++a.live_nodes;
+    return slot;
+  }
+
+  void free_node(int level, int slot) {
+    level_arena& a = lv(level);
+    a.alive[static_cast<std::size_t>(slot)] = 0;
+    a.free.push_back(slot);
+    --a.live_nodes;
+  }
+
+  void attach_point(int level, int node, const point& p, int pid) {
+    level_arena& a = lv(level);
+    const int quad = a.box[static_cast<std::size_t>(node)].quadrant_of(p);
+    entry& e = a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(quad)];
+    SW_ASSERT(e.empty());
+    e.point = pid;
+    ++a.occupied[static_cast<std::size_t>(node)];
+  }
+
+  void attach_node(int level, int node, int child) {
+    level_arena& a = lv(level);
+    const cube& cb = a.box[static_cast<std::size_t>(child)];
+    point probe;
+    for (int d = 0; d < D; ++d) probe.x[d] = cb.corner[d];
+    const int quad = a.box[static_cast<std::size_t>(node)].quadrant_of(probe);
+    entry& e = a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(quad)];
+    SW_ASSERT(e.empty());
+    e.node = child;
+    e.box = cb;
+    ++a.occupied[static_cast<std::size_t>(node)];
+    a.parent[static_cast<std::size_t>(child)] = node;
+  }
+
+  void set_child_node(int level, int node, int quad, int child) {
+    level_arena& a = lv(level);
+    entry& e = a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(quad)];
+    e.node = child;
+    e.point = -1;
+    e.box = a.box[static_cast<std::size_t>(child)];
+  }
+
+  std::vector<level_arena> lv_;
+  std::vector<point> pts_;
+  std::vector<util::membership_bits> pbits_;
+  std::vector<int> pfree_;
+  std::size_t live_points_ = 0;
+  int levels_ = 0;
+};
+
+}  // namespace skipweb::core

@@ -1,11 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "api/op_stats.h"
+#include "core/quad_levels.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "seq/quadtree.h"
@@ -29,6 +30,9 @@ namespace skipweb::core {
 // Point location therefore costs O(log n) expected messages even when the
 // underlying compressed tree has Θ(n) depth.
 //
+// Storage is the flat multi-level arena of core::quad_levels: the identity
+// hyperlink is a stored slot index and child cubes are cached in the parent
+// rows, so the query path performs no hash lookups (see quad_levels.h).
 // Nodes (interesting cubes) are spread over all hosts by hashing — the
 // arbitrary assignment of §2.4 — giving O(2^d log n) expected memory per
 // host for H = n.
@@ -37,48 +41,38 @@ class skip_quadtree {
  public:
   using point = seq::qpoint<D>;
   using cube = seq::qcube<D>;
-  using tree = seq::quadtree<D>;
+  using arena = quad_levels<D>;
+  static constexpr int fanout = arena::fanout;
 
   skip_quadtree(const std::vector<point>& pts, std::uint64_t seed, net::network& net)
-      : net_(&net), rng_(seed) {
+      : net_(&net), rng_(seed), levels_(levels_for(pts.size())), q_(levels_) {
     SW_EXPECTS(!pts.empty());
-    levels_ = levels_for(pts.size());
-    trees_.resize(static_cast<std::size_t>(levels_) + 1);
     for (const auto& p : pts) {
-      const auto bits = util::draw_membership(rng_);
-      bits_.emplace(p, bits);
-    }
-    for (int l = 0; l <= levels_; ++l) {
-      std::unordered_map<std::uint64_t, std::vector<point>> groups;
-      for (const auto& p : pts) groups[util::prefix_of(bits_.at(p), l).bits].push_back(p);
-      for (auto& [prefix, members] : groups) {
-        trees_[static_cast<std::size_t>(l)].emplace(prefix, tree(members));
-      }
+      SW_EXPECTS(q_.find_point(p) < 0);  // distinct points
+      insert_chain(p, util::draw_membership(rng_), nullptr);
     }
     // Anchor membership per host: selects the chain of prefix sets a search
     // from that host descends (any chain reaches the ground set).
     anchors_.reserve(net_->host_count());
     for (std::size_t h = 0; h < net_->host_count(); ++h) {
-      anchors_.push_back(bits_.at(pts[h % pts.size()]));
+      anchors_.push_back(q_.point_bits(static_cast<int>(h % pts.size())));
       net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
     }
-    charge_all(+1);
   }
 
   ~skip_quadtree() = default;
   skip_quadtree(const skip_quadtree&) = delete;
   skip_quadtree& operator=(const skip_quadtree&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] std::size_t size() const { return q_.point_count(); }
   [[nodiscard]] int levels() const { return levels_; }
-
-  // The ground (level-0) compressed quadtree over the full set, for oracles.
-  [[nodiscard]] const tree& ground() const { return trees_[0].begin()->second; }
-  [[nodiscard]] int depth() const { return ground().depth(); }
+  [[nodiscard]] int depth() const { return q_.depth(); }
+  [[nodiscard]] std::size_t ground_node_count() const { return q_.node_count(0); }
+  [[nodiscard]] const arena& structure() const { return q_; }
 
   struct locate_result {
-    cube cell;                 // deepest interesting cube of D(S) containing q
-    bool is_point = false;     // q coincides with a stored point
+    cube cell;              // deepest interesting cube of D(S) containing q
+    bool is_point = false;  // q coincides with a stored point
     api::op_stats stats;
   };
 
@@ -86,27 +80,74 @@ class skip_quadtree {
   // interesting cube of the ground structure containing q.
   [[nodiscard]] locate_result locate(const point& q, net::host_id origin) const {
     net::cursor cur(*net_, origin);
-    const auto w = anchors_[origin.value];
-    cube cell{};  // whole space until a level says otherwise
-    for (int l = levels_; l >= 0; --l) {
-      const auto prefix = util::prefix_of(w, l).bits;
-      auto it = trees_[static_cast<std::size_t>(l)].find(prefix);
-      if (it == trees_[static_cast<std::size_t>(l)].end()) continue;  // empty set: skip
-      const tree& t = it->second;
-      int node = t.node_for_cube(cell);
-      // The inherited cube is an interesting cube here by the subset
-      // property, except when no upper level contributed yet (whole space =
-      // this tree's root).
-      SW_ASSERT(node >= 0 || cell.level == 0);
-      if (node < 0) node = t.root();
+    auto [l, prefix, node] = chain_top(anchors_[origin.value]);
+    cur.move_to(host_of(l, prefix, node));
+    for (;;) {
+      for (;;) {
+        const int nx = q_.step(l, node, q);
+        if (nx < 0) break;
+        node = nx;
+        cur.move_to(host_of(l, prefix, node));
+      }
+      if (l == 0) break;
+      node = q_.down_of(l, node);  // the same cube, one level denser
+      --l;
+      prefix = util::prefix_of(anchors_[origin.value], l).bits;
       cur.move_to(host_of(l, prefix, node));
-      node = descend(t, node, q, l, prefix, cur);
-      cell = t.node(node).box;
     }
     locate_result out;
-    out.cell = cell;
-    out.is_point = ground().contains_point(q);
+    out.cell = q_.box_at(0, node);
+    out.is_point = q_.point_here(0, node, q);
     out.stats = api::op_stats::of(cur);
+    return out;
+  }
+
+  // Batched point location: the given descents run interleaved, one step per
+  // query per round, each query's next child row prefetched a round ahead so
+  // the independent walks' memory latency overlaps. Results and per-op
+  // receipts are identical to locate() called serially (tests assert it).
+  [[nodiscard]] std::vector<locate_result> locate_batch(const std::vector<point>& qs,
+                                                        net::host_id origin) const {
+    struct lane {
+      net::cursor cur;
+      int l, node;
+      std::uint64_t prefix;
+      bool done = false;
+    };
+    const auto w = anchors_[origin.value];
+    const auto [l0, prefix0, node0] = chain_top(w);
+    std::vector<lane> lanes;
+    lanes.reserve(qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      lanes.push_back(lane{net::cursor(*net_, origin), l0, node0, prefix0});
+      lanes.back().cur.move_to(host_of(l0, prefix0, node0));
+    }
+    std::vector<locate_result> out(qs.size());
+    std::size_t remaining = qs.size();
+    while (remaining > 0) {
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        lane& ln = lanes[i];
+        if (ln.done) continue;
+        const int nx = q_.step(ln.l, ln.node, qs[i]);
+        if (nx >= 0) {
+          ln.node = nx;
+          ln.cur.move_to(host_of(ln.l, ln.prefix, nx));
+        } else if (ln.l > 0) {
+          ln.node = q_.down_of(ln.l, ln.node);
+          --ln.l;
+          ln.prefix = util::prefix_of(w, ln.l).bits;
+          ln.cur.move_to(host_of(ln.l, ln.prefix, ln.node));
+        } else {
+          out[i].cell = q_.box_at(0, ln.node);
+          out[i].is_point = q_.point_here(0, ln.node, qs[i]);
+          out[i].stats = api::op_stats::of(ln.cur);
+          ln.done = true;
+          --remaining;
+          continue;
+        }
+        q_.prefetch_node(ln.l, ln.node);  // warm next round's read
+      }
+    }
     return out;
   }
 
@@ -115,26 +156,24 @@ class skip_quadtree {
     return {r.is_point, r.stats};
   }
 
-  // Exact distributed nearest neighbour: locate q's cell cheaply via the
-  // skip levels, then run a best-first cube search on the ground tree. (The
-  // paper reduces approximate NN to point location via [6]; the exact
-  // variant exercises the same routing and is testable against the
-  // sequential oracle.)
+  // Exact distributed nearest neighbour: best-first cube search on the
+  // ground tree. (The paper reduces approximate NN to point location via
+  // [6]; the exact variant exercises the same routing and is testable
+  // against the sequential oracle.)
   [[nodiscard]] api::op_result<point> nearest(const point& q, net::host_id origin) const {
     SW_EXPECTS(size() > 0);
     net::cursor cur(*net_, origin);
-    const tree& g = ground();
-    const std::uint64_t prefix0 = trees_[0].begin()->first;
+    const int root = q_.tree(0, 0)->root;
 
     struct item {
-      typename tree::dist2_t dist;
+      typename seq::quadtree<D>::dist2_t dist;
       int node;
       int point;
       bool operator>(const item& o) const { return dist > o.dist; }
     };
     std::priority_queue<item, std::vector<item>, std::greater<item>> heap;
-    heap.push({0, g.root(), -1});
-    auto best = ~typename tree::dist2_t{0};
+    heap.push({0, root, -1});
+    auto best = ~typename seq::quadtree<D>::dist2_t{0};
     point best_point{};
     while (!heap.empty()) {
       const item top = heap.top();
@@ -142,69 +181,118 @@ class skip_quadtree {
       if (top.dist >= best) break;
       if (top.node < 0) {
         best = top.dist;
-        best_point = g.point_at(top.point);
+        best_point = q_.point_at(top.point);
         continue;
       }
-      cur.move_to(host_of(0, prefix0, top.node));  // expanding a node = visiting its host
-      for (const auto& e : g.node(top.node).child) {
-        if (e.point >= 0) heap.push({tree::point_dist2(g.point_at(e.point), q), -1, e.point});
-        if (e.node >= 0) heap.push({tree::cube_dist2(g.node(e.node).box, q), e.node, -1});
+      cur.move_to(host_of(0, 0, top.node));  // expanding a node = visiting its host
+      for (int c = 0; c < fanout; ++c) {
+        const auto& e = q_.child_at(0, top.node, c);
+        if (e.point >= 0) {
+          heap.push({seq::quadtree<D>::point_dist2(q_.point_at(e.point), q), -1, e.point});
+        }
+        if (e.node >= 0) heap.push({seq::quadtree<D>::cube_dist2(e.box, q), e.node, -1});
       }
     }
     return {best_point, api::op_stats::of(cur)};
   }
 
+  // Orthogonal range search (paper §3): all stored points inside the closed
+  // axis-aligned box [lo, hi]. The skip levels route to the smallest
+  // interesting cube containing the whole box (O(log n) expected messages);
+  // the ground walk below it pays one hop per visited node — output-
+  // sensitive enumeration, O(log n + answer + boundary cubes).
+  // Results ascend lexicographically by coordinates; `limit` caps them
+  // (0 = unlimited), stopping the walk early once reached.
+  [[nodiscard]] api::op_result<std::vector<point>> range(const point& lo, const point& hi,
+                                                         net::host_id origin,
+                                                         std::size_t limit = 0) const {
+    for (int d = 0; d < D; ++d) SW_EXPECTS(lo.x[d] <= hi.x[d]);
+    net::cursor cur(*net_, origin);
+    auto [l, prefix, node] = chain_top(anchors_[origin.value]);
+    cur.move_to(host_of(l, prefix, node));
+    for (;;) {
+      for (;;) {
+        const int nx = step_box(l, node, lo, hi);
+        if (nx < 0) break;
+        node = nx;
+        cur.move_to(host_of(l, prefix, node));
+      }
+      if (l == 0) break;
+      node = q_.down_of(l, node);
+      --l;
+      prefix = util::prefix_of(anchors_[origin.value], l).bits;
+      cur.move_to(host_of(l, prefix, node));
+    }
+
+    api::op_result<std::vector<point>> res;
+    std::vector<int> stack{node};
+    bool capped = false;
+    while (!stack.empty() && !capped) {
+      const int v = stack.back();
+      stack.pop_back();
+      cur.move_to(host_of(0, 0, v));
+      for (int c = 0; c < fanout; ++c) {
+        const auto& e = q_.child_at(0, v, c);
+        if (e.point >= 0) {
+          cur.note_comparisons(1);
+          const point& p = q_.point_at(e.point);
+          if (inside(p, lo, hi)) {
+            res.value.push_back(p);
+            if (limit != 0 && res.value.size() >= limit) {
+              capped = true;
+              break;
+            }
+          }
+        } else if (e.node >= 0 && intersects(e.box, lo, hi)) {
+          stack.push_back(e.node);
+        }
+      }
+    }
+    std::sort(res.value.begin(), res.value.end(),
+              [](const point& a, const point& b) { return a.x < b.x; });
+    res.stats = api::op_stats::of(cur);
+    return res;
+  }
+
   // Insert a point (paper §4): one structural O(1) edit per level of the
   // point's own prefix chain, found by the same top-down descent.
   api::op_stats insert(const point& p, net::host_id origin) {
-    SW_EXPECTS(bits_.find(p) == bits_.end());
+    SW_EXPECTS(q_.find_point(p) < 0);
     net::cursor cur(*net_, origin);
-    const auto bits = util::draw_membership(rng_);
-    bits_.emplace(p, bits);
-    cube cell{};
-    for (int l = levels_; l >= 0; --l) {
-      const auto prefix = util::prefix_of(bits, l).bits;
-      auto [it, fresh] = trees_[static_cast<std::size_t>(l)].try_emplace(prefix);
-      tree& t = it->second;
-      int node = fresh ? t.root() : t.node_for_cube(cell);
-      if (node < 0) node = t.root();
-      cur.move_to(host_of(l, prefix, node));
-      node = descend(t, node, p, l, prefix, cur);
-      cell = t.node(node).box;
-      const int created = t.insert(p);
-      charge_point(l, prefix, p, +1);
-      if (created >= 0) {
-        cur.move_to(host_of(l, prefix, created));  // placing the new cube node
-        charge_node(l, prefix, created, +1);
-      }
-    }
+    insert_chain(p, util::draw_membership(rng_), &cur);
     return api::op_stats::of(cur);
   }
 
   // Remove a point; splices out at most one cube per level of its chain.
   api::op_stats erase(const point& p, net::host_id origin) {
-    SW_EXPECTS(bits_.size() >= 2);  // the structure never becomes empty
-    auto bit_it = bits_.find(p);
-    SW_EXPECTS(bit_it != bits_.end());
-    const auto bits = bit_it->second;
+    SW_EXPECTS(size() >= 2);  // the structure never becomes empty
+    const int pid = q_.find_point(p);
+    SW_EXPECTS(pid >= 0);
+    const auto bits = q_.point_bits(pid);
     net::cursor cur(*net_, origin);
-    cube cell{};
+    int start = -1;  // captured down link; -1 selects the level's root
     for (int l = levels_; l >= 0; --l) {
       const auto prefix = util::prefix_of(bits, l).bits;
-      auto it = trees_[static_cast<std::size_t>(l)].find(prefix);
-      SW_ASSERT(it != trees_[static_cast<std::size_t>(l)].end());
-      tree& t = it->second;
-      int node = t.node_for_cube(cell);
-      if (node < 0) node = t.root();
+      const auto* tr = q_.tree(l, prefix);
+      SW_ASSERT(tr != nullptr);
+      int node = start >= 0 ? start : tr->root;
       cur.move_to(host_of(l, prefix, node));
-      node = descend(t, node, p, l, prefix, cur);
-      cell = t.node(node).box;
-      const int freed = t.erase(p);
+      for (;;) {
+        const int nx = q_.step(l, node, p);
+        if (nx < 0) break;
+        node = nx;
+        cur.move_to(host_of(l, prefix, node));
+      }
+      // Capture the hyperlink before the edit can splice the node away.
+      start = l > 0 ? q_.down_of(l, node) : -1;
+      const int freed = q_.erase_at(l, node, pid);
       charge_point(l, prefix, p, -1);
       if (freed >= 0) charge_node(l, prefix, freed, -1);
-      if (t.point_count() == 0) trees_[static_cast<std::size_t>(l)].erase(it);
+      q_.bump_tree(l, prefix, -1);
+      const int dead_root = q_.destroy_tree_if_empty(l, prefix);
+      if (dead_root >= 0) charge_node(l, prefix, dead_root, -1);
     }
-    bits_.erase(bit_it);
+    q_.free_point(pid);
     return api::op_stats::of(cur);
   }
 
@@ -217,6 +305,18 @@ class skip_quadtree {
     return net::host_id{static_cast<std::uint32_t>((z ^ (z >> 31)) % net_->host_count())};
   }
 
+  // Arena invariants (quad_levels::check_invariants) plus ledger agreement:
+  // the network's memory total must equal what the live structure implies.
+  [[nodiscard]] bool check_invariants() const {
+    if (!q_.check_invariants()) return false;
+    std::uint64_t expected = net_->host_count();  // one anchor host_ref per host
+    for (int l = 0; l <= levels_; ++l) {
+      expected += q_.node_count(l) * static_cast<std::uint64_t>(fanout + 2);
+    }
+    expected += q_.point_count() * static_cast<std::uint64_t>(levels_ + 1);
+    return net_->total_memory() == expected;
+  }
+
  private:
   static int levels_for(std::size_t n) {
     int l = 0;
@@ -224,18 +324,88 @@ class skip_quadtree {
     return l;
   }
 
-  // Walk from `node` to the deepest cube containing q, hopping hosts.
-  int descend(const tree& t, int node, const point& q, int level, std::uint64_t prefix,
-              net::cursor& cur) const {
-    for (;;) {
-      const auto& nd = t.node(node);
-      if (nd.box.level >= seq::coord_bits) break;
-      const auto& e = nd.child[static_cast<std::size_t>(nd.box.quadrant_of(q))];
-      if (e.node < 0 || !t.node(e.node).box.contains(q)) break;
-      node = e.node;
-      cur.move_to(host_of(level, prefix, node));
+  // Top of a membership chain: the highest level whose prefix set is
+  // non-empty (its tree root starts the descent). Levels are empty only
+  // from some height up, so the scan touches the root directories once.
+  [[nodiscard]] std::tuple<int, std::uint64_t, int> chain_top(util::membership_bits w) const {
+    for (int l = levels_;; --l) {
+      const auto prefix = util::prefix_of(w, l).bits;
+      if (const auto* tr = q_.tree(l, prefix)) return {l, prefix, tr->root};
+      SW_ASSERT(l > 0);  // the ground tree always exists
     }
-    return node;
+  }
+
+  // One descend step for range search: advance while a child cube contains
+  // the whole query box.
+  [[nodiscard]] int step_box(int l, int node, const point& lo, const point& hi) const {
+    const cube& b = q_.box_at(l, node);
+    if (b.level >= seq::coord_bits) return -1;
+    const int quad = b.quadrant_of(lo);
+    if (quad != b.quadrant_of(hi)) return -1;
+    const auto& e = q_.child_at(l, node, quad);
+    if (e.node < 0 || !e.box.contains(lo) || !e.box.contains(hi)) return -1;
+    return e.node;
+  }
+
+  static bool inside(const point& p, const point& lo, const point& hi) {
+    for (int d = 0; d < D; ++d) {
+      if (p.x[d] < lo.x[d] || p.x[d] > hi.x[d]) return false;
+    }
+    return true;
+  }
+
+  static bool intersects(const cube& c, const point& lo, const point& hi) {
+    const seq::coord_t side = c.side();
+    for (int d = 0; d < D; ++d) {
+      if (c.corner[d] > hi.x[d]) return false;
+      if (c.corner[d] + (side - 1) < lo.x[d]) return false;
+    }
+    return true;
+  }
+
+  // The shared top-down chain walk of build and insert: place p in every
+  // tree of its prefix chain, resolving the identity hyperlinks of cubes
+  // (and fresh roots) that become interesting one level up. `cur` meters
+  // hops when non-null (inserts); the bulk build passes nullptr.
+  void insert_chain(const point& p, util::membership_bits bits, net::cursor* cur) {
+    const int pid = q_.new_point(p, bits);
+    int start = -1;            // captured down link; -1 selects the level's root
+    int pending_root = -1;     // fresh root one level up, awaiting its hyperlink
+    int pending_created = -1;  // cube created one level up, awaiting its hyperlink
+    for (int l = levels_; l >= 0; --l) {
+      const auto prefix = util::prefix_of(bits, l).bits;
+      const auto [root, fresh] = q_.ensure_tree(l, prefix);
+      if (fresh) charge_node(l, prefix, root, +1);
+      int node = start >= 0 ? start : root;
+      if (pending_root >= 0) {
+        q_.set_down(l + 1, pending_root, root);  // whole space = whole space
+        pending_root = -1;
+      }
+      if (cur != nullptr) cur->move_to(host_of(l, prefix, node));
+      for (;;) {
+        const int nx = q_.step(l, node, p);
+        if (nx < 0) break;
+        node = nx;
+        if (cur != nullptr) cur->move_to(host_of(l, prefix, node));
+      }
+      start = l > 0 ? q_.down_of(l, node) : -1;  // -1 exactly when this level is fresh
+      const auto outcome = q_.insert_at(l, node, pid);
+      charge_point(l, prefix, p, +1);
+      q_.bump_tree(l, prefix, +1);
+      if (outcome.created >= 0) {
+        if (cur != nullptr) cur->move_to(host_of(l, prefix, outcome.created));
+        charge_node(l, prefix, outcome.created, +1);
+      }
+      if (pending_created >= 0) {
+        // The cube that became interesting one level up now exists here too
+        // (subset property); it sits on the root path of p's deepest node.
+        const int target =
+            q_.resolve_cube(l, outcome.attached, q_.box_at(l + 1, pending_created));
+        q_.set_down(l + 1, pending_created, target);
+      }
+      pending_created = outcome.created;
+      if (fresh) pending_root = root;
+    }
   }
 
   void charge_node(int level, std::uint64_t prefix, int node, std::int64_t sign) {
@@ -243,7 +413,7 @@ class skip_quadtree {
     // hyperlink one level down.
     const auto h = host_of(level, prefix, node);
     net_->charge(h, net::memory_kind::node, sign);
-    net_->charge(h, net::memory_kind::host_ref, (tree::fanout + 1) * sign);
+    net_->charge(h, net::memory_kind::host_ref, (fanout + 1) * sign);
   }
 
   void charge_point(int level, std::uint64_t prefix, const point& p, std::int64_t sign) {
@@ -254,24 +424,11 @@ class skip_quadtree {
     net_->charge(h, level == 0 ? net::memory_kind::item : net::memory_kind::pointer, sign);
   }
 
-  void charge_all(std::int64_t sign) {
-    for (int l = 0; l <= levels_; ++l) {
-      for (const auto& [prefix, t] : trees_[static_cast<std::size_t>(l)]) {
-        for (int i = 0; i < static_cast<int>(t.node_count()); ++i) {
-          // Arena indices are dense right after a bulk build.
-          charge_node(l, prefix, i, sign);
-        }
-        for (const auto& p : t.points()) charge_point(l, prefix, p, sign);
-      }
-    }
-  }
-
-  std::vector<std::unordered_map<std::uint64_t, tree>> trees_;
-  std::unordered_map<point, util::membership_bits, seq::qpoint_hash<D>> bits_;
   net::network* net_;
   util::rng rng_;
-  std::vector<util::membership_bits> anchors_;
   int levels_ = 0;
+  arena q_;
+  std::vector<util::membership_bits> anchors_;
 };
 
 }  // namespace skipweb::core

@@ -213,6 +213,63 @@ class skip_trie {
     return api::op_stats::of(cur);
   }
 
+  // Structural invariants, for tests after randomized churn:
+  //  - partition by prefix: level l's tries hold exactly the stored keys
+  //    grouped by their l-bit membership prefix (S_b = the b-prefixed keys);
+  //  - nesting: every node path of a level-l trie is a node path of the
+  //    parent-prefix trie one level denser (what the identity-on-paths
+  //    hyperlinks rely on, Lemma 4's setting);
+  //  - each trie is internally consistent: path = parent path + edge,
+  //    children sorted by first edge character, and every non-root node is
+  //    branching or a key end (compression leaves nothing else).
+  [[nodiscard]] bool check_invariants() const {
+    for (int l = 0; l <= levels_; ++l) {
+      const auto& tier = tries_[static_cast<std::size_t>(l)];
+      // Partition: every stored key lives in (exactly) its prefix's trie.
+      std::unordered_map<std::uint64_t, std::size_t> counts;
+      for (const auto& [k, bits] : bits_) {
+        const auto prefix = util::prefix_of(bits, l).bits;
+        const auto it = tier.find(prefix);
+        if (it == tier.end() || !it->second.contains(k)) return false;
+        ++counts[prefix];
+      }
+      if (counts.size() != tier.size()) return false;  // no empty tries linger
+      for (const auto& [prefix, t] : tier) {
+        const auto cit = counts.find(prefix);
+        if (cit == counts.end() || t.size() != cit->second) return false;
+
+        const seq::trie* denser = nullptr;
+        if (l > 0) {
+          const auto parent_prefix = util::level_prefix{l, prefix}.parent().bits;
+          const auto pit = tries_[static_cast<std::size_t>(l - 1)].find(parent_prefix);
+          if (pit == tries_[static_cast<std::size_t>(l - 1)].end()) return false;
+          denser = &pit->second;
+        }
+        std::vector<int> stack{t.root()};
+        while (!stack.empty()) {
+          const int v = stack.back();
+          stack.pop_back();
+          const auto& nd = t.node(v);
+          if (v != t.root()) {
+            if (nd.edge.empty()) return false;
+            if (t.node(nd.parent).path + nd.edge != nd.path) return false;
+            if (!nd.is_key && nd.children.size() < 2) return false;
+          }
+          if (t.node_for_path(nd.path) != v) return false;
+          if (denser != nullptr && denser->node_for_path(nd.path) < 0) return false;
+          for (std::size_t i = 0; i < nd.children.size(); ++i) {
+            const auto& [c, child] = nd.children[i];
+            if (i > 0 && !(nd.children[i - 1].first < c)) return false;
+            const auto& edge = t.node(child).edge;
+            if (edge.empty() || edge[0] != c) return false;
+            stack.push_back(child);
+          }
+        }
+      }
+    }
+    return true;
+  }
+
   [[nodiscard]] net::host_id host_of(int level, std::uint64_t prefix, int node) const {
     std::uint64_t z = static_cast<std::uint64_t>(level) * 0x9e3779b97f4a7c15ull + prefix;
     z ^= static_cast<std::uint64_t>(node) + 0x2545f4914f6cdd1dull + (z << 6) + (z >> 2);

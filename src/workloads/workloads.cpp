@@ -163,6 +163,30 @@ std::vector<std::string> dna_strings(std::size_t n, std::size_t length, util::rn
   return random_strings(n, length, length, "ACGT", r);
 }
 
+std::vector<api::spatial_point> spatial_points(int dims, std::size_t n, bool clustered,
+                                               util::rng& r) {
+  SW_EXPECTS(dims == 2 || dims == 3);
+  std::vector<api::spatial_point> out;
+  out.reserve(n);
+  if (dims == 2) {
+    const auto pts = clustered ? clustered_points<2>(n, r) : uniform_points<2>(n, r);
+    for (const auto& p : pts) out.push_back(api::to_spatial<2>(p));
+  } else {
+    const auto pts = clustered ? clustered_points<3>(n, r) : uniform_points<3>(n, r);
+    for (const auto& p : pts) out.push_back(api::to_spatial<3>(p));
+  }
+  return out;
+}
+
+api::spatial_point spatial_probe(int dims, util::rng& r) {
+  SW_EXPECTS(dims == 2 || dims == 3);
+  api::spatial_point q;
+  for (int d = 0; d < dims; ++d) {
+    q.x[static_cast<std::size_t>(d)] = r.uniform_u64(0, seq::coord_span - 1);
+  }
+  return q;
+}
+
 box segment_box() { return box{0.0, 1.0, 0.0, 1.0}; }
 
 std::vector<seq::segment> random_disjoint_segments(std::size_t n, util::rng& r) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "api/spatial_index.h"
 #include "seq/quadtree.h"
 #include "seq/trapmap.h"
 #include "util/rng.h"
@@ -46,6 +47,15 @@ std::vector<seq::qpoint<D>> clustered_points(std::size_t n, util::rng& r);
 // the worst case the skip quadtree routes around (paper §3.1).
 template <int D>
 std::vector<seq::qpoint<D>> chain_points(std::size_t n);
+
+// Registry-facing variants: points of a backend's declared dimensionality
+// (`api::spatial_backend_dims`), unused coordinate slots zero. Shared by the
+// spatial conformance suite, bench_spatial and the examples. dims is 2 or 3.
+std::vector<api::spatial_point> spatial_points(int dims, std::size_t n, bool clustered,
+                                               util::rng& r);
+
+// A single random grid point of the given dimensionality (query probe).
+api::spatial_point spatial_probe(int dims, util::rng& r);
 
 // --- strings -----------------------------------------------------------------
 

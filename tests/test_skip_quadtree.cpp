@@ -97,7 +97,7 @@ TEST(SkipQuadtree, InsertThenLocate) {
   }
   EXPECT_EQ(web.size(), 300u);
   const seq::quadtree<2> oracle(pts);
-  EXPECT_EQ(web.ground().node_count(), oracle.node_count());
+  EXPECT_EQ(web.ground_node_count(), oracle.node_count());
   for (int trial = 0; trial < 100; ++trial) {
     const auto q = random_probe<2>(r);
     EXPECT_TRUE(web.locate(q, h(0)).cell == oracle.node(oracle.locate(q)).box);
@@ -117,7 +117,7 @@ TEST(SkipQuadtree, EraseThenLocate) {
   EXPECT_EQ(web.size(), 150u);
   const std::vector<seq::qpoint<2>> rest(pts.begin() + 150, pts.end());
   const seq::quadtree<2> oracle(rest);
-  EXPECT_EQ(web.ground().node_count(), oracle.node_count());
+  EXPECT_EQ(web.ground_node_count(), oracle.node_count());
   for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(web.contains(pts[i], h(1)).value);
   for (std::size_t i = 150; i < 300; ++i) EXPECT_TRUE(web.contains(pts[i], h(2)).value);
 }
@@ -201,6 +201,97 @@ TEST(SkipQuadtree, RejectsDuplicatesAndMissing) {
   skip_quadtree<2> web(pts, 81, net);
   EXPECT_THROW(web.insert(pts[0], h(0)), skipweb::util::contract_error);
   EXPECT_THROW(web.erase(random_probe<2>(r), h(0)), skipweb::util::contract_error);
+}
+
+// Regression for the erase pruning bug: emptied prefix trees must free (and
+// de-charge) their root cubes, so the interesting-cube invariants AND the
+// memory ledger stay exact under arbitrary churn — in particular when
+// erasing build-time points empties top-level trees and re-inserting grows
+// fresh ones.
+TEST(SkipQuadtree, InvariantsAndLedgerSurviveChurn) {
+  rng r(3012);
+  auto pts = wl::uniform_points<2>(300, r);
+  const std::vector<seq::qpoint<2>> initial(pts.begin(), pts.begin() + 200);
+  network net(200);
+  skip_quadtree<2> web(initial, 82, net);
+  ASSERT_TRUE(web.check_invariants());
+
+  // Erase build-time points (their singleton top trees die), add new ones,
+  // then put the erased ones back with freshly drawn membership vectors.
+  for (std::size_t i = 0; i < 120; ++i) {
+    web.erase(initial[i], h(static_cast<std::uint32_t>(i % 200)));
+  }
+  EXPECT_TRUE(web.check_invariants());
+  for (std::size_t i = 200; i < 300; ++i) {
+    web.insert(pts[i], h(static_cast<std::uint32_t>(i % 200)));
+  }
+  EXPECT_TRUE(web.check_invariants());
+  for (std::size_t i = 0; i < 120; ++i) {
+    web.insert(initial[i], h(static_cast<std::uint32_t>((i * 7) % 200)));
+  }
+  ASSERT_TRUE(web.check_invariants());
+
+  const seq::quadtree<2> oracle(pts);
+  EXPECT_EQ(web.size(), pts.size());
+  EXPECT_EQ(web.ground_node_count(), oracle.node_count());
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto q = random_probe<2>(r);
+    EXPECT_TRUE(web.locate(q, h(static_cast<std::uint32_t>(trial % 200))).cell ==
+                oracle.node(oracle.locate(q)).box);
+  }
+}
+
+TEST(SkipQuadtree, OrthogonalRangeMatchesBruteForce) {
+  rng r(3013);
+  const auto pts = wl::clustered_points<2>(400, r);
+  network net(400);
+  skip_quadtree<2> web(pts, 83, net);
+  for (int trial = 0; trial < 40; ++trial) {
+    seq::qpoint<2> lo, hi;
+    for (int d = 0; d < 2; ++d) {
+      const auto a = r.uniform_u64(0, seq::coord_span - 1);
+      const auto b = r.uniform_u64(0, seq::coord_span - 1);
+      lo.x[d] = std::min(a, b);
+      hi.x[d] = std::max(a, b);
+    }
+    std::vector<seq::qpoint<2>> want;
+    for (const auto& p : pts) {
+      bool in = true;
+      for (int d = 0; d < 2; ++d) in = in && p.x[d] >= lo.x[d] && p.x[d] <= hi.x[d];
+      if (in) want.push_back(p);
+    }
+    std::sort(want.begin(), want.end(),
+              [](const auto& a, const auto& b) { return a.x < b.x; });
+    const auto got = web.range(lo, hi, h(static_cast<std::uint32_t>(trial % 400)));
+    ASSERT_EQ(got.value.size(), want.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < want.size(); ++i) EXPECT_TRUE(got.value[i] == want[i]);
+    EXPECT_GT(got.stats.host_visits, 0u);
+  }
+  // Limit caps the walk; reversed bounds violate the contract.
+  seq::qpoint<2> lo{}, hi;
+  for (int d = 0; d < 2; ++d) hi.x[d] = seq::coord_span - 1;
+  EXPECT_EQ(web.range(lo, hi, h(0), 13).value.size(), 13u);
+  EXPECT_THROW((void)web.range(hi, lo, h(0)), skipweb::util::contract_error);
+}
+
+TEST(SkipQuadtree, LocateBatchReceiptsEqualSerial) {
+  rng r(3014);
+  const auto pts = wl::uniform_points<2>(512, r);
+  network net(512);
+  skip_quadtree<2> web(pts, 84, net);
+  std::vector<seq::qpoint<2>> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(random_probe<2>(r));
+  qs.push_back(pts[3]);  // exact hit inside the batch
+  const auto batch = web.locate_batch(qs, h(17));
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto serial = web.locate(qs[i], h(17));
+    EXPECT_TRUE(batch[i].cell == serial.cell) << i;
+    EXPECT_EQ(batch[i].is_point, serial.is_point) << i;
+    EXPECT_EQ(batch[i].stats.messages, serial.stats.messages) << i;
+    EXPECT_EQ(batch[i].stats.host_visits, serial.stats.host_visits) << i;
+    EXPECT_EQ(batch[i].stats.comparisons, serial.stats.comparisons) << i;
+  }
 }
 
 }  // namespace

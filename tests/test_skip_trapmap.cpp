@@ -186,6 +186,96 @@ TEST(SkipTrapmap, UpdateRejectsDuplicatesAndMissing) {
   EXPECT_THROW(web.erase(ghost, h(0)), skipweb::util::contract_error);
 }
 
+// --- degenerate inputs: the general-position boundary ------------------------
+//
+// The trapezoidal map's contract is general position: distinct endpoint
+// x-coordinates, pairwise-disjoint non-crossing segments. The tests below
+// pin the behaviour right at that boundary — collinear fragments of one
+// supporting line (y-comparisons tie all along it) and polyline chains whose
+// endpoints "share" a vertex up to the contract's mandatory x-perturbation —
+// and assert the distributed point location still agrees with the sequential
+// oracle everywhere. Inputs that break the contract outright must throw.
+
+TEST(SkipTrapmap, CollinearFragmentsMatchOracle) {
+  // 24 disjoint pieces of the single line y = 0.3 + 0.25 x.
+  std::vector<seq::segment> segs;
+  const double slope = 0.25, y0 = 0.3;
+  double x = 0.05;
+  for (int i = 0; i < 24; ++i) {
+    const double x2 = x + 0.028;
+    segs.push_back(seq::segment{x, y0 + slope * x, x2, y0 + slope * x2});
+    x = x2 + 0.009;  // gap keeps endpoint x's distinct
+  }
+  network net(32);
+  auto web = make_web(segs, 121, net);
+  EXPECT_EQ(web.ground().trapezoid_count(), 3 * segs.size() + 1);
+
+  rng r(5101);
+  for (int i = 0; i < 300; ++i) {
+    // Probes hug the shared supporting line from both sides (and probe the
+    // gaps right on it), where any tie mishandling would misplace them.
+    const double px = 0.021 + 0.87 * r.uniform_real();
+    const double off = (i % 3 == 0 ? 1e-4 : 0.05) * (i % 2 == 0 ? 1.0 : -1.0);
+    const double py = y0 + slope * px + off;
+    const auto res = web.locate(px, py, h(static_cast<std::uint32_t>(i % 32)));
+    EXPECT_EQ(res.trap, web.ground().locate(px, py)) << "(" << px << "," << py << ")";
+  }
+}
+
+TEST(SkipTrapmap, SharedEndpointChainMatchesOracle) {
+  // A zig-zag polyline whose joints are "shared endpoints" separated only by
+  // the contract's x-perturbation (1e-9 — far below every other gap in the
+  // input, so the map is combinatorially the shared-vertex subdivision).
+  std::vector<seq::segment> segs;
+  const double eps = 1e-9;
+  double x = 0.06, y = 0.5;
+  for (int i = 0; i < 20; ++i) {
+    const double x2 = x + 0.04;
+    const double y2 = 0.5 + (i % 2 == 0 ? 0.18 : -0.18);
+    segs.push_back(seq::segment{x + eps, y, x2 - eps, y2});
+    x = x2;
+    y = y2;
+  }
+  network net(20);
+  auto web = make_web(segs, 122, net);
+
+  rng r(5102);
+  for (int i = 0; i < 300; ++i) {
+    const double px = 0.03 + 0.9 * r.uniform_real();
+    const double py = 0.06 + 0.88 * r.uniform_real();
+    const auto res = web.locate(px, py, h(static_cast<std::uint32_t>(i % 20)));
+    EXPECT_EQ(res.trap, web.ground().locate(px, py)) << "(" << px << "," << py << ")";
+  }
+
+  // Updates at the degenerate joints keep agreeing with a fresh oracle.
+  const seq::segment extra{0.05 + eps, 0.93, 0.95 - eps, 0.94};
+  (void)web.insert(extra, h(3));
+  auto with = segs;
+  with.push_back(extra);
+  const auto box = wl::segment_box();
+  const seq::trapmap oracle(with, box.xmin, box.xmax, box.ymin, box.ymax);
+  EXPECT_EQ(web.ground().trapezoid_count(), oracle.trapezoid_count());
+  for (int i = 0; i < 100; ++i) {
+    const double px = 0.03 + 0.9 * r.uniform_real();
+    const double py = 0.06 + 0.88 * r.uniform_real();
+    const auto& got = web.ground().trap(web.locate(px, py, h(1)).trap);
+    const auto& want = oracle.trap(oracle.locate(px, py));
+    EXPECT_DOUBLE_EQ(got.left_x, want.left_x);
+    EXPECT_DOUBLE_EQ(got.right_x, want.right_x);
+  }
+}
+
+TEST(SkipTrapmap, ExactlySharedEndpointsViolateTheContract) {
+  // Two segments meeting at one vertex share an endpoint x: outside general
+  // position, and the sequential oracle and the skip-web agree by throwing.
+  const std::vector<seq::segment> shared{{0.1, 0.4, 0.5, 0.6}, {0.5, 0.6, 0.9, 0.4}};
+  const auto box = wl::segment_box();
+  EXPECT_THROW(seq::trapmap(shared, box.xmin, box.xmax, box.ymin, box.ymax),
+               skipweb::util::contract_error);
+  network net(8);
+  EXPECT_THROW(make_web(shared, 123, net), skipweb::util::contract_error);
+}
+
 TEST(SkipTrapmap, EveryOriginFindsSameTrapezoid) {
   rng r(5007);
   const auto segs = wl::random_disjoint_segments(64, r);

@@ -182,4 +182,38 @@ TEST(SkipTrie, RejectsDuplicatesAndMissing) {
   EXPECT_THROW(web.erase("zzzz", h(0)), skipweb::util::contract_error);
 }
 
+// Level-l key sets nested in level-(l-1), partition-by-prefix, and trie
+// compression invariants must hold after arbitrary churn (the trie analogue
+// of the 1-D structures' post-workload check_invariants sweeps).
+TEST(SkipTrie, InvariantsSurviveChurn) {
+  rng r(4011);
+  auto keys = wl::shared_prefix_strings(300, r);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::shuffle(keys.begin(), keys.end(), r.engine());
+  const std::size_t half = keys.size() / 2;
+  const std::vector<std::string> initial(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(half));
+  network net(128);
+  skip_trie web(initial, 101, net);
+  ASSERT_TRUE(web.check_invariants());
+
+  for (std::size_t i = half; i < keys.size(); ++i) {
+    web.insert(keys[i], h(static_cast<std::uint32_t>(i % 128)));
+  }
+  EXPECT_TRUE(web.check_invariants());
+  for (std::size_t i = 0; i + 2 < half; i += 2) {
+    web.erase(keys[i], h(static_cast<std::uint32_t>(i % 128)));
+  }
+  ASSERT_TRUE(web.check_invariants());
+  for (const auto& k : keys) {
+    const bool erased = [&] {
+      for (std::size_t i = 0; i + 2 < half; i += 2) {
+        if (keys[i] == k) return true;
+      }
+      return false;
+    }();
+    EXPECT_EQ(web.contains(k, h(3)).value, !erased) << k;
+  }
+}
+
 }  // namespace
