@@ -1,11 +1,14 @@
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "api/op_stats.h"
 #include "util/stats.h"
 
 namespace skipweb::bench {
@@ -165,6 +168,78 @@ class json_writer {
   std::string out_;
   bool comma_ = false;
 };
+
+// --- concurrency schema fields ----------------------------------------------
+//
+// Every bench JSON records the machine's hardware_concurrency at the top
+// level (so scaling numbers are read against the cores they had), and every
+// timed sample that ran through serve::executor records its thread count and
+// per-thread ops/s. CI validates these fields are present.
+
+inline void json_hardware_fields(json_writer& jw) {
+  jw.field("hardware_concurrency",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+}
+
+inline void json_thread_fields(json_writer& jw, std::size_t threads, double ops_per_sec) {
+  jw.field("threads", static_cast<std::uint64_t>(threads));
+  jw.field("per_thread_ops_per_sec",
+           threads > 0 ? ops_per_sec / static_cast<double>(threads) : 0.0);
+}
+
+// --- executor thread-scaling cells -------------------------------------------
+//
+// Shared by bench_throughput and bench_spatial so the two sweeps' timing
+// loop and JSON schema cannot drift apart (CI validates one schema for
+// both). A cell builds once, then repeats full passes over a pregenerated
+// query stream through the serving executor until the op cap or the time
+// budget is hit.
+
+struct scale_result {
+  double build_seconds = 0;
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  skipweb::api::op_stats totals;
+
+  [[nodiscard]] double ops_per_sec() const {
+    return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+  }
+  [[nodiscard]] double per_op(std::uint64_t c) const {
+    return ops > 0 ? static_cast<double>(c) / static_cast<double>(ops) : 0.0;
+  }
+};
+
+// `serve_once()` runs one full pass over the stream and returns
+// (ops served, summed op_stats); this loop owns the timing and the caps.
+template <typename ServeOnce>
+inline void run_scale_loop(scale_result& res, std::uint64_t max_ops, double time_budget,
+                           ServeOnce&& serve_once) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  while (res.ops < max_ops) {
+    const auto [ops, totals] = serve_once();
+    res.ops += ops;
+    res.totals += totals;
+    res.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    if (res.seconds >= time_budget) break;
+  }
+  res.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+// The thread_scaling entry fields every sweep emits (the caller first writes
+// its identifying fields: backend, mix, n, dims...).
+inline void json_scale_fields(json_writer& jw, const scale_result& res, std::size_t threads,
+                              double speedup_vs_first) {
+  jw.field("ops", res.ops);
+  jw.field("seconds", res.seconds);
+  jw.field("ops_per_sec", res.ops_per_sec());
+  json_thread_fields(jw, threads, res.ops_per_sec());
+  jw.field("speedup_vs_first", speedup_vs_first);
+  jw.field("build_seconds", res.build_seconds);
+  jw.field("messages_per_op", res.per_op(res.totals.messages));
+  jw.field("host_visits_per_op", res.per_op(res.totals.host_visits));
+  jw.field("comparisons_per_op", res.per_op(res.totals.comparisons));
+}
 
 // Writes `json` to BENCH_<name>.json in the working directory and announces
 // the path on stdout. Returns false (with a note on stderr) on I/O failure

@@ -8,7 +8,12 @@
 //   bench_spatial [--n 1024,4096,16384] [--backends a,b|all]
 //                 [--mixes locate,range,nn,churn] [--dists uniform,clustered]
 //                 [--max-ops N] [--time SECONDS_PER_CELL] [--batch B]
-//                 [--seed S] [--out NAME] [--smoke]
+//                 [--seed S] [--threads T1,T2,...] [--out NAME] [--smoke]
+//
+// --threads adds a thread-scaling section mirroring bench_throughput's:
+// pure-locate cells re-run through serve::executor at each listed thread
+// count (uniform 2-D/3-D points, same stream partitioned across workers,
+// receipts identical to serial) and the JSON gains a "thread_scaling" array.
 //
 // Mixes: `locate` (pure point location; batched through locate_batch in
 // groups of --batch B, default 16 as in bench_throughput — identical
@@ -27,6 +32,7 @@
 #include "api/spatial_registry.h"
 #include "bench_common.h"
 #include "net/network.h"
+#include "serve/executor.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
@@ -55,6 +61,7 @@ struct config {
   double time_budget = 0.25;  // seconds per (backend, dist, mix, n) cell
   std::size_t batch = 16;     // >1: drive locate cells via locate_batch
   std::uint64_t seed = 1;
+  std::vector<std::size_t> thread_counts;  // non-empty: executor scaling sweep
   std::string out = "spatial";
 };
 
@@ -195,11 +202,37 @@ cell_result run_cell(const std::string& backend, const std::string& dist, const 
   return res;
 }
 
+// One thread-scaling cell: uniform points, pure locate through a T-worker
+// executor (shared loop: bench_common.h run_scale_loop); see
+// bench_throughput's run_scale_cell for the determinism notes.
+scale_result run_scale_cell(const std::string& backend, std::size_t n, std::size_t threads,
+                            const config& cfg) {
+  const int dims = api::spatial_backend_dims(backend);
+  util::rng r(cfg.seed * 6121 + n);  // same build inputs as run_cell (uniform)
+  const auto pts = wl::spatial_points(dims, n, false, r);
+  const auto qs = wl::spatial_query_stream(dims, 2048, cfg.seed * 104729 + n);
+
+  scale_result res;
+  net::network net(1);
+  const auto t_build0 = clock_t_::now();
+  const auto idx = api::make_spatial_index(backend, pts,
+                                           api::index_options{}.seed(cfg.seed).initial_hosts(64),
+                                           net);
+  res.build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+
+  serve::executor ex(threads);
+  run_scale_loop(res, cfg.max_ops, cfg.time_budget, [&] {
+    const auto out = ex.run_locate(*idx, qs, net::host_id{0}, cfg.batch > 1 ? cfg.batch : 1);
+    return std::pair{static_cast<std::uint64_t>(qs.size()), out.total};
+  });
+  return res;
+}
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--n 1024,4096,...] [--backends a,b|all] [--mixes locate,range,nn,churn]\n"
                "          [--dists uniform,clustered] [--max-ops N] [--time SECONDS] [--batch B]\n"
-               "          [--seed S] [--out NAME] [--smoke]\n",
+               "          [--seed S] [--threads T1,T2,...] [--out NAME] [--smoke]\n",
                argv0);
 }
 
@@ -238,6 +271,12 @@ int main(int argc, char** argv) {
       if (cfg.batch == 0) cfg.batch = 1;
     } else if (a == "--seed") {
       cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--threads") {
+      cfg.thread_counts.clear();
+      for (const auto& s : split_list(need("--threads"))) {
+        const auto t = std::strtoull(s.c_str(), nullptr, 10);
+        cfg.thread_counts.push_back(t == 0 ? 1 : static_cast<std::size_t>(t));
+      }
     } else if (a == "--out") {
       cfg.out = need("--out");
     } else if (a == "--smoke") {
@@ -296,6 +335,7 @@ int main(int argc, char** argv) {
   jw.field("ndebug", ndebug);
   jw.field("seed", cfg.seed);
   jw.field("batch", static_cast<std::uint64_t>(cfg.batch));
+  json_hardware_fields(jw);
   jw.key("samples").begin_array();
 
   for (const auto& backend : cfg.backends) {
@@ -316,6 +356,7 @@ int main(int argc, char** argv) {
           jw.field("ops", res.ops);
           jw.field("seconds", res.seconds);
           jw.field("ops_per_sec", res.ops_per_sec());
+          json_thread_fields(jw, 1, res.ops_per_sec());  // classic cells are serial
           jw.field("build_seconds", res.build_seconds);
           jw.field("messages_per_op", res.per_op(res.totals.messages));
           jw.field("host_visits_per_op", res.per_op(res.totals.host_visits));
@@ -329,6 +370,45 @@ int main(int argc, char** argv) {
   }
 
   jw.end_array();
+
+  if (!cfg.thread_counts.empty()) {
+    print_header("Thread scaling - serve::executor over pure locate, ops/sec vs worker count");
+    std::printf("hardware_concurrency=%u  (speedup is vs the sweep's first thread count)\n",
+                std::thread::hardware_concurrency());
+    print_rule();
+    print_row({"backend", "n", "threads", "ops", "sec", "ops/sec", "ops/sec/thread", "speedup",
+               "msgs/op"},
+              15);
+    print_rule();
+
+    jw.key("thread_scaling").begin_array();
+    for (const auto& backend : cfg.backends) {
+      for (const std::size_t n : cfg.ns) {
+        double base_ops_per_sec = 0;
+        for (const std::size_t T : cfg.thread_counts) {
+          const auto res = run_scale_cell(backend, n, T, cfg);
+          if (base_ops_per_sec == 0) base_ops_per_sec = res.ops_per_sec();
+          const double speedup =
+              base_ops_per_sec > 0 ? res.ops_per_sec() / base_ops_per_sec : 0.0;
+          print_row({backend, fmt_u(n), fmt_u(T), fmt_u(res.ops), fmt(res.seconds, 3),
+                     fmt(res.ops_per_sec(), 0),
+                     fmt(res.ops_per_sec() / static_cast<double>(T), 0), fmt(speedup, 2),
+                     fmt(res.per_op(res.totals.messages), 2)},
+                    15);
+          jw.begin_object();
+          jw.field("backend", backend);
+          jw.field("dims", api::spatial_backend_dims(backend));
+          jw.field("mix", "locate");
+          jw.field("n", n);
+          json_scale_fields(jw, res, T, speedup);
+          jw.end_object();
+        }
+      }
+      print_rule();
+    }
+    jw.end_array();
+  }
+
   jw.end_object();
   write_bench_json(cfg.out, jw.str());
   return 0;

@@ -12,11 +12,18 @@
 //   bench_throughput [--n 1024,4096,16384] [--backends a,b|all]
 //                    [--mixes search,mixed,churn] [--max-ops N]
 //                    [--time SECONDS_PER_CELL] [--batch B] [--seed S]
-//                    [--out NAME] [--smoke]
+//                    [--threads T1,T2,...] [--out NAME] [--smoke]
 //
 // --batch B > 1 runs pure-search cells through nearest_batch() in groups of
 // B (identical results and receipts; overlapped memory latency). Mixed and
 // churn cells always run one op at a time.
+//
+// --threads adds a thread-scaling section: pure-search cells are re-run
+// through the serve::executor thread pool at each listed thread count (the
+// same query stream statically partitioned across workers — results and
+// summed receipts identical to the serial loop by the executor contract),
+// and the run's JSON gains a "thread_scaling" array. The serving plane is
+// query-only; mixed/churn cells stay single-threaded.
 //
 // --smoke shrinks everything for CI (two small n, tight time budget).
 
@@ -30,6 +37,7 @@
 #include "api/registry.h"
 #include "bench_common.h"
 #include "net/network.h"
+#include "serve/executor.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
@@ -65,6 +73,7 @@ struct config {
   double time_budget = 0.25;  // seconds per (backend, mix, n) cell
   std::size_t batch = 16;     // >1: drive pure-search cells via nearest_batch
   std::uint64_t seed = 1;
+  std::vector<std::size_t> thread_counts;  // non-empty: executor scaling sweep
   std::string out = "throughput";
 };
 
@@ -192,11 +201,37 @@ cell_result run_cell(const std::string& backend, const mix_t& mix, std::size_t n
   return res;
 }
 
+// One thread-scaling cell: build the backend over n keys once, then serve
+// the same pregenerated query stream through a T-worker executor (shared
+// loop: bench_common.h run_scale_loop). The stream, its partition, the
+// results and the summed receipts are all pure functions of (seed, n) —
+// thread count changes only the wall clock.
+scale_result run_scale_cell(const std::string& backend, std::size_t n, std::size_t threads,
+                            const config& cfg) {
+  util::rng r(cfg.seed * 7919 + n);  // same build inputs as run_cell
+  auto all = wl::uniform_keys(n + 8192, r);
+  std::vector<std::uint64_t> keys(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n));
+  const auto qs = wl::query_stream(keys, 4096, cfg.seed * 104729 + n);
+
+  scale_result res;
+  net::network net(1);
+  const auto t_build0 = clock_t_::now();
+  const auto idx = api::make_index(backend, keys, api::index_options{}.seed(cfg.seed), net);
+  res.build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+
+  serve::executor ex(threads);
+  run_scale_loop(res, cfg.max_ops, cfg.time_budget, [&] {
+    const auto out = ex.run_nearest(*idx, qs, net::host_id{0}, cfg.batch > 1 ? cfg.batch : 1);
+    return std::pair{static_cast<std::uint64_t>(qs.size()), out.total};
+  });
+  return res;
+}
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--n 1024,4096,...] [--backends a,b|all] [--mixes search,mixed,churn]\n"
-               "          [--max-ops N] [--time SECONDS] [--batch B] [--seed S] [--out NAME]\n"
-               "          [--smoke]\n",
+               "          [--max-ops N] [--time SECONDS] [--batch B] [--seed S]\n"
+               "          [--threads T1,T2,...] [--out NAME] [--smoke]\n",
                argv0);
 }
 
@@ -232,6 +267,12 @@ int main(int argc, char** argv) {
       if (cfg.batch > kBatch) cfg.batch = kBatch;  // group cap; larger spins zero ops
     } else if (a == "--seed") {
       cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--threads") {
+      cfg.thread_counts.clear();
+      for (const auto& s : split_list(need("--threads"))) {
+        const auto t = std::strtoull(s.c_str(), nullptr, 10);
+        cfg.thread_counts.push_back(t == 0 ? 1 : static_cast<std::size_t>(t));
+      }
     } else if (a == "--out") {
       cfg.out = need("--out");
     } else if (a == "--smoke") {
@@ -284,6 +325,7 @@ int main(int argc, char** argv) {
   jw.field("ndebug", ndebug);
   jw.field("seed", cfg.seed);
   jw.field("batch", static_cast<std::uint64_t>(cfg.batch));
+  json_hardware_fields(jw);
   jw.key("samples").begin_array();
 
   for (const auto& backend : cfg.backends) {
@@ -303,6 +345,7 @@ int main(int argc, char** argv) {
         jw.field("ops", res.ops);
         jw.field("seconds", res.seconds);
         jw.field("ops_per_sec", res.ops_per_sec());
+        json_thread_fields(jw, 1, res.ops_per_sec());  // classic cells are serial
         jw.field("build_seconds", res.build_seconds);
         jw.field("messages_per_op", res.per_op(res.totals.messages));
         jw.field("host_visits_per_op", res.per_op(res.totals.host_visits));
@@ -317,6 +360,44 @@ int main(int argc, char** argv) {
   }
 
   jw.end_array();
+
+  if (!cfg.thread_counts.empty()) {
+    print_header("Thread scaling - serve::executor over pure search, ops/sec vs worker count");
+    std::printf("hardware_concurrency=%u  (speedup is vs the sweep's first thread count)\n",
+                std::thread::hardware_concurrency());
+    print_rule();
+    print_row({"backend", "n", "threads", "ops", "sec", "ops/sec", "ops/sec/thread", "speedup",
+               "msgs/op"},
+              17);
+    print_rule();
+
+    jw.key("thread_scaling").begin_array();
+    for (const auto& backend : cfg.backends) {
+      for (const std::size_t n : cfg.ns) {
+        double base_ops_per_sec = 0;
+        for (const std::size_t T : cfg.thread_counts) {
+          const auto res = run_scale_cell(backend, n, T, cfg);
+          if (base_ops_per_sec == 0) base_ops_per_sec = res.ops_per_sec();
+          const double speedup =
+              base_ops_per_sec > 0 ? res.ops_per_sec() / base_ops_per_sec : 0.0;
+          print_row({backend, fmt_u(n), fmt_u(T), fmt_u(res.ops), fmt(res.seconds, 3),
+                     fmt(res.ops_per_sec(), 0),
+                     fmt(res.ops_per_sec() / static_cast<double>(T), 0), fmt(speedup, 2),
+                     fmt(res.per_op(res.totals.messages), 2)},
+                    17);
+          jw.begin_object();
+          jw.field("backend", backend);
+          jw.field("mix", "search");
+          jw.field("n", n);
+          json_scale_fields(jw, res, T, speedup);
+          jw.end_object();
+        }
+      }
+      print_rule();
+    }
+    jw.end_array();
+  }
+
   jw.end_object();
   write_bench_json(cfg.out, jw.str());
   return 0;

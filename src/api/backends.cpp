@@ -3,6 +3,13 @@
 // structures share the exact same operation signatures (api::nn_result /
 // api::op_stats / api::op_result returns), so one adapter template covers
 // everything except chord, whose hashing makes ordered queries special.
+//
+// The adapters are stateless pass-throughs, so the interface's concurrency
+// contract reduces to the wrapped structures': every builtin's query path
+// routes through a net::cursor whose traffic receipt is thread-private until
+// committed (net/receipt.h), and the query surface is const all the way down
+// (enforced below at compile time) — which is what lets serve::executor
+// drive any registered backend from multiple threads.
 
 #include <cmath>
 #include <utility>
@@ -80,6 +87,12 @@ class adapter final : public distributed_index {
       requires(const S& s) { s.range(std::uint64_t{}, std::uint64_t{}, net::host_id{}, std::size_t{}); };
   static constexpr bool has_nearest_batch =
       requires(const S& s) { s.nearest_batch(std::vector<std::uint64_t>{}, net::host_id{}); };
+  // The interface promises thread-safe concurrent const queries; that only
+  // holds if the wrapped structure's query surface is itself const.
+  static_assert(requires(const S& s) {
+    s.nearest(std::uint64_t{}, net::host_id{});
+    s.contains(std::uint64_t{}, net::host_id{});
+  }, "query methods must be const for the concurrent-read contract");
 
   std::string name_;
   S impl_;

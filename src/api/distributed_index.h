@@ -49,6 +49,13 @@ class unsupported_operation : public std::logic_error {
 // Keys are the item universe; `origin` is the host the operation is issued
 // from (costs include routing from that host's search root). All operations
 // return their op_stats receipt.
+//
+// Concurrency contract: the const query surface (nearest/nearest_batch/
+// contains/range) is safe to call concurrently from any number of threads on
+// one instance — traffic accounting is cursor-local and merged atomically
+// (net/receipt.h), and the backends' read paths are audited data-race free.
+// insert/erase are structural: single writer, never concurrent with queries.
+// serve::executor is the canonical multi-threaded driver.
 class distributed_index {
  public:
   virtual ~distributed_index() = default;

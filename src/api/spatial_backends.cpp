@@ -17,6 +17,13 @@
 //   range queries are priced honestly as a full sweep (one hop per stored
 //   item — the same convention as chord's nearest flooding in the 1-D
 //   registry).
+//
+// Like the 1-D adapters, these are stateless pass-throughs: the query paths
+// (including the adapters' own bookkeeping — the trapmap mirror directory is
+// only read by locate, written by insert/erase) keep the interface's
+// concurrent-const-query contract, with traffic metered through cursor-local
+// receipts (net/receipt.h) so serve::executor can fan locate streams across
+// threads.
 
 #include <bit>
 #include <cstdint>

@@ -130,6 +130,12 @@ __extension__ using spatial_dist2 = unsigned __int128;
 // The uniform public surface of every multi-dimensional distributed
 // structure. `origin` is the host the operation is issued from; every
 // operation returns its op_stats receipt (see DESIGN.md).
+//
+// Concurrency contract: as for distributed_index — the const query surface
+// (locate/locate_batch/orthogonal_range/approx_nn) may be called from any
+// number of threads concurrently on one instance (cursor-local receipts,
+// audited read paths); insert/erase are single-writer, never concurrent
+// with queries. serve::executor::run_locate is the multi-threaded driver.
 class spatial_index {
  public:
   virtual ~spatial_index() = default;

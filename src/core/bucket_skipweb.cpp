@@ -76,7 +76,7 @@ std::size_t bucket_skipweb::live_block_count() const {
   return n;
 }
 
-int bucket_skipweb::new_block(const util::level_prefix& set, net::host_id host) {
+int bucket_skipweb::new_block(util::level_prefix set, net::host_id host) {
   int id;
   if (!free_blocks_.empty()) {
     id = free_blocks_.back();
@@ -217,10 +217,14 @@ void bucket_skipweb::join_block(int item, int stratum, net::cursor& cur) {
     root_item_.push_back(b.items.back());
     net_->charge(fresh, net::memory_kind::host_ref, 1);
     const int nb = new_block(b.set, fresh);
+    // new_block may have grown blocks_, invalidating `b`: re-bind both
+    // halves (the latent use-after-free the sanitized CI job caught).
+    auto& first = blocks_[static_cast<std::size_t>(blk)];
     auto& second = blocks_[static_cast<std::size_t>(nb)];
-    const std::size_t half = b.items.size() / 2;
-    second.items.assign(b.items.begin() + static_cast<std::ptrdiff_t>(half), b.items.end());
-    blocks_[static_cast<std::size_t>(blk)].items.resize(half);
+    const std::size_t half = first.items.size() / 2;
+    second.items.assign(first.items.begin() + static_cast<std::ptrdiff_t>(half),
+                        first.items.end());
+    first.items.resize(half);
     for (int moved : second.items) {
       block_of_[static_cast<std::size_t>(stratum)][static_cast<std::size_t>(moved)] = nb;
       charge_item_nodes(moved, stratum, blocks_[static_cast<std::size_t>(blk)].host, -1);

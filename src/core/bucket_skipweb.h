@@ -78,7 +78,9 @@ class bucket_skipweb {
   [[nodiscard]] int root_for(net::host_id origin) const;
 
   void build_blocks();
-  int new_block(const util::level_prefix& set, net::host_id host);
+  // `set` by value: callers routinely pass a reference into blocks_, which
+  // this function may reallocate (caught by the sanitized build).
+  int new_block(util::level_prefix set, net::host_id host);
   void charge_item_nodes(int item, int stratum, net::host_id host, std::int64_t sign);
   void join_block(int item, int stratum, net::cursor& cur);
   void leave_block(int item, int stratum, net::cursor& cur);

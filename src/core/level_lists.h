@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -32,6 +33,12 @@ namespace skipweb::core {
 // This class owns only the *structure* (arena + links). The distributed
 // protocols in skipweb_1d.h / bucket_skipweb.h do their own routing and
 // message accounting and call splice_in/unsplice for the structural edits.
+//
+// Concurrency contract (audited for the serving executor): every const
+// method is a pure read of the arena — safe to call from any number of
+// threads at once — except any_alive(), whose lazily-repaired hint is an
+// atomic (see below). Structural edits (splice_in/unsplice) follow the
+// library-wide single-writer rule: never concurrent with reads.
 class level_lists {
  public:
   // Number of levels above level 0 for a ground set of size n.
@@ -240,22 +247,27 @@ class level_lists {
   // Any alive item, or -1; used to seed root pointers. Amortized O(1): a
   // cached hint (maintained by splice_in/unsplice) is tried first, chasing
   // redirects of items that died since; a full arena scan is the last resort.
+  //
+  // The hint is the one piece of state a *query* path writes, so it is an
+  // atomic (relaxed: any alive item is a correct hint, so racing repairs
+  // from concurrent searches are benign) — required for the data-race-free
+  // concurrent-read contract the serving executor relies on.
   [[nodiscard]] int any_alive() const {
-    int h = alive_hint_;
+    int h = alive_hint_.load(std::memory_order_relaxed);
     while (h >= 0 && alive_[static_cast<std::size_t>(h)] == 0) {
       h = redirect_[static_cast<std::size_t>(h)];
     }
     if (h >= 0) {
-      alive_hint_ = h;
+      alive_hint_.store(h, std::memory_order_relaxed);
       return h;
     }
     for (int i = 0; i < static_cast<int>(arena_size()); ++i) {
       if (alive_[static_cast<std::size_t>(i)] != 0) {
-        alive_hint_ = i;
+        alive_hint_.store(i, std::memory_order_relaxed);
         return i;
       }
     }
-    alive_hint_ = -1;
+    alive_hint_.store(-1, std::memory_order_relaxed);
     return -1;
   }
 
@@ -319,7 +331,9 @@ class level_lists {
   int levels_ = 0;
   std::size_t stride_ = 1;
   std::size_t alive_count_ = 0;
-  mutable int alive_hint_ = -1;  // mutable: any_alive() repairs it lazily
+  // mutable atomic: any_alive() (a const query) repairs it lazily, possibly
+  // from several serving threads at once; see the method comment.
+  mutable std::atomic<int> alive_hint_{-1};
 };
 
 }  // namespace skipweb::core

@@ -40,6 +40,12 @@ namespace skipweb::core {
 // This class owns only the structure. The distributed protocol
 // (skip_quadtree.h) does the routing, message metering, and memory-ledger
 // charging on top of the primitives here.
+//
+// Concurrency contract (audited for the serving executor): the const surface
+// (tree/step/down_of/box_at/child_at/point_here/prefetch_node/...) is pure
+// reads — no lazily-repaired caches, no mutable members — so any number of
+// threads may descend concurrently. Structural edits (insert_at/erase_at/
+// ensure_tree/...) are single-writer, never concurrent with reads.
 template <int D>
 class quad_levels {
  public:

@@ -26,6 +26,12 @@ namespace skipweb::core {
 // level denser and resumes the descent, doing expected O(1) extra steps per
 // level (Lemma 4). String search therefore costs O(log n) expected messages
 // even when the underlying trie has Θ(n) depth.
+//
+// Concurrency contract (audited for the serving executor): the query surface
+// (locate/contains/longest_common_prefix/with_prefix) reads tries_, bits_
+// and anchors_ without writing any shared state — traffic accounting rides
+// in the cursor's local receipt — so concurrent const queries are data-race
+// free. insert/erase are single-writer, never concurrent with queries.
 class skip_trie {
  public:
   skip_trie(const std::vector<std::string>& keys, std::uint64_t seed, net::network& net)

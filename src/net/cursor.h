@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "net/network.h"
+#include "net/receipt.h"
 #include "net/types.h"
 
 namespace skipweb::net {
@@ -12,10 +14,43 @@ namespace skipweb::net {
 // anything elsewhere requires move_to(), which charges one message. Counting
 // hops of the query locus is the same message-complexity convention used by
 // skip graphs and SkipNet.
+//
+// Accounting is shared-nothing while the operation runs: every hop is
+// appended to a cursor-local traffic_receipt (thread-private memory), and
+// the receipt is merged into the network's atomic visit counters exactly
+// once — by the destructor, or an explicit settle() — via network::commit().
+// Concurrent queries therefore never contend on the ledger mid-route, which
+// is what lets serve::executor drive one structure from many threads; the
+// committed totals are identical to the old write-per-hop scheme.
 class cursor {
  public:
   cursor(network& net, host_id start) : net_(&net), at_(start) {
     SW_EXPECTS(start.valid() && start.value < net.host_count());
+  }
+
+  ~cursor() { settle(); }
+
+  cursor(const cursor&) = delete;
+  cursor& operator=(const cursor&) = delete;
+
+  // Movable so batch routers can keep cursors in vectors; the moved-from
+  // cursor is disarmed (its hops travel with the receipt, not duplicated).
+  cursor(cursor&& o) noexcept
+      : net_(std::exchange(o.net_, nullptr)),
+        at_(o.at_),
+        messages_(o.messages_),
+        comparisons_(o.comparisons_),
+        receipt_(std::move(o.receipt_)) {}
+  cursor& operator=(cursor&& o) noexcept {
+    if (this != &o) {
+      settle();
+      net_ = std::exchange(o.net_, nullptr);
+      at_ = o.at_;
+      messages_ = o.messages_;
+      comparisons_ = o.comparisons_;
+      receipt_ = std::move(o.receipt_);
+    }
+    return *this;
   }
 
   // Hop to `h`. A hop to the current host is free (local pointer chase).
@@ -23,7 +58,7 @@ class cursor {
     SW_EXPECTS(h.valid() && h.value < net_->host_count());
     if (h != at_) {
       ++messages_;
-      net_->record_hop(h);
+      receipt_.record(h);
       at_ = h;
     }
   }
@@ -34,17 +69,30 @@ class cursor {
   // to their comparison sites so api::op_stats can report them per-op.
   void note_comparisons(std::uint64_t n = 1) { comparisons_ += n; }
 
+  // Merge the accumulated receipt into the network's traffic ledger now
+  // (idempotent: the receipt is cleared, and the destructor commits only
+  // what accumulated since). Counters on the cursor itself are unaffected.
+  void settle() {
+    if (net_ != nullptr && !receipt_.empty()) {
+      net_->commit(receipt_);
+      receipt_.clear();
+    }
+  }
+
   [[nodiscard]] host_id at() const { return at_; }
   [[nodiscard]] std::uint64_t messages() const { return messages_; }
   // Hosts this operation's locus touched, revisits included (origin counts).
   [[nodiscard]] std::uint64_t visits() const { return messages_ + 1; }
   [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
+  // The not-yet-committed hop log (exposed for tests).
+  [[nodiscard]] const traffic_receipt& receipt() const { return receipt_; }
 
  private:
   network* net_;
   host_id at_;
   std::uint64_t messages_ = 0;
   std::uint64_t comparisons_ = 0;
+  traffic_receipt receipt_;
 };
 
 }  // namespace skipweb::net

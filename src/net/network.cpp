@@ -1,21 +1,43 @@
 #include "net/network.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace skipweb::net {
 
-network::network(std::size_t host_count) : memory_(host_count), visits_(host_count, 0) {
+network::network(std::size_t host_count) {
   SW_EXPECTS(host_count > 0);
+  memory_.resize(host_count);
+  grow_visit_blocks_to(host_count);
+  hosts_ = host_count;
 }
 
 host_id network::add_host() {
+  SW_EXPECTS(traffic_quiescent());  // structural plane: no queries in flight
   memory_.emplace_back();
-  visits_.push_back(0);
-  return host_id{static_cast<std::uint32_t>(memory_.size() - 1)};
+  grow_visit_blocks_to(hosts_ + 1);
+  ++hosts_;
+  return host_id{static_cast<std::uint32_t>(hosts_ - 1)};
+}
+
+void network::grow_visit_blocks_to(std::size_t hosts) {
+  const std::size_t blocks_needed = (hosts + block_size - 1) >> block_bits;
+  if (blocks_needed <= visit_blocks_.size()) return;
+  // The directory doubles so per-host growth stays amortized O(1); the
+  // blocks themselves never move (see add_host's growth-policy note).
+  if (visit_blocks_.capacity() < blocks_needed) {
+    visit_blocks_.reserve(std::max(blocks_needed, std::max<std::size_t>(4, 2 * visit_blocks_.capacity())));
+  }
+  while (visit_blocks_.size() < blocks_needed) {
+    auto block = std::make_unique<std::atomic<std::uint64_t>[]>(block_size);
+    for (std::size_t i = 0; i < block_size; ++i) {
+      block[i].store(0, std::memory_order_relaxed);
+    }
+    visit_blocks_.push_back(std::move(block));
+  }
 }
 
 void network::charge(host_id h, memory_kind kind, std::int64_t delta) {
+  SW_EXPECTS(traffic_quiescent());  // structural plane, like add_host
   SW_EXPECTS(h.valid() && h.value < memory_.size());
   auto& cell = memory_[h.value].counts[static_cast<std::size_t>(kind)];
   if (delta < 0) {
@@ -53,24 +75,38 @@ std::uint64_t network::total_memory() const {
   return sum;
 }
 
+void network::commit(const traffic_receipt& r) {
+  if (r.empty()) return;  // hop-free operations never touch the shared plane
+  commits_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  total_messages_.fetch_add(r.size(), std::memory_order_relaxed);
+  r.for_each([this](host_id to) {
+    SW_ASSERT(to.valid() && to.value < hosts_);
+    visit_slot(to.value).fetch_add(1, std::memory_order_relaxed);
+  });
+  commits_in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
 std::uint64_t network::visits(host_id h) const {
-  SW_EXPECTS(h.valid() && h.value < visits_.size());
-  return visits_[h.value];
+  SW_EXPECTS(h.valid() && h.value < hosts_);
+  SW_EXPECTS(traffic_quiescent());
+  return visit_slot(h.value).load(std::memory_order_relaxed);
 }
 
 std::uint64_t network::max_visits() const {
-  return visits_.empty() ? 0 : *std::max_element(visits_.begin(), visits_.end());
+  SW_EXPECTS(traffic_quiescent());
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < hosts_; ++i) {
+    best = std::max(best, visit_slot(static_cast<std::uint32_t>(i)).load(std::memory_order_relaxed));
+  }
+  return best;
 }
 
 void network::reset_traffic() {
-  std::fill(visits_.begin(), visits_.end(), 0);
-  total_messages_ = 0;
-}
-
-void network::record_hop(host_id to) {
-  SW_EXPECTS(to.valid() && to.value < visits_.size());
-  ++total_messages_;
-  ++visits_[to.value];
+  SW_EXPECTS(traffic_quiescent());
+  for (std::size_t i = 0; i < hosts_; ++i) {
+    visit_slot(static_cast<std::uint32_t>(i)).store(0, std::memory_order_relaxed);
+  }
+  total_messages_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace skipweb::net

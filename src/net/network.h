@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "net/receipt.h"
 #include "net/types.h"
 #include "util/sw_assert.h"
 
@@ -16,19 +19,42 @@ enum class memory_kind : std::uint8_t { item, node, pointer, host_ref };
 // The simulated peer-to-peer network. It does not move bytes; it is a
 // ledger. Distributed structures register what each host stores (memory),
 // and route every query/update through a `cursor` (see cursor.h), which
-// charges one message per inter-host hop and one visit per host touched.
-// Those three ledgers are exactly the paper's M, Q(n)/U(n) and C(n).
+// accumulates a thread-private traffic_receipt and merges it here — one
+// commit() per operation — into sharded atomic per-host visit counters.
+// Those ledgers are exactly the paper's M, Q(n)/U(n) and C(n).
+//
+// Concurrency model (two planes):
+//  - Query plane: any number of threads may run const queries on the
+//    structures concurrently; each operation's cursor commits its receipt
+//    with relaxed atomic increments. Commits from different threads
+//    interleave freely and totals are exact.
+//  - Structural plane: add_host(), charge() and the traffic *getters*
+//    (total_messages, visits, max_visits, reset_traffic) are quiescent-only:
+//    they require no commit to be in flight (asserted under SW_CONTRACTS).
+//    Builds, inserts and erases are structural and must be externally
+//    serialized against the query plane — the same single-writer contract
+//    the data structures themselves have.
 class network {
  public:
   explicit network(std::size_t host_count);
 
-  [[nodiscard]] std::size_t host_count() const { return memory_.size(); }
+  // Not copyable/movable: cursors and structures hold stable pointers to it.
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
+
+  [[nodiscard]] std::size_t host_count() const { return hosts_; }
 
   // Bring a fresh host online (e.g. to own a newly inserted item, or to take
-  // a bucket skip-web block split). Returns its id.
+  // a bucket skip-web block split). Returns its id. Structural-plane only.
+  //
+  // Growth policy: visit counters live in fixed 4096-slot blocks that are
+  // never moved once allocated (only the small block directory grows, with
+  // geometric reserve), so host ids handed out earlier keep their counter
+  // slots for the life of the network; the memory ledger is a plain vector
+  // with geometric growth, touched only on this plane.
   host_id add_host();
 
-  // --- memory ledger -------------------------------------------------------
+  // --- memory ledger (structural plane) ------------------------------------
   void charge(host_id h, memory_kind kind, std::int64_t delta);
   [[nodiscard]] std::uint64_t memory_used(host_id h) const;
   [[nodiscard]] std::uint64_t memory_used(host_id h, memory_kind kind) const;
@@ -36,26 +62,52 @@ class network {
   [[nodiscard]] double mean_memory() const;
   [[nodiscard]] std::uint64_t total_memory() const;
 
-  // --- traffic ledger (written by cursors) ---------------------------------
-  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+  // --- traffic ledger -------------------------------------------------------
+  //
+  // Written exclusively through commit(): one call per finished operation,
+  // merging the cursor's hop log. Safe to call from any number of threads.
+  void commit(const traffic_receipt& r);
+
+  // True when no commit is executing right now. The traffic getters below
+  // are only coherent in that state (between operations, or after worker
+  // threads joined); they assert it so a racy read is caught, not returned.
+  [[nodiscard]] bool traffic_quiescent() const {
+    return commits_in_flight_.load(std::memory_order_acquire) == 0;
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const {
+    SW_EXPECTS(traffic_quiescent());
+    return total_messages_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t visits(host_id h) const;
   [[nodiscard]] std::uint64_t max_visits() const;
 
   // Zero the message/visit counters between workload phases; memory stays.
+  // Quiescent-only, like the getters.
   void reset_traffic();
 
  private:
-  friend class cursor;
+  // Visit-counter shard: a fixed-size block of atomics. Blocks are allocated
+  // once and never relocated, so concurrent commits may increment counters
+  // while (quiescent-only) add_host calls append fresh blocks.
+  static constexpr std::size_t block_bits = 12;
+  static constexpr std::size_t block_size = std::size_t{1} << block_bits;
 
-  void record_hop(host_id to);
+  [[nodiscard]] std::atomic<std::uint64_t>& visit_slot(std::uint32_t host) const {
+    return visit_blocks_[host >> block_bits][host & (block_size - 1)];
+  }
+
+  void grow_visit_blocks_to(std::size_t hosts);
 
   struct memory_row {
     std::uint64_t counts[4] = {0, 0, 0, 0};
   };
 
   std::vector<memory_row> memory_;
-  std::vector<std::uint64_t> visits_;
-  std::uint64_t total_messages_ = 0;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> visit_blocks_;
+  std::size_t hosts_ = 0;
+  std::atomic<std::uint64_t> total_messages_{0};
+  mutable std::atomic<std::uint32_t> commits_in_flight_{0};
 };
 
 }  // namespace skipweb::net

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/types.h"
+
+namespace skipweb::net {
+
+// The cursor-local traffic log of one distributed operation: every inter-host
+// hop, in route order. This is what makes the query plane shared-nothing —
+// while an operation routes, its cursor appends here (thread-private memory)
+// instead of writing into the network's shared visit counters; the whole log
+// is merged once, at operation end, via network::commit(). The numbers a
+// receipt yields (messages = hop count, visits = hops + origin) are
+// byte-identical to what the old write-as-you-go ledger produced.
+//
+// Routes are short (O(log n) hops), so the log keeps a fixed inline buffer
+// and spills to the heap only for outsized operations (floods, range
+// sweeps). The buffer stores raw host values and is deliberately left
+// uninitialized — cursors are constructed once per operation, and zeroing
+// 48 slots per op is measurable on the serial hot path; only slots below
+// count_ are ever read.
+class traffic_receipt {
+ public:
+  static constexpr std::size_t inline_capacity = 48;
+
+  traffic_receipt() = default;
+
+  // Copies/moves transfer only the live head of the inline buffer — the
+  // defaulted operations would read all 48 slots, most of them indeterminate
+  // (UB, and a bigger memcpy than the zeroing record() avoids).
+  traffic_receipt(const traffic_receipt& o) : spill_(o.spill_), count_(o.count_) { copy_head(o); }
+  traffic_receipt(traffic_receipt&& o) noexcept
+      : spill_(std::move(o.spill_)), count_(o.count_) {
+    copy_head(o);
+    o.clear();
+  }
+  traffic_receipt& operator=(const traffic_receipt& o) {
+    if (this != &o) {
+      spill_ = o.spill_;
+      count_ = o.count_;
+      copy_head(o);
+    }
+    return *this;
+  }
+  traffic_receipt& operator=(traffic_receipt&& o) noexcept {
+    if (this != &o) {
+      spill_ = std::move(o.spill_);
+      count_ = o.count_;
+      copy_head(o);
+      o.clear();
+    }
+    return *this;
+  }
+
+  void record(host_id h) {
+    if (count_ < inline_capacity) {
+      inline_[count_] = h.value;
+    } else {
+      spill_.push_back(h.value);
+    }
+    ++count_;
+  }
+
+  // Hops logged so far == messages charged (one per inter-host hop).
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] host_id at(std::size_t i) const {
+    return host_id{i < inline_capacity ? inline_[i] : spill_[i - inline_capacity]};
+  }
+
+  // Visit every hop in route order; the commit loop's fast path (no
+  // per-element inline-vs-spill branch).
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::size_t head = std::min(count_, inline_capacity);
+    for (std::size_t i = 0; i < head; ++i) f(host_id{inline_[i]});
+    for (std::size_t i = inline_capacity; i < count_; ++i) {
+      f(host_id{spill_[i - inline_capacity]});
+    }
+  }
+
+  void clear() {
+    count_ = 0;
+    spill_.clear();
+  }
+
+ private:
+  void copy_head(const traffic_receipt& o) {
+    std::copy_n(o.inline_.data(), std::min(count_, inline_capacity), inline_.data());
+  }
+
+  std::array<std::uint32_t, inline_capacity> inline_;  // uninitialized; see above
+  std::vector<std::uint32_t> spill_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace skipweb::net

@@ -1,0 +1,121 @@
+#include "serve/executor.h"
+
+#include <algorithm>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::serve {
+
+executor::executor(std::size_t threads) : thread_count_(std::max<std::size_t>(threads, 1)) {
+  workers_.reserve(thread_count_);
+  for (std::size_t w = 0; w < thread_count_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+executor::~executor() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void executor::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(std::size_t)> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+      job = job_;  // copy: the published job outlives the unlock
+    }
+    job(worker);
+    {
+      std::lock_guard lk(mu_);
+      if (--outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void executor::run_job(const std::function<void(std::size_t)>& job) {
+  std::unique_lock lk(mu_);
+  SW_EXPECTS(outstanding_ == 0);  // one job at a time
+  job_ = job;
+  outstanding_ = thread_count_;
+  ++epoch_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void executor::for_slices(std::size_t n,
+                          const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  run_job([&](std::size_t worker) {
+    const auto [lo, hi] = slice(n, worker, thread_count_);
+    if (lo < hi) fn(worker, lo, hi);
+  });
+}
+
+executor::nearest_outcome executor::run_nearest(const api::distributed_index& idx,
+                                                const std::vector<std::uint64_t>& qs,
+                                                net::host_id origin, std::size_t batch) {
+  const std::size_t width = std::max<std::size_t>(batch, 1);
+  nearest_outcome out;
+  out.results.resize(qs.size());
+  std::vector<api::op_stats> partial(thread_count_);
+  for_slices(qs.size(), [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+    api::op_stats sum;
+    std::vector<std::uint64_t> group;
+    group.reserve(std::min(width, hi - lo));
+    for (std::size_t base = lo; base < hi; base += width) {
+      const std::size_t count = std::min(width, hi - base);
+      group.assign(qs.begin() + static_cast<std::ptrdiff_t>(base),
+                   qs.begin() + static_cast<std::ptrdiff_t>(base + count));
+      auto res = idx.nearest_batch(group, origin);
+      SW_ASSERT(res.size() == count);
+      for (std::size_t i = 0; i < count; ++i) {
+        sum += res[i].stats;
+        out.results[base + i] = std::move(res[i]);
+      }
+    }
+    partial[worker] = sum;
+  });
+  // Merging in worker order is deterministic by construction; the counters
+  // are u64 sums, so the totals are the same for every thread count anyway.
+  for (const auto& p : partial) out.total += p;
+  return out;
+}
+
+executor::locate_outcome executor::run_locate(const api::spatial_index& idx,
+                                              const std::vector<api::spatial_point>& qs,
+                                              net::host_id origin, std::size_t batch) {
+  const std::size_t width = std::max<std::size_t>(batch, 1);
+  locate_outcome out;
+  out.results.resize(qs.size());
+  std::vector<api::op_stats> partial(thread_count_);
+  for_slices(qs.size(), [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+    api::op_stats sum;
+    std::vector<api::spatial_point> group;
+    group.reserve(std::min(width, hi - lo));
+    for (std::size_t base = lo; base < hi; base += width) {
+      const std::size_t count = std::min(width, hi - base);
+      group.assign(qs.begin() + static_cast<std::ptrdiff_t>(base),
+                   qs.begin() + static_cast<std::ptrdiff_t>(base + count));
+      auto res = idx.locate_batch(group, origin);
+      SW_ASSERT(res.size() == count);
+      for (std::size_t i = 0; i < count; ++i) {
+        sum += res[i].stats;
+        out.results[base + i] = std::move(res[i]);
+      }
+    }
+    partial[worker] = sum;
+  });
+  for (const auto& p : partial) out.total += p;
+  return out;
+}
+
+}  // namespace skipweb::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/distributed_index.h"
+#include "api/op_stats.h"
+#include "api/spatial_index.h"
+
+namespace skipweb::serve {
+
+// Fixed thread-pool serving driver: the first piece of the library that
+// turns "the structures are safe for concurrent const queries" (the
+// receipt-based accounting plane, net/cursor.h) into wall-clock multi-core
+// throughput. A query stream is partitioned into contiguous per-worker
+// slices; each worker drives its slice through the backend's interleaved
+// batch router (distributed_index::nearest_batch / spatial_index::
+// locate_batch) in groups of `batch`; results land at their input positions
+// and the op_stats receipts sum to exactly the serial loop's totals — the
+// output is deterministic for any thread count (tested at T ∈ {1,2,4,8}).
+//
+// Serving is the *query* plane only: inserts/erases are structural and keep
+// the single-writer contract (see net/network.h). Run updates between
+// executor calls, never during one.
+class executor {
+ public:
+  // A pool of `threads` workers (clamped to >= 1), alive until destruction;
+  // runs re-use the pool, so per-call cost is two condition-variable waves.
+  explicit executor(std::size_t threads);
+  ~executor();
+
+  executor(const executor&) = delete;
+  executor& operator=(const executor&) = delete;
+
+  [[nodiscard]] std::size_t threads() const { return thread_count_; }
+
+  // The contiguous slice of [0, n) worker t of T owns: sizes differ by at
+  // most one and the slices concatenate to [0, n) in order, so the partition
+  // (hence every result position and receipt) is a pure function of (n, T).
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> slice(std::size_t n, std::size_t t,
+                                                                 std::size_t T) {
+    const std::size_t lo = (n * t) / T;
+    const std::size_t hi = (n * (t + 1)) / T;
+    return {lo, hi};
+  }
+
+  struct nearest_outcome {
+    std::vector<api::nn_result> results;  // input order
+    api::op_stats total;                  // sum of every per-op receipt
+  };
+
+  // Drive 1-D nearest-neighbour queries. Results and summed receipts are
+  // identical to `for (q : qs) idx.nearest(q, origin)` regardless of thread
+  // count or batch width (the nearest_batch receipt-equality contract).
+  [[nodiscard]] nearest_outcome run_nearest(const api::distributed_index& idx,
+                                            const std::vector<std::uint64_t>& qs,
+                                            net::host_id origin, std::size_t batch = 24);
+
+  struct locate_outcome {
+    std::vector<api::spatial_locate_result> results;  // input order
+    api::op_stats total;
+  };
+
+  // Spatial sibling: drive point-location queries through locate_batch.
+  [[nodiscard]] locate_outcome run_locate(const api::spatial_index& idx,
+                                          const std::vector<api::spatial_point>& qs,
+                                          net::host_id origin, std::size_t batch = 24);
+
+  // Run fn(worker, lo, hi) on every worker over the static partition of
+  // [0, n); blocks until all workers finish. The building block the typed
+  // entry points above share, exposed for custom query mixes.
+  void for_slices(std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_job(const std::function<void(std::size_t)>& job);
+
+  std::size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  // One-job-at-a-time dispatch: run_job publishes `job_` under the mutex and
+  // bumps the epoch; workers run it once per epoch and count down.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::function<void(std::size_t)> job_;
+  std::uint64_t epoch_ = 0;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace skipweb::serve

@@ -37,10 +37,26 @@ class rng {
   }
 
   // Derive an independent child stream; used to give each host / structure
-  // level its own reproducible randomness.
+  // level its own reproducible randomness. NOTE: consumes parent state, so
+  // the child depends on how much the parent was used before the split —
+  // fine for nested build randomness, wrong for per-worker streams (use
+  // stream() below).
   rng split(std::uint64_t tag) {
     // splitmix64 finalizer mixes the tag so nearby tags yield unrelated seeds.
     std::uint64_t z = engine_() + tag + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return rng(z ^ (z >> 31));
+  }
+
+  // Splittable per-worker stream: the `which`th independent stream of a
+  // common seed, derived *statelessly* — a pure function of (seed, which),
+  // consuming nothing. Thread-pooled drivers give worker w stream(seed, w)
+  // so the randomness each worker sees is identical for any thread count,
+  // any call order, and any interleaving (the seed-determinism contract of
+  // the multi-threaded benches; see workloads.h).
+  [[nodiscard]] static rng stream(std::uint64_t seed, std::uint64_t which) {
+    std::uint64_t z = seed + (which + 1) * 0x9e3779b97f4a7c15ull;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return rng(z ^ (z >> 31));

@@ -60,6 +60,23 @@ std::vector<std::uint64_t> probe_keys(const std::vector<std::uint64_t>& keys, st
   return out;
 }
 
+std::vector<std::uint64_t> query_stream(const std::vector<std::uint64_t>& keys, std::size_t count,
+                                        std::uint64_t seed) {
+  // Stream 0 of the seed, so the probes are decoupled from any other use of
+  // the same numeric seed by the caller.
+  auto r = util::rng::stream(seed, 0);
+  return probe_keys(keys, count, r);
+}
+
+std::vector<api::spatial_point> spatial_query_stream(int dims, std::size_t count,
+                                                     std::uint64_t seed) {
+  auto r = util::rng::stream(seed, 0);
+  std::vector<api::spatial_point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(spatial_probe(dims, r));
+  return out;
+}
+
 template <int D>
 std::vector<seq::qpoint<D>> uniform_points(std::size_t n, util::rng& r) {
   std::unordered_set<seq::qpoint<D>, seq::qpoint_hash<D>> seen;

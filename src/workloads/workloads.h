@@ -31,6 +31,26 @@ std::vector<std::uint64_t> clustered_keys(std::size_t n, util::rng& r);
 std::vector<std::uint64_t> probe_keys(const std::vector<std::uint64_t>& keys, std::size_t count,
                                       util::rng& r);
 
+// --- seed-determinism for multi-threaded drivers ----------------------------
+//
+// Audit note: every generator in this file consumes only the util::rng it is
+// handed — no globals, no thread-local state, no call-order coupling between
+// independent rngs — so a workload is a pure function of its seed. The
+// multi-threaded benches keep runs thread-count-deterministic by generating
+// the whole query stream up front (helpers below) and handing workers
+// contiguous slices (serve::executor::slice); when a worker needs its own
+// randomness it derives util::rng::stream(seed, worker), never a share of
+// someone else's rng. Regression-tested in tests/test_concurrency.cpp.
+
+// The whole probe stream as a pure function of (keys, count, seed) —
+// identical for any thread count that later partitions it.
+std::vector<std::uint64_t> query_stream(const std::vector<std::uint64_t>& keys, std::size_t count,
+                                        std::uint64_t seed);
+
+// Spatial sibling: `count` query probes of the given dimensionality.
+std::vector<api::spatial_point> spatial_query_stream(int dims, std::size_t count,
+                                                     std::uint64_t seed);
+
 // --- d-dimensional points ----------------------------------------------------
 
 // n distinct points uniform in the unit cube.

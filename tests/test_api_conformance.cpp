@@ -136,6 +136,37 @@ TEST_P(ApiConformance, RangeMatchesOracle) {
   EXPECT_THROW((void)idx->range(10, 5, h(0)), util::contract_error);
 }
 
+TEST_P(ApiConformance, BatchMatchesSerialResultsAndReceipts) {
+  // The nearest_batch contract — identical results AND identical per-op cost
+  // receipts to nearest() called once per query — holds for every backend:
+  // the interleaved routers (skipweb1d) by construction, the baselines
+  // (chord's flooding, skip_graph, det_skipnet, family_tree, ...) through
+  // the default loop. Locking the baselines in here keeps a future
+  // interleaved override honest.
+  rng r(8007);
+  const auto keys = wl::uniform_keys(220, r);
+  network net(1);
+  const auto idx = api::make_index(GetParam(), keys, options(), net);
+  const auto qs = wl::probe_keys(keys, 70, r);
+
+  std::vector<api::nn_result> serial;
+  serial.reserve(qs.size());
+  for (const auto q : qs) serial.push_back(idx->nearest(q, h(2)));
+  const auto batch = idx->nearest_batch(qs, h(2));
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(batch[i].has_pred, serial[i].has_pred) << i;
+    EXPECT_EQ(batch[i].has_succ, serial[i].has_succ) << i;
+    if (serial[i].has_pred) {
+      EXPECT_EQ(batch[i].pred, serial[i].pred) << i;
+    }
+    if (serial[i].has_succ) {
+      EXPECT_EQ(batch[i].succ, serial[i].succ) << i;
+    }
+    EXPECT_EQ(batch[i].stats, serial[i].stats) << i;
+  }
+}
+
 TEST_P(ApiConformance, StatsReceiptsAreNonTrivial) {
   rng r(8006);
   const auto keys = wl::uniform_keys(256, r);

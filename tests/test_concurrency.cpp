@@ -1,0 +1,288 @@
+// Concurrency suite for the serving executor and the receipt-based
+// accounting plane: for every registered 1-D and spatial backend, driving
+// the same query stream at T ∈ {1, 2, 4, 8} threads must produce results
+// and summed op_stats receipts identical to the serial loop, and the
+// network's traffic ledger must reconcile afterwards. This is also the
+// binary the CI ThreadSanitizer job runs — the assertions double as the
+// racing workload TSan instruments.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/spatial_registry.h"
+#include "net/cursor.h"
+#include "net/network.h"
+#include "serve/executor.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using net::host_id;
+using net::network;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+bool same_nn(const api::nn_result& a, const api::nn_result& b) {
+  return a.has_pred == b.has_pred && a.has_succ == b.has_succ &&
+         (!a.has_pred || a.pred == b.pred) && (!a.has_succ || a.succ == b.succ) &&
+         a.stats == b.stats;
+}
+
+// --- executor plumbing -------------------------------------------------------
+
+TEST(Executor, SlicesPartitionTheIndexSpace) {
+  constexpr std::size_t ns[] = {0, 1, 7, 64, 1000};
+  constexpr std::size_t Ts[] = {1, 2, 3, 4, 8, 13};
+  for (const std::size_t n : ns) {
+    for (const std::size_t T : Ts) {
+      std::size_t expect_lo = 0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const auto [lo, hi] = serve::executor::slice(n, t, T);
+        EXPECT_EQ(lo, expect_lo) << "n=" << n << " T=" << T << " t=" << t;
+        EXPECT_LE(hi - lo, n / T + 1);
+        expect_lo = hi;
+      }
+      EXPECT_EQ(expect_lo, n);
+    }
+  }
+}
+
+TEST(Executor, ClampsToAtLeastOneThreadAndHandlesEmptyStreams) {
+  serve::executor ex(0);
+  EXPECT_EQ(ex.threads(), 1u);
+  util::rng r(42);
+  const auto keys = wl::uniform_keys(64, r);
+  network net(1);
+  const auto idx = api::make_index("skipweb1d", keys, api::index_options{}.seed(3), net);
+  const auto out = ex.run_nearest(*idx, {}, h(0));
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.total, api::op_stats{});
+}
+
+TEST(Executor, PoolIsReusableAcrossRuns) {
+  util::rng r(43);
+  const auto keys = wl::uniform_keys(128, r);
+  network net(1);
+  const auto idx = api::make_index("skipweb1d", keys, api::index_options{}.seed(3), net);
+  const auto qs = wl::query_stream(keys, 96, 7);
+  serve::executor ex(4);
+  const auto first = ex.run_nearest(*idx, qs, h(0));
+  const auto second = ex.run_nearest(*idx, qs, h(0));
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_TRUE(same_nn(first.results[i], second.results[i])) << i;
+  }
+  EXPECT_EQ(first.total, second.total);
+}
+
+// --- every 1-D backend: executor == serial loop, any thread count ------------
+
+class ExecutorConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExecutorConformance, NearestMatchesSerialLoopAtEveryThreadCount) {
+  util::rng r(9001);
+  const auto keys = wl::uniform_keys(256, r);
+  network net(1);
+  const auto idx = api::make_index(
+      GetParam(), keys, api::index_options{}.seed(97).initial_hosts(8).bucket_size(16).buckets(24),
+      net);
+  const auto qs = wl::query_stream(keys, 160, 9002);
+
+  net.reset_traffic();
+  std::vector<api::nn_result> serial;
+  serial.reserve(qs.size());
+  api::op_stats serial_total;
+  for (const auto q : qs) {
+    serial.push_back(idx->nearest(q, h(0)));
+    serial_total += serial.back().stats;
+  }
+  const std::uint64_t serial_messages = net.total_messages();
+  EXPECT_EQ(serial_total.messages, serial_messages);
+
+  for (const std::size_t T : kThreadCounts) {
+    net.reset_traffic();
+    serve::executor ex(T);
+    const auto out = ex.run_nearest(*idx, qs, h(0), 24);
+    ASSERT_EQ(out.results.size(), serial.size()) << "T=" << T;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(same_nn(out.results[i], serial[i])) << "T=" << T << " i=" << i;
+    }
+    EXPECT_EQ(out.total, serial_total) << "T=" << T;
+    // The workers' committed receipts reconcile with the shared ledger: the
+    // merge order varies with the interleaving, the totals never do.
+    EXPECT_EQ(net.total_messages(), serial_messages) << "T=" << T;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ExecutorConformance,
+                         ::testing::ValuesIn(api::registered_backends()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- every spatial backend: run_locate == serial loop ------------------------
+
+class SpatialExecutorConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpatialExecutorConformance, LocateMatchesSerialLoopAtEveryThreadCount) {
+  const int dims = api::spatial_backend_dims(GetParam());
+  util::rng r(9003);
+  const auto pts = wl::spatial_points(dims, 128, false, r);
+  network net(1);
+  const auto idx = api::make_spatial_index(
+      GetParam(), pts, api::index_options{}.seed(11).initial_hosts(32), net);
+  const auto qs = wl::spatial_query_stream(dims, 96, 9004);
+
+  net.reset_traffic();
+  std::vector<api::spatial_locate_result> serial;
+  serial.reserve(qs.size());
+  api::op_stats serial_total;
+  for (const auto& q : qs) {
+    serial.push_back(idx->locate(q, h(0)));
+    serial_total += serial.back().stats;
+  }
+  const std::uint64_t serial_messages = net.total_messages();
+
+  for (const std::size_t T : kThreadCounts) {
+    net.reset_traffic();
+    serve::executor ex(T);
+    const auto out = ex.run_locate(*idx, qs, h(0), 16);
+    ASSERT_EQ(out.results.size(), serial.size()) << "T=" << T;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(out.results[i].found, serial[i].found) << "T=" << T << " i=" << i;
+      EXPECT_EQ(out.results[i].cell, serial[i].cell) << "T=" << T << " i=" << i;
+      EXPECT_EQ(out.results[i].scale, serial[i].scale) << "T=" << T << " i=" << i;
+      EXPECT_EQ(out.results[i].stats, serial[i].stats) << "T=" << T << " i=" << i;
+    }
+    EXPECT_EQ(out.total, serial_total) << "T=" << T;
+    EXPECT_EQ(net.total_messages(), serial_messages) << "T=" << T;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpatialBackends, SpatialExecutorConformance,
+                         ::testing::ValuesIn(api::registered_spatial_backends()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- churned structures: the lazily-repaired root hints race benignly --------
+
+TEST(ExecutorConcurrency, ChurnedAnchorsAreSafeUnderConcurrentQueries) {
+  // Erase many anchor items so root_for() chases redirects and repairs the
+  // level_lists alive-hint from several threads at once (the one atomic on
+  // the query path); TSan watches, the assertions check determinism.
+  util::rng r(9005);
+  auto keys = wl::uniform_keys(192, r);
+  network net(1);
+  const auto idx = api::make_index("skipweb1d", keys, api::index_options{}.seed(5), net);
+  for (std::size_t i = 0; i < 120; ++i) {
+    (void)idx->erase(keys[i], h(0));
+  }
+  const std::vector<std::uint64_t> live(keys.begin() + 120, keys.end());
+  const auto qs = wl::query_stream(live, 128, 9006);
+
+  std::vector<api::nn_result> serial;
+  api::op_stats serial_total;
+  for (const auto q : qs) {
+    serial.push_back(idx->nearest(q, h(3)));
+    serial_total += serial.back().stats;
+  }
+  serve::executor ex(8);
+  const auto out = ex.run_nearest(*idx, qs, h(3), 8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(same_nn(out.results[i], serial[i])) << i;
+  }
+  EXPECT_EQ(out.total, serial_total);
+}
+
+// --- seed-determinism: splittable streams & workload generation --------------
+
+TEST(RngStreams, AreStatelessAndIndependent) {
+  // stream() is a pure function of (seed, which): no parent state consumed,
+  // so derivation order cannot matter.
+  auto a0 = util::rng::stream(77, 0);
+  auto a1 = util::rng::stream(77, 1);
+  auto b1 = util::rng::stream(77, 1);
+  auto b0 = util::rng::stream(77, 0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a0.next_u64(), b0.next_u64());
+    EXPECT_EQ(a1.next_u64(), b1.next_u64());
+  }
+  // Nearby tags yield unrelated streams.
+  auto c0 = util::rng::stream(77, 0);
+  auto c1 = util::rng::stream(77, 1);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+  // Unlike split(), which consumes parent state.
+  util::rng parent1(77), parent2(77);
+  (void)parent2.next_u64();
+  EXPECT_NE(parent1.split(0).next_u64(), parent2.split(0).next_u64());
+}
+
+TEST(WorkloadDeterminism, QueryStreamIsThreadCountInvariant) {
+  util::rng r(9007);
+  const auto keys = wl::uniform_keys(200, r);
+  // The stream is a pure function of (keys, count, seed)...
+  const auto qs1 = wl::query_stream(keys, 300, 123);
+  const auto qs2 = wl::query_stream(keys, 300, 123);
+  EXPECT_EQ(qs1, qs2);
+  EXPECT_NE(qs1, wl::query_stream(keys, 300, 124));
+  // ...and the executor partition reassembles it exactly, so every thread
+  // count serves the identical query set in the identical global order.
+  for (const std::size_t T : kThreadCounts) {
+    std::vector<std::uint64_t> reassembled;
+    for (std::size_t t = 0; t < T; ++t) {
+      const auto [lo, hi] = serve::executor::slice(qs1.size(), t, T);
+      reassembled.insert(reassembled.end(), qs1.begin() + static_cast<std::ptrdiff_t>(lo),
+                         qs1.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    EXPECT_EQ(reassembled, qs1) << "T=" << T;
+  }
+  const auto sq1 = wl::spatial_query_stream(2, 50, 55);
+  const auto sq2 = wl::spatial_query_stream(2, 50, 55);
+  EXPECT_EQ(sq1, sq2);
+}
+
+// --- raw commit contention: many threads, one ledger -------------------------
+
+TEST(NetworkCommit, ConcurrentCommitsAreExact) {
+  network net(64);
+  constexpr std::size_t kThreads = 8, kOpsPerThread = 200, kHopsPerOp = 10;
+  {
+    serve::executor ex(kThreads);
+    ex.for_slices(kThreads * kOpsPerThread, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      for (std::size_t op = lo; op < hi; ++op) {
+        net::cursor cur(net, h(0));
+        for (std::size_t i = 1; i <= kHopsPerOp; ++i) {
+          // Hosts 1..63 only: never the origin, and consecutive hops are
+          // distinct, so every iteration is a real (charged) hop.
+          cur.move_to(h(static_cast<std::uint32_t>((op + i) % 63 + 1)));
+        }
+      }
+    });
+  }
+  EXPECT_TRUE(net.traffic_quiescent());
+  std::uint64_t visit_sum = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) visit_sum += net.visits(h(i));
+  EXPECT_EQ(net.total_messages(), kThreads * kOpsPerThread * kHopsPerOp);
+  EXPECT_EQ(visit_sum, net.total_messages());
+}
+
+TEST(NetworkCommit, HardwareReport) {
+  // Not an assertion — records what the scaling numbers in BENCH_*.json were
+  // up against on this machine.
+  ::testing::Test::RecordProperty("hardware_concurrency",
+                                  static_cast<int>(std::thread::hardware_concurrency()));
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "net/cursor.h"
 #include "net/network.h"
 #include "net/placement.h"
+#include "net/receipt.h"
 #include "net/types.h"
 #include "util/rng.h"
 
@@ -61,27 +63,55 @@ TEST(Cursor, LocalMovesAreFree) {
   c.move_to(h(1));
   c.move_to(h(1));
   EXPECT_EQ(c.messages(), 0u);
+  EXPECT_TRUE(c.receipt().empty());
   EXPECT_EQ(net.total_messages(), 0u);
 }
 
 TEST(Cursor, EachInterHostHopCostsOneMessage) {
   network net(3);
+  {
+    cursor c(net, h(0));
+    c.move_to(h(1));
+    c.move_to(h(2));
+    c.move_to(h(2));
+    c.move_to(h(0));
+    EXPECT_EQ(c.messages(), 3u);
+    EXPECT_EQ(c.at(), h(0));
+    // Mid-route the shared ledger is untouched: the hops live only in the
+    // cursor-local receipt until the operation settles.
+    EXPECT_EQ(net.total_messages(), 0u);
+    EXPECT_EQ(c.receipt().size(), 3u);
+    EXPECT_EQ(c.receipt().at(0), h(1));
+    EXPECT_EQ(c.receipt().at(1), h(2));
+    EXPECT_EQ(c.receipt().at(2), h(0));
+  }
+  // Destruction commits the receipt.
+  EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(Cursor, SettleCommitsOnceAndClears) {
+  network net(3);
   cursor c(net, h(0));
   c.move_to(h(1));
+  c.settle();
+  EXPECT_EQ(net.total_messages(), 1u);
+  EXPECT_TRUE(c.receipt().empty());
+  c.settle();  // idempotent: nothing new accumulated
+  EXPECT_EQ(net.total_messages(), 1u);
   c.move_to(h(2));
-  c.move_to(h(2));
-  c.move_to(h(0));
-  EXPECT_EQ(c.messages(), 3u);
-  EXPECT_EQ(net.total_messages(), 3u);
-  EXPECT_EQ(c.at(), h(0));
+  c.settle();  // only the fresh hop commits
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(c.messages(), 2u);  // the cursor's own counters are unaffected
 }
 
 TEST(Cursor, VisitsAccumulateAtDestination) {
   network net(3);
-  cursor a(net, h(0)), b(net, h(1));
-  a.move_to(h(2));
-  b.move_to(h(2));
-  a.move_to(h(1));
+  {
+    cursor a(net, h(0)), b(net, h(1));
+    a.move_to(h(2));
+    b.move_to(h(2));
+    a.move_to(h(1));
+  }
   EXPECT_EQ(net.visits(h(2)), 2u);
   EXPECT_EQ(net.visits(h(1)), 1u);
   EXPECT_EQ(net.visits(h(0)), 0u);
@@ -98,24 +128,96 @@ TEST(Cursor, MovesViaAddress) {
 
 TEST(Cursor, ConcurrentCursorsShareNetworkTotals) {
   network net(4);
-  cursor a(net, h(0)), b(net, h(3));
-  a.move_to(h(1));
-  b.move_to(h(2));
-  b.move_to(h(1));
-  EXPECT_EQ(a.messages(), 1u);
-  EXPECT_EQ(b.messages(), 2u);
+  {
+    cursor a(net, h(0)), b(net, h(3));
+    a.move_to(h(1));
+    b.move_to(h(2));
+    b.move_to(h(1));
+    EXPECT_EQ(a.messages(), 1u);
+    EXPECT_EQ(b.messages(), 2u);
+  }
   EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(Cursor, MoveTransfersTheReceipt) {
+  network net(3);
+  {
+    cursor a(net, h(0));
+    a.move_to(h(1));
+    cursor b(std::move(a));
+    b.move_to(h(2));
+    std::vector<cursor> pool;
+    pool.push_back(std::move(b));
+    EXPECT_EQ(pool.back().messages(), 2u);
+    EXPECT_EQ(pool.back().receipt().size(), 2u);
+    EXPECT_EQ(net.total_messages(), 0u);  // no double-commit from moved-from shells
+  }
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.visits(h(1)), 1u);
+  EXPECT_EQ(net.visits(h(2)), 1u);
+}
+
+TEST(Network, CommitMergesAReceiptDirectly) {
+  network net(4);
+  traffic_receipt r;
+  r.record(h(1));
+  r.record(h(2));
+  r.record(h(1));
+  net.commit(r);
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(net.visits(h(1)), 2u);
+  EXPECT_EQ(net.visits(h(2)), 1u);
+  EXPECT_TRUE(net.traffic_quiescent());
+}
+
+TEST(Network, ReceiptSpillsPastTheInlineBuffer) {
+  network net(2);
+  traffic_receipt r;
+  const std::size_t hops = traffic_receipt::inline_capacity + 10;
+  for (std::size_t i = 0; i < hops; ++i) r.record(h(static_cast<std::uint32_t>(i % 2)));
+  ASSERT_EQ(r.size(), hops);
+  for (std::size_t i = 0; i < hops; ++i) EXPECT_EQ(r.at(i), h(static_cast<std::uint32_t>(i % 2)));
+  net.commit(r);
+  EXPECT_EQ(net.total_messages(), hops);
+  EXPECT_EQ(net.visits(h(0)) + net.visits(h(1)), hops);
 }
 
 TEST(Network, ResetTrafficKeepsMemory) {
   network net(2);
   net.charge(h(0), memory_kind::node, 4);
-  cursor c(net, h(0));
-  c.move_to(h(1));
+  {
+    cursor c(net, h(0));
+    c.move_to(h(1));
+  }
   net.reset_traffic();
   EXPECT_EQ(net.total_messages(), 0u);
   EXPECT_EQ(net.visits(h(1)), 0u);
   EXPECT_EQ(net.memory_used(h(0)), 4u);
+}
+
+TEST(Network, AddHostGrowthKeepsVisitCountersStable) {
+  // Cross several visit-counter blocks (4096 hosts each): counters written
+  // before growth keep their values, and fresh hosts start at zero.
+  network net(1);
+  {
+    cursor c(net, h(0));
+    c.move_to(h(0));  // free
+  }
+  traffic_receipt r;
+  r.record(h(0));
+  net.commit(r);
+  for (std::uint32_t i = 1; i < 5000; ++i) {
+    const auto fresh = net.add_host();
+    EXPECT_EQ(fresh, h(i));
+  }
+  EXPECT_EQ(net.host_count(), 5000u);
+  EXPECT_EQ(net.visits(h(0)), 1u);
+  EXPECT_EQ(net.visits(h(4999)), 0u);
+  traffic_receipt r2;
+  r2.record(h(4999));
+  net.commit(r2);
+  EXPECT_EQ(net.visits(h(4999)), 1u);
+  EXPECT_EQ(net.total_messages(), 2u);
 }
 
 TEST(Placement, TowerIsIdentity) {
