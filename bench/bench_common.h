@@ -41,6 +41,23 @@ inline std::string fmt(double v, int precision = 2) {
 
 inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
 
+// Comma-separated CLI list ("a,b,c" -> {"a","b","c"}; empty items dropped).
+// Shared by every sweep bench's flag parser.
+inline std::vector<std::string> split_list(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
 // Growth-shape verdict: correlation of the measured series against a model
 // curve, printed so the reader can see "tracks log n" at a glance.
 // Correlation needs at least two samples (and nonzero variance); anything

@@ -1,19 +1,42 @@
 // Congestion C(n): how query traffic distributes over hosts (paper §1.1's
-// third cost). Uniform query workload, identical key sets; reports the
-// busiest host, the 99th-percentile host, and the fraction of hosts that saw
-// any traffic at all — the skip-web family must spread load like skip
-// graphs, while rooted trees funnel it.
+// third cost axis), now measured where it actually matters — under *skewed*
+// traffic. The sweep drives uniform and Zipfian query streams (s ∈ {0, 0.8,
+// 1.1} by default) through the registry backends, with the hot-route
+// replica cache (serve/route_cache.h) off and on, and reports the
+// network::congestion_profile() of each cell: busiest host, p99 host, mean,
+// touched fraction, and the worst single-op host load.
+//
+// The replica-cache contract makes the comparison honest: answers are
+// byte-identical with the cache on (tests assert it); only the receipts —
+// and therefore these congestion numbers — change. The cell protocol is
+// warm-then-measure: one untimed pass over the stream trains the cache from
+// committed receipts, the ledger is reset, and the timed pass is what the
+// table and BENCH_congestion.json record.
+//
+// Usage:
+//   bench_congestion [--backends a,b|all] [--n N] [--queries Q]
+//                    [--skews 0,0.8,1.1] [--threads T] [--batch B]
+//                    [--capacity C] [--depth D] [--promote P] [--seed S]
+//                    [--out NAME] [--smoke]
+//
+// --backends accepts 1-D and spatial registry names mixed (spatial cells
+// run locate over Zipf-popular stored points). --smoke shrinks everything
+// for CI.
 
-#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "baselines/family_tree.h"
-#include "baselines/skipgraph.h"
+#include "api/registry.h"
+#include "api/spatial_registry.h"
 #include "bench_common.h"
-#include "core/bucket_skipweb.h"
-#include "core/skipweb_1d.h"
 #include "net/network.h"
+#include "serve/executor.h"
+#include "serve/route_cache.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
@@ -23,93 +46,260 @@ using namespace skipweb;
 using namespace skipweb::bench;
 namespace wl = skipweb::workloads;
 
-void report(const char* label, net::network& net, std::size_t queries) {
-  std::vector<std::uint64_t> visits;
-  visits.reserve(net.host_count());
-  for (std::size_t hid = 0; hid < net.host_count(); ++hid) {
-    visits.push_back(net.visits(net::host_id{static_cast<std::uint32_t>(hid)}));
+using clock_t_ = std::chrono::steady_clock;
+
+struct config {
+  std::vector<std::string> backends = {"skipweb1d", "chord", "skip_graph", "skip_quadtree2"};
+  std::size_t n = 2048;
+  std::size_t queries = 4000;
+  std::vector<double> skews = {0.0, 0.8, 1.1};
+  std::size_t threads = 1;
+  std::size_t batch = 24;
+  serve::route_cache::options cache;
+  std::uint64_t seed = 616;
+  std::string out = "congestion";
+};
+
+struct cell_result {
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  api::op_stats totals;
+  net::congestion_profile profile;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_replicated = 0;
+
+  [[nodiscard]] double ops_per_sec() const {
+    return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
   }
-  std::sort(visits.begin(), visits.end());
-  const auto p99 = visits[static_cast<std::size_t>(0.99 * (double(visits.size()) - 1))];
-  std::size_t touched = 0;
-  for (const auto v : visits) touched += (v > 0);
-  print_row({label, fmt_u(visits.back()), fmt_u(p99),
-             fmt(100.0 * double(touched) / double(visits.size()), 1) + "%",
-             fmt(double(visits.back()) / double(queries), 3)},
-            18);
+};
+
+std::string workload_name(double s) {
+  if (s == 0.0) return "uniform";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "zipf%.1f", s);
+  return buf;
+}
+
+// One cell: build the backend over n items, stream Q Zipf(s) queries from
+// one serving-frontend origin through the executor — an untimed warm pass
+// that trains the cache (when attached), then a ledger-reset timed pass the
+// congestion profile is read from.
+cell_result run_cell(const std::string& backend, double s, bool cache_on, const config& cfg) {
+  cell_result res;
+  net::network net(1);
+  net.set_op_load_tracking(true);  // this bench IS the consumer of op-max
+  serve::route_cache cache(cfg.cache);
+  auto opts = api::index_options{}.seed(cfg.seed);
+  if (cache_on) opts.route_cache(&cache);
+  serve::executor ex(cfg.threads);
+  const auto origin = net::host_id{0};
+
+  // Backend-specific build + stream, abstracted to a one-pass serve closure
+  // so the warm/reset/measure protocol below exists exactly once.
+  std::unique_ptr<api::distributed_index> idx_1d;
+  std::unique_ptr<api::spatial_index> idx_sp;
+  std::vector<std::uint64_t> qs_1d;
+  std::vector<api::spatial_point> qs_sp;
+  std::function<api::op_stats()> serve_pass;
+  util::rng r(cfg.seed * 7919 + cfg.n);
+  const bool spatial = api::spatial_backend_known(backend) && !api::backend_known(backend);
+  if (spatial) {
+    // Spatial backends hash their nodes over the *existing* hosts; give them
+    // one host per item so congestion is comparable to the tower layouts.
+    opts.initial_hosts(cfg.n);
+    const auto pts = wl::spatial_points(api::spatial_backend_dims(backend), cfg.n, false, r);
+    idx_sp = api::make_spatial_index(backend, pts, opts, net);
+    qs_sp = wl::zipf_spatial_query_stream(pts, cfg.queries, cfg.seed * 104729, s);
+    serve_pass = [&] { return ex.run_locate(*idx_sp, qs_sp, origin, cfg.batch).total; };
+  } else {
+    const auto keys = wl::uniform_keys(cfg.n, r);
+    idx_1d = api::make_index(backend, keys, opts, net);
+    qs_1d = wl::zipf_query_stream(keys, cfg.queries, cfg.seed * 104729, s);
+    serve_pass = [&] { return ex.run_nearest(*idx_1d, qs_1d, origin, cfg.batch).total; };
+  }
+
+  (void)serve_pass();  // warm/train pass
+  net.reset_traffic();
+  cache.reset_stats();
+  const auto t0 = clock_t_::now();
+  res.totals = serve_pass();
+  res.seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+  res.ops = cfg.queries;
+  res.profile = net.congestion_profile();
+  res.cache_hits = cache.hits();
+  res.cache_replicated = cache.replicated().size();
+  return res;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--backends a,b|all] [--n N] [--queries Q] [--skews 0,0.8,1.1]\n"
+               "          [--threads T] [--batch B] [--capacity C] [--depth D] [--promote P]\n"
+               "          [--seed S] [--out NAME] [--smoke]\n",
+               argv0);
 }
 
 }  // namespace
 
-int main() {
-  const std::size_t n = 2048, queries = 2000;
-  util::rng r(616);
-  const auto keys = wl::uniform_keys(n, r);
-  const auto probes = wl::probe_keys(keys, queries, r);
+int main(int argc, char** argv) {
+  config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--backends") {
+      const auto v = split_list(need("--backends"));
+      if (v.size() == 1 && v[0] == "all") {
+        cfg.backends = api::registered_backends();
+        for (const auto& sb : api::registered_spatial_backends()) cfg.backends.push_back(sb);
+      } else {
+        cfg.backends = v;
+      }
+    } else if (a == "--n") {
+      cfg.n = std::strtoull(need("--n"), nullptr, 10);
+    } else if (a == "--queries") {
+      cfg.queries = std::strtoull(need("--queries"), nullptr, 10);
+    } else if (a == "--skews") {
+      cfg.skews.clear();
+      for (const auto& sv : split_list(need("--skews"))) {
+        cfg.skews.push_back(std::strtod(sv.c_str(), nullptr));
+      }
+    } else if (a == "--threads") {
+      cfg.threads = std::strtoull(need("--threads"), nullptr, 10);
+      if (cfg.threads == 0) cfg.threads = 1;
+    } else if (a == "--batch") {
+      cfg.batch = std::strtoull(need("--batch"), nullptr, 10);
+      if (cfg.batch == 0) cfg.batch = 1;
+    } else if (a == "--capacity") {
+      cfg.cache.capacity = std::strtoull(need("--capacity"), nullptr, 10);
+    } else if (a == "--depth") {
+      cfg.cache.depth = std::strtoull(need("--depth"), nullptr, 10);
+    } else if (a == "--promote") {
+      cfg.cache.promote_after = std::strtoull(need("--promote"), nullptr, 10);
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--out") {
+      cfg.out = need("--out");
+    } else if (a == "--smoke") {
+      cfg.n = 512;
+      cfg.queries = 1500;
+    } else {
+      usage(argv[0]);
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+  for (const auto& b : cfg.backends) {
+    if (!api::backend_known(b) && !api::spatial_backend_known(b)) {
+      std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
+      return 2;
+    }
+  }
 
-  print_header("Congestion C(n) under 2000 uniform queries, n = 2048 keys");
-  print_row({"structure", "max visits", "p99 visits", "hosts touched", "max/queries"}, 18);
-  print_rule();
+#if SW_CONTRACTS
+  const bool contracts = true;
+#else
+  const bool contracts = false;
+#endif
+#if defined(NDEBUG)
+  const bool ndebug = true;
+#else
+  const bool ndebug = false;
+#endif
 
-  {
-    net::network net(n);
-    core::skipweb_1d s(keys, 1, net, core::skipweb_1d::placement::tower);
-    net.reset_traffic();
-    std::uint32_t o = 0;
-    for (const auto q : probes) {
-      (void)s.nearest(q, net::host_id{o});
-      o = static_cast<std::uint32_t>((o + 1) % n);
-    }
-    report("skip-web tower", net, queries);
-  }
-  {
-    net::network net(n);
-    core::skipweb_1d s(keys, 1, net, core::skipweb_1d::placement::balanced);
-    net.reset_traffic();
-    std::uint32_t o = 0;
-    for (const auto q : probes) {
-      (void)s.nearest(q, net::host_id{o});
-      o = static_cast<std::uint32_t>((o + 1) % n);
-    }
-    report("skip-web balanced", net, queries);
-  }
-  {
-    net::network net(1);
-    core::bucket_skipweb s(keys, 1, net, 32);
-    net.reset_traffic();
-    std::uint32_t o = 0;
-    for (const auto q : probes) {
-      (void)s.nearest(q, net::host_id{o});
-      o = static_cast<std::uint32_t>((o + 1) % net.host_count());
-    }
-    report("skip-web blocked", net, queries);
-  }
-  {
-    net::network net(1);
-    baselines::skip_graph s(keys, 1, net);
-    net.reset_traffic();
-    std::uint32_t o = 0;
-    for (const auto q : probes) {
-      (void)s.nearest(q, net::host_id{o});
-      o = static_cast<std::uint32_t>((o + 1) % net.host_count());
-    }
-    report("skip graph", net, queries);
-  }
-  {
-    net::network net(1);
-    baselines::family_tree s(keys, 1, net);
-    net.reset_traffic();
-    std::uint32_t o = 0;
-    for (const auto q : probes) {
-      (void)s.nearest(q, net::host_id{o});
-      o = static_cast<std::uint32_t>((o + 1) % net.host_count());
-    }
-    report("family tree*", net, queries);
-  }
-  print_rule();
+  print_header("Congestion C(n) under uniform vs Zipf query streams, cache off/on");
   std::printf(
-      "skip-web/skip-graph hot spots stay within a few percent of the workload; the\n"
-      "rooted treap substitute (*) funnels essentially every query through its root -\n"
-      "the deviation from real family trees documented in DESIGN.md.\n");
+      "n=%zu items, %zu queries/cell from one frontend origin, %zu thread(s), batch %zu\n"
+      "cache: capacity=%zu depth=%zu promote_after=%llu   contracts=%s ndebug=%s\n",
+      cfg.n, cfg.queries, cfg.threads, cfg.batch, cfg.cache.capacity, cfg.cache.depth,
+      static_cast<unsigned long long>(cfg.cache.promote_after), contracts ? "on" : "off",
+      ndebug ? "on" : "off");
+  print_rule();
+  print_row({"backend", "workload", "cache", "max", "p99", "mean", "touched", "op-max",
+             "absorbed", "ops/sec"},
+            12);
+  print_rule();
+
+  json_writer jw;
+  jw.begin_object();
+  jw.field("bench", "congestion");
+  jw.field("contracts", contracts);
+  jw.field("ndebug", ndebug);
+  jw.field("seed", cfg.seed);
+  jw.field("n", static_cast<std::uint64_t>(cfg.n));
+  jw.field("queries", static_cast<std::uint64_t>(cfg.queries));
+  jw.field("batch", static_cast<std::uint64_t>(cfg.batch));
+  jw.key("cache_options").begin_object();
+  jw.field("capacity", static_cast<std::uint64_t>(cfg.cache.capacity));
+  jw.field("depth", static_cast<std::uint64_t>(cfg.cache.depth));
+  jw.field("promote_after", cfg.cache.promote_after);
+  jw.end_object();
+  json_hardware_fields(jw);
+  jw.key("samples").begin_array();
+
+  for (const auto& backend : cfg.backends) {
+    for (const double s : cfg.skews) {
+      std::uint64_t max_off = 0;
+      for (const bool cache_on : {false, true}) {
+        const auto res = run_cell(backend, s, cache_on, cfg);
+        const auto& p = res.profile;
+        if (!cache_on) max_off = p.max_visits;
+        std::string max_cell = fmt_u(p.max_visits);
+        if (cache_on && max_off > 0) {
+          max_cell += " (" +
+                      fmt(100.0 * (1.0 - static_cast<double>(p.max_visits) /
+                                             static_cast<double>(max_off)),
+                          0) +
+                      "%)";
+        }
+        print_row({backend, workload_name(s), cache_on ? "on" : "off", max_cell,
+                   fmt_u(p.p99_visits), fmt(p.mean_visits, 1),
+                   fmt(100.0 * static_cast<double>(p.hosts_touched) /
+                           static_cast<double>(p.hosts),
+                       0) + "%",
+                   fmt_u(p.max_op_host_load), fmt_u(res.cache_hits), fmt(res.ops_per_sec(), 0)},
+                  12);
+        jw.begin_object();
+        jw.field("backend", backend);
+        jw.field("workload", workload_name(s));
+        jw.field("s", s);
+        jw.field("cache", cache_on);
+        jw.field("n", static_cast<std::uint64_t>(cfg.n));
+        jw.field("ops", res.ops);
+        jw.field("seconds", res.seconds);
+        jw.field("ops_per_sec", res.ops_per_sec());
+        json_thread_fields(jw, cfg.threads, res.ops_per_sec());
+        jw.field("max_host_visits", p.max_visits);
+        jw.field("p99_host_visits", p.p99_visits);
+        jw.field("mean_host_visits", p.mean_visits);
+        jw.field("hosts", p.hosts);
+        jw.field("hosts_touched", p.hosts_touched);
+        jw.field("total_messages", p.total_visits);
+        jw.field("max_op_host_load", p.max_op_host_load);
+        jw.field("messages_per_op",
+                 res.ops > 0 ? static_cast<double>(res.totals.messages) /
+                                   static_cast<double>(res.ops)
+                             : 0.0);
+        jw.field("cache_hits", res.cache_hits);
+        jw.field("cache_replicated", res.cache_replicated);
+        jw.end_object();
+      }
+    }
+    print_rule();
+  }
+
+  jw.end_array();
+  jw.end_object();
+  std::printf(
+      "max/p99/mean are per-host visit counts over the measured pass; op-max is the worst\n"
+      "single-host load any one operation imposed; absorbed counts hops served from the\n"
+      "frontend's hot-route replicas (answers are byte-identical either way - the cache\n"
+      "changes receipts and congestion only, see serve/route_cache.h).\n");
+  write_bench_json(cfg.out, jw.str());
   return 0;
 }

@@ -80,20 +80,6 @@ struct cell_result {
   }
 };
 
-std::vector<std::string> split_list(const char* s) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur += *p;
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
 
 bool known_name(const char* const* names, std::size_t count, const std::string& v) {
   for (std::size_t i = 0; i < count; ++i) {

@@ -94,6 +94,15 @@ int main() {
   print_row({"method", "n", "H", "M_max", "C(n)", "Q(n) msgs", "U(n) msgs"}, 18);
   print_rule();
 
+  // Machine-readable twin of the printed table (BENCH_table1.json), so the
+  // paper-shape numbers ride the same perf-trajectory pipeline as the
+  // throughput/spatial/congestion sweeps.
+  json_writer jw;
+  jw.begin_object();
+  jw.field("bench", "table1");
+  json_hardware_fields(jw);
+  jw.key("samples").begin_array();
+
   const std::vector<table_row> rows = {
       {"skip graph", "skip_graph",
        [](std::size_t) { return api::index_options{}.seed(1); }},
@@ -145,10 +154,26 @@ int main() {
     for (const auto& row : rows) {
       net::network net(1);
       const auto idx = api::make_index(row.backend, keys, row.options(n), net);
-      report(row.label, n, run_workload(*idx, net, keys, probes, inserts, r));
+      const auto m = run_workload(*idx, net, keys, probes, inserts, r);
+      report(row.label, n, m);
+      jw.begin_object();
+      jw.field("method", row.label);
+      jw.field("backend", row.backend);
+      jw.field("n", static_cast<std::uint64_t>(n));
+      jw.field("hosts", m.hosts);
+      jw.field("memory_max", m.mem_max);
+      jw.field("memory_mean", m.mem_mean);
+      jw.field("congestion", m.congestion);
+      jw.field("query_messages_mean", m.query_mean);
+      jw.field("update_messages_mean", m.update_mean);
+      jw.end_object();
     }
     print_rule();
   }
+
+  jw.end_array();
+  jw.end_object();
+  write_bench_json("table1", jw.str());
 
   std::printf(
       "\n(*) documented substitutions - see DESIGN.md section 1: family tree is reproduced by\n"

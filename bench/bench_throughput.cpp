@@ -90,21 +90,6 @@ struct cell_result {
   }
 };
 
-std::vector<std::string> split_list(const char* s) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur += *p;
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
 const mix_t* find_mix(const std::string& name) {
   for (const auto& m : kMixes) {
     if (name == m.name) return &m;

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fail if DESIGN.md / README.md reference repo paths that no longer exist.
+
+The docs name concrete files constantly (src/net/cursor.h, tests/...,
+BENCH_*.json); refactors move files and leave the prose behind. This checker
+extracts every repo-relative path-looking token from the given markdown files
+and verifies it exists, so CI catches the drift the moment it lands.
+
+Usage: scripts/check_doc_refs.py [FILE...]   (defaults to DESIGN.md README.md)
+"""
+
+import os
+import re
+import sys
+
+# src/net/cursor.h, tests/test_net.cpp, bench/bench_common.h,
+# examples/quickstart.cpp, scripts/foo.py, .github/workflows/ci.yml — plus
+# directory references like src/serve/ . Trailing braces expand:
+# src/serve/route_cache.{h,cpp} means both files.
+PATH_RE = re.compile(
+    r"\b((?:src|tests|bench|examples|scripts|\.github)/[A-Za-z0-9_./\-]*"
+    r"(?:\{[A-Za-z0-9_,. ]+\})?[A-Za-z0-9_/\-]*)"
+)
+
+# Doc prose also names the committed trajectory artifacts.
+ARTIFACT_RE = re.compile(r"\b(BENCH_[A-Za-z0-9_]+\.json|[A-Z]+\.md|CMakePresets\.json|CMakeLists\.txt)\b")
+
+GENERATED_OK = {
+    # Patterns/wildcards and generated-at-runtime names that need not exist.
+    "BENCH_.json",
+}
+
+
+def expand(token: str):
+    """src/a/b.{h,cpp} -> [src/a/b.h, src/a/b.cpp]; plain tokens unchanged."""
+    m = re.match(r"^(.*)\{([^}]*)\}(.*)$", token)
+    if not m:
+        return [token]
+    head, alts, tail = m.groups()
+    return [f"{head}{alt.strip()}{tail}" for alt in alts.split(",")]
+
+
+def check(md_path: str, repo_root: str):
+    bad = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    tokens = set(PATH_RE.findall(text)) | set(ARTIFACT_RE.findall(text))
+    for token in sorted(tokens):
+        for path in expand(token):
+            path = path.rstrip(".,:;")
+            if not path or path in GENERATED_OK or "*" in path:
+                continue
+            is_dir_ref = path.endswith("/")
+            has_extension = "." in path.rsplit("/", 1)[-1]
+            if not is_dir_ref and not has_extension:
+                # Prose like "tests/benches/examples", not a path reference.
+                continue
+            full = os.path.join(repo_root, path)
+            ok = os.path.isdir(full) if is_dir_ref else os.path.exists(full)
+            if not ok:
+                bad.append((md_path, path))
+    return bad
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv[1:] or [
+        os.path.join(repo_root, "DESIGN.md"),
+        os.path.join(repo_root, "README.md"),
+    ]
+    bad = []
+    for md in files:
+        bad.extend(check(md, repo_root))
+    if bad:
+        for md, path in bad:
+            print(f"{md}: dead reference: {path}", file=sys.stderr)
+        return 1
+    print(f"doc refs ok ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

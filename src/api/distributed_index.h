@@ -41,41 +41,65 @@ class unsupported_operation : public std::logic_error {
       : std::logic_error(std::string(backend) + " does not support " + std::string(op)) {}
 };
 
-// The uniform public surface of every 1-D distributed dictionary in the
-// library — the paper's framework promise (§2) made literal: benches, tests
-// and workloads drive *any* substrate through this interface, selecting the
-// concrete structure by name through the registry (see registry.h).
-//
-// Keys are the item universe; `origin` is the host the operation is issued
-// from (costs include routing from that host's search root). All operations
-// return their op_stats receipt.
-//
-// Concurrency contract: the const query surface (nearest/nearest_batch/
-// contains/range) is safe to call concurrently from any number of threads on
-// one instance — traffic accounting is cursor-local and merged atomically
-// (net/receipt.h), and the backends' read paths are audited data-race free.
-// insert/erase are structural: single writer, never concurrent with queries.
-// serve::executor is the canonical multi-threaded driver.
+/// \brief The uniform public surface of every 1-D distributed dictionary in
+/// the library — the paper's framework promise (§2) made literal: benches,
+/// tests and workloads drive *any* substrate through this interface,
+/// selecting the concrete structure by name through the registry (see
+/// registry.h).
+///
+/// Keys are the item universe; `origin` is the host an operation is issued
+/// from (costs include routing from that host's search root). Every
+/// operation returns its op_stats cost receipt.
+///
+/// \par Thread-safety plane
+/// The const query surface (nearest / nearest_batch / contains / range) is
+/// safe to call concurrently from any number of threads on one instance —
+/// traffic accounting is cursor-local and merged atomically (net/receipt.h),
+/// and the backends' read paths are audited data-race free. insert/erase
+/// are structural: single writer, never concurrent with queries.
+/// serve::executor is the canonical multi-threaded driver.
 class distributed_index {
  public:
   virtual ~distributed_index() = default;
   distributed_index(const distributed_index&) = delete;
   distributed_index& operator=(const distributed_index&) = delete;
 
-  // Registry name of the backend ("skipweb1d", "chord", ...).
+  /// \brief Registry name of the backend ("skipweb1d", "chord", ...).
+  /// \note Query plane; O(1).
   [[nodiscard]] virtual std::string_view backend() const = 0;
+  /// \brief Number of keys currently stored. Structural plane (read it
+  /// between query phases, not while updates run); O(1).
   [[nodiscard]] virtual std::size_t size() const = 0;
+  /// \brief What this backend supports natively (see api::capability);
+  /// operations outside the set throw unsupported_operation. O(1).
   [[nodiscard]] virtual capability capabilities() const = 0;
+  /// \brief Convenience: `has(capabilities(), c)`.
   [[nodiscard]] bool supports(capability c) const { return has(capabilities(), c); }
 
+  /// \brief Nearest-neighbour query: the level-0 predecessor (largest key
+  /// <= q) and successor (smallest key > q) of `q`.
+  /// \param q      probe value (any point of the key universe).
+  /// \param origin host the query is issued from; routing starts at its
+  ///               search root and the receipt includes those hops.
+  /// \return flanks plus the op's cost receipt (`nn_result::stats`).
+  /// \note Query plane (thread-safe const). Expected O(log n) messages on
+  ///       the skip-web family; chord floods (O(H)) — see capabilities().
   [[nodiscard]] virtual nn_result nearest(std::uint64_t q, net::host_id origin) const = 0;
+  /// \brief Insert `key` (must be absent: duplicates are a contract
+  /// violation under SW_CONTRACTS).
+  /// \return the update's cost receipt — expected O(log n) messages.
+  /// \note Structural plane: single writer, never concurrent with queries.
   virtual op_stats insert(std::uint64_t key, net::host_id origin) = 0;
+  /// \brief Erase `key` (must be present; structures never shrink below two
+  /// items). \note Structural plane, like insert. Expected O(log n) messages.
   virtual op_stats erase(std::uint64_t key, net::host_id origin) = 0;
 
-  // Batched nearest: must behave exactly as nearest() called once per query
-  // (same results, same per-op cost receipts). The default is that loop;
-  // backends with an interleaved router override it to overlap the
-  // independent lookups' memory latency (see core::route_search_batch).
+  /// \brief Batched nearest: MUST behave exactly as nearest() called once
+  /// per query — same results, same per-op cost receipts (tested). The
+  /// default is that loop; backends with an interleaved router override it
+  /// to overlap the independent lookups' memory latency (see
+  /// core::route_search_batch).
+  /// \note Query plane; receipts commit once per query, not per batch.
   [[nodiscard]] virtual std::vector<nn_result> nearest_batch(
       const std::vector<std::uint64_t>& qs, net::host_id origin) const {
     std::vector<nn_result> out;
@@ -84,16 +108,22 @@ class distributed_index {
     return out;
   }
 
-  // Default: membership is the nearest-neighbour query's predecessor test.
+  /// \brief Membership test. Default: the nearest-neighbour query's
+  /// predecessor test (same cost as nearest); chord overrides with its
+  /// O(log H) exact-match lookup.
+  /// \note Query plane.
   [[nodiscard]] virtual op_result<bool> contains(std::uint64_t q, net::host_id origin) const {
     const auto r = nearest(q, origin);
     return {r.has_pred && r.pred == q, r.stats};
   }
 
-  // Keys in [lo, hi], ascending; `limit` caps the output (0 = unlimited).
-  // Default: route to lo, then repeated nearest-successor queries — correct
-  // for any backend with `nearest`, at O(k log n) messages. Backends with a
-  // walkable base list override this with their native O(log n + k) range.
+  /// \brief Keys in [lo, hi], ascending; `limit` caps the output
+  /// (0 = unlimited). Default: route to lo, then repeated nearest-successor
+  /// queries — correct for any backend with `nearest`, at O(k log n)
+  /// messages for k results. Backends with a walkable base list
+  /// (capability::native_range) override this with their native
+  /// O(log n + k) walk.
+  /// \pre lo <= hi. \note Query plane.
   [[nodiscard]] virtual op_result<std::vector<std::uint64_t>> range(std::uint64_t lo,
                                                                     std::uint64_t hi,
                                                                     net::host_id origin,

@@ -4,6 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace skipweb::net {
+class hop_cache;
+}
+
 namespace skipweb::api {
 
 // Node→host assignment policy for backends that support a choice (paper
@@ -48,12 +52,24 @@ class index_options {
     buckets_ = b;
     return *this;
   }
+  // Opt into hot-route replica caching: make_index / make_spatial_index
+  // attaches `c` to the network (network::attach_hop_cache), so queries on
+  // the built index absorb their first hops to replicated hot hosts and
+  // committed receipts train the cache. Answers are unchanged by contract
+  // (see serve/route_cache.h); only receipts and the congestion ledger
+  // differ. The cache must outlive the network attachment; nullptr (the
+  // default) leaves whatever is attached untouched.
+  index_options& route_cache(net::hop_cache* c) {
+    route_cache_ = c;
+    return *this;
+  }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] placement_policy placement() const { return placement_; }
   [[nodiscard]] std::size_t initial_hosts() const { return initial_hosts_; }
   [[nodiscard]] std::size_t bucket_size() const { return bucket_size_; }
   [[nodiscard]] std::size_t buckets() const { return buckets_; }
+  [[nodiscard]] net::hop_cache* route_cache() const { return route_cache_; }
 
   // M defaults to Theta(log n) — the regime where the blocked skip-web hits
   // its O(log n / log log n) query bound (paper §2.4.1).
@@ -77,6 +93,7 @@ class index_options {
   std::size_t initial_hosts_ = 1;
   std::size_t bucket_size_ = 0;
   std::size_t buckets_ = 0;
+  net::hop_cache* route_cache_ = nullptr;
 };
 
 }  // namespace skipweb::api

@@ -82,6 +82,11 @@ std::unique_ptr<distributed_index> make_index(std::string_view backend,
     make = it->second;
   }
   while (net.host_count() < opts.initial_hosts()) net.add_host();
+  // Cache opt-in (see index_options::route_cache): attach before the build
+  // so serving can start absorbing as soon as the cache has learned. The
+  // build itself is structural — its receipts never absorb.
+  if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
+  const net::structural_section build_guard(net);
   return make(std::move(keys), opts, net);
 }
 

@@ -127,44 +127,72 @@ __extension__ using spatial_dist2 = unsigned __int128;
   return b;
 }
 
-// The uniform public surface of every multi-dimensional distributed
-// structure. `origin` is the host the operation is issued from; every
-// operation returns its op_stats receipt (see DESIGN.md).
-//
-// Concurrency contract: as for distributed_index — the const query surface
-// (locate/locate_batch/orthogonal_range/approx_nn) may be called from any
-// number of threads concurrently on one instance (cursor-local receipts,
-// audited read paths); insert/erase are single-writer, never concurrent
-// with queries. serve::executor::run_locate is the multi-threaded driver.
+/// \brief The uniform public surface of every multi-dimensional distributed
+/// structure — the spatial mirror of distributed_index. `origin` is the host
+/// an operation is issued from; every operation returns its op_stats receipt
+/// (see DESIGN.md).
+///
+/// \par Thread-safety plane
+/// As for distributed_index: the const query surface (locate / locate_batch
+/// / orthogonal_range / approx_nn) may be called from any number of threads
+/// concurrently on one instance (cursor-local receipts, audited read paths);
+/// insert/erase are single-writer, never concurrent with queries.
+/// serve::executor::run_locate is the canonical multi-threaded driver.
 class spatial_index {
  public:
   virtual ~spatial_index() = default;
   spatial_index(const spatial_index&) = delete;
   spatial_index& operator=(const spatial_index&) = delete;
 
-  // Registry name of the backend ("skip_quadtree2", "skip_trie", ...).
+  /// \brief Registry name of the backend ("skip_quadtree2", "skip_trie",
+  /// ...). \note Query plane; O(1).
   [[nodiscard]] virtual std::string_view backend() const = 0;
-  // Coordinates a point carries here (2 or 3); higher slots must be zero.
+  /// \brief Coordinates a point carries here (2 or 3); higher spatial_point
+  /// slots must be zero. O(1).
   [[nodiscard]] virtual int dims() const = 0;
+  /// \brief Stored point count. Structural plane (read between query
+  /// phases); O(1).
   [[nodiscard]] virtual std::size_t size() const = 0;
+  /// \brief Native support bitmask (see api::spatial_capability);
+  /// native_range / native_nn distinguish a backend's own walk from the
+  /// generic reductions below. O(1).
   [[nodiscard]] virtual spatial_capability capabilities() const = 0;
+  /// \brief Convenience: `has(capabilities(), c)`.
   [[nodiscard]] bool supports(spatial_capability c) const { return has(capabilities(), c); }
 
+  /// \brief Point location: the cell of the backend's own decomposition
+  /// containing `q` (cube / trie path / trapezoid — see
+  /// spatial_locate_result::cell) and whether `q` is a stored point.
+  /// \param q      probe point (first dims() coordinates read).
+  /// \param origin host the query is issued from.
+  /// \return cell id, cell scale (the generic NN seed radius) and the op's
+  ///         cost receipt.
+  /// \note Query plane (thread-safe const). Expected O(log n) messages.
   [[nodiscard]] virtual spatial_locate_result locate(const spatial_point& q,
                                                      net::host_id origin) const = 0;
+  /// \brief Insert point `p` (must be absent).
+  /// \note Structural plane: single writer. Expected O(log n) messages.
   virtual op_stats insert(const spatial_point& p, net::host_id origin) = 0;
+  /// \brief Erase point `p` (must be present; structures never become
+  /// empty). \note Structural plane. Expected O(log n) messages.
   virtual op_stats erase(const spatial_point& p, net::host_id origin) = 0;
 
-  // All stored points inside the closed box, ascending lexicographically;
-  // `limit` caps the output (0 = unlimited; which points survive the cap is
-  // backend-defined, since enumeration order is the backend's walk order).
+  /// \brief All stored points inside the closed box, ascending
+  /// lexicographically; `limit` caps the output (0 = unlimited; which points
+  /// survive the cap is backend-defined, since enumeration order is the
+  /// backend's walk order).
+  /// \note Query plane. O(log n + k) messages with
+  ///       spatial_capability::native_range; the honest full-sweep price
+  ///       otherwise (see DESIGN.md §7).
   [[nodiscard]] virtual op_result<std::vector<spatial_point>> orthogonal_range(
       const spatial_box& b, net::host_id origin, std::size_t limit = 0) const = 0;
 
-  // Batched point location: must behave exactly as locate() called once per
-  // query — same results, same per-op receipts. The default is that loop;
-  // backends with an interleaved router override it to overlap the
-  // independent descents' memory latency (see skip_quadtree::locate_batch).
+  /// \brief Batched point location: MUST behave exactly as locate() called
+  /// once per query — same results, same per-op receipts (tested). The
+  /// default is that loop; backends with an interleaved router override it
+  /// to overlap the independent descents' memory latency (see
+  /// skip_quadtree::locate_batch).
+  /// \note Query plane; receipts commit once per query, not per batch.
   [[nodiscard]] virtual std::vector<spatial_locate_result> locate_batch(
       const std::vector<spatial_point>& qs, net::host_id origin) const {
     std::vector<spatial_locate_result> out;
@@ -173,13 +201,15 @@ class spatial_index {
     return out;
   }
 
-  // Nearest stored point under L2. The paper reduces approximate NN to point
-  // location; this default reduces it to orthogonal range instead — locate
-  // seeds the radius, boxes double until one is inhabited, and one final box
-  // of the best candidate's L2 radius makes the answer *exact* (the L-inf
-  // box contains the L2 ball), so current backends all deliver eps = 0.
-  // Backends with a native search (the quadtree's best-first cube walk)
-  // override it.
+  /// \brief Nearest stored point under L2. The paper reduces approximate NN
+  /// to point location; this default reduces it to orthogonal range instead
+  /// — locate seeds the radius, boxes double until one is inhabited, and one
+  /// final box of the best candidate's L2 radius makes the answer *exact*
+  /// (the L-inf box contains the L2 ball), so current backends all deliver
+  /// eps = 0. Backends with a native search (the quadtree's best-first cube
+  /// walk, spatial_capability::native_nn) override it.
+  /// \pre size() > 0. \note Query plane; costs whatever the range walks
+  ///      cost, O(log n) expected for the native overrides.
   [[nodiscard]] virtual op_result<spatial_point> approx_nn(const spatial_point& q,
                                                            net::host_id origin) const {
     SW_EXPECTS(size() > 0);

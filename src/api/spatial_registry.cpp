@@ -95,6 +95,9 @@ std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
     make = it->second.make;
   }
   while (net.host_count() < opts.initial_hosts()) net.add_host();
+  // Cache opt-in, exactly as in the 1-D make_index; the build is structural.
+  if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
+  const net::structural_section build_guard(net);
   return make(std::move(pts), opts, net);
 }
 

@@ -91,6 +91,7 @@ api::op_result<bool> bucket_skip_graph::contains(std::uint64_t q, net::host_id o
 }
 
 api::op_stats bucket_skip_graph::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const auto routed = router_->nearest(key, origin);
   const std::size_t idx = bucket_index(key);
@@ -105,6 +106,7 @@ api::op_stats bucket_skip_graph::insert(std::uint64_t key, net::host_id origin) 
 }
 
 api::op_stats bucket_skip_graph::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const auto routed = router_->nearest(key, origin);
   const std::size_t idx = bucket_index(key);

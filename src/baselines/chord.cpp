@@ -97,6 +97,7 @@ chord::lookup_result chord::lookup(std::uint64_t key, net::host_id origin) const
 }
 
 api::op_stats chord::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const std::size_t dest = route_to(hash_key(key), origin, cur);
   auto& owner = ring_[dest];
@@ -109,6 +110,7 @@ api::op_stats chord::insert(std::uint64_t key, net::host_id origin) {
 }
 
 api::op_stats chord::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const std::size_t dest = route_to(hash_key(key), origin, cur);
   auto& owner = ring_[dest];

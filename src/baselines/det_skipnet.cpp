@@ -106,6 +106,7 @@ std::uint64_t det_skipnet::worst_case_search_messages() const {
 }
 
 api::op_stats det_skipnet::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_->levels()));
@@ -141,6 +142,7 @@ api::op_stats det_skipnet::insert(std::uint64_t key, net::host_id origin) {
 }
 
 api::op_stats det_skipnet::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(lists_->size() >= 2);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);

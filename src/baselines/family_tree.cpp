@@ -159,6 +159,7 @@ void family_tree::rotate_up(int x, net::cursor& cur) {
 }
 
 api::op_stats family_tree::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   int item = root_for(origin, cur);
   int parent = -1;
@@ -227,6 +228,7 @@ api::op_stats family_tree::insert(std::uint64_t key, net::host_id origin) {
 }
 
 api::op_stats family_tree::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(size_ >= 2);
   net::cursor cur(*net_, origin);
   int item = root_for(origin, cur);

@@ -172,6 +172,7 @@ api::op_result<bool> skip_graph::contains(std::uint64_t q, net::host_id origin) 
 }
 
 api::op_stats skip_graph::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const auto [pred0, succ0] = route(key, origin, cur);
   SW_EXPECTS(pred0 < 0 || elem(pred0).key != key);
@@ -182,6 +183,7 @@ api::op_stats skip_graph::insert(std::uint64_t key, net::host_id origin) {
 }
 
 api::op_stats skip_graph::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(size_ >= 2);
   net::cursor cur(*net_, origin);
   const auto [pred0, succ0] = route(key, origin, cur);

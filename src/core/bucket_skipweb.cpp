@@ -251,6 +251,7 @@ void bucket_skipweb::leave_block(int item, int stratum, net::cursor& cur) {
 }
 
 api::op_stats bucket_skipweb::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -273,6 +274,7 @@ api::op_stats bucket_skipweb::insert(std::uint64_t key, net::host_id origin) {
 }
 
 api::op_stats bucket_skipweb::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);

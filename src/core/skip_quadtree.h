@@ -258,6 +258,7 @@ class skip_quadtree {
   // point's own prefix chain, found by the same top-down descent.
   api::op_stats insert(const point& p, net::host_id origin) {
     SW_EXPECTS(q_.find_point(p) < 0);
+    const net::structural_section sw_structural_guard(*net_);
     net::cursor cur(*net_, origin);
     insert_chain(p, util::draw_membership(rng_), &cur);
     return api::op_stats::of(cur);
@@ -269,6 +270,7 @@ class skip_quadtree {
     const int pid = q_.find_point(p);
     SW_EXPECTS(pid >= 0);
     const auto bits = q_.point_bits(pid);
+    const net::structural_section sw_structural_guard(*net_);
     net::cursor cur(*net_, origin);
     int start = -1;  // captured down link; -1 selects the level's root
     for (int l = levels_; l >= 0; --l) {

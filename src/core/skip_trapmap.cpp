@@ -233,6 +233,7 @@ api::op_stats skip_trapmap::rebuild_chain(util::membership_bits bits, const seq:
 }
 
 api::op_stats skip_trapmap::insert(const seq::segment& s, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   seq::segment norm = s;
   if (norm.x1 > norm.x2) {
     std::swap(norm.x1, norm.x2);
@@ -249,6 +250,7 @@ api::op_stats skip_trapmap::insert(const seq::segment& s, net::host_id origin) {
 }
 
 api::op_stats skip_trapmap::erase(const seq::segment& s, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(segment_count_ >= 2);  // the structure never becomes empty
   seq::segment norm = s;
   if (norm.x1 > norm.x2) {

@@ -164,6 +164,7 @@ class skip_trie {
   // string's own prefix chain.
   api::op_stats insert(const std::string& s, net::host_id origin) {
     SW_EXPECTS(bits_.find(s) == bits_.end());
+    const net::structural_section sw_structural_guard(*net_);
     net::cursor cur(*net_, origin);
     const auto bits = util::draw_membership(rng_);
     bits_.emplace(s, bits);
@@ -194,6 +195,7 @@ class skip_trie {
     auto bit_it = bits_.find(s);
     SW_EXPECTS(bit_it != bits_.end());
     const auto bits = bit_it->second;
+    const net::structural_section sw_structural_guard(*net_);
     net::cursor cur(*net_, origin);
     std::string path;
     for (int l = levels_; l >= 0; --l) {

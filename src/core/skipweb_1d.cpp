@@ -162,6 +162,7 @@ api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, s
 }
 
 api::op_stats skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -198,6 +199,7 @@ api::op_stats skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
 }
 
 api::op_stats skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
+  const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);

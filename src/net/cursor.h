@@ -22,9 +22,26 @@ namespace skipweb::net {
 // Concurrent queries therefore never contend on the ledger mid-route, which
 // is what lets serve::executor drive one structure from many threads; the
 // committed totals are identical to the old write-per-hop scheme.
+//
+// Hot-route absorption: when the network has a hop_cache attached (see
+// network::attach_hop_cache, serve::route_cache), a hop inside the
+// operation's first `absorb_depth()` hops whose destination's routing
+// entries are replicated is served from the local replica — the locus still
+// moves (the routing decision is unchanged, so answers are identical) but
+// no message is charged and no visit is logged. Absorbed hops are counted
+// separately (`absorbed()`).
 class cursor {
  public:
-  cursor(network& net, host_id start) : net_(&net), at_(start) {
+  // Absorption is query-plane only: a cursor constructed inside a
+  // structural_section (insert/erase/build bodies, including their nested
+  // query sub-calls) prices every hop in full.
+  cursor(network& net, host_id start)
+      : net_(&net),
+        at_(start),
+        cache_(net.attached_hop_cache()),
+        absorb_window_(cache_ != nullptr && !net.in_structural_section()
+                           ? cache_->absorb_depth()
+                           : 0) {
     SW_EXPECTS(start.valid() && start.value < net.host_count());
   }
 
@@ -38,7 +55,10 @@ class cursor {
   cursor(cursor&& o) noexcept
       : net_(std::exchange(o.net_, nullptr)),
         at_(o.at_),
+        cache_(o.cache_),
+        absorb_window_(o.absorb_window_),
         messages_(o.messages_),
+        absorbed_(o.absorbed_),
         comparisons_(o.comparisons_),
         receipt_(std::move(o.receipt_)) {}
   cursor& operator=(cursor&& o) noexcept {
@@ -46,7 +66,10 @@ class cursor {
       settle();
       net_ = std::exchange(o.net_, nullptr);
       at_ = o.at_;
+      cache_ = o.cache_;
+      absorb_window_ = o.absorb_window_;
       messages_ = o.messages_;
+      absorbed_ = o.absorbed_;
       comparisons_ = o.comparisons_;
       receipt_ = std::move(o.receipt_);
     }
@@ -54,9 +77,17 @@ class cursor {
   }
 
   // Hop to `h`. A hop to the current host is free (local pointer chase).
+  // With a hop cache attached, a hop to a replicated host inside the
+  // operation's first absorb_depth() hops is served locally: the locus
+  // moves, nothing is charged (see the class comment).
   void move_to(host_id h) {
     SW_EXPECTS(h.valid() && h.value < net_->host_count());
     if (h != at_) {
+      if (messages_ + absorbed_ < absorb_window_ && cache_->absorbs(h)) {
+        ++absorbed_;
+        at_ = h;
+        return;
+      }
       ++messages_;
       receipt_.record(h);
       at_ = h;
@@ -82,7 +113,10 @@ class cursor {
   [[nodiscard]] host_id at() const { return at_; }
   [[nodiscard]] std::uint64_t messages() const { return messages_; }
   // Hosts this operation's locus touched, revisits included (origin counts).
+  // Absorbed hops are excluded: they never left the client.
   [[nodiscard]] std::uint64_t visits() const { return messages_ + 1; }
+  // Hops served from the attached hop cache's replicas (0 without a cache).
+  [[nodiscard]] std::uint64_t absorbed() const { return absorbed_; }
   [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
   // The not-yet-committed hop log (exposed for tests).
   [[nodiscard]] const traffic_receipt& receipt() const { return receipt_; }
@@ -90,7 +124,10 @@ class cursor {
  private:
   network* net_;
   host_id at_;
+  const hop_cache* cache_ = nullptr;  // only read when absorb_window_ > 0
+  std::size_t absorb_window_ = 0;
   std::uint64_t messages_ = 0;
+  std::uint64_t absorbed_ = 0;
   std::uint64_t comparisons_ = 0;
   traffic_receipt receipt_;
 };

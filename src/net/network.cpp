@@ -83,6 +83,19 @@ void network::commit(const traffic_receipt& r) {
     SW_ASSERT(to.valid() && to.value < hosts_);
     visit_slot(to.value).fetch_add(1, std::memory_order_relaxed);
   });
+  // Per-op service-cost accounting: the worst single-host load this one
+  // operation imposed, merged by atomic max (no fetch_max pre-C++26).
+  // Gated: the multiplicity count is measurably expensive on hop-heavy
+  // receipts (see max_op_host_load() in the header).
+  if (op_load_tracking_.load(std::memory_order_relaxed)) {
+    const std::uint64_t op_load = r.max_host_load();
+    std::uint64_t seen = max_op_host_load_.load(std::memory_order_relaxed);
+    while (seen < op_load &&
+           !max_op_host_load_.compare_exchange_weak(seen, op_load, std::memory_order_relaxed)) {
+    }
+  }
+  // The cache seam learns from exactly the receipts the ledger absorbed.
+  if (hop_cache_ != nullptr) hop_cache_->on_commit(r);
   commits_in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
@@ -101,12 +114,38 @@ std::uint64_t network::max_visits() const {
   return best;
 }
 
+congestion_profile network::congestion_profile() const {
+  SW_EXPECTS(traffic_quiescent());
+  struct congestion_profile out;
+  out.hosts = hosts_;
+  out.max_op_host_load = max_op_host_load_.load(std::memory_order_relaxed);
+  std::vector<std::uint64_t> visits;
+  visits.reserve(hosts_);
+  for (std::size_t i = 0; i < hosts_; ++i) {
+    visits.push_back(visit_slot(static_cast<std::uint32_t>(i)).load(std::memory_order_relaxed));
+  }
+  std::sort(visits.begin(), visits.end());
+  for (const auto v : visits) {
+    out.total_visits += v;
+    out.hosts_touched += (v > 0);
+  }
+  out.max_visits = visits.empty() ? 0 : visits.back();
+  out.p99_visits =
+      visits.empty()
+          ? 0
+          : visits[static_cast<std::size_t>(0.99 * (static_cast<double>(visits.size()) - 1.0))];
+  out.mean_visits =
+      hosts_ > 0 ? static_cast<double>(out.total_visits) / static_cast<double>(hosts_) : 0.0;
+  return out;
+}
+
 void network::reset_traffic() {
   SW_EXPECTS(traffic_quiescent());
   for (std::size_t i = 0; i < hosts_; ++i) {
     visit_slot(static_cast<std::uint32_t>(i)).store(0, std::memory_order_relaxed);
   }
   total_messages_.store(0, std::memory_order_relaxed);
+  max_op_host_load_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace skipweb::net

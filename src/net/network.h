@@ -16,6 +16,52 @@ namespace skipweb::net {
 // any host can store."
 enum class memory_kind : std::uint8_t { item, node, pointer, host_ref };
 
+// Client-side routing-replica hook (the congestion plane's cache seam).
+// A hop cache models a serving frontend that holds *replicas of the routing
+// entries of a few hot hosts*: when the query locus would hop to a host
+// whose entries are replicated — and the route is still in its first
+// `absorb_depth()` hops, i.e. top-level routing — the hop is answered from
+// the local replica instead of the network. The routing decision itself is
+// unchanged (the replica holds the same entries), so answers are
+// byte-identical with and without a cache; only the traffic receipt (and
+// therefore the congestion ledger) shrinks.
+//
+// Concurrency: `absorbs()` is called on the query plane from any number of
+// threads and must be data-race free against `on_commit()`, which the
+// network calls once per committed operation (also query-plane).
+// `serve::route_cache` is the concrete implementation.
+class hop_cache {
+ public:
+  virtual ~hop_cache() = default;
+
+  // True if a hop to `h` can be served from the local replica. Called only
+  // when the hop would actually be absorbed, so implementations may count
+  // hits inside. Must be thread-safe against concurrent on_commit().
+  [[nodiscard]] virtual bool absorbs(host_id h) const = 0;
+
+  // How many leading hops of one operation may be absorbed (the "top-level
+  // routing" window). 0 disables absorption entirely.
+  [[nodiscard]] virtual std::size_t absorb_depth() const = 0;
+
+  // Learning feed: every receipt merged by network::commit() is offered
+  // here, so the cache sees exactly the traffic the congestion ledger sees.
+  virtual void on_commit(const traffic_receipt& r) = 0;
+};
+
+// The quiescent-only congestion report: how query traffic distributed over
+// the hosts since the last reset_traffic(). `total_visits` equals
+// total_messages() by construction (every charged hop increments exactly
+// one host's counter), which tests reconcile.
+struct congestion_profile {
+  std::uint64_t hosts = 0;           // hosts in the network
+  std::uint64_t hosts_touched = 0;   // hosts with at least one visit
+  std::uint64_t max_visits = 0;      // the busiest host (the paper's C(n))
+  std::uint64_t p99_visits = 0;      // 99th-percentile host
+  double mean_visits = 0.0;          // total_visits / hosts
+  std::uint64_t total_visits = 0;    // == total_messages()
+  std::uint64_t max_op_host_load = 0;  // worst single-host load of any ONE op
+};
+
 // The simulated peer-to-peer network. It does not move bytes; it is a
 // ledger. Distributed structures register what each host stores (memory),
 // and route every query/update through a `cursor` (see cursor.h), which
@@ -82,9 +128,73 @@ class network {
   [[nodiscard]] std::uint64_t visits(host_id h) const;
   [[nodiscard]] std::uint64_t max_visits() const;
 
+  // The heaviest single-host load any ONE committed operation imposed (max
+  // over committed receipts of receipt.max_host_load()): the per-op slice of
+  // the congestion axis, updated at commit time. Quiescent-only getter.
+  //
+  // Tracking is OFF by default: folding a per-receipt multiplicity count
+  // into every commit costs hop-heavy backends up to ~2x serial ops/s
+  // (family_tree's ~35-hop receipts, chord's floods), so only the
+  // congestion surfaces (bench_congestion, the congestion tests) pay for
+  // it. When tracking was never enabled this reads 0.
+  [[nodiscard]] std::uint64_t max_op_host_load() const {
+    SW_EXPECTS(traffic_quiescent());
+    return max_op_host_load_.load(std::memory_order_relaxed);
+  }
+
+  // Enable/disable the per-op max-host-load fold above. Structural plane:
+  // flip only while quiescent (asserted), like attach_hop_cache.
+  void set_op_load_tracking(bool on) {
+    SW_EXPECTS(traffic_quiescent());
+    op_load_tracking_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool op_load_tracking() const {
+    return op_load_tracking_.load(std::memory_order_relaxed);
+  }
+
+  // One-call congestion report over the visit ledger (max/mean/p99 host
+  // visits, touched-host count, per-op max host load). Quiescent-only, like
+  // every traffic getter.
+  [[nodiscard]] struct congestion_profile congestion_profile() const;
+
   // Zero the message/visit counters between workload phases; memory stays.
   // Quiescent-only, like the getters.
   void reset_traffic();
+
+  // --- client-side routing replicas (the congestion plane's cache seam) ----
+  //
+  // Attaching a hop cache makes every subsequently constructed *query-plane*
+  // cursor offer its first `absorb_depth()` hops to the cache (see
+  // cursor::move_to), and makes commit() feed each merged receipt to
+  // `on_commit()` so the cache can learn where the traffic concentrates.
+  // Detach with nullptr. Structural plane: attach/detach only while
+  // quiescent. The cache must outlive its attachment.
+  void attach_hop_cache(hop_cache* cache) {
+    SW_EXPECTS(traffic_quiescent());
+    hop_cache_ = cache;
+  }
+  [[nodiscard]] hop_cache* attached_hop_cache() const { return hop_cache_; }
+
+  // Structural sections: a routing replica can serve *reads*; it cannot
+  // absorb the cost of a structural update. Backends bracket their
+  // insert/erase bodies (and the registries bracket builds) with a
+  // structural_section, and cursors constructed inside one never absorb —
+  // including the cursors of nested query sub-calls a structural op makes
+  // while routing (e.g. bucket_skipgraph::insert routing via its skip
+  // graph's nearest). A network-global flag is sound here because the
+  // structural plane is single-writer and never concurrent with queries —
+  // the same contract the structures themselves have (§two-plane model,
+  // DESIGN.md §8). Re-entrant (sections nest).
+  void enter_structural_section() {
+    structural_depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void exit_structural_section() {
+    SW_ASSERT(structural_depth_.load(std::memory_order_relaxed) > 0);
+    structural_depth_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool in_structural_section() const {
+    return structural_depth_.load(std::memory_order_relaxed) > 0;
+  }
 
  private:
   // Visit-counter shard: a fixed-size block of atomics. Blocks are allocated
@@ -107,7 +217,26 @@ class network {
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> visit_blocks_;
   std::size_t hosts_ = 0;
   std::atomic<std::uint64_t> total_messages_{0};
+  std::atomic<std::uint64_t> max_op_host_load_{0};
+  std::atomic<bool> op_load_tracking_{false};
+  std::atomic<std::uint32_t> structural_depth_{0};
+  hop_cache* hop_cache_ = nullptr;
   mutable std::atomic<std::uint32_t> commits_in_flight_{0};
+};
+
+// RAII bracket for one structural operation (insert/erase/build): cursors
+// constructed while any section is open never absorb hops from the attached
+// hop cache, so update receipts price the full route with or without a
+// cache. See network::enter_structural_section.
+class structural_section {
+ public:
+  explicit structural_section(network& net) : net_(&net) { net.enter_structural_section(); }
+  ~structural_section() { net_->exit_structural_section(); }
+  structural_section(const structural_section&) = delete;
+  structural_section& operator=(const structural_section&) = delete;
+
+ private:
+  network* net_;
 };
 
 }  // namespace skipweb::net

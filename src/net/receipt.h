@@ -84,6 +84,36 @@ class traffic_receipt {
     }
   }
 
+  // The heaviest single-host load this one operation imposed: the maximum
+  // multiplicity of any host among the logged hops (the origin visit is not
+  // logged, so it is not counted). This is the per-op slice of the paper's
+  // congestion axis — a route that bounces through one relay five times
+  // loads that host five times even though every hop "moves". Routes are
+  // short, so the inline case runs a quadratic distinct-count scan; spilled
+  // logs (floods, range sweeps) sort a copy instead.
+  [[nodiscard]] std::uint64_t max_host_load() const {
+    if (count_ == 0) return 0;
+    if (count_ <= inline_capacity) {
+      std::uint64_t best = 1;
+      for (std::size_t i = 0; i < count_; ++i) {
+        std::uint64_t m = 0;
+        for (std::size_t j = i; j < count_; ++j) m += (inline_[j] == inline_[i]);
+        best = std::max(best, m);
+      }
+      return best;
+    }
+    std::vector<std::uint32_t> all;
+    all.reserve(count_);
+    for_each([&all](host_id hid) { all.push_back(hid.value); });
+    std::sort(all.begin(), all.end());
+    std::uint64_t best = 0, run = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      run = (i > 0 && all[i] == all[i - 1]) ? run + 1 : 1;
+      best = std::max(best, run);
+    }
+    return best;
+  }
+
   void clear() {
     count_ = 0;
     spill_.clear();

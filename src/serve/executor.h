@@ -14,34 +14,53 @@
 
 namespace skipweb::serve {
 
-// Fixed thread-pool serving driver: the first piece of the library that
-// turns "the structures are safe for concurrent const queries" (the
-// receipt-based accounting plane, net/cursor.h) into wall-clock multi-core
-// throughput. A query stream is partitioned into contiguous per-worker
-// slices; each worker drives its slice through the backend's interleaved
-// batch router (distributed_index::nearest_batch / spatial_index::
-// locate_batch) in groups of `batch`; results land at their input positions
-// and the op_stats receipts sum to exactly the serial loop's totals — the
-// output is deterministic for any thread count (tested at T ∈ {1,2,4,8}).
-//
-// Serving is the *query* plane only: inserts/erases are structural and keep
-// the single-writer contract (see net/network.h). Run updates between
-// executor calls, never during one.
+/// \brief Fixed thread-pool serving driver: the piece of the library that
+/// turns "the structures are safe for concurrent const queries" (the
+/// receipt-based accounting plane, net/cursor.h) into wall-clock multi-core
+/// throughput. A query stream is partitioned into contiguous per-worker
+/// slices; each worker drives its slice through the backend's interleaved
+/// batch router (distributed_index::nearest_batch / spatial_index::
+/// locate_batch) in groups of `batch`; results land at their input positions
+/// and the op_stats receipts sum to exactly the serial loop's totals — the
+/// output is deterministic for any thread count (tested at T ∈ {1,2,4,8}).
+///
+/// \par Thread-safety plane
+/// Serving is the *query* plane only: inserts/erases are structural and
+/// keep the single-writer contract (see net/network.h). Run updates between
+/// executor calls, never during one. One executor runs one job at a time
+/// (the run_* entry points are not themselves reentrant); use one executor
+/// per concurrent driver.
+///
+/// \par The congestion plane
+/// Workers commit one receipt per query; with a hot-route replica cache
+/// attached to the network (serve/route_cache.h), those committed receipts
+/// are exactly what trains the cache, and the workers' cursors absorb their
+/// first hops to replicated hot hosts — answers stay identical, the
+/// congestion profile flattens. NOTE: the receipt half of the determinism
+/// contract above assumes no hop cache is attached. With one attached,
+/// *answers* remain identical at every thread count, but which hops get
+/// absorbed depends on training order (and on_commit's lossy try-lock), so
+/// receipts and congestion numbers are interleaving-dependent — compare
+/// them across runs only at threads = 1.
 class executor {
  public:
-  // A pool of `threads` workers (clamped to >= 1), alive until destruction;
-  // runs re-use the pool, so per-call cost is two condition-variable waves.
+  /// \brief A pool of `threads` workers (clamped to >= 1), alive until
+  /// destruction; runs re-use the pool, so per-call cost is two
+  /// condition-variable waves.
   explicit executor(std::size_t threads);
   ~executor();
 
   executor(const executor&) = delete;
   executor& operator=(const executor&) = delete;
 
+  /// \brief Worker count of the pool (>= 1). O(1).
   [[nodiscard]] std::size_t threads() const { return thread_count_; }
 
-  // The contiguous slice of [0, n) worker t of T owns: sizes differ by at
-  // most one and the slices concatenate to [0, n) in order, so the partition
-  // (hence every result position and receipt) is a pure function of (n, T).
+  /// \brief The contiguous slice of [0, n) worker `t` of `T` owns: sizes
+  /// differ by at most one and the slices concatenate to [0, n) in order, so
+  /// the partition (hence every result position and receipt) is a pure
+  /// function of (n, T).
+  /// \return the half-open pair {lo, hi}.
   [[nodiscard]] static std::pair<std::size_t, std::size_t> slice(std::size_t n, std::size_t t,
                                                                  std::size_t T) {
     const std::size_t lo = (n * t) / T;
@@ -49,31 +68,43 @@ class executor {
     return {lo, hi};
   }
 
+  /// Result of run_nearest: per-query answers plus the exact receipt sum.
   struct nearest_outcome {
-    std::vector<api::nn_result> results;  // input order
-    api::op_stats total;                  // sum of every per-op receipt
+    std::vector<api::nn_result> results;  ///< input order
+    api::op_stats total;                  ///< sum of every per-op receipt
   };
 
-  // Drive 1-D nearest-neighbour queries. Results and summed receipts are
-  // identical to `for (q : qs) idx.nearest(q, origin)` regardless of thread
-  // count or batch width (the nearest_batch receipt-equality contract).
+  /// \brief Drive 1-D nearest-neighbour queries over the pool.
+  /// Results and summed receipts are identical to
+  /// `for (q : qs) idx.nearest(q, origin)` regardless of thread count or
+  /// batch width (the nearest_batch receipt-equality contract).
+  /// \param idx    any registered backend; only its const query surface is
+  ///               touched.
+  /// \param qs     the whole query stream (workers take slices of it).
+  /// \param origin serving frontend: every query is issued from this host.
+  /// \param batch  group size handed to nearest_batch per call.
+  /// \note Blocks until the stream is served. Wall-clock O(|qs|/T) batches.
   [[nodiscard]] nearest_outcome run_nearest(const api::distributed_index& idx,
                                             const std::vector<std::uint64_t>& qs,
                                             net::host_id origin, std::size_t batch = 24);
 
+  /// Result of run_locate: per-query answers plus the exact receipt sum.
   struct locate_outcome {
-    std::vector<api::spatial_locate_result> results;  // input order
-    api::op_stats total;
+    std::vector<api::spatial_locate_result> results;  ///< input order
+    api::op_stats total;                              ///< sum of per-op receipts
   };
 
-  // Spatial sibling: drive point-location queries through locate_batch.
+  /// \brief Spatial sibling of run_nearest: drive point-location queries
+  /// through locate_batch. Same determinism contract.
   [[nodiscard]] locate_outcome run_locate(const api::spatial_index& idx,
                                           const std::vector<api::spatial_point>& qs,
                                           net::host_id origin, std::size_t batch = 24);
 
-  // Run fn(worker, lo, hi) on every worker over the static partition of
-  // [0, n); blocks until all workers finish. The building block the typed
-  // entry points above share, exposed for custom query mixes.
+  /// \brief Run fn(worker, lo, hi) on every worker over the static partition
+  /// of [0, n); blocks until all workers finish. The building block the
+  /// typed entry points above share, exposed for custom query mixes.
+  /// \note `fn` must itself stay on the query plane when touching shared
+  ///       structures.
   void for_slices(std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
  private:

@@ -1,6 +1,7 @@
 #include "workloads/workloads.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "util/sw_assert.h"
@@ -74,6 +75,66 @@ std::vector<api::spatial_point> spatial_query_stream(int dims, std::size_t count
   std::vector<api::spatial_point> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) out.push_back(spatial_probe(dims, r));
+  return out;
+}
+
+std::vector<std::size_t> zipf_ranks(std::size_t n, std::size_t count, std::uint64_t seed,
+                                    double s) {
+  SW_EXPECTS(n > 0 && s >= 0.0);
+  // Inverse-CDF sampling over the explicit cumulative weights. n is a key
+  // population (thousands, not billions), so the O(n) table + O(log n) per
+  // draw beats rejection-inversion in both simplicity and determinism.
+  std::vector<double> cum(n);
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    total += 1.0 / std::pow(static_cast<double>(j + 1), s);
+    cum[j] = total;
+  }
+  // Stream 1: decoupled from the permutation stream the callers draw below.
+  auto r = util::rng::stream(seed, 1);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = r.uniform_real(0.0, total);
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    out.push_back(std::min<std::size_t>(static_cast<std::size_t>(it - cum.begin()), n - 1));
+  }
+  return out;
+}
+
+namespace {
+
+// Seed-shuffled identity permutation: which element holds rank r is a pure
+// function of (n, seed), independent of the caller's input order.
+std::vector<std::size_t> rank_permutation(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  auto r = util::rng::stream(seed, 2);
+  std::shuffle(perm.begin(), perm.end(), r.engine());
+  return perm;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> zipf_query_stream(const std::vector<std::uint64_t>& keys,
+                                             std::size_t count, std::uint64_t seed, double s) {
+  SW_EXPECTS(!keys.empty());
+  const auto perm = rank_permutation(keys.size(), seed);
+  const auto ranks = zipf_ranks(keys.size(), count, seed, s);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (const auto rk : ranks) out.push_back(keys[perm[rk]]);
+  return out;
+}
+
+std::vector<api::spatial_point> zipf_spatial_query_stream(
+    const std::vector<api::spatial_point>& pts, std::size_t count, std::uint64_t seed, double s) {
+  SW_EXPECTS(!pts.empty());
+  const auto perm = rank_permutation(pts.size(), seed);
+  const auto ranks = zipf_ranks(pts.size(), count, seed, s);
+  std::vector<api::spatial_point> out;
+  out.reserve(count);
+  for (const auto rk : ranks) out.push_back(pts[perm[rk]]);
   return out;
 }
 

@@ -51,6 +51,34 @@ std::vector<std::uint64_t> query_stream(const std::vector<std::uint64_t>& keys, 
 std::vector<api::spatial_point> spatial_query_stream(int dims, std::size_t count,
                                                      std::uint64_t seed);
 
+// --- skewed (Zipfian) query streams ------------------------------------------
+//
+// The hot-item workload the uniform streams cannot produce: probe i targets
+// a *stored* key drawn with Zipf(s) popularity — rank-r popularity ∝ 1/r^s —
+// over a seed-shuffled permutation of the key set (so which keys are hot is
+// itself a pure function of the seed, not of the input order). s = 0
+// degenerates to uniform-over-keys; s ≈ 1 is the classic web/caching skew;
+// s > 1 concentrates most of the stream on a handful of keys. Unlike
+// query_stream (which probes BETWEEN keys to force real nearest-neighbour
+// work), these streams probe exact stored keys: skew is about repetition,
+// and repeating an exact hot item is the regime the congestion plane and the
+// hot-route replica cache are built for.
+//
+// Pure function of (keys, count, seed, s) — thread-count-invariant exactly
+// like query_stream; serve::executor slices reassemble it bit-for-bit.
+std::vector<std::uint64_t> zipf_query_stream(const std::vector<std::uint64_t>& keys,
+                                             std::size_t count, std::uint64_t seed, double s);
+
+// Spatial sibling: Zipf-popular probes over the *stored* point set.
+std::vector<api::spatial_point> zipf_spatial_query_stream(
+    const std::vector<api::spatial_point>& pts, std::size_t count, std::uint64_t seed, double s);
+
+// The shared rank sampler behind both (exposed for tests and custom
+// streams): `count` indices into [0, n) where index j of the (unshuffled)
+// rank order has probability ∝ 1/(j+1)^s. Pure function of its arguments.
+std::vector<std::size_t> zipf_ranks(std::size_t n, std::size_t count, std::uint64_t seed,
+                                    double s);
+
 // --- d-dimensional points ----------------------------------------------------
 
 // n distinct points uniform in the unit cube.

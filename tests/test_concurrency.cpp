@@ -18,6 +18,7 @@
 #include "net/cursor.h"
 #include "net/network.h"
 #include "serve/executor.h"
+#include "serve/route_cache.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
@@ -203,6 +204,48 @@ TEST(ExecutorConcurrency, ChurnedAnchorsAreSafeUnderConcurrentQueries) {
     EXPECT_TRUE(same_nn(out.results[i], serial[i])) << i;
   }
   EXPECT_EQ(out.total, serial_total);
+}
+
+// --- the hot-route replica cache under concurrent serving --------------------
+
+TEST(ExecutorConcurrency, RouteCacheServingIsRaceFreeAndAnswerIdentical) {
+  // Workers commit receipts (feeding route_cache::on_commit through the
+  // network's cache seam) while other workers' cursors concurrently consult
+  // absorbs() — the exact read/learn race the cache's lock-free slot array
+  // and try-lock learning are built for. TSan watches; the assertions check
+  // the replica-cache contract: answers identical to an uncached twin at
+  // every thread count, even though receipts may legitimately differ.
+  util::rng r(9010);
+  const auto keys = wl::uniform_keys(256, r);
+  const auto qs = wl::zipf_query_stream(keys, 256, 9011, 1.1);
+
+  network plain_net(1);
+  const auto plain = api::make_index("skipweb1d", keys, api::index_options{}.seed(7), plain_net);
+  std::vector<api::nn_result> want;
+  for (const auto q : qs) want.push_back(plain->nearest(q, h(0)));
+
+  network net(1);
+  serve::route_cache::options co;
+  co.capacity = 16;
+  co.depth = 8;
+  co.promote_after = 4;
+  serve::route_cache cache(co);
+  const auto idx = api::make_index("skipweb1d", keys,
+                                   api::index_options{}.seed(7).route_cache(&cache), net);
+  for (const std::size_t T : kThreadCounts) {
+    serve::executor ex(T);
+    const auto out = ex.run_nearest(*idx, qs, h(0), 16);
+    ASSERT_EQ(out.results.size(), want.size()) << "T=" << T;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(out.results[i].has_pred, want[i].has_pred) << "T=" << T << " i=" << i;
+      EXPECT_EQ(out.results[i].has_succ, want[i].has_succ) << "T=" << T << " i=" << i;
+      if (want[i].has_pred) EXPECT_EQ(out.results[i].pred, want[i].pred) << "T=" << T << " i=" << i;
+      if (want[i].has_succ) EXPECT_EQ(out.results[i].succ, want[i].succ) << "T=" << T << " i=" << i;
+    }
+  }
+  // After the first pass trained it, the cache must have actually absorbed
+  // traffic (quiescent read: the executor joined its waves).
+  EXPECT_GT(cache.hits(), 0u);
 }
 
 // --- seed-determinism: splittable streams & workload generation --------------
