@@ -1,0 +1,289 @@
+// Availability under host failures (DESIGN.md §10): what fraction of
+// queries still complete — and at what message cost — as hosts die, with
+// replication off, with k replicas routing around the dead, and after the
+// repair plane has re-established the invariants.
+//
+// For each structure (skipweb1d towers, skip_quadtree2) and each kill
+// fraction the sweep builds fresh, kills a seeded victim set (host 0, the
+// issuing host, is never a victim), and measures three arms:
+//
+//   repl=0  pre_repair   ghost-hop routing; every op that leaned on a dead
+//                        host reports stats.failed — the baseline that makes
+//                        the availability loss visible.
+//   repl=k  pre_repair   replica windows route around up to k consecutive
+//                        dead hosts; availability holds near 1 at 10% killed.
+//   repl=k  post_repair  fault::repair_to_quiescence first; rows also record
+//                        the repair bill (messages per killed host).
+//
+// Availability is 1 - failed_ops/ops; a failed op still returns its
+// best-effort answer, the flag is the honesty bit (op_stats::failed).
+//
+// Usage:
+//   bench_failures [--n N] [--queries Q] [--kill 0,0.05,0.1,0.2]
+//                  [--replication K] [--seed S] [--out NAME] [--smoke]
+//
+// --smoke shrinks everything for CI. Emits BENCH_<out>.json (schema
+// validated by the bench-release CI job).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/spatial_registry.h"
+#include "bench_common.h"
+#include "fault/repair.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using namespace skipweb::bench;
+namespace wl = skipweb::workloads;
+
+struct config {
+  std::size_t n = 2048;
+  std::size_t queries = 2000;
+  std::vector<double> kill_fractions = {0.0, 0.05, 0.10, 0.20};
+  std::size_t replication = 3;
+  std::uint64_t seed = 929;
+  std::string out = "failures";
+};
+
+struct arm_result {
+  std::uint64_t ops = 0;
+  std::uint64_t failed_ops = 0;
+  api::op_stats totals;
+
+  [[nodiscard]] double availability() const {
+    return ops > 0 ? 1.0 - static_cast<double>(failed_ops) / static_cast<double>(ops) : 1.0;
+  }
+  [[nodiscard]] double messages_per_op() const {
+    return ops > 0 ? static_cast<double>(totals.messages) / static_cast<double>(ops) : 0.0;
+  }
+};
+
+// The seeded victim set: `count` distinct hosts of [1, hosts) — host 0 is
+// the issuing host and stays alive. Same (hosts, count, seed) → same
+// victims, so every arm of a cell kills identically.
+std::vector<net::host_id> pick_victims(std::size_t hosts, std::size_t count, std::uint64_t seed) {
+  util::rng r(seed);
+  std::vector<bool> chosen(hosts, false);
+  std::vector<net::host_id> out;
+  while (out.size() < count && out.size() + 1 < hosts) {
+    const auto v = static_cast<std::uint32_t>(1 + r.index(hosts - 1));
+    if (chosen[v]) continue;
+    chosen[v] = true;
+    out.push_back(net::host_id{v});
+  }
+  return out;
+}
+
+// One measured query pass; `run_op` issues op i and returns its receipt.
+template <typename RunOp>
+arm_result run_arm(std::size_t ops, RunOp&& run_op) {
+  arm_result res;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const api::op_stats st = run_op(i);
+    ++res.ops;
+    res.totals += st;
+    if (st.failed) ++res.failed_ops;
+  }
+  return res;
+}
+
+struct row {
+  std::string structure;
+  double kill_fraction = 0;
+  std::uint64_t hosts = 0;
+  std::uint64_t hosts_killed = 0;
+  std::uint64_t replication = 0;
+  std::string phase;  // "pre_repair" | "post_repair"
+  arm_result arm;
+  // post_repair only:
+  bool has_repair = false;
+  fault::repair_report repair;
+};
+
+void print_result_row(const row& r) {
+  std::vector<std::string> cells = {r.structure,
+                                    fmt(r.kill_fraction),
+                                    fmt_u(r.hosts_killed),
+                                    fmt_u(r.replication),
+                                    r.phase,
+                                    fmt(r.arm.availability(), 4),
+                                    fmt(r.arm.messages_per_op())};
+  if (r.has_repair && r.hosts_killed > 0) {
+    cells.push_back(fmt(static_cast<double>(r.repair.cost.messages) /
+                        static_cast<double>(r.hosts_killed)));
+  } else {
+    cells.push_back("-");
+  }
+  print_row(cells, 15);
+}
+
+void json_row(json_writer& jw, const row& r) {
+  jw.begin_object();
+  jw.field("structure", r.structure);
+  jw.field("kill_fraction", r.kill_fraction);
+  jw.field("hosts", r.hosts);
+  jw.field("hosts_killed", r.hosts_killed);
+  jw.field("replication", r.replication);
+  jw.field("phase", r.phase);
+  jw.field("ops", r.arm.ops);
+  jw.field("failed_ops", r.arm.failed_ops);
+  jw.field("availability", r.arm.availability());
+  jw.field("messages_per_op", r.arm.messages_per_op());
+  if (r.has_repair) {
+    jw.field("repaired", static_cast<std::uint64_t>(r.repair.repaired));
+    jw.field("repair_rounds", static_cast<std::uint64_t>(r.repair.rounds));
+    jw.field("repair_messages", r.repair.cost.messages);
+    jw.field("repair_messages_per_killed_host",
+             r.hosts_killed > 0 ? static_cast<double>(r.repair.cost.messages) /
+                                      static_cast<double>(r.hosts_killed)
+                                : 0.0);
+  }
+  jw.end_object();
+}
+
+// One (structure, fraction, replication) cell: build, kill, measure, and —
+// when replication is on — repair and measure again.
+template <typename Build, typename MakeRunOp>
+void run_cell(std::vector<row>& rows, const config& cfg, const std::string& structure, double f,
+              std::size_t replication, Build&& build, MakeRunOp&& make_run_op) {
+  net::network net(1);
+  auto idx = build(replication, net);
+  const std::size_t hosts = net.host_count();
+  const auto victims =
+      pick_victims(hosts, static_cast<std::size_t>(f * static_cast<double>(hosts)), cfg.seed + 7);
+  for (const auto v : victims) net.kill_host(v);
+
+  row pre;
+  pre.structure = structure;
+  pre.kill_fraction = f;
+  pre.hosts = hosts;
+  pre.hosts_killed = victims.size();
+  pre.replication = replication;
+  pre.phase = "pre_repair";
+  pre.arm = run_arm(cfg.queries, make_run_op(*idx));
+  print_result_row(pre);
+  rows.push_back(pre);
+
+  if (replication == 0) return;
+  row post = pre;
+  post.phase = "post_repair";
+  post.has_repair = true;
+  post.repair = fault::repair_to_quiescence(*idx, net::host_id{0});
+  post.arm = run_arm(cfg.queries, make_run_op(*idx));
+  print_result_row(post);
+  rows.push_back(post);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n N] [--queries Q] [--kill f1,f2,...] [--replication K]\n"
+               "          [--seed S] [--out NAME] [--smoke]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") {
+      cfg.n = static_cast<std::size_t>(std::strtoull(need("--n"), nullptr, 10));
+    } else if (a == "--queries") {
+      cfg.queries = static_cast<std::size_t>(std::strtoull(need("--queries"), nullptr, 10));
+    } else if (a == "--kill") {
+      cfg.kill_fractions.clear();
+      for (const auto& s : split_list(need("--kill"))) {
+        cfg.kill_fractions.push_back(std::strtod(s.c_str(), nullptr));
+      }
+    } else if (a == "--replication") {
+      cfg.replication =
+          static_cast<std::size_t>(std::strtoull(need("--replication"), nullptr, 10));
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--out") {
+      cfg.out = need("--out");
+    } else if (a == "--smoke") {
+      cfg.n = 256;
+      cfg.queries = 200;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  util::rng r(cfg.seed);
+  const auto keys = wl::uniform_keys(cfg.n, r);
+  const auto pts = wl::spatial_points(2, cfg.n, false, r);
+  const auto probes_1d = wl::query_stream(keys, cfg.queries, cfg.seed + 1);
+  const auto probes_2d = wl::spatial_query_stream(2, cfg.queries, cfg.seed + 2);
+
+  print_header("availability & repair cost under host failures");
+  print_row({"structure", "kill_frac", "killed", "repl", "phase", "availability", "msgs/op",
+             "repair_msgs/killed"},
+            15);
+  print_rule();
+
+  std::vector<row> rows;
+  const auto build_1d = [&](std::size_t k, net::network& net) {
+    return api::make_index("skipweb1d", keys,
+                           api::index_options{}.seed(cfg.seed + 3).replication(k), net);
+  };
+  const auto ops_1d = [&](api::distributed_index& ix) {
+    return [&ix, &probes_1d](std::size_t i) {
+      return ix.nearest(probes_1d[i % probes_1d.size()], net::host_id{0}).stats;
+    };
+  };
+  const auto build_2d = [&](std::size_t k, net::network& net) {
+    // One host per point, mirroring the 1-D tower arm's host scale.
+    return api::make_spatial_index(
+        "skip_quadtree2", pts,
+        api::index_options{}.seed(cfg.seed + 4).initial_hosts(cfg.n).replication(k), net);
+  };
+  const auto ops_2d = [&](api::spatial_index& ix) {
+    return [&ix, &probes_2d](std::size_t i) {
+      return ix.locate(probes_2d[i % probes_2d.size()], net::host_id{0}).stats;
+    };
+  };
+
+  for (const double f : cfg.kill_fractions) {
+    run_cell(rows, cfg, "skipweb1d", f, 0, build_1d, ops_1d);
+    run_cell(rows, cfg, "skipweb1d", f, cfg.replication, build_1d, ops_1d);
+  }
+  for (const double f : cfg.kill_fractions) {
+    run_cell(rows, cfg, "skip_quadtree2", f, 0, build_2d, ops_2d);
+    run_cell(rows, cfg, "skip_quadtree2", f, cfg.replication, build_2d, ops_2d);
+  }
+
+  json_writer jw;
+  jw.begin_object();
+  jw.field("bench", "failures");
+  json_hardware_fields(jw);
+  jw.field("n", static_cast<std::uint64_t>(cfg.n));
+  jw.field("queries", static_cast<std::uint64_t>(cfg.queries));
+  jw.field("replication", static_cast<std::uint64_t>(cfg.replication));
+  jw.field("seed", cfg.seed);
+  jw.key("rows").begin_array();
+  for (const auto& rr : rows) json_row(jw, rr);
+  jw.end_array();
+  jw.end_object();
+  write_bench_json(cfg.out, jw.str());
+  return 0;
+}

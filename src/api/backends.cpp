@@ -12,6 +12,7 @@
 // drive any registered backend from multiple threads.
 
 #include <cmath>
+#include <concepts>
 #include <utility>
 
 #include "api/distributed_index.h"
@@ -45,11 +46,21 @@ class adapter final : public distributed_index {
   [[nodiscard]] std::size_t size() const override { return impl_.size(); }
 
   [[nodiscard]] capability capabilities() const override {
-    if constexpr (has_native_range) {
-      return base_caps | capability::native_range;
-    } else {
-      return base_caps;
+    capability c = base_caps;
+    if constexpr (has_native_range) c = c | capability::native_range;
+    if constexpr (has_repair) {
+      // Replication is a construction-time knob; the capability reflects
+      // whether THIS instance actually installed replicas.
+      if (impl_.replication() > 0) c = c | capability::fault_tolerant;
     }
+    return c;
+  }
+
+  op_result<std::size_t> repair_step(net::host_id origin) override {
+    if constexpr (has_repair) {
+      if (impl_.replication() > 0) return impl_.repair_step(origin);
+    }
+    return distributed_index::repair_step(origin);  // throws unsupported_operation
   }
 
   [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const override {
@@ -87,6 +98,10 @@ class adapter final : public distributed_index {
       requires(const S& s) { s.range(std::uint64_t{}, std::uint64_t{}, net::host_id{}, std::size_t{}); };
   static constexpr bool has_nearest_batch =
       requires(const S& s) { s.nearest_batch(std::vector<std::uint64_t>{}, net::host_id{}); };
+  static constexpr bool has_repair = requires(S& s) {
+    s.repair_step(net::host_id{});
+    { s.replication() } -> std::convertible_to<std::size_t>;
+  };
   // The interface promises thread-safe concurrent const queries; that only
   // holds if the wrapped structure's query surface is itself const.
   static_assert(requires(const S& s) {
@@ -144,7 +159,8 @@ void register_builtin_backends(const backend_registrar& add) {
     const auto p = opts.placement() == placement_policy::balanced
                        ? core::skipweb_1d::placement::balanced
                        : core::skipweb_1d::placement::tower;
-    return make_adapter<core::skipweb_1d>("skipweb1d", std::move(keys), opts.seed(), net, p);
+    return make_adapter<core::skipweb_1d>("skipweb1d", std::move(keys), opts.seed(), net, p,
+                                          opts.replication());
   });
   add("bucket_skipweb", [](std::vector<std::uint64_t> keys,
                                         const index_options& opts, net::network& net) {

@@ -23,6 +23,9 @@ enum class capability : std::uint32_t {
   erase = 1u << 3,
   range = 1u << 4,
   native_range = 1u << 5,
+  // Built with index_options::replication(k) > 0: queries route around up to
+  // k dead hosts, and repair_step() restores the structure after crashes.
+  fault_tolerant = 1u << 6,
 };
 
 [[nodiscard]] constexpr capability operator|(capability a, capability b) {
@@ -153,6 +156,20 @@ class distributed_index {
       next = s.succ;
     }
     return out;
+  }
+
+  /// \brief One self-repair step (capability::fault_tolerant only): detect
+  /// one crash-damaged record — a stored item whose owner host is dead, or
+  /// an under-replicated record — and restore the structure's invariants
+  /// around it (unsplice + re-link, or re-home replicas), charging every
+  /// detection probe and relink hop to the returned receipt.
+  /// \return number of records repaired this step (0 = structure clean; the
+  ///         fault::repair_to_quiescence driver loops until then).
+  /// \note Structural plane: single writer, never concurrent with queries —
+  ///       fault::repair_daemon brokers that exclusion for background use.
+  virtual op_result<std::size_t> repair_step(net::host_id origin) {
+    (void)origin;
+    throw unsupported_operation(backend(), "repair_step");
   }
 
  protected:

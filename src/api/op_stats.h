@@ -17,15 +17,23 @@ namespace skipweb::api {
 //   comparisons — key/point comparisons the router performed. Counted where
 //                 the routing loops compare keys; purely local bookkeeping
 //                 (e.g. binary search inside one bucket) may be uncounted.
+// Under the fault plane (net/network.h, DESIGN.md §10) an operation also
+// carries `failed`: true when its route leaned on an unreachable host (or a
+// replicated router ran out of live replicas) — the answer is then not
+// backed by live hosts and availability metrics count it unavailable. With
+// faults disabled it is always false, so the field is invisible to
+// pre-fault comparisons.
 struct op_stats {
   std::uint64_t messages = 0;
   std::uint64_t host_visits = 0;
   std::uint64_t comparisons = 0;
+  bool failed = false;
 
   op_stats& operator+=(const op_stats& o) {
     messages += o.messages;
     host_visits += o.host_visits;
     comparisons += o.comparisons;
+    failed = failed || o.failed;
     return *this;
   }
   friend op_stats operator+(op_stats a, const op_stats& b) { return a += b; }
@@ -33,10 +41,13 @@ struct op_stats {
 
   // Snapshot the counters of a cursor-like object (anything exposing
   // messages()/visits()/comparisons(), i.e. net::cursor). Templated so this
-  // header stays a leaf with no dependency on the net layer.
+  // header stays a leaf with no dependency on the net layer; the failed flag
+  // is picked up when the cursor type exposes one.
   template <typename Cursor>
   [[nodiscard]] static op_stats of(const Cursor& c) {
-    return {c.messages(), c.visits(), c.comparisons()};
+    op_stats s{c.messages(), c.visits(), c.comparisons()};
+    if constexpr (requires { c.failed(); }) s.failed = c.failed();
+    return s;
   }
 };
 

@@ -63,6 +63,17 @@ class index_options {
     route_cache_ = c;
     return *this;
   }
+  // Opt into k-way neighbor replication (the fault plane, DESIGN.md §10):
+  // fault-tolerant backends keep k extra successor/predecessor (or replica-
+  // host) entries per record so queries route around up to k dead hosts, and
+  // expose repair_step() to restore redundancy after crashes. 0 (the
+  // default) disables the plane entirely — routing is byte-identical to the
+  // pre-fault build. Backends without fault support ignore it (their
+  // capability set simply never advertises fault_tolerant). Clamped to 8.
+  index_options& replication(std::size_t k) {
+    replication_ = std::min<std::size_t>(k, 8);
+    return *this;
+  }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] placement_policy placement() const { return placement_; }
@@ -70,6 +81,7 @@ class index_options {
   [[nodiscard]] std::size_t bucket_size() const { return bucket_size_; }
   [[nodiscard]] std::size_t buckets() const { return buckets_; }
   [[nodiscard]] net::hop_cache* route_cache() const { return route_cache_; }
+  [[nodiscard]] std::size_t replication() const { return replication_; }
 
   // M defaults to Theta(log n) — the regime where the blocked skip-web hits
   // its O(log n / log log n) query bound (paper §2.4.1).
@@ -94,6 +106,7 @@ class index_options {
   std::size_t bucket_size_ = 0;
   std::size_t buckets_ = 0;
   net::hop_cache* route_cache_ = nullptr;
+  std::size_t replication_ = 0;
 };
 
 }  // namespace skipweb::api

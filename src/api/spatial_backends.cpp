@@ -71,13 +71,20 @@ class quadtree_adapter final : public spatial_index {
  public:
   quadtree_adapter(std::string_view name, std::vector<spatial_point> pts,
                    const index_options& opts, net::network& net)
-      : name_(name), impl_(to_points<D>(pts), opts.seed(), net) {}
+      : name_(name), impl_(to_points<D>(pts), opts.seed(), net, opts.replication()) {}
 
   [[nodiscard]] std::string_view backend() const override { return name_; }
   [[nodiscard]] int dims() const override { return D; }
   [[nodiscard]] std::size_t size() const override { return impl_.size(); }
   [[nodiscard]] spatial_capability capabilities() const override {
-    return spatial_base_caps | spatial_capability::native_range | spatial_capability::native_nn;
+    auto c = spatial_base_caps | spatial_capability::native_range | spatial_capability::native_nn;
+    if (impl_.replication() > 0) c = c | spatial_capability::fault_tolerant;
+    return c;
+  }
+
+  op_result<std::size_t> repair_step(net::host_id origin) override {
+    if (impl_.replication() == 0) return spatial_index::repair_step(origin);  // throws
+    return impl_.repair_step(origin);
   }
 
   [[nodiscard]] spatial_locate_result locate(const spatial_point& q,

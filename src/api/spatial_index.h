@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/distributed_index.h"  // api::unsupported_operation
 #include "api/op_stats.h"
 #include "net/types.h"
 #include "seq/quadtree.h"
@@ -48,6 +49,10 @@ enum class spatial_capability : std::uint32_t {
   approx_nn = 1u << 4,
   native_range = 1u << 5,
   native_nn = 1u << 6,
+  // Built with index_options::replication(k) > 0: locate routes around dead
+  // hosts via replica hosts, and repair_step() re-homes under-replicated
+  // node records after crashes (DESIGN.md §10).
+  fault_tolerant = 1u << 7,
 };
 
 [[nodiscard]] constexpr spatial_capability operator|(spatial_capability a, spatial_capability b) {
@@ -237,6 +242,16 @@ class spatial_index {
     }
     out.value = best;
     return out;
+  }
+
+  /// \brief One self-repair step (spatial_capability::fault_tolerant only):
+  /// find one node record with dead replica hosts and a live survivor, and
+  /// re-home the record onto fresh live hosts (copy + probe hops charged).
+  /// \return records re-homed this step (0 = fully replicated again; see
+  ///         fault::repair_to_quiescence). \note Structural plane.
+  virtual op_result<std::size_t> repair_step(net::host_id origin) {
+    (void)origin;
+    throw unsupported_operation(backend(), "repair_step");
   }
 
  protected:

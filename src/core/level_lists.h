@@ -128,6 +128,45 @@ class level_lists {
   [[nodiscard]] int next(int item, int level) const { return fwd_[slot(item, level)].to; }
   [[nodiscard]] int prev(int item, int level) const { return bwd_[slot(item, level)].to; }
 
+  // --- successor/predecessor replica lists (the fault plane, DESIGN.md §10)
+  //
+  // With replication k > 0 every item keeps, alongside its level-0
+  // half-links, the k FURTHER level-0 successors (and predecessors) beyond
+  // the direct neighbour — the skip-graph "successor list" trick: an item
+  // then knows k+1 consecutive neighbours per direction, so a fault-aware
+  // router can step over a run of up to k consecutive dead items without
+  // leaving the live route. Entries mirror the half-link layout ({slot, key
+  // cache}) so the skip-over decision is local to the current item.
+  // splice_in/unsplice keep the lists of the O(k) surrounding items current;
+  // with k == 0 (the default) none of this exists and the edits are
+  // byte-identical to the pre-fault structure.
+  struct replica_link {
+    std::int32_t to = -1;
+    std::uint64_t key = 0;
+  };
+
+  // Install/resize replication and (re)build every item's lists. Structural
+  // plane; O(n·k).
+  void set_replication(std::size_t k) {
+    replication_ = k;
+    fwd_rep_.assign(arena_size() * k, replica_link{});
+    bwd_rep_.assign(arena_size() * k, replica_link{});
+    if (k == 0) return;
+    for (int i = 0; i < static_cast<int>(arena_size()); ++i) {
+      if (alive(i)) rebuild_replicas(i);
+    }
+  }
+  [[nodiscard]] std::size_t replication() const { return replication_; }
+
+  // The (j+2)-th successor/predecessor of `item` at level 0 (j in [0, k)):
+  // j = 0 is the neighbour AFTER next(item, 0). `.to < 0` past the list end.
+  [[nodiscard]] replica_link fwd_replica(int item, std::size_t j) const {
+    return fwd_rep_[static_cast<std::size_t>(item) * replication_ + j];
+  }
+  [[nodiscard]] replica_link bwd_replica(int item, std::size_t j) const {
+    return bwd_rep_[static_cast<std::size_t>(item) * replication_ + j];
+  }
+
   // The cached key of next(item, level) / prev(item, level) — valid whenever
   // the link is (the structural edits keep link and key cache in sync), so
   // routing can test a neighbour's key without touching the neighbour.
@@ -195,6 +234,8 @@ class level_lists {
       alive_.push_back(1);
       fwd_.resize(fwd_.size() + stride_, half_link{});
       bwd_.resize(bwd_.size() + stride_, half_link{});
+      fwd_rep_.resize(fwd_rep_.size() + replication_, replica_link{});
+      bwd_rep_.resize(bwd_rep_.size() + replication_, replica_link{});
     }
     keys_[static_cast<std::size_t>(idx)] = key;
     bits_[static_cast<std::size_t>(idx)] = bits;
@@ -216,6 +257,10 @@ class level_lists {
     }
     ++alive_count_;
     alive_hint_ = idx;
+    // The new item displaced an entry in the successor lists of its k
+    // nearest left neighbours and the predecessor lists of its k nearest
+    // right neighbours (plus its own fresh rows).
+    if (replication_ > 0) rebuild_replicas_around(idx);
     return idx;
   }
 
@@ -242,6 +287,20 @@ class level_lists {
     free_.push_back(item);
     // Keep the alive hint live: the redirect target was alive a moment ago.
     if (alive_hint_ == item) alive_hint_ = redirect_[static_cast<std::size_t>(item)];
+    // Survivors that listed `item` among their k+1 known neighbours refresh.
+    // Each item knows its direct neighbour plus k replicas — neighbours up to
+    // distance k+1 — so the k+1 nearest left items (successor lists) and k+1
+    // nearest right items (predecessor lists) all held a row naming `item`.
+    if (replication_ > 0) {
+      int s = pv0;
+      for (std::size_t j = 0; j <= replication_ && s >= 0; ++j, s = prev(s, 0)) {
+        rebuild_replicas(s);
+      }
+      s = nx0;
+      for (std::size_t j = 0; j <= replication_ && s >= 0; ++j, s = next(s, 0)) {
+        rebuild_replicas(s);
+      }
+    }
   }
 
   // Any alive item, or -1; used to seed root pointers. Amortized O(1): a
@@ -296,6 +355,21 @@ class level_lists {
         }
       }
     }
+    // Replica lists, when installed, must name exactly the true further
+    // level-0 neighbours with true key caches.
+    for (std::size_t j = 0; replication_ > 0 && j < replication_; ++j) {
+      for (int i = 0; i < static_cast<int>(arena_size()); ++i) {
+        if (!alive(i)) continue;
+        int s = next(i, 0);
+        for (std::size_t step = 0; step <= j && s >= 0; ++step) s = next(s, 0);
+        const auto f = fwd_replica(i, j);
+        if (f.to != s || (s >= 0 && f.key != key(s))) return false;
+        int p = prev(i, 0);
+        for (std::size_t step = 0; step <= j && p >= 0; ++step) p = prev(p, 0);
+        const auto b = bwd_replica(i, j);
+        if (b.to != p || (p >= 0 && b.key != key(p))) return false;
+      }
+    }
     return true;
   }
 
@@ -307,6 +381,35 @@ class level_lists {
     std::int32_t to = -1;
     std::uint64_t key = 0;
   };
+
+  // Recompute both replica rows of one item from the level-0 links.
+  void rebuild_replicas(int item) {
+    const std::size_t base = static_cast<std::size_t>(item) * replication_;
+    int s = next(item, 0);
+    int p = prev(item, 0);
+    for (std::size_t j = 0; j < replication_; ++j) {
+      s = s >= 0 ? next(s, 0) : -1;
+      p = p >= 0 ? prev(p, 0) : -1;
+      fwd_rep_[base + j] = {s, s >= 0 ? key(s) : 0};
+      bwd_rep_[base + j] = {p, p >= 0 ? key(p) : 0};
+    }
+  }
+
+  // Refresh every row a splice at `idx` could have changed: idx itself plus
+  // the k+1 items to its left (successor lists) and the k+1 to its right
+  // (predecessor lists) — an item's rows reach neighbours up to distance
+  // k+1, so that is how far the displacement propagates.
+  void rebuild_replicas_around(int idx) {
+    rebuild_replicas(idx);
+    int s = prev(idx, 0);
+    for (std::size_t j = 0; j <= replication_ && s >= 0; ++j, s = prev(s, 0)) {
+      rebuild_replicas(s);
+    }
+    s = next(idx, 0);
+    for (std::size_t j = 0; j <= replication_ && s >= 0; ++j, s = next(s, 0)) {
+      rebuild_replicas(s);
+    }
+  }
 
   [[nodiscard]] std::size_t slot(int item, int level) const {
     return static_cast<std::size_t>(item) * stride_ + static_cast<std::size_t>(level);
@@ -326,6 +429,11 @@ class level_lists {
   std::vector<std::uint8_t> alive_;
   std::vector<half_link> fwd_;  // stride_ records per item: next links, one per level
   std::vector<half_link> bwd_;  // stride_ records per item: prev links
+  // replication_ records per item: the k further level-0 neighbours beyond
+  // the direct half-link (empty unless set_replication(k > 0)).
+  std::vector<replica_link> fwd_rep_;
+  std::vector<replica_link> bwd_rep_;
+  std::size_t replication_ = 0;
   std::vector<int> free_;
   std::uint64_t next_uid_ = 0;
   int levels_ = 0;

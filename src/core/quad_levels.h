@@ -127,6 +127,14 @@ class quad_levels {
     return it == m.end() ? nullptr : &it->second;
   }
 
+  // Visit every (prefix, tree) of a level — the repair plane's scan order.
+  // Iteration order is the directory's (stable for a given history within
+  // one process, which is all repair needs).
+  template <typename F>
+  void for_each_tree(int level, F&& f) const {
+    for (const auto& [prefix, tr] : lv(level).trees) f(prefix, tr);
+  }
+
   // Root slot of the (level, prefix) tree, creating an empty tree (root =
   // whole space, down unresolved) when absent. Second member: freshly made?
   std::pair<int, bool> ensure_tree(int level, std::uint64_t prefix) {

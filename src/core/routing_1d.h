@@ -182,6 +182,144 @@ void route_search_batch(const level_lists& lists, const std::uint64_t* qs, std::
   }
 }
 
+// Fault-aware descent (the failure plane, DESIGN.md §10). The route is the
+// same top-down advance-or-stop walk as route_search — and when no dead host
+// is encountered it charges the IDENTICAL hops and comparisons — but every
+// planned advance goes through cursor::try_move_to:
+//
+//  - At level l > 0 a dead next/prev host is treated as overshoot: descend
+//    early. Upper levels only accelerate the walk, so skipping a dead
+//    express stop costs extra level-0 steps, never correctness.
+//  - At level 0 the walk steps over a dead run via the item's replica list
+//    (level_lists::fwd_replica/bwd_replica): each dead candidate costs one
+//    timed-out probe (charged by try_move_to), and the first live candidate
+//    whose key does not overshoot becomes the next locus. A dead run longer
+//    than the replication factor k exhausts the known neighbours: the walk
+//    stops and the cursor is marked failed — the answer is then not backed
+//    by live hosts.
+//
+// Returns the flanks of q among LIVE items: the terminal item plus the first
+// live entry of its successor (or predecessor) list; dead entries skipped
+// during flank resolution are charged one probe each, live flanks are not
+// visited (matching route_search, which never hops to its flanks).
+template <typename HostOf, typename HostPrefetch>
+std::pair<int, int> route_search_fault(const level_lists& lists, const net::network& net,
+                                       std::uint64_t q, int start_item, int start_level,
+                                       net::cursor& cur, HostOf&& host_of,
+                                       HostPrefetch&& host_prefetch) {
+  SW_EXPECTS(lists.alive(start_item));
+  const std::size_t k = lists.replication();
+  int item = start_item;
+  std::uint64_t item_key = lists.key(item);
+  for (int l = start_level; l >= 0; --l) {
+    cur.move_to(host_of(item, l));  // the current item survived its own probe
+    cur.note_comparisons();
+    if (item_key <= q) {
+      for (;;) {
+        const int nx = lists.next(item, l);
+        if (nx < 0) break;
+        cur.note_comparisons();
+        const std::uint64_t nk = lists.next_key(item, l);
+        if (nk > q) break;
+        lists.prefetch_next(nx, l);
+        host_prefetch(nx);
+        if (cur.try_move_to(host_of(nx, l))) {
+          item = nx;
+          item_key = nk;
+          continue;
+        }
+        if (l > 0) break;  // dead express stop: descend early
+        // Level 0: step over the dead run via the replica list.
+        bool advanced = false, stop = false;
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto rep = lists.fwd_replica(item, j);
+          if (rep.to < 0) {  // list ends inside the dead run: nothing live ahead
+            stop = true;
+            break;
+          }
+          cur.note_comparisons();
+          if (rep.key > q) {  // first candidate past q: stop; flank phase picks succ
+            stop = true;
+            break;
+          }
+          if (cur.try_move_to(host_of(rep.to, 0))) {
+            item = rep.to;
+            item_key = rep.key;
+            advanced = true;
+            break;
+          }
+        }
+        if (advanced) continue;
+        if (!stop) cur.mark_failed();  // k+1 consecutive dead: horizon exhausted
+        break;
+      }
+    } else {
+      for (;;) {
+        const int pv = lists.prev(item, l);
+        if (pv < 0) break;
+        cur.note_comparisons();
+        const std::uint64_t pk = lists.prev_key(item, l);
+        if (pk <= q) break;
+        lists.prefetch_prev(pv, l);
+        host_prefetch(pv);
+        if (cur.try_move_to(host_of(pv, l))) {
+          item = pv;
+          item_key = pk;
+          continue;
+        }
+        if (l > 0) break;
+        bool advanced = false, stop = false;
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto rep = lists.bwd_replica(item, j);
+          if (rep.to < 0) {
+            stop = true;
+            break;
+          }
+          cur.note_comparisons();
+          if (rep.key <= q) {
+            stop = true;
+            break;
+          }
+          if (cur.try_move_to(host_of(rep.to, 0))) {
+            item = rep.to;
+            item_key = rep.key;
+            advanced = true;
+            break;
+          }
+        }
+        if (advanced) continue;
+        if (!stop) cur.mark_failed();
+        break;
+      }
+    }
+  }
+  // Flank resolution among live items: the first live entry of the terminal
+  // item's neighbour list. Dead entries cost one timed-out probe each (the
+  // client's failure detector finding out); the live flank itself is not
+  // visited, exactly as in route_search.
+  auto first_live = [&](int from, bool forward) -> int {
+    for (std::size_t j = 0; j <= k; ++j) {
+      int cand;
+      if (j == 0) {
+        cand = forward ? lists.next(from, 0) : lists.prev(from, 0);
+      } else {
+        const auto rep = forward ? lists.fwd_replica(from, j - 1) : lists.bwd_replica(from, j - 1);
+        cand = rep.to;
+      }
+      if (cand < 0) return -1;  // clean end of the list
+      const auto h = host_of(cand, 0);
+      if (net.reachable(cur.at(), h)) return cand;
+      (void)cur.try_move_to(h);  // dead flank entry: charge the probe
+    }
+    cur.mark_failed();  // every known neighbour in this direction is dead
+    return -1;
+  };
+  if (item_key <= q) {
+    return {item, first_live(item, /*forward=*/true)};
+  }
+  return {first_live(item, /*forward=*/false), item};
+}
+
 // Given the level-0 insertion flanks of a new key with membership `bits`,
 // walk the lower-level lists to find the nearest same-prefix neighbours at
 // every level (the Aspnes–Shah build-up, expected O(1) steps per level).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "api/op_stats.h"
@@ -36,6 +37,15 @@ namespace skipweb::core {
 // Nodes (interesting cubes) are spread over all hosts by hashing — the
 // arbitrary assignment of §2.4 — giving O(2^d log n) expected memory per
 // host for H = n.
+//
+// Fault plane (DESIGN.md §10): with `replication` = k > 0, every node record
+// is stored on k+1 hosts — the salted hash window replica_host(l, prefix,
+// node, base..base+k), base = 0 until a repair re-homes the record. Queries
+// under active faults hop to the first reachable replica (each dead
+// candidate costs its timed-out probe); repair_step() moves a record whose
+// window contains dead hosts onto a fresh all-live window and re-charges the
+// ledger. k = 0 keeps routing, receipts and the ledger byte-identical to the
+// unreplicated structure.
 template <int D>
 class skip_quadtree {
  public:
@@ -44,8 +54,13 @@ class skip_quadtree {
   using arena = quad_levels<D>;
   static constexpr int fanout = arena::fanout;
 
-  skip_quadtree(const std::vector<point>& pts, std::uint64_t seed, net::network& net)
-      : net_(&net), rng_(seed), levels_(levels_for(pts.size())), q_(levels_) {
+  skip_quadtree(const std::vector<point>& pts, std::uint64_t seed, net::network& net,
+                std::size_t replication = 0)
+      : net_(&net),
+        rng_(seed),
+        levels_(levels_for(pts.size())),
+        q_(levels_),
+        replication_(std::min<std::size_t>(replication, 8)) {
     SW_EXPECTS(!pts.empty());
     for (const auto& p : pts) {
       SW_EXPECTS(q_.find_point(p) < 0);  // distinct points
@@ -66,6 +81,8 @@ class skip_quadtree {
 
   [[nodiscard]] std::size_t size() const { return q_.point_count(); }
   [[nodiscard]] int levels() const { return levels_; }
+  // Extra replica hosts per node record (0 = unreplicated; DESIGN.md §10).
+  [[nodiscard]] std::size_t replication() const { return replication_; }
   [[nodiscard]] int depth() const { return q_.depth(); }
   [[nodiscard]] std::size_t ground_node_count() const { return q_.node_count(0); }
   [[nodiscard]] const arena& structure() const { return q_; }
@@ -81,19 +98,19 @@ class skip_quadtree {
   [[nodiscard]] locate_result locate(const point& q, net::host_id origin) const {
     net::cursor cur(*net_, origin);
     auto [l, prefix, node] = chain_top(anchors_[origin.value]);
-    cur.move_to(host_of(l, prefix, node));
+    hop(cur, l, prefix, node);
     for (;;) {
       for (;;) {
         const int nx = q_.step(l, node, q);
         if (nx < 0) break;
         node = nx;
-        cur.move_to(host_of(l, prefix, node));
+        hop(cur, l, prefix, node);
       }
       if (l == 0) break;
       node = q_.down_of(l, node);  // the same cube, one level denser
       --l;
       prefix = util::prefix_of(anchors_[origin.value], l).bits;
-      cur.move_to(host_of(l, prefix, node));
+      hop(cur, l, prefix, node);
     }
     locate_result out;
     out.cell = q_.box_at(0, node);
@@ -120,7 +137,7 @@ class skip_quadtree {
     lanes.reserve(qs.size());
     for (std::size_t i = 0; i < qs.size(); ++i) {
       lanes.push_back(lane{net::cursor(*net_, origin), l0, node0, prefix0});
-      lanes.back().cur.move_to(host_of(l0, prefix0, node0));
+      hop(lanes.back().cur, l0, prefix0, node0);
     }
     std::vector<locate_result> out(qs.size());
     std::size_t remaining = qs.size();
@@ -131,12 +148,12 @@ class skip_quadtree {
         const int nx = q_.step(ln.l, ln.node, qs[i]);
         if (nx >= 0) {
           ln.node = nx;
-          ln.cur.move_to(host_of(ln.l, ln.prefix, nx));
+          hop(ln.cur, ln.l, ln.prefix, nx);
         } else if (ln.l > 0) {
           ln.node = q_.down_of(ln.l, ln.node);
           --ln.l;
           ln.prefix = util::prefix_of(w, ln.l).bits;
-          ln.cur.move_to(host_of(ln.l, ln.prefix, ln.node));
+          hop(ln.cur, ln.l, ln.prefix, ln.node);
         } else {
           out[i].cell = q_.box_at(0, ln.node);
           out[i].is_point = q_.point_here(0, ln.node, qs[i]);
@@ -184,7 +201,7 @@ class skip_quadtree {
         best_point = q_.point_at(top.point);
         continue;
       }
-      cur.move_to(host_of(0, 0, top.node));  // expanding a node = visiting its host
+      hop(cur, 0, 0, top.node);  // expanding a node = visiting its host
       for (int c = 0; c < fanout; ++c) {
         const auto& e = q_.child_at(0, top.node, c);
         if (e.point >= 0) {
@@ -209,19 +226,19 @@ class skip_quadtree {
     for (int d = 0; d < D; ++d) SW_EXPECTS(lo.x[d] <= hi.x[d]);
     net::cursor cur(*net_, origin);
     auto [l, prefix, node] = chain_top(anchors_[origin.value]);
-    cur.move_to(host_of(l, prefix, node));
+    hop(cur, l, prefix, node);
     for (;;) {
       for (;;) {
         const int nx = step_box(l, node, lo, hi);
         if (nx < 0) break;
         node = nx;
-        cur.move_to(host_of(l, prefix, node));
+        hop(cur, l, prefix, node);
       }
       if (l == 0) break;
       node = q_.down_of(l, node);
       --l;
       prefix = util::prefix_of(anchors_[origin.value], l).bits;
-      cur.move_to(host_of(l, prefix, node));
+      hop(cur, l, prefix, node);
     }
 
     api::op_result<std::vector<point>> res;
@@ -230,7 +247,7 @@ class skip_quadtree {
     while (!stack.empty() && !capped) {
       const int v = stack.back();
       stack.pop_back();
-      cur.move_to(host_of(0, 0, v));
+      hop(cur, 0, 0, v);
       for (int c = 0; c < fanout; ++c) {
         const auto& e = q_.child_at(0, v, c);
         if (e.point >= 0) {
@@ -278,33 +295,103 @@ class skip_quadtree {
       const auto* tr = q_.tree(l, prefix);
       SW_ASSERT(tr != nullptr);
       int node = start >= 0 ? start : tr->root;
-      cur.move_to(host_of(l, prefix, node));
+      hop(cur, l, prefix, node);
       for (;;) {
         const int nx = q_.step(l, node, p);
         if (nx < 0) break;
         node = nx;
-        cur.move_to(host_of(l, prefix, node));
+        hop(cur, l, prefix, node);
       }
       // Capture the hyperlink before the edit can splice the node away.
       start = l > 0 ? q_.down_of(l, node) : -1;
       const int freed = q_.erase_at(l, node, pid);
       charge_point(l, prefix, p, -1);
-      if (freed >= 0) charge_node(l, prefix, freed, -1);
+      if (freed >= 0) {
+        charge_node(l, prefix, freed, -1);  // de-charge at the current window
+        forget_rehome(l, freed);            // the recycled slot restarts at base 0
+      }
       q_.bump_tree(l, prefix, -1);
       const int dead_root = q_.destroy_tree_if_empty(l, prefix);
-      if (dead_root >= 0) charge_node(l, prefix, dead_root, -1);
+      if (dead_root >= 0) {
+        charge_node(l, prefix, dead_root, -1);
+        forget_rehome(l, dead_root);
+      }
     }
     q_.free_point(pid);
     return api::op_stats::of(cur);
   }
 
-  // Host assignment for a structure node (the §2.4 balanced placement).
+  // Host assignment for a structure node (the §2.4 balanced placement): the
+  // primary copy, i.e. replica 0 of the record's current salt window.
   [[nodiscard]] net::host_id host_of(int level, std::uint64_t prefix, int node) const {
-    std::uint64_t z = static_cast<std::uint64_t>(level) * 0x9e3779b97f4a7c15ull + prefix;
+    return replica_host(level, prefix, node, rehome_base(level, node));
+  }
+
+  // Host of one replica of a node record. salt 0 is the pre-fault placement
+  // (byte-identical to the unreplicated layout); a record re-homed r times
+  // with replication k lives on salts r*(k+1) .. r*(k+1)+k.
+  [[nodiscard]] net::host_id replica_host(int level, std::uint64_t prefix, int node,
+                                          std::uint32_t salt) const {
+    std::uint64_t z = static_cast<std::uint64_t>(level) * 0x9e3779b97f4a7c15ull + prefix +
+                      static_cast<std::uint64_t>(salt) * 0xd1342543de82ef95ull;
     z ^= static_cast<std::uint64_t>(node) + 0x2545f4914f6cdd1dull + (z << 6) + (z >> 2);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return net::host_id{static_cast<std::uint32_t>((z ^ (z >> 31)) % net_->host_count())};
+  }
+
+  // --- self-repair (replication > 0 only; DESIGN.md §10) --------------------
+  //
+  // One repair step: find one node record whose replica window contains a
+  // dead host while at least one replica survives, and re-home the record
+  // onto the next fully-live salt window — one read hop from a survivor
+  // (dead replicas before it cost their timed-out probes) plus one write hop
+  // per fresh replica, the memory ledger moving with it. Returns the number
+  // of records re-homed (0 = every record fully live; drive with
+  // fault::repair_to_quiescence). Records whose whole window is dead are
+  // lost until a revive and are skipped. Structural plane.
+  api::op_result<std::size_t> repair_step(net::host_id origin) {
+    SW_EXPECTS(replication_ > 0);
+    const net::structural_section sw_structural_guard(*net_);
+    net::cursor cur(*net_, net_->host_alive(origin) ? origin : net_->any_live_host(origin));
+    std::size_t repaired = 0;
+    scan_windows([&](int l, std::uint64_t prefix, int node, std::uint32_t base) {
+      if (repaired > 0) return false;  // one record per step
+      if (!window_needs_rehome(l, prefix, node, base)) return true;
+      // Read the record from the first surviving replica (each dead replica
+      // before it costs its detection probe), then write the k+1 fresh
+      // copies. Window liveness itself comes from the membership service
+      // (net::network::host_alive), not from extra probes.
+      for (std::uint32_t j = 0; j <= replication_; ++j) {
+        if (cur.try_move_to(replica_host(l, prefix, node, base + j))) break;
+      }
+      const std::uint32_t fresh = next_live_window(l, prefix, node, base);
+      charge_node(l, prefix, node, -1);  // de-charge the old window...
+      rehome_[rehome_key(l, node)] = fresh;
+      charge_node(l, prefix, node, +1);  // ...and charge the new one
+      for (std::uint32_t j = 0; j <= replication_; ++j) {
+        cur.move_to(replica_host(l, prefix, node, fresh + j));
+      }
+      ++repaired;
+      return false;
+    });
+    return {repaired, api::op_stats::of(cur)};
+  }
+
+  // True while some node record's replica window mixes dead and live hosts
+  // (local bookkeeping scan, no charges). Records with zero live replicas
+  // are lost, not repairable, and do not count.
+  [[nodiscard]] bool needs_repair() const {
+    if (replication_ == 0 || !net_->faults_active()) return false;
+    bool found = false;
+    scan_windows([&](int l, std::uint64_t prefix, int node, std::uint32_t base) {
+      if (window_needs_rehome(l, prefix, node, base)) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    return found;
   }
 
   // Arena invariants (quad_levels::check_invariants) plus ledger agreement:
@@ -313,7 +400,9 @@ class skip_quadtree {
     if (!q_.check_invariants()) return false;
     std::uint64_t expected = net_->host_count();  // one anchor host_ref per host
     for (int l = 0; l <= levels_; ++l) {
-      expected += q_.node_count(l) * static_cast<std::uint64_t>(fanout + 2);
+      // Each node record is stored once per replica (fault plane).
+      expected += q_.node_count(l) * static_cast<std::uint64_t>(fanout + 2) *
+                  static_cast<std::uint64_t>(replication_ + 1);
     }
     expected += q_.point_count() * static_cast<std::uint64_t>(levels_ + 1);
     return net_->total_memory() == expected;
@@ -383,19 +472,19 @@ class skip_quadtree {
         q_.set_down(l + 1, pending_root, root);  // whole space = whole space
         pending_root = -1;
       }
-      if (cur != nullptr) cur->move_to(host_of(l, prefix, node));
+      if (cur != nullptr) hop(*cur, l, prefix, node);
       for (;;) {
         const int nx = q_.step(l, node, p);
         if (nx < 0) break;
         node = nx;
-        if (cur != nullptr) cur->move_to(host_of(l, prefix, node));
+        if (cur != nullptr) hop(*cur, l, prefix, node);
       }
       start = l > 0 ? q_.down_of(l, node) : -1;  // -1 exactly when this level is fresh
       const auto outcome = q_.insert_at(l, node, pid);
       charge_point(l, prefix, p, +1);
       q_.bump_tree(l, prefix, +1);
       if (outcome.created >= 0) {
-        if (cur != nullptr) cur->move_to(host_of(l, prefix, outcome.created));
+        if (cur != nullptr) hop(*cur, l, prefix, outcome.created);
         charge_node(l, prefix, outcome.created, +1);
       }
       if (pending_created >= 0) {
@@ -412,24 +501,128 @@ class skip_quadtree {
 
   void charge_node(int level, std::uint64_t prefix, int node, std::int64_t sign) {
     // An interesting cube stores 2^D child references plus the identity
-    // hyperlink one level down.
-    const auto h = host_of(level, prefix, node);
-    net_->charge(h, net::memory_kind::node, sign);
-    net_->charge(h, net::memory_kind::host_ref, (fanout + 1) * sign);
+    // hyperlink one level down — once per replica of its current window.
+    const std::uint32_t base = rehome_base(level, node);
+    for (std::uint32_t j = 0; j <= replication_; ++j) {
+      const auto h = replica_host(level, prefix, node, base + j);
+      net_->charge(h, net::memory_kind::node, sign);
+      net_->charge(h, net::memory_kind::host_ref, (fanout + 1) * sign);
+    }
   }
 
   void charge_point(int level, std::uint64_t prefix, const point& p, std::int64_t sign) {
     // Point payloads live with the tree they appear in; the level-0 copy is
-    // the data item itself, upper copies are references.
+    // the data item itself, upper copies are references. Payloads are not
+    // replicated (salt 0 — the fault plane replicates routing state).
     const auto salt = static_cast<int>(seq::qpoint_hash<D>{}(p) & 0x3fffffff);
-    const auto h = host_of(level, prefix, salt);
+    const auto h = replica_host(level, prefix, salt, 0);
     net_->charge(h, level == 0 ? net::memory_kind::item : net::memory_kind::pointer, sign);
+  }
+
+  // --- fault plane ----------------------------------------------------------
+
+  // Queries pay the replica-scanning route only when they must: replication
+  // installed AND some fault currently active on the network.
+  [[nodiscard]] bool fault_routing() const {
+    return replication_ > 0 && net_->faults_active();
+  }
+
+  // One routing hop to a node record. Fault-free: a plain move to the
+  // primary (byte-identical to the unreplicated walk). Under active faults:
+  // try the record's replicas in window order, each dead candidate costing
+  // its timed-out probe; a fully-dead window marks the op failed and the
+  // walk continues mechanically (per the ghost-hop contract in cursor.h).
+  void hop(net::cursor& cur, int level, std::uint64_t prefix, int node) const {
+    if (!fault_routing()) {
+      cur.move_to(host_of(level, prefix, node));
+      return;
+    }
+    const std::uint32_t base = rehome_base(level, node);
+    for (std::uint32_t j = 0; j <= replication_; ++j) {
+      if (cur.try_move_to(replica_host(level, prefix, node, base + j))) return;
+    }
+    cur.mark_failed();
+  }
+
+  [[nodiscard]] static std::uint64_t rehome_key(int level, int node) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(node));
+  }
+
+  // Current salt-window base of a node record (0 = never re-homed).
+  [[nodiscard]] std::uint32_t rehome_base(int level, int node) const {
+    if (rehome_.empty()) return 0;
+    const auto it = rehome_.find(rehome_key(level, node));
+    return it == rehome_.end() ? 0 : it->second;
+  }
+
+  void forget_rehome(int level, int node) {
+    if (!rehome_.empty()) rehome_.erase(rehome_key(level, node));
+  }
+
+  // A window needs re-homing when it mixes dead and live replicas; all-live
+  // is healthy and all-dead is lost (nothing left to copy from).
+  [[nodiscard]] bool window_needs_rehome(int level, std::uint64_t prefix, int node,
+                                         std::uint32_t base) const {
+    std::uint32_t live = 0;
+    for (std::uint32_t j = 0; j <= replication_; ++j) {
+      if (net_->host_alive(replica_host(level, prefix, node, base + j))) ++live;
+    }
+    return live != 0 && live != replication_ + 1;
+  }
+
+  // First fully-live window after `base` (windows advance in strides of
+  // k+1 so successive homes never overlap). One exists: kill_host keeps at
+  // least one host alive and the salts sweep the whole host space.
+  [[nodiscard]] std::uint32_t next_live_window(int level, std::uint64_t prefix, int node,
+                                               std::uint32_t base) const {
+    const auto stride = static_cast<std::uint32_t>(replication_ + 1);
+    for (std::uint32_t b = base + stride;; b += stride) {
+      bool ok = true;
+      for (std::uint32_t j = 0; j <= replication_; ++j) {
+        if (!net_->host_alive(replica_host(level, prefix, node, b + j))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return b;
+    }
+  }
+
+  // Visit every live node record (level, prefix, node, window base), top
+  // level first; the visitor returns false to stop the scan.
+  template <typename F>
+  void scan_windows(F&& f) const {
+    for (int l = levels_; l >= 0; --l) {
+      bool go = true;
+      q_.for_each_tree(l, [&](std::uint64_t prefix, const auto& tr) {
+        if (!go) return;
+        std::vector<int> stack{tr.root};
+        while (go && !stack.empty()) {
+          const int v = stack.back();
+          stack.pop_back();
+          if (!f(l, prefix, v, rehome_base(l, v))) {
+            go = false;
+            break;
+          }
+          for (int c = 0; c < fanout; ++c) {
+            const auto& e = q_.child_at(l, v, c);
+            if (e.node >= 0) stack.push_back(e.node);
+          }
+        }
+      });
+      if (!go) return;
+    }
   }
 
   net::network* net_;
   util::rng rng_;
   int levels_ = 0;
   arena q_;
+  std::size_t replication_ = 0;
+  // Re-homed node records: rehome_key(level, node) → current window base.
+  // Absent = base 0. Entries die with their slot (see erase()).
+  std::unordered_map<std::uint64_t, std::uint32_t> rehome_;
   std::vector<util::membership_bits> anchors_;
 };
 

@@ -32,7 +32,7 @@ level_lists skipweb_1d::make_lists(std::vector<std::uint64_t> keys, util::rng& r
 }
 
 skipweb_1d::skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net,
-                       placement p)
+                       placement p, std::size_t replication)
     : rng_(seed), lists_(make_lists(std::move(keys), rng_)), net_(&net), policy_(p) {
   if (policy_ == placement::tower) {
     // One host per item; grow the network if the caller sized it smaller.
@@ -41,6 +41,10 @@ skipweb_1d::skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net:
     for (std::size_t i = 0; i < lists_.arena_size(); ++i) {
       owner_[i] = net::host_id{static_cast<std::uint32_t>(i)};
     }
+    // Successor/predecessor replica lists (tower placement only — see the
+    // header). Installed before the memory ledger pass so the replica
+    // host_refs are charged alongside the rest of each item's footprint.
+    if (replication > 0) lists_.set_replication(replication);
   }
   // Every host gets a root: an anchor item whose tower top seeds searches
   // (paper §1.1: "each host has a reference to the place where any search
@@ -76,7 +80,45 @@ int skipweb_1d::root_for(net::host_id origin) const {
   return item;
 }
 
+int skipweb_1d::fault_root(net::cursor& cur, net::host_id origin) const {
+  // Try the origin's own root tower first, then successive hosts' roots —
+  // each unreachable entry tower costs one timed-out probe. At a dead
+  // fraction f the expected number of probes is 1/(1-f).
+  const std::size_t hosts = root_item_.size();
+  for (std::size_t attempt = 0; attempt < hosts; ++attempt) {
+    const auto h = static_cast<std::uint32_t>((origin.value + attempt) % hosts);
+    int item = root_item_[h];
+    while (item >= 0 && !lists_.alive(item)) item = lists_.redirect(item);
+    if (item < 0) item = lists_.any_alive();
+    SW_EXPECTS(item >= 0);
+    if (cur.try_move_to(host_of(item, lists_.levels()))) return item;
+  }
+  cur.mark_failed();  // no live entry tower found from any host's root
+  return lists_.any_alive();
+}
+
+api::nn_result skipweb_1d::nearest_fault(std::uint64_t q, net::host_id origin) const {
+  api::nn_result out;
+  net::cursor cur(*net_, origin);
+  const int root = fault_root(cur, origin);
+  const auto [pred, succ] =
+      route_search_fault(lists_, *net_, q, root, lists_.levels(), cur,
+                         [this](int i, int l) { return host_of(i, l); },
+                         [this](int i) { prefetch_host(i); });
+  if (pred >= 0) {
+    out.has_pred = true;
+    out.pred = lists_.key(pred);
+  }
+  if (succ >= 0) {
+    out.has_succ = true;
+    out.succ = lists_.key(succ);
+  }
+  out.stats = api::op_stats::of(cur);
+  return out;
+}
+
 api::nn_result skipweb_1d::nearest(std::uint64_t q, net::host_id origin) const {
+  if (fault_routing()) return nearest_fault(q, origin);
   api::nn_result out;
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
@@ -101,6 +143,12 @@ std::vector<api::nn_result> skipweb_1d::nearest_batch(const std::vector<std::uin
                                                       net::host_id origin) const {
   std::vector<api::nn_result> out(qs.size());
   if (qs.empty()) return out;
+  if (fault_routing()) {
+    // The interleaved router is not replica-aware; the batch == serial
+    // receipt contract is preserved by simply running serially under faults.
+    for (std::size_t i = 0; i < qs.size(); ++i) out[i] = nearest_fault(qs[i], origin);
+    return out;
+  }
   const int root = root_for(origin);
   // Interleave in chunks: each in-flight query holds about one outstanding
   // miss, and a couple dozen chains saturate the core's miss parallelism.
@@ -143,6 +191,40 @@ api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, s
                                                              net::host_id origin,
                                                              std::size_t limit) const {
   SW_EXPECTS(lo <= hi);
+  if (fault_routing()) {
+    // Route to lo with the replica-aware descent, then walk the base list
+    // stepping over dead runs: every live item visited is charged, every
+    // dead candidate inspected costs one timed-out probe, and a run longer
+    // than k marks the op failed (results up to the break are returned).
+    api::op_result<std::vector<std::uint64_t>> out;
+    net::cursor cur(*net_, origin);
+    const int root = fault_root(cur, origin);
+    const auto [pred, succ] =
+        route_search_fault(lists_, *net_, lo, root, lists_.levels(), cur,
+                           [this](int i, int l) { return host_of(i, l); },
+                           [this](int i) { prefetch_host(i); });
+    const std::size_t k = lists_.replication();
+    int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
+    if (item >= 0) cur.move_to(host_of(item, 0));  // flanks are live by contract
+    while (item >= 0 && lists_.key(item) <= hi) {
+      if (limit != 0 && out.value.size() >= limit) break;
+      out.value.push_back(lists_.key(item));
+      // Advance to the first live known successor.
+      int next_item = -1;
+      for (std::size_t j = 0; j <= k; ++j) {
+        const int cand = j == 0 ? lists_.next(item, 0) : lists_.fwd_replica(item, j - 1).to;
+        if (cand < 0) break;  // clean end of the list
+        if (cur.try_move_to(host_of(cand, 0))) {
+          next_item = cand;
+          break;
+        }
+        if (j == k) cur.mark_failed();  // dead run exceeds the horizon
+      }
+      item = next_item;
+    }
+    out.stats = api::op_stats::of(cur);
+    return out;
+  }
   net::cursor cur(*net_, origin);
   const int root = root_for(origin);
   cur.move_to(host_of(root, lists_.levels()));
@@ -164,11 +246,23 @@ api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, s
 api::op_stats skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
   const net::structural_section sw_structural_guard(*net_);
   net::cursor cur(*net_, origin);
-  const int root = root_for(origin);
-  cur.move_to(host_of(root, lists_.levels()));
   auto host_fn = [this](int i, int l) { return host_of(i, l); };
-  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn,
-                                           [this](int i) { prefetch_host(i); });
+  std::pair<int, int> flanks;
+  if (fault_routing()) {
+    // Structural edits require a repaired structure (no dead item still
+    // spliced): the fault route returns LIVE flanks, and splice_in needs
+    // the direct ones — after repair they coincide.
+    SW_EXPECTS(!needs_repair());
+    const int root = fault_root(cur, origin);
+    flanks = route_search_fault(lists_, *net_, key, root, lists_.levels(), cur, host_fn,
+                                [this](int i) { prefetch_host(i); });
+  } else {
+    const int root = root_for(origin);
+    cur.move_to(host_of(root, lists_.levels()));
+    flanks = route_search(lists_, key, root, lists_.levels(), cur, host_fn,
+                          [this](int i) { prefetch_host(i); });
+  }
+  const auto [pred0, succ0] = flanks;
   SW_EXPECTS(pred0 < 0 || lists_.key(pred0) != key);  // duplicate keys rejected
 
   const auto bits = util::draw_membership(rng_);
@@ -194,6 +288,9 @@ api::op_stats skipweb_1d::insert(std::uint64_t key, net::host_id origin) {
     if (left >= 0) cur.move_to(host_of(left, l));
     if (right >= 0) cur.move_to(host_of(right, l));
   }
+  // Replica maintenance (replication k > 0): the k nearest neighbours on
+  // each side refreshed their successor/predecessor lists — one visit each.
+  charge_replica_refresh(cur, lists_.prev(item, 0), lists_.next(item, 0));
   charge_item_memory(item, +1);
   return api::op_stats::of(cur);
 }
@@ -202,11 +299,20 @@ api::op_stats skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
   const net::structural_section sw_structural_guard(*net_);
   SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
   net::cursor cur(*net_, origin);
-  const int root = root_for(origin);
-  cur.move_to(host_of(root, lists_.levels()));
   auto host_fn = [this](int i, int l) { return host_of(i, l); };
-  const auto [pred0, succ0] = route_search(lists_, key, root, lists_.levels(), cur, host_fn,
-                                           [this](int i) { prefetch_host(i); });
+  std::pair<int, int> flanks;
+  if (fault_routing()) {
+    SW_EXPECTS(!needs_repair());  // see insert
+    const int root = fault_root(cur, origin);
+    flanks = route_search_fault(lists_, *net_, key, root, lists_.levels(), cur, host_fn,
+                                [this](int i) { prefetch_host(i); });
+  } else {
+    const int root = root_for(origin);
+    cur.move_to(host_of(root, lists_.levels()));
+    flanks = route_search(lists_, key, root, lists_.levels(), cur, host_fn,
+                          [this](int i) { prefetch_host(i); });
+  }
+  const auto [pred0, succ0] = flanks;
   (void)succ0;
   SW_EXPECTS(pred0 >= 0 && lists_.key(pred0) == key);  // key must be present
   const int item = pred0;
@@ -219,9 +325,68 @@ api::op_stats skipweb_1d::erase(std::uint64_t key, net::host_id origin) {
     if (pv >= 0) cur.move_to(host_of(pv, l));
     if (nx >= 0) cur.move_to(host_of(nx, l));
   }
+  const int pv0 = lists_.prev(item, 0);
+  const int nx0 = lists_.next(item, 0);
   charge_item_memory(item, -1);
   lists_.unsplice(item);
+  // Survivors flanking the removal refreshed their replica lists.
+  charge_replica_refresh(cur, pv0, nx0);
   return api::op_stats::of(cur);
+}
+
+void skipweb_1d::charge_replica_refresh(net::cursor& cur, int left0, int right0) {
+  const std::size_t k = lists_.replication();
+  if (k == 0) return;
+  // Rows reach neighbours up to distance k+1, so k+1 items per side refresh
+  // (mirrors level_lists::unsplice / rebuild_replicas_around).
+  int s = left0;
+  for (std::size_t j = 0; j <= k && s >= 0; ++j, s = lists_.prev(s, 0)) {
+    (void)cur.try_move_to(host_of(s, 0));  // dead neighbours cost the probe only
+  }
+  s = right0;
+  for (std::size_t j = 0; j <= k && s >= 0; ++j, s = lists_.next(s, 0)) {
+    (void)cur.try_move_to(host_of(s, 0));
+  }
+}
+
+bool skipweb_1d::needs_repair() const {
+  if (lists_.replication() == 0 || !net_->faults_active()) return false;
+  for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) {
+    if (lists_.alive(i) && !net_->host_alive(owner_[static_cast<std::size_t>(i)])) return true;
+  }
+  return false;
+}
+
+api::op_result<std::size_t> skipweb_1d::repair_step(net::host_id origin) {
+  SW_EXPECTS(lists_.replication() > 0);  // repair is part of the replication plane
+  const net::structural_section sw_structural_guard(*net_);
+  // Repair is driven from a live host (the daemon runs somewhere alive).
+  net::cursor cur(*net_, net_->host_alive(origin) ? origin : net_->any_live_host(origin));
+  for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) {
+    if (!lists_.alive(i)) continue;
+    const auto owner = owner_[static_cast<std::size_t>(i)];
+    if (net_->host_alive(owner)) continue;
+    SW_EXPECTS(lists_.size() >= 2);  // the structure never becomes empty
+    // The failed ping that detected the crash.
+    (void)cur.try_move_to(owner);
+    // Relink every level around the dead item, visiting each surviving
+    // neighbour (dead neighbours — not yet repaired themselves — cost the
+    // detection probe only; their own step removes them later, and
+    // unsplicing in any order keeps the lists consistent).
+    for (int l = 0; l <= lists_.levels(); ++l) {
+      const int pv = lists_.prev(i, l);
+      const int nx = lists_.next(i, l);
+      if (pv >= 0) (void)cur.try_move_to(host_of(pv, l));
+      if (nx >= 0) (void)cur.try_move_to(host_of(nx, l));
+    }
+    const int pv0 = lists_.prev(i, 0);
+    const int nx0 = lists_.next(i, 0);
+    charge_item_memory(i, -1);
+    lists_.unsplice(i);
+    charge_replica_refresh(cur, pv0, nx0);
+    return {1, api::op_stats::of(cur)};
+  }
+  return {0, api::op_stats::of(cur)};
 }
 
 void skipweb_1d::charge_item_memory(int item, std::int64_t sign) {
@@ -232,8 +397,11 @@ void skipweb_1d::charge_item_memory(int item, std::int64_t sign) {
     net_->charge(h, net::memory_kind::node, sign);
     net_->charge(h, net::memory_kind::host_ref, 3 * sign);
   }
-  // The data item lives with the level-0 node.
+  // The data item lives with the level-0 node, alongside its replica lists
+  // (k further host references per direction) when replication is on.
   net_->charge(host_of(item, 0), net::memory_kind::item, sign);
+  const auto k = static_cast<std::int64_t>(lists_.replication());
+  if (k > 0) net_->charge(host_of(item, 0), net::memory_kind::host_ref, 2 * k * sign);
 }
 
 }  // namespace skipweb::core

@@ -33,12 +33,23 @@ class skipweb_1d {
   // tower placement uses one host per item and keeps using fresh hosts as
   // items are inserted (net.add_host); balanced placement spreads over all
   // current hosts of `net`.
-  skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net, placement p);
+  //
+  // `replication` (the fault plane, DESIGN.md §10) installs k-entry
+  // successor/predecessor replica lists so queries route around up to k
+  // consecutive dead hosts and repair_step() can restore the structure after
+  // crashes. Supported for tower placement only (balanced placement spreads
+  // one item's tower over many hosts, so per-item liveness is not a single
+  // host's liveness); with balanced placement the knob is ignored. k = 0
+  // keeps routing and receipts byte-identical to the pre-fault structure.
+  skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net, placement p,
+             std::size_t replication = 0);
 
   [[nodiscard]] std::size_t size() const { return lists_.size(); }
   [[nodiscard]] int levels() const { return lists_.levels(); }
   [[nodiscard]] placement policy() const { return policy_; }
   [[nodiscard]] const level_lists& lists() const { return lists_; }
+  // Effective replication factor (0 unless tower placement asked for more).
+  [[nodiscard]] std::size_t replication() const { return lists_.replication(); }
 
   // Nearest-neighbour query issued from `origin`: the level-0 predecessor
   // and successor of q, with the op's cost receipt in `.stats`.
@@ -69,9 +80,36 @@ class skipweb_1d {
   // Where a given level node lives (exposed for tests and benches).
   [[nodiscard]] net::host_id host_of(int item, int level) const;
 
+  // --- self-repair (replication > 0 only; DESIGN.md §10) --------------------
+  //
+  // One repair step: find one still-spliced item whose owner host is dead,
+  // unsplice it (relinking every level and refreshing the survivors' replica
+  // lists), charging the detection probe and every relink/refresh hop.
+  // Returns the number of items repaired (0 = no dead item remains spliced;
+  // drive with fault::repair_to_quiescence). level_lists::check_invariants
+  // holds after every step. Structural plane, like insert/erase.
+  api::op_result<std::size_t> repair_step(net::host_id origin);
+  // True while some spliced item's owner host is dead (local bookkeeping
+  // scan, no charges).
+  [[nodiscard]] bool needs_repair() const;
+
  private:
+  // Queries take the replica-aware route only when they must: replication
+  // installed AND some fault currently active on the network.
+  [[nodiscard]] bool fault_routing() const {
+    return lists_.replication() > 0 && net_->faults_active();
+  }
+  [[nodiscard]] api::nn_result nearest_fault(std::uint64_t q, net::host_id origin) const;
+  // Probe for a live entry tower: the origin's root, then successive hosts'
+  // roots, each failed probe charged. Returns the live root item (or marks
+  // the cursor failed and returns any alive item as a best-effort anchor).
+  [[nodiscard]] int fault_root(net::cursor& cur, net::host_id origin) const;
   [[nodiscard]] int root_for(net::host_id origin) const;
   void charge_item_memory(int item, std::int64_t sign);
+  // Visit the up-to-(k+1) neighbours on each side whose replica lists a
+  // splice/unsplice refreshed (dead ones cost their detection probe only).
+  // No-op when replication is off.
+  void charge_replica_refresh(net::cursor& cur, int left0, int right0);
   // Hint-only: start the owner-table lookup for `item` early (tower
   // placement stores owners; balanced placement computes them — nothing to
   // prefetch).

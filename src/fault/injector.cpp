@@ -1,0 +1,33 @@
+#include "fault/injector.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/sw_assert.h"
+
+namespace skipweb::fault {
+
+injector::injector(net::network& net, std::vector<workloads::churn_event> events)
+    : net_(&net), events_(std::move(events)) {
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    SW_EXPECTS(events_[i - 1].at_op <= events_[i].at_op);  // schedule order
+  }
+}
+
+std::size_t injector::advance_to(std::size_t op) {
+  std::size_t fired = 0;
+  while (next_ < events_.size() && events_[next_].at_op <= op) {
+    const auto& e = events_[next_++];
+    if (e.kill) {
+      net_->kill_host(e.host);
+    } else {
+      net_->revive_host(e.host);
+    }
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t injector::finish() { return advance_to(std::numeric_limits<std::size_t>::max()); }
+
+}  // namespace skipweb::fault

@@ -1,0 +1,78 @@
+#include "fault/repair.h"
+
+#include <mutex>
+#include <utility>
+
+#include "api/distributed_index.h"
+#include "api/spatial_index.h"
+#include "util/sw_assert.h"
+
+namespace skipweb::fault {
+
+namespace {
+
+// Shared driver: both interfaces expose the same repair_step shape.
+template <typename Index>
+repair_report drive(Index& ix, net::host_id origin, std::size_t max_rounds) {
+  repair_report rep;
+  for (;;) {
+    const auto r = ix.repair_step(origin);
+    ++rep.rounds;
+    rep.cost += r.stats;
+    rep.repaired += r.value;
+    if (r.value == 0) break;  // a clean step means nothing is left
+    if (max_rounds != 0 && rep.rounds >= max_rounds) break;
+  }
+  return rep;
+}
+
+}  // namespace
+
+repair_report repair_to_quiescence(api::distributed_index& ix, net::host_id origin,
+                                   std::size_t max_rounds) {
+  SW_EXPECTS(ix.supports(api::capability::fault_tolerant));
+  return drive(ix, origin, max_rounds);
+}
+
+repair_report repair_to_quiescence(api::spatial_index& ix, net::host_id origin,
+                                   std::size_t max_rounds) {
+  SW_EXPECTS(ix.supports(api::spatial_capability::fault_tolerant));
+  return drive(ix, origin, max_rounds);
+}
+
+repair_daemon::repair_daemon(std::function<std::size_t()> step, std::chrono::microseconds interval)
+    : step_(std::move(step)), interval_(interval) {
+  SW_EXPECTS(step_ != nullptr);
+}
+
+repair_daemon::~repair_daemon() { stop(); }
+
+void repair_daemon::start() {
+  SW_EXPECTS(!running());
+  quit_.store(false, std::memory_order_relaxed);
+  worker_ = std::thread([this] { loop(); });
+}
+
+void repair_daemon::stop() {
+  if (!running()) return;
+  quit_.store(true, std::memory_order_relaxed);
+  worker_.join();
+  worker_ = std::thread{};
+}
+
+void repair_daemon::loop() {
+  while (!quit_.load(std::memory_order_relaxed)) {
+    {
+      // Exclusive against every query thread's shared_lock: while we hold
+      // the gate the query plane is drained, which is the structural-plane
+      // precondition repair_step asserts (traffic_quiescent).
+      const std::unique_lock<std::shared_mutex> lk(gate_);
+      repaired_.fetch_add(step_(), std::memory_order_relaxed);
+      rounds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (interval_.count() > 0) std::this_thread::sleep_for(interval_);
+    else std::this_thread::yield();
+  }
+}
+
+}  // namespace skipweb::fault

@@ -30,6 +30,22 @@ namespace skipweb::net {
 // moves (the routing decision is unchanged, so answers are identical) but
 // no message is charged and no visit is logged. Absorbed hops are counted
 // separately (`absorbed()`).
+// Fault semantics (see network.h §fault plane): the cursor captures
+// faults_active() at construction, so a network that never saw a kill,
+// partition or loss setting routes through a code path byte-identical to the
+// fault-free build. With faults active:
+//  - move_to() toward an unreachable host charges ONE timed-out probe
+//    message (recorded against the target — its link was the bandwidth
+//    spent) and marks the operation `failed()`; the locus still moves so
+//    fault-unaware protocols complete mechanically and their answers stay
+//    byte-identical — only the failed flag tells the caller the route leaned
+//    on a dead host.
+//  - try_move_to() is the fault-aware seam: same probe charge on an
+//    unreachable target, but it returns false with the locus unchanged and
+//    WITHOUT marking the op failed, so replicated routers can fall back.
+//  - Message loss charges retry messages per hop, decided statelessly from
+//    (loss seed, from, to, attempt serial) — deterministic per route at any
+//    thread count.
 class cursor {
  public:
   // Absorption is query-plane only: a cursor constructed inside a
@@ -41,7 +57,12 @@ class cursor {
         cache_(net.attached_hop_cache()),
         absorb_window_(cache_ != nullptr && !net.in_structural_section()
                            ? cache_->absorb_depth()
-                           : 0) {
+                           : 0),
+        faults_(net.faults_active()),
+        loss_threshold_(
+            faults_ ? static_cast<std::uint64_t>(net.message_loss() * 18446744073709551615.0)
+                    : 0),
+        loss_seed_(faults_ ? net.message_loss_seed() : 0) {
     SW_EXPECTS(start.valid() && start.value < net.host_count());
   }
 
@@ -57,6 +78,11 @@ class cursor {
         at_(o.at_),
         cache_(o.cache_),
         absorb_window_(o.absorb_window_),
+        faults_(o.faults_),
+        loss_threshold_(o.loss_threshold_),
+        loss_seed_(o.loss_seed_),
+        hop_serial_(o.hop_serial_),
+        failed_(o.failed_),
         messages_(o.messages_),
         absorbed_(o.absorbed_),
         comparisons_(o.comparisons_),
@@ -68,6 +94,11 @@ class cursor {
       at_ = o.at_;
       cache_ = o.cache_;
       absorb_window_ = o.absorb_window_;
+      faults_ = o.faults_;
+      loss_threshold_ = o.loss_threshold_;
+      loss_seed_ = o.loss_seed_;
+      hop_serial_ = o.hop_serial_;
+      failed_ = o.failed_;
       messages_ = o.messages_;
       absorbed_ = o.absorbed_;
       comparisons_ = o.comparisons_;
@@ -88,13 +119,59 @@ class cursor {
         at_ = h;
         return;
       }
+      if (faults_) {
+        if (!net_->reachable(at_, h)) {
+          // Timed-out probe: the message toward h was sent and lost to the
+          // crash — charged to h's slot. The op is damaged; the locus still
+          // "moves" so fault-unaware protocols complete mechanically.
+          ++messages_;
+          receipt_.record(h);
+          failed_ = true;
+          at_ = h;
+          return;
+        }
+        charge_loss_retries(h);
+      }
       ++messages_;
       receipt_.record(h);
       at_ = h;
     }
   }
 
+  // Fault-aware hop: like move_to, but an unreachable target costs one
+  // timed-out probe and returns false with the locus unchanged — the caller
+  // falls back to a replica instead of the op being marked failed. Always
+  // true (and identical to move_to) when the target is reachable.
+  [[nodiscard]] bool try_move_to(host_id h) {
+    SW_EXPECTS(h.valid() && h.value < net_->host_count());
+    if (h == at_) return true;
+    if (messages_ + absorbed_ < absorb_window_ && cache_->absorbs(h)) {
+      ++absorbed_;
+      at_ = h;
+      return true;
+    }
+    if (faults_) {
+      if (!net_->reachable(at_, h)) {
+        ++messages_;
+        receipt_.record(h);
+        return false;
+      }
+      charge_loss_retries(h);
+    }
+    ++messages_;
+    receipt_.record(h);
+    at_ = h;
+    return true;
+  }
+
   void move_to(const address& a) { move_to(a.host); }
+
+  // A fault-aware route that exhausted every replica reports the op
+  // unavailable through the same flag a ghost hop sets.
+  void mark_failed() { failed_ = true; }
+  // True if this operation's route leaned on an unreachable host (or a
+  // replicated router gave up): the answer is not backed by live hosts.
+  [[nodiscard]] bool failed() const { return failed_; }
 
   // Key/point comparisons performed while routing: protocols call this next
   // to their comparison sites so api::op_stats can report them per-op.
@@ -122,10 +199,34 @@ class cursor {
   [[nodiscard]] const traffic_receipt& receipt() const { return receipt_; }
 
  private:
+  // Seeded per-attempt loss: each physical send attempt toward a reachable
+  // host may be lost and retried, every attempt charged. The decision is a
+  // pure function of (loss seed, from, to, attempt serial) — no shared RNG,
+  // so receipts are deterministic for any thread count. Retries are capped
+  // so adversarial p can't spin a route forever.
+  void charge_loss_retries(host_id h) {
+    if (loss_threshold_ == 0) return;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::uint64_t z = loss_seed_ + 0x9e3779b97f4a7c15ull * (hop_serial_++ + 1);
+      z ^= (static_cast<std::uint64_t>(at_.value) << 32) | h.value;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      if (z >= loss_threshold_) return;  // this attempt got through
+      ++messages_;                       // lost attempt: charged, retried
+      receipt_.record(h);
+    }
+  }
+
   network* net_;
   host_id at_;
   const hop_cache* cache_ = nullptr;  // only read when absorb_window_ > 0
   std::size_t absorb_window_ = 0;
+  bool faults_ = false;  // captured at construction, like the hop cache
+  std::uint64_t loss_threshold_ = 0;
+  std::uint64_t loss_seed_ = 0;
+  std::uint64_t hop_serial_ = 0;
+  bool failed_ = false;
   std::uint64_t messages_ = 0;
   std::uint64_t absorbed_ = 0;
   std::uint64_t comparisons_ = 0;

@@ -16,7 +16,62 @@ host_id network::add_host() {
   memory_.emplace_back();
   grow_visit_blocks_to(hosts_ + 1);
   ++hosts_;
+  if (!dead_.empty()) dead_.push_back(0);
+  if (!partition_.empty()) partition_.push_back(0);
   return host_id{static_cast<std::uint32_t>(hosts_ - 1)};
+}
+
+void network::kill_host(host_id h) {
+  SW_EXPECTS(traffic_quiescent());  // structural plane, like add_host
+  SW_EXPECTS(h.valid() && h.value < hosts_);
+  if (dead_.empty()) dead_.assign(hosts_, 0);
+  if (dead_[h.value] == 0) {
+    dead_[h.value] = 1;
+    ++killed_count_;
+  }
+  SW_ASSERT(killed_count_ < hosts_);  // at least one live host always remains
+}
+
+void network::revive_host(host_id h) {
+  SW_EXPECTS(traffic_quiescent());
+  SW_EXPECTS(h.valid() && h.value < hosts_);
+  if (!dead_.empty() && dead_[h.value] != 0) {
+    dead_[h.value] = 0;
+    --killed_count_;
+  }
+}
+
+host_id network::any_live_host(host_id near) const {
+  SW_EXPECTS(killed_count_ < hosts_);
+  const std::uint32_t start = near.valid() ? near.value % hosts_ : 0;
+  for (std::size_t i = 0; i < hosts_; ++i) {
+    const auto h = host_id{static_cast<std::uint32_t>((start + i) % hosts_)};
+    if (host_alive(h)) return h;
+  }
+  SW_ASSERT(false);
+  return host_id{};
+}
+
+void network::set_partitions(const std::vector<std::vector<host_id>>& groups) {
+  SW_EXPECTS(traffic_quiescent());
+  if (groups.empty()) {
+    partition_.clear();
+    return;
+  }
+  partition_.assign(hosts_, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const auto h : groups[g]) {
+      SW_EXPECTS(h.valid() && h.value < hosts_);
+      partition_[h.value] = static_cast<std::uint32_t>(g + 1);
+    }
+  }
+}
+
+void network::set_message_loss(double p, std::uint64_t seed) {
+  SW_EXPECTS(traffic_quiescent());
+  SW_EXPECTS(p >= 0.0 && p < 1.0);
+  loss_p_ = p;
+  loss_seed_ = seed;
 }
 
 void network::grow_visit_blocks_to(std::size_t hosts) {
@@ -117,25 +172,33 @@ std::uint64_t network::max_visits() const {
 congestion_profile network::congestion_profile() const {
   SW_EXPECTS(traffic_quiescent());
   struct congestion_profile out;
-  out.hosts = hosts_;
+  out.hosts = hosts_ - killed_count_;
+  out.hosts_killed = killed_count_;
   out.max_op_host_load = max_op_host_load_.load(std::memory_order_relaxed);
+  // Distribution statistics run over LIVE slots only — a dead host carries no
+  // load, and counting it as a zero-visit host deflates the mean and p99 of
+  // the hosts actually serving. total_visits still sums every slot (probes
+  // toward dead hosts were charged there) so it reconciles with
+  // total_messages() under churn too.
   std::vector<std::uint64_t> visits;
-  visits.reserve(hosts_);
+  visits.reserve(hosts_ - killed_count_);
+  std::uint64_t live_total = 0;
   for (std::size_t i = 0; i < hosts_; ++i) {
-    visits.push_back(visit_slot(static_cast<std::uint32_t>(i)).load(std::memory_order_relaxed));
+    const auto v = visit_slot(static_cast<std::uint32_t>(i)).load(std::memory_order_relaxed);
+    out.total_visits += v;
+    if (!host_alive(host_id{static_cast<std::uint32_t>(i)})) continue;
+    visits.push_back(v);
+    live_total += v;
   }
   std::sort(visits.begin(), visits.end());
-  for (const auto v : visits) {
-    out.total_visits += v;
-    out.hosts_touched += (v > 0);
-  }
+  for (const auto v : visits) out.hosts_touched += (v > 0);
   out.max_visits = visits.empty() ? 0 : visits.back();
   out.p99_visits =
       visits.empty()
           ? 0
           : visits[static_cast<std::size_t>(0.99 * (static_cast<double>(visits.size()) - 1.0))];
   out.mean_visits =
-      hosts_ > 0 ? static_cast<double>(out.total_visits) / static_cast<double>(hosts_) : 0.0;
+      visits.empty() ? 0.0 : static_cast<double>(live_total) / static_cast<double>(visits.size());
   return out;
 }
 

@@ -51,14 +51,22 @@ class hop_cache {
 // The quiescent-only congestion report: how query traffic distributed over
 // the hosts since the last reset_traffic(). `total_visits` equals
 // total_messages() by construction (every charged hop increments exactly
-// one host's counter), which tests reconcile.
+// one host's counter — including timed-out probes toward dead hosts, whose
+// bandwidth was spent toward that host), which tests reconcile.
+//
+// Killed hosts are excluded from the distribution statistics (max/mean/p99/
+// hosts_touched): a dead host serves no traffic, and folding its slot in as
+// a zero-visit host would deflate the mean and p99 of the hosts actually
+// carrying load. `total_visits` still sums every slot so the reconciliation
+// invariant holds regardless of churn.
 struct congestion_profile {
-  std::uint64_t hosts = 0;           // hosts in the network
-  std::uint64_t hosts_touched = 0;   // hosts with at least one visit
-  std::uint64_t max_visits = 0;      // the busiest host (the paper's C(n))
-  std::uint64_t p99_visits = 0;      // 99th-percentile host
-  double mean_visits = 0.0;          // total_visits / hosts
-  std::uint64_t total_visits = 0;    // == total_messages()
+  std::uint64_t hosts = 0;           // LIVE hosts in the network
+  std::uint64_t hosts_killed = 0;    // killed hosts (excluded from the stats)
+  std::uint64_t hosts_touched = 0;   // live hosts with at least one visit
+  std::uint64_t max_visits = 0;      // the busiest live host (the paper's C(n))
+  std::uint64_t p99_visits = 0;      // 99th-percentile live host
+  double mean_visits = 0.0;          // live-host visits / live hosts
+  std::uint64_t total_visits = 0;    // all slots, dead included; == total_messages()
   std::uint64_t max_op_host_load = 0;  // worst single-host load of any ONE op
 };
 
@@ -196,6 +204,66 @@ class network {
     return structural_depth_.load(std::memory_order_relaxed) > 0;
   }
 
+  // --- fault plane ----------------------------------------------------------
+  //
+  // The failure model of the P2P setting: hosts crash (kill_host), come back
+  // (revive_host), the network splits into groups that cannot exchange
+  // messages (set_partitions), and individual messages are lost with a seeded
+  // probability (set_message_loss). All of it is injected at the cursor/hop
+  // seam — cursor::move_to / try_move_to consult reachable() — so every
+  // backend sees the same fault semantics without per-backend plumbing.
+  //
+  // Concurrency: kill/revive/partition/loss mutations are structural-plane
+  // (quiescent-only, asserted), exactly like add_host; the read side
+  // (host_alive, reachable, faults_active) is query-plane and reads plain
+  // memory that is only written while no query is in flight. When no fault
+  // was ever configured, faults_active() is false and cursors take a code
+  // path byte-identical to the fault-free build (answers AND receipts).
+  void kill_host(host_id h);
+  void revive_host(host_id h);
+  [[nodiscard]] bool host_alive(host_id h) const {
+    SW_EXPECTS(h.valid() && h.value < hosts_);
+    return dead_.empty() || dead_[h.value] == 0;
+  }
+  [[nodiscard]] std::size_t hosts_killed() const { return killed_count_; }
+  [[nodiscard]] std::size_t live_host_count() const { return hosts_ - killed_count_; }
+  // Any live host, scanning from `near` upward (wrapping): the fallback
+  // query entry point when a preferred origin is dead. Asserts at least one
+  // live host exists.
+  [[nodiscard]] host_id any_live_host(host_id near = host_id{0}) const;
+
+  // Split the network: hosts in groups[i] get partition id i+1; hosts not
+  // named get id 0 (the "main" partition). Messages cross partitions only if
+  // both endpoints share an id. Pass {} / clear_partitions() to heal.
+  void set_partitions(const std::vector<std::vector<host_id>>& groups);
+  void clear_partitions() { set_partitions({}); }
+  [[nodiscard]] bool partitioned() const { return !partition_.empty(); }
+
+  // Seeded probabilistic loss: each attempted hop is independently lost with
+  // probability p (the retry charge is computed statelessly per attempt from
+  // (seed, from, to, attempt-serial) inside the cursor, so receipts stay
+  // thread-count-deterministic). p = 0 disables. Requires 0 <= p < 1.
+  void set_message_loss(double p, std::uint64_t seed);
+  [[nodiscard]] double message_loss() const { return loss_p_; }
+  [[nodiscard]] std::uint64_t message_loss_seed() const { return loss_seed_; }
+
+  // One flag the hot path checks: true iff any host is dead, a partition is
+  // installed, or message loss is configured. Cursors capture it at
+  // construction (like the hop cache), so a fault-free network never pays
+  // for the plane's existence.
+  [[nodiscard]] bool faults_active() const {
+    return killed_count_ > 0 || !partition_.empty() || loss_p_ > 0.0;
+  }
+
+  // Can a message from `from` be delivered to `to` right now? (Both alive
+  // and, if partitioned, in the same partition. Loss is orthogonal: a lossy
+  // link is reachable, it just costs retries.)
+  [[nodiscard]] bool reachable(host_id from, host_id to) const {
+    if (!host_alive(to) || !host_alive(from)) return false;
+    if (partition_.empty()) return true;
+    return partition_[from.value] == partition_[to.value];
+  }
+
  private:
   // Visit-counter shard: a fixed-size block of atomics. Blocks are allocated
   // once and never relocated, so concurrent commits may increment counters
@@ -216,6 +284,15 @@ class network {
   std::vector<memory_row> memory_;
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> visit_blocks_;
   std::size_t hosts_ = 0;
+  // Fault plane. dead_/partition_ are lazily sized on first use (empty means
+  // "everything alive / no partitions"), written only on the structural
+  // plane, read concurrently on the query plane — race-free under the
+  // two-plane contract.
+  std::vector<std::uint8_t> dead_;
+  std::vector<std::uint32_t> partition_;
+  std::size_t killed_count_ = 0;
+  double loss_p_ = 0.0;
+  std::uint64_t loss_seed_ = 0;
   std::atomic<std::uint64_t> total_messages_{0};
   std::atomic<std::uint64_t> max_op_host_load_{0};
   std::atomic<bool> op_load_tracking_{false};

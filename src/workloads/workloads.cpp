@@ -308,6 +308,48 @@ std::vector<std::pair<double, double>> interior_probes(std::size_t count, util::
   return out;
 }
 
+std::vector<churn_event> churn_schedule(std::size_t hosts, std::size_t ops, double kill_rate,
+                                        double revive_rate, std::size_t burst,
+                                        std::uint64_t seed) {
+  SW_EXPECTS(hosts >= 2);
+  SW_EXPECTS(kill_rate >= 0.0 && kill_rate <= 1.0);
+  SW_EXPECTS(revive_rate >= 0.0 && revive_rate <= 1.0);
+  // Stream 1: decoupled from the op streams above, which draw stream 0 of
+  // the same caller seed.
+  auto r = util::rng::stream(seed, 1);
+  std::vector<std::uint8_t> dead(hosts, 0);
+  std::vector<std::uint32_t> dead_list;
+  std::size_t live = hosts;
+  const std::size_t live_floor = std::max<std::size_t>(2, hosts / 2);
+  std::vector<churn_event> out;
+  for (std::size_t op = 0; op < ops; ++op) {
+    if (kill_rate > 0.0 && r.uniform_real() < kill_rate) {
+      for (std::size_t b = 0; b < std::max<std::size_t>(burst, 1) && live > live_floor; ++b) {
+        // Live victim, never host 0. At least half the hosts are alive, so
+        // rejection terminates in O(1) expected draws.
+        std::uint32_t h;
+        do {
+          h = static_cast<std::uint32_t>(1 + r.index(hosts - 1));
+        } while (dead[h] != 0);
+        dead[h] = 1;
+        dead_list.push_back(h);
+        --live;
+        out.push_back({op, true, net::host_id{h}});
+      }
+    }
+    if (revive_rate > 0.0 && !dead_list.empty() && r.uniform_real() < revive_rate) {
+      const std::size_t j = r.index(dead_list.size());
+      const std::uint32_t h = dead_list[j];
+      dead_list[j] = dead_list.back();
+      dead_list.pop_back();
+      dead[h] = 0;
+      ++live;
+      out.push_back({op, false, net::host_id{h}});
+    }
+  }
+  return out;
+}
+
 template std::vector<seq::qpoint<2>> uniform_points<2>(std::size_t, util::rng&);
 template std::vector<seq::qpoint<3>> uniform_points<3>(std::size_t, util::rng&);
 template std::vector<seq::qpoint<2>> clustered_points<2>(std::size_t, util::rng&);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/spatial_index.h"
+#include "net/types.h"
 #include "seq/quadtree.h"
 #include "seq/trapmap.h"
 #include "util/rng.h"
@@ -78,6 +79,29 @@ std::vector<api::spatial_point> zipf_spatial_query_stream(
 // rank order has probability ∝ 1/(j+1)^s. Pure function of its arguments.
 std::vector<std::size_t> zipf_ranks(std::size_t n, std::size_t count, std::uint64_t seed,
                                     double s);
+
+// --- churn (the failure plane's kill/revive stream) --------------------------
+
+// One scheduled liveness change: fault::injector applies the event just
+// before operation index `at_op` of the driving op stream.
+struct churn_event {
+  std::size_t at_op = 0;
+  bool kill = true;  // false = revive
+  net::host_id host;
+};
+
+// A seeded kill/revive schedule over `ops` operation slots: at each slot a
+// kill burst fires with probability kill_rate (up to `burst` distinct live
+// victims at once — correlated failures), and one revive of a random dead
+// host fires with probability revive_rate. Well-formed by construction
+// (tested): host 0 is never killed (benches and tests issue from it), kills
+// target live hosts, revives target dead ones, and at least
+// max(2, hosts/2) hosts stay alive at every prefix of the schedule. Events
+// ascend by at_op. Pure function of its arguments — replayable for any
+// thread count, like every stream above.
+std::vector<churn_event> churn_schedule(std::size_t hosts, std::size_t ops, double kill_rate,
+                                        double revive_rate, std::size_t burst,
+                                        std::uint64_t seed);
 
 // --- d-dimensional points ----------------------------------------------------
 

@@ -1,0 +1,555 @@
+// The failure plane (DESIGN.md §10): fault injection on net::network,
+// replicated routing that survives dead hosts, and self-repair under churn.
+// Suite names matter: the CI TSan job runs everything matching
+// Failure|Repair|Churn, and RepairDaemon.* is the headline repair-racing-
+// the-query-plane target.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/spatial_registry.h"
+#include "core/skip_quadtree.h"
+#include "core/skipweb_1d.h"
+#include "fault/injector.h"
+#include "fault/repair.h"
+#include "net/cursor.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using core::skipweb_1d;
+using net::host_id;
+using net::network;
+using util::rng;
+namespace wl = skipweb::workloads;
+
+host_id h(std::uint32_t v) { return host_id{v}; }
+
+// Kill every 10th host starting at 1 (host 0 stays alive — tests issue from
+// it). Returns the victims.
+std::vector<host_id> kill_tenth(network& net) {
+  std::vector<host_id> dead;
+  for (std::uint32_t v = 1; v < net.host_count(); v += 10) {
+    net.kill_host(h(v));
+    dead.push_back(h(v));
+  }
+  return dead;
+}
+
+// The keys the structure still holds, discovered through the public surface
+// (under fault routing, contains() answers against live flanks only).
+std::set<std::uint64_t> surviving_keys(const skipweb_1d& web,
+                                       const std::vector<std::uint64_t>& keys) {
+  std::set<std::uint64_t> out;
+  for (const auto k : keys) {
+    if (web.contains(k, h(0)).value) out.insert(k);
+  }
+  return out;
+}
+
+void expect_matches_oracle(const api::nn_result& r, const std::set<std::uint64_t>& oracle,
+                           std::uint64_t q) {
+  auto it = oracle.upper_bound(q);
+  const bool has_pred = it != oracle.begin();
+  ASSERT_EQ(r.has_pred, has_pred) << "q=" << q;
+  if (has_pred) EXPECT_EQ(r.pred, *std::prev(it)) << "q=" << q;
+  const bool has_succ = it != oracle.end();
+  ASSERT_EQ(r.has_succ, has_succ) << "q=" << q;
+  if (has_succ) EXPECT_EQ(r.succ, *it) << "q=" << q;
+}
+
+// --- zero-fault identity ----------------------------------------------------
+
+// With no fault active, building with replication(k) must not change a
+// single routed answer or receipt — replication is pure redundancy, and the
+// fault-aware code paths must be completely dormant. Run over every 1-D
+// backend: the fault-tolerant ones prove cost-neutrality, the rest prove
+// the knob is inert.
+TEST(FailureFreeIdentity, ReplicationIsReceiptNeutralForEveryBackend) {
+  rng r(4801);
+  const auto keys = wl::uniform_keys(192, r);
+  const auto probes = wl::query_stream(keys, 120, 4802);
+  for (const auto& name : api::registered_backends()) {
+    network plain_net(1), repl_net(1);
+    const auto opts = api::index_options{}.seed(55).initial_hosts(8).bucket_size(16).buckets(24);
+    const auto plain = api::make_index(name, keys, opts, plain_net);
+    const auto repl =
+        api::make_index(name, keys, api::index_options(opts).replication(3), repl_net);
+    std::uint32_t origin = 0;
+    for (const auto q : probes) {
+      const auto a = plain->nearest(q, h(origin));
+      const auto b = repl->nearest(q, h(origin));
+      origin = static_cast<std::uint32_t>((origin + 1) % plain_net.host_count());
+      ASSERT_EQ(a.has_pred, b.has_pred) << name;
+      ASSERT_EQ(a.has_succ, b.has_succ) << name;
+      if (a.has_pred) ASSERT_EQ(a.pred, b.pred) << name;
+      if (a.has_succ) ASSERT_EQ(a.succ, b.succ) << name;
+      ASSERT_EQ(a.stats, b.stats) << name << " q=" << q;  // receipts, byte for byte
+      ASSERT_FALSE(b.stats.failed) << name;
+    }
+  }
+}
+
+TEST(FailureFreeIdentity, SpatialReplicationIsReceiptNeutralForEveryBackend) {
+  rng r(4803);
+  const auto pts2 = wl::spatial_points(2, 160, false, r);
+  const auto pts3 = wl::spatial_points(3, 160, false, r);
+  for (const auto& name : api::registered_spatial_backends()) {
+    const auto& pts = api::spatial_backend_dims(name) == 3 ? pts3 : pts2;
+    const auto probes =
+        wl::spatial_query_stream(api::spatial_backend_dims(name), 100, 4804);
+    network plain_net(1), repl_net(1);
+    const auto opts = api::index_options{}.seed(56).initial_hosts(8);
+    const auto plain = api::make_spatial_index(name, pts, opts, plain_net);
+    const auto repl =
+        api::make_spatial_index(name, pts, api::index_options(opts).replication(3), repl_net);
+    std::uint32_t origin = 0;
+    for (const auto& q : probes) {
+      const auto a = plain->locate(q, h(origin));
+      const auto b = repl->locate(q, h(origin));
+      origin = static_cast<std::uint32_t>((origin + 1) % plain_net.host_count());
+      ASSERT_EQ(a.found, b.found) << name;
+      ASSERT_EQ(a.cell, b.cell) << name;
+      ASSERT_EQ(a.scale, b.scale) << name;
+      ASSERT_EQ(a.stats, b.stats) << name;
+      ASSERT_FALSE(b.stats.failed) << name;
+    }
+  }
+}
+
+TEST(FailureFreeIdentity, CapabilityAdvertisedOnlyWhenReplicated) {
+  rng r(4805);
+  const auto keys = wl::uniform_keys(64, r);
+  network n1(1), n2(1);
+  const auto plain = api::make_index("skipweb1d", keys, api::index_options{}.seed(5), n1);
+  const auto repl =
+      api::make_index("skipweb1d", keys, api::index_options{}.seed(5).replication(2), n2);
+  EXPECT_FALSE(plain->supports(api::capability::fault_tolerant));
+  EXPECT_TRUE(repl->supports(api::capability::fault_tolerant));
+  EXPECT_THROW((void)plain->repair_step(h(0)), api::unsupported_operation);
+
+  const auto pts = wl::spatial_points(2, 64, false, r);
+  network n3(1), n4(1);
+  const auto splain = api::make_spatial_index("skip_quadtree2", pts, api::index_options{}.seed(6), n3);
+  const auto srepl = api::make_spatial_index("skip_quadtree2", pts,
+                                             api::index_options{}.seed(6).replication(2), n4);
+  EXPECT_FALSE(splain->supports(api::spatial_capability::fault_tolerant));
+  EXPECT_TRUE(srepl->supports(api::spatial_capability::fault_tolerant));
+  EXPECT_THROW((void)splain->repair_step(h(0)), api::unsupported_operation);
+}
+
+// --- fault injection on the network itself ----------------------------------
+
+TEST(FailureInjection, KillReviveAndProfileSkipDeadHosts) {
+  network net(6);
+  // Record some traffic so the profile has something to report; alternating
+  // hops make host 5 unambiguously the busiest.
+  {
+    net::cursor cur(net, h(0));
+    cur.move_to(h(5));
+    cur.move_to(h(1));
+    cur.move_to(h(5));
+    cur.move_to(h(2));
+    cur.move_to(h(5));
+  }
+  const auto before = net.congestion_profile();
+  EXPECT_EQ(before.hosts, 6u);
+  EXPECT_EQ(before.hosts_killed, 0u);
+
+  net.kill_host(h(5));
+  EXPECT_FALSE(net.host_alive(h(5)));
+  EXPECT_EQ(net.live_host_count(), 5u);
+  const auto after = net.congestion_profile();
+  EXPECT_EQ(after.hosts, 5u);
+  EXPECT_EQ(after.hosts_killed, 1u);
+  // The dead slot leaves the live aggregates but not the grand total: the
+  // ledger still reconciles with total_messages().
+  EXPECT_EQ(after.total_visits, before.total_visits);
+  EXPECT_LT(after.max_visits, before.max_visits);
+
+  net.revive_host(h(5));
+  EXPECT_TRUE(net.host_alive(h(5)));
+  EXPECT_EQ(net.congestion_profile().hosts, 6u);
+  EXPECT_FALSE(net.faults_active());
+}
+
+TEST(FailureInjection, PartitionsCutReachabilityWithoutKilling) {
+  network net(4);
+  EXPECT_TRUE(net.reachable(h(0), h(3)));
+  net.set_partitions({{h(0), h(1)}, {h(2), h(3)}});
+  EXPECT_TRUE(net.faults_active());
+  EXPECT_TRUE(net.reachable(h(0), h(1)));
+  EXPECT_FALSE(net.reachable(h(1), h(2)));
+  EXPECT_TRUE(net.host_alive(h(2)));  // partitioned, not dead
+  net.clear_partitions();
+  EXPECT_FALSE(net.faults_active());
+  EXPECT_TRUE(net.reachable(h(1), h(2)));
+}
+
+TEST(FailureInjection, MessageLossIsChargedAndDeterministic) {
+  rng r(4811);
+  const auto keys = wl::uniform_keys(128, r);
+  const auto probes = wl::query_stream(keys, 60, 4812);
+
+  network net(static_cast<std::size_t>(keys.size()));
+  skipweb_1d web(keys, 7, net, skipweb_1d::placement::tower);
+  std::vector<api::op_stats> clean;
+  for (const auto q : probes) clean.push_back(web.nearest(q, h(0)).stats);
+
+  net.set_message_loss(0.25, 99);
+  EXPECT_TRUE(net.faults_active());
+  const std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  std::uint64_t lost_retries = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto a = web.nearest(probes[i], h(0));
+    const auto b = web.nearest(probes[i], h(0));
+    expect_matches_oracle(a, oracle, probes[i]);  // retries never change answers
+    EXPECT_EQ(a.stats, b.stats);                  // loss draws are replayable
+    EXPECT_GE(a.stats.messages, clean[i].messages);
+    lost_retries += a.stats.messages - clean[i].messages;
+  }
+  EXPECT_GT(lost_retries, 0u);  // at p = 0.25 some attempt was dropped
+  net.set_message_loss(0.0, 0);
+  EXPECT_FALSE(net.faults_active());
+}
+
+// Fault-unaware structures keep their answers under kills (the simulation
+// routes mechanically through ghost hops) but every op that leaned on a dead
+// host says so — the honesty contract the availability metrics build on.
+TEST(FailureGhostHops, UnawareBackendFlagsDeadRoutes) {
+  rng r(4821);
+  const auto keys = wl::uniform_keys(256, r);
+  const auto probes = wl::query_stream(keys, 150, 4822);
+  network net(1);
+  const auto idx =
+      api::make_index("skip_graph", keys, api::index_options{}.seed(77).initial_hosts(64), net);
+  std::vector<api::nn_result> clean;
+  for (const auto q : probes) clean.push_back(idx->nearest(q, h(0)));
+
+  kill_tenth(net);
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto fr = idx->nearest(probes[i], h(0));
+    EXPECT_EQ(fr.has_pred, clean[i].has_pred);
+    EXPECT_EQ(fr.has_succ, clean[i].has_succ);
+    if (fr.has_pred) EXPECT_EQ(fr.pred, clean[i].pred);
+    if (fr.has_succ) EXPECT_EQ(fr.succ, clean[i].succ);
+    if (fr.stats.failed) ++failed;
+  }
+  EXPECT_GT(failed, 0u);  // 10% dead hosts cannot go unnoticed
+}
+
+// --- replicated routing (1-D) -----------------------------------------------
+
+TEST(Replication1D, RoutesAroundTenPercentDeadHosts) {
+  rng r(4831);
+  const auto keys = wl::uniform_keys(512, r);
+  const auto probes = wl::query_stream(keys, 300, 4832);
+  network net(keys.size());
+  skipweb_1d web(keys, 21, net, skipweb_1d::placement::tower, 3);
+  EXPECT_EQ(web.replication(), 3u);
+
+  kill_tenth(net);
+  const auto live = surviving_keys(web, keys);
+  EXPECT_LT(live.size(), keys.size());  // some towers really are dead
+  EXPECT_GT(live.size(), keys.size() * 8 / 10);
+
+  std::size_t failed = 0;
+  for (const auto q : probes) {
+    const auto res = web.nearest(q, h(0));
+    if (res.stats.failed) {
+      ++failed;
+      continue;
+    }
+    // An available answer is correct with respect to the live key set.
+    expect_matches_oracle(res, live, q);
+  }
+  // k = 3 replicas tolerate 3 consecutive dead towers; at 10% killed the
+  // chance of a blocked route is ~1e-4 per position.
+  EXPECT_GE(static_cast<double>(probes.size() - failed),
+            0.99 * static_cast<double>(probes.size()));
+
+  // Batched fault-mode lookups stay identical to serial ones.
+  const std::vector<std::uint64_t> batch(probes.begin(), probes.begin() + 50);
+  const auto batched = web.nearest_batch(batch, h(0));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto serial = web.nearest(batch[i], h(0));
+    EXPECT_EQ(batched[i].stats, serial.stats);
+    if (serial.has_pred) EXPECT_EQ(batched[i].pred, serial.pred);
+    if (serial.has_succ) EXPECT_EQ(batched[i].succ, serial.succ);
+  }
+
+  // Range queries walk the live base list.
+  const auto lo = *live.begin();
+  const auto hi = *std::prev(live.end());
+  const auto rr = web.range(lo, hi, h(0), 0);
+  if (!rr.stats.failed) {
+    EXPECT_EQ(rr.value.size(), live.size());
+  }
+}
+
+// --- self-repair (1-D) ------------------------------------------------------
+
+TEST(Repair1D, StepsRestoreInvariantsAndAvailability) {
+  rng r(4841);
+  const auto keys = wl::uniform_keys(384, r);
+  network net(keys.size());
+  skipweb_1d web(keys, 31, net, skipweb_1d::placement::tower, 3);
+
+  kill_tenth(net);
+  ASSERT_TRUE(web.needs_repair());
+  std::size_t repaired = 0, rounds = 0;
+  for (;;) {
+    const auto step = web.repair_step(h(0));
+    ++rounds;
+    ASSERT_TRUE(web.lists().check_invariants()) << "after repair round " << rounds;
+    if (step.value == 0) break;
+    repaired += step.value;
+    EXPECT_GT(step.stats.messages, 0u);  // detection probes + relinks are priced
+  }
+  EXPECT_GT(repaired, 0u);
+  EXPECT_FALSE(web.needs_repair());
+
+  // Fully repaired: every stored key is live-owned, queries never fail, and
+  // answers match the surviving key set exactly.
+  const auto live = surviving_keys(web, keys);
+  EXPECT_EQ(live.size(), web.size());
+  const auto probes = wl::query_stream(keys, 200, 4842);
+  for (const auto q : probes) {
+    const auto res = web.nearest(q, h(0));
+    EXPECT_FALSE(res.stats.failed);
+    expect_matches_oracle(res, live, q);
+  }
+}
+
+TEST(Repair1D, RegistryDrivesRepairToQuiescence) {
+  rng r(4851);
+  const auto keys = wl::uniform_keys(256, r);
+  network net(1);
+  auto idx = api::make_index("skipweb1d", keys,
+                             api::index_options{}.seed(61).replication(3), net);
+  ASSERT_TRUE(idx->supports(api::capability::fault_tolerant));
+  kill_tenth(net);
+  const auto rep = fault::repair_to_quiescence(*idx, h(0));
+  EXPECT_GT(rep.repaired, 0u);
+  EXPECT_EQ(rep.rounds, rep.repaired + 1);  // one record per step + the clean round
+  EXPECT_GT(rep.cost.messages, 0u);
+  // Quiescent: one more step is free of work.
+  EXPECT_EQ(idx->repair_step(h(0)).value, 0u);
+}
+
+// --- self-repair (spatial) --------------------------------------------------
+
+TEST(RepairQuadtree, RehomesRecordsAndKeepsLedgerExact) {
+  rng r(4861);
+  const auto pts = wl::uniform_points<2>(256, r);
+  network net(256);
+  core::skip_quadtree<2> qt(pts, 41, net, 3);
+  ASSERT_TRUE(qt.check_invariants());
+
+  // Fault-free probes for the byte-identity check below.
+  std::vector<core::skip_quadtree<2>::locate_result> clean;
+  for (const auto& p : pts) clean.push_back(qt.locate(p, h(0)));
+
+  kill_tenth(net);
+  ASSERT_TRUE(qt.check_invariants());  // kills move no memory
+  std::size_t pre_failed = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto res = qt.locate(pts[i], h(0));
+    // Ghost/replica hops never change the located cell.
+    EXPECT_EQ(res.cell.corner, clean[i].cell.corner);
+    EXPECT_TRUE(res.is_point);
+    if (res.stats.failed) ++pre_failed;
+  }
+
+  std::size_t repaired = 0, rounds = 0;
+  ASSERT_TRUE(qt.needs_repair());
+  for (;;) {
+    const auto step = qt.repair_step(h(0));
+    ++rounds;
+    ASSERT_TRUE(qt.check_invariants()) << "after repair round " << rounds;
+    if (step.value == 0) break;
+    repaired += step.value;
+    EXPECT_GT(step.stats.messages, 0u);
+  }
+  EXPECT_GT(repaired, 0u);
+  EXPECT_FALSE(qt.needs_repair());
+
+  // Re-homed: locate routes entirely over live replicas.
+  std::size_t post_failed = 0;
+  for (const auto& p : pts) {
+    const auto res = qt.locate(p, h(0));
+    EXPECT_TRUE(res.is_point);
+    if (res.stats.failed) ++post_failed;
+  }
+  EXPECT_LE(post_failed, pre_failed);
+  EXPECT_GE(static_cast<double>(pts.size() - post_failed),
+            0.99 * static_cast<double>(pts.size()));
+
+  // Structural edits on the repaired structure keep the ledger exact.
+  auto extra = wl::uniform_points<2>(8, r);
+  for (const auto& p : extra) {
+    (void)qt.insert(p, h(0));
+    ASSERT_TRUE(qt.check_invariants());
+  }
+  for (const auto& p : extra) {
+    (void)qt.erase(p, h(0));
+    ASSERT_TRUE(qt.check_invariants());
+  }
+}
+
+TEST(RepairQuadtree, UnreplicatedRunsFailMeasurablyAtTenPercent) {
+  rng r(4871);
+  const auto pts = wl::uniform_points<2>(256, r);
+  network net(256);
+  core::skip_quadtree<2> qt(pts, 41, net);  // replication off
+  kill_tenth(net);
+  std::size_t failed = 0;
+  for (const auto& p : pts) {
+    if (qt.locate(p, h(0)).stats.failed) ++failed;
+  }
+  EXPECT_GT(failed, 0u);
+}
+
+// --- sustained churn --------------------------------------------------------
+
+TEST(ChurnSustained, KillRepairUpdateCyclesHoldInvariants) {
+  rng r(4881);
+  auto keys = wl::uniform_keys(256, r);
+  network net(keys.size());
+  skipweb_1d web(keys, 51, net, skipweb_1d::placement::tower, 3);
+
+  const std::size_t ops = 120;
+  fault::injector inj(net, wl::churn_schedule(net.host_count(), ops, 0.08, 0.04, 2, 4882));
+  std::set<std::uint64_t> oracle(keys.begin(), keys.end());
+  rng opr(4883);
+  for (std::size_t op = 0; op < ops; ++op) {
+    if (inj.advance_to(op) > 0 && web.needs_repair()) {
+      while (web.repair_step(h(0)).value > 0) {
+        ASSERT_TRUE(web.lists().check_invariants());
+      }
+      // Repair dropped the dead-owned keys; resync the oracle through the
+      // public surface.
+      for (auto it = oracle.begin(); it != oracle.end();) {
+        if (!web.contains(*it, h(0)).value) it = oracle.erase(it);
+        else ++it;
+      }
+    }
+    switch (op % 3) {
+      case 0: {  // insert a fresh key
+        const auto k = opr.uniform_u64(0, (std::uint64_t{1} << 62) - 1);
+        if (oracle.insert(k).second) (void)web.insert(k, h(0));
+        break;
+      }
+      case 1: {  // erase a surviving key
+        if (oracle.size() > 2) {
+          auto it = oracle.begin();
+          std::advance(it, static_cast<std::ptrdiff_t>(opr.index(oracle.size())));
+          (void)web.erase(*it, h(0));
+          oracle.erase(it);
+        }
+        break;
+      }
+      default: {  // query between ops
+        const auto q = opr.uniform_u64(0, (std::uint64_t{1} << 62) - 1);
+        const auto res = web.nearest(q, h(0));
+        EXPECT_FALSE(res.stats.failed);
+        expect_matches_oracle(res, oracle, q);
+        break;
+      }
+    }
+  }
+  inj.finish();
+  while (web.needs_repair() && web.repair_step(h(0)).value > 0) {
+  }
+  ASSERT_TRUE(web.lists().check_invariants());
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    if (!web.contains(*it, h(0)).value) it = oracle.erase(it);
+    else ++it;
+  }
+  EXPECT_EQ(oracle.size(), web.size());
+  const auto probes = wl::query_stream({oracle.begin(), oracle.end()}, 100, 4884);
+  for (const auto q : probes) {
+    const auto res = web.nearest(q, h(0));
+    EXPECT_FALSE(res.stats.failed);
+    expect_matches_oracle(res, oracle, q);
+  }
+}
+
+TEST(ChurnSustained, InjectorReplaysTheScheduleExactly) {
+  network net(32);
+  const auto events = wl::churn_schedule(32, 50, 0.3, 0.15, 2, 7);
+  fault::injector inj(net, events);
+  std::size_t fired = 0;
+  for (std::size_t op = 0; op < 50; ++op) fired += inj.advance_to(op);
+  fired += inj.finish();
+  EXPECT_EQ(fired, events.size());
+  EXPECT_EQ(inj.remaining(), 0u);
+  // The network's liveness equals the schedule's net effect.
+  std::size_t killed = 0;
+  std::vector<bool> dead(32, false);
+  for (const auto& e : events) dead[e.host.value] = e.kill;
+  for (const auto d : dead) killed += d ? 1u : 0u;
+  EXPECT_EQ(net.hosts_killed(), killed);
+}
+
+// --- background repair racing the query plane (the TSan headline) -----------
+
+TEST(RepairDaemon, BackgroundRepairRacesQueriesCleanly) {
+  rng r(4891);
+  const auto keys = wl::uniform_keys(256, r);
+  network net(keys.size());
+  skipweb_1d web(keys, 61, net, skipweb_1d::placement::tower, 3);
+  kill_tenth(net);
+  ASSERT_TRUE(web.needs_repair());
+
+  fault::repair_daemon daemon([&web] { return web.repair_step(h(0)).value; },
+                              std::chrono::microseconds(50));
+  const auto probes = wl::query_stream(keys, 400, 4892);
+  constexpr std::size_t threads = 4;
+  daemon.start();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Each op takes the read side of the daemon's gate: queries run
+        // concurrently with each other, never with a repair step.
+        for (std::size_t i = t; i < probes.size(); i += threads) {
+          const std::shared_lock<std::shared_mutex> lk(daemon.gate());
+          const auto res = web.nearest(probes[i], h(static_cast<std::uint32_t>(t)));
+          (void)res;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  daemon.stop();
+  EXPECT_GT(daemon.snapshot().rounds, 0u);
+
+  // Finish whatever repair remains, then the structure must be whole.
+  while (web.repair_step(h(0)).value > 0) {
+  }
+  ASSERT_TRUE(web.lists().check_invariants());
+  EXPECT_FALSE(web.needs_repair());
+  const auto live = surviving_keys(web, keys);
+  for (const auto q : wl::query_stream(keys, 100, 4893)) {
+    const auto res = web.nearest(q, h(0));
+    EXPECT_FALSE(res.stats.failed);
+    expect_matches_oracle(res, live, q);
+  }
+}
+
+}  // namespace

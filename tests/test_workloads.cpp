@@ -112,4 +112,49 @@ TEST(Workloads, GeneratorsAreDeterministic) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
+TEST(Workloads, ChurnScheduleIsDeterministicAndWellFormed) {
+  const std::size_t hosts = 48, ops = 400;
+  const auto a = wl::churn_schedule(hosts, ops, 0.12, 0.06, 3, 77);
+  const auto b = wl::churn_schedule(hosts, ops, 0.12, 0.06, 3, 77);
+  // Pure function of its arguments: same inputs, same schedule — this is
+  // what makes churn runs thread-count-invariant and replayable.
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_op, b[i].at_op);
+    EXPECT_EQ(a[i].kill, b[i].kill);
+    EXPECT_EQ(a[i].host.value, b[i].host.value);
+  }
+  EXPECT_FALSE(a.empty());  // 400 ops at 12% kill rate must produce events
+  const auto c = wl::churn_schedule(hosts, ops, 0.12, 0.06, 3, 78);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at_op != c[i].at_op || a[i].kill != c[i].kill ||
+              a[i].host.value != c[i].host.value;
+  }
+  EXPECT_TRUE(differs);  // the seed actually reaches the draws
+
+  // Well-formedness (the contract fault::injector and the failure bench
+  // lean on): events ascend by at_op, host 0 is never killed, kills target
+  // live hosts, revives target dead ones, and the live floor holds at every
+  // prefix of the schedule.
+  std::vector<bool> dead(hosts, false);
+  std::size_t live = hosts;
+  const std::size_t floor = std::max<std::size_t>(2, hosts / 2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) EXPECT_LE(a[i - 1].at_op, a[i].at_op);
+    ASSERT_LT(a[i].host.value, hosts);
+    if (a[i].kill) {
+      EXPECT_NE(a[i].host.value, 0u);
+      ASSERT_FALSE(dead[a[i].host.value]) << "kill of an already-dead host";
+      dead[a[i].host.value] = true;
+      --live;
+    } else {
+      ASSERT_TRUE(dead[a[i].host.value]) << "revive of a live host";
+      dead[a[i].host.value] = false;
+      ++live;
+    }
+    EXPECT_GE(live, floor);
+  }
+}
+
 }  // namespace
