@@ -1,0 +1,404 @@
+// Tail latency under the deadline plane (DESIGN.md §11): simulated per-hop
+// clocks, gray-failure slowdowns, and the mitigation ladder — detours,
+// hedged requests, deadlines — measured as open-loop p50/p99/p999.
+//
+// Every cell builds the structure, prices hops with a seeded
+// LogNormal(median 1us, sigma 0.5) clock, and drives a Poisson query stream
+// through serve::executor::run_open_loop (a per-worker event loop over
+// simulated completions — no wall clock anywhere, so every number replays
+// bit-for-bit). Arms per backend:
+//
+//   zero_fault       healthy fleet — the baseline tail is pure route length.
+//   slowdown         ~2% of hosts 25x slow (one straggler per 50): the tail
+//                    inflates by an order of magnitude while the median
+//                    barely moves — the classic gray-failure signature.
+//   slowdown_detour  slow-host avoidance on (threshold 10x): upper-level
+//                    hops toward stragglers become early descents; answers
+//                    are unchanged (tested), the tail partially recovers.
+//   slowdown_hedged  hedged requests: after a delay of p99/2 (derived from
+//                    the measured slowdown arm) the op is re-issued from a
+//                    backup origin and the first reply wins; both routes are
+//                    charged (cancel-and-account). The headline: p99 drops
+//                    well below the unhedged slowdown arm's.
+//
+// skipweb1d additionally runs:
+//
+//   loss_retry       5% message loss + replication 3: retries and their
+//                    capped exponential backoff priced into the clock.
+//   deadline         op deadline = healthy p99 under the slowdown fleet:
+//                    ops give up mid-route (op_stats::timed_out) instead of
+//                    riding a straggler — the tail is clipped at the budget
+//                    and availability records the price.
+//
+// A serial spatial arm (skip_quadtree2 locate) prices the quadtree walk
+// with the same clock, and a saturation sweep (narrow in-flight window,
+// shrinking inter-arrival gaps) shows queueing delay take over the tail as
+// offered load crosses capacity.
+//
+// Usage:
+//   bench_latency [--n N] [--queries Q] [--threads T] [--gap NS]
+//                 [--seed S] [--out NAME] [--smoke]
+//
+// --smoke shrinks everything for CI. Emits BENCH_<out>.json (schema
+// validated by the bench-release CI job).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/spatial_registry.h"
+#include "bench_common.h"
+#include "net/latency.h"
+#include "net/network.h"
+#include "serve/executor.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using namespace skipweb::bench;
+namespace wl = skipweb::workloads;
+
+struct config {
+  std::size_t n = 2048;
+  std::size_t queries = 4000;
+  std::size_t threads = 4;
+  double mean_gap_ns = 100000.0;  // comfortably below saturation
+  std::uint64_t seed = 1117;
+  std::string out = "latency";
+};
+
+constexpr std::uint64_t kMedianHopNs = 1000;
+constexpr double kSigma = 0.5;
+constexpr double kSlowFactor = 25.0;
+constexpr std::uint32_t kSlowEvery = 50;  // hosts 5, 55, 105, ... are slow
+constexpr double kDetourThreshold = 10.0;
+
+void slow_hosts(net::network& net, double factor) {
+  for (std::uint32_t v = 5; v < net.host_count(); v += kSlowEvery) {
+    net.set_host_slowdown(net::host_id{v}, factor);
+  }
+}
+
+struct row {
+  std::string structure;
+  std::string arm;
+  std::uint64_t ops = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t hedge_delay_ns = 0;
+  std::uint64_t deadline_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  double mean_ns = 0;
+  std::uint64_t hedged = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t timed_out_ops = 0;
+  std::uint64_t failed_ops = 0;
+  double messages_per_op = 0;
+  double retries_per_op = 0;
+  std::uint64_t makespan_ns = 0;
+};
+
+row make_row(const std::string& structure, const std::string& arm,
+             const serve::executor::open_loop_outcome& out, const config& cfg,
+             const serve::executor::open_loop_config& olc) {
+  row r;
+  r.structure = structure;
+  r.arm = arm;
+  r.ops = out.results.size();
+  r.threads = cfg.threads;
+  r.inflight = olc.inflight;
+  r.hedge_delay_ns = olc.hedge_delay_ns;
+  r.p50_ns = serve::executor::percentile_ns(out.latency_ns, 0.50);
+  r.p99_ns = serve::executor::percentile_ns(out.latency_ns, 0.99);
+  r.p999_ns = serve::executor::percentile_ns(out.latency_ns, 0.999);
+  double sum = 0;
+  for (const auto l : out.latency_ns) sum += static_cast<double>(l);
+  r.mean_ns = r.ops > 0 ? sum / static_cast<double>(r.ops) : 0.0;
+  r.hedged = out.hedged;
+  r.hedge_wins = out.hedge_wins;
+  r.timed_out_ops = out.timed_out_ops;
+  r.failed_ops = out.failed_ops;
+  r.messages_per_op =
+      r.ops > 0 ? static_cast<double>(out.total.messages) / static_cast<double>(r.ops) : 0.0;
+  r.retries_per_op =
+      r.ops > 0 ? static_cast<double>(out.total.retries) / static_cast<double>(r.ops) : 0.0;
+  r.makespan_ns = out.makespan_ns;
+  return r;
+}
+
+void print_result_row(const row& r) {
+  print_row({r.structure, r.arm, fmt_u(r.p50_ns), fmt_u(r.p99_ns), fmt_u(r.p999_ns),
+             fmt_u(r.hedged), fmt_u(r.hedge_wins), fmt_u(r.timed_out_ops),
+             fmt(r.messages_per_op)},
+            16);
+}
+
+void json_row(json_writer& jw, const row& r) {
+  jw.begin_object();
+  jw.field("structure", r.structure);
+  jw.field("arm", r.arm);
+  jw.field("ops", r.ops);
+  jw.field("threads", r.threads);
+  jw.field("inflight", r.inflight);
+  jw.field("hedge_delay_ns", r.hedge_delay_ns);
+  jw.field("deadline_ns", r.deadline_ns);
+  jw.field("p50_ns", r.p50_ns);
+  jw.field("p99_ns", r.p99_ns);
+  jw.field("p999_ns", r.p999_ns);
+  jw.field("mean_ns", r.mean_ns);
+  jw.field("hedged", r.hedged);
+  jw.field("hedge_wins", r.hedge_wins);
+  jw.field("timed_out_ops", r.timed_out_ops);
+  jw.field("failed_ops", r.failed_ops);
+  jw.field("messages_per_op", r.messages_per_op);
+  jw.field("retries_per_op", r.retries_per_op);
+  jw.field("makespan_ns", r.makespan_ns);
+  jw.end_object();
+}
+
+// The service-time p99 of a finished run — what the hedge delay and the
+// deadline arm are derived from (service excludes queueing).
+std::uint64_t service_p99(const serve::executor::open_loop_outcome& out) {
+  std::vector<std::uint64_t> services;
+  services.reserve(out.results.size());
+  for (const auto& res : out.results) services.push_back(res.stats.sim_latency_ns);
+  return serve::executor::percentile_ns(services, 0.99);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n N] [--queries Q] [--threads T] [--gap NS] [--seed S]\n"
+               "          [--out NAME] [--smoke]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") {
+      cfg.n = static_cast<std::size_t>(std::strtoull(need("--n"), nullptr, 10));
+    } else if (a == "--queries") {
+      cfg.queries = static_cast<std::size_t>(std::strtoull(need("--queries"), nullptr, 10));
+    } else if (a == "--threads") {
+      cfg.threads = static_cast<std::size_t>(std::strtoull(need("--threads"), nullptr, 10));
+    } else if (a == "--gap") {
+      cfg.mean_gap_ns = std::strtod(need("--gap"), nullptr);
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--out") {
+      cfg.out = need("--out");
+    } else if (a == "--smoke") {
+      cfg.n = 256;
+      cfg.queries = 600;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  util::rng r(cfg.seed);
+  const auto keys = wl::uniform_keys(cfg.n, r);
+  const auto qs = wl::query_stream(keys, cfg.queries, cfg.seed + 1);
+  const auto arrivals = wl::poisson_arrivals(cfg.queries, cfg.mean_gap_ns, cfg.seed + 2);
+  const auto model = net::latency_model::lognormal(kMedianHopNs, kSigma, cfg.seed + 3);
+
+  print_header("open-loop tail latency: slowdowns, detours, hedging, deadlines");
+  print_row({"structure", "arm", "p50_ns", "p99_ns", "p999_ns", "hedged", "wins", "timeouts",
+             "msgs/op"},
+            16);
+  print_rule();
+
+  serve::executor ex(cfg.threads);
+  std::vector<row> rows;
+  const auto run = [&](const api::distributed_index& idx,
+                       const serve::executor::open_loop_config& olc) {
+    return ex.run_open_loop(idx, qs, arrivals, olc);
+  };
+
+  std::uint64_t skipweb_healthy_service_p99 = 0;  // feeds the deadline arm
+
+  for (const std::string backend : {"skipweb1d", "bucket_skipweb", "skip_graph"}) {
+    net::network net(1);
+    const auto idx = api::make_index(backend, keys,
+                                     api::index_options{}.seed(cfg.seed + 4).bucket_size(16), net);
+    net.set_latency_model(model);
+    serve::executor::open_loop_config olc;
+    olc.origin = net::host_id{0};
+
+    auto healthy = run(*idx, olc);
+    rows.push_back(make_row(backend, "zero_fault", healthy, cfg, olc));
+    print_result_row(rows.back());
+    if (backend == "skipweb1d") skipweb_healthy_service_p99 = service_p99(healthy);
+
+    slow_hosts(net, kSlowFactor);
+    const auto slowed = run(*idx, olc);
+    rows.push_back(make_row(backend, "slowdown", slowed, cfg, olc));
+    print_result_row(rows.back());
+
+    net.set_slow_host_threshold(kDetourThreshold);
+    rows.push_back(make_row(backend, "slowdown_detour", run(*idx, olc), cfg, olc));
+    print_result_row(rows.back());
+    net.set_slow_host_threshold(0.0);
+
+    serve::executor::open_loop_config hedge = olc;
+    hedge.hedge_origin = net::host_id{1};
+    hedge.hedge_delay_ns = service_p99(slowed) / 2;
+    rows.push_back(make_row(backend, "slowdown_hedged", run(*idx, hedge), cfg, hedge));
+    print_result_row(rows.back());
+  }
+
+  {  // loss + replication: retries and backoff priced into the clock
+    net::network net(1);
+    const auto idx = api::make_index(
+        "skipweb1d", keys, api::index_options{}.seed(cfg.seed + 4).replication(3), net);
+    net.set_message_loss(0.05, cfg.seed + 5);
+    net.set_latency_model(model);
+    serve::executor::open_loop_config olc;
+    olc.origin = net::host_id{0};
+    rows.push_back(make_row("skipweb1d", "loss_retry", run(*idx, olc), cfg, olc));
+    print_result_row(rows.back());
+  }
+
+  {  // deadline: give up instead of riding a straggler
+    net::network net(1);
+    const auto idx =
+        api::make_index("skipweb1d", keys, api::index_options{}.seed(cfg.seed + 4), net);
+    net.set_latency_model(model);
+    slow_hosts(net, kSlowFactor);
+    net.set_op_deadline(skipweb_healthy_service_p99);
+    serve::executor::open_loop_config olc;
+    olc.origin = net::host_id{0};
+    auto rr = make_row("skipweb1d", "deadline", run(*idx, olc), cfg, olc);
+    rr.deadline_ns = skipweb_healthy_service_p99;
+    rows.push_back(rr);
+    print_result_row(rows.back());
+  }
+
+  {  // spatial: the same clock over the skip quadtree's locate walk (serial)
+    util::rng pr(cfg.seed + 6);
+    const auto pts = wl::spatial_points(2, cfg.n, false, pr);
+    const auto probes = wl::spatial_query_stream(2, cfg.queries, cfg.seed + 7);
+    net::network net(1);
+    const auto idx = api::make_spatial_index(
+        "skip_quadtree2", pts, api::index_options{}.seed(cfg.seed + 8).initial_hosts(cfg.n), net);
+    net.set_latency_model(model);
+    std::vector<std::uint64_t> services;
+    api::op_stats totals;
+    for (const auto& q : probes) {
+      const auto res = idx->locate(q, net::host_id{0});
+      services.push_back(res.stats.sim_latency_ns);
+      totals += res.stats;
+    }
+    row rr;
+    rr.structure = "skip_quadtree2";
+    rr.arm = "zero_fault_serial";
+    rr.ops = probes.size();
+    rr.threads = 1;
+    rr.p50_ns = serve::executor::percentile_ns(services, 0.50);
+    rr.p99_ns = serve::executor::percentile_ns(services, 0.99);
+    rr.p999_ns = serve::executor::percentile_ns(services, 0.999);
+    double sum = 0;
+    for (const auto s : services) sum += static_cast<double>(s);
+    rr.mean_ns = rr.ops > 0 ? sum / static_cast<double>(rr.ops) : 0.0;
+    rr.messages_per_op =
+        rr.ops > 0 ? static_cast<double>(totals.messages) / static_cast<double>(rr.ops) : 0.0;
+    rows.push_back(rr);
+    print_result_row(rows.back());
+  }
+
+  // Saturation sweep: a narrow in-flight window and shrinking inter-arrival
+  // gaps push each worker's event loop past capacity — queueing delay, not
+  // route length, takes over the tail.
+  print_header("saturation: p99 vs offered load (skipweb1d, inflight window 8)");
+  print_row({"load_factor", "mean_gap_ns", "p50_ns", "p99_ns", "p999_ns", "makespan_ns"}, 16);
+  print_rule();
+  struct sat_row {
+    double load_factor = 0;
+    double mean_gap_ns = 0;
+    std::uint64_t p50_ns = 0, p99_ns = 0, p999_ns = 0, makespan_ns = 0;
+  };
+  std::vector<sat_row> sat;
+  {
+    net::network net(1);
+    const auto idx =
+        api::make_index("skipweb1d", keys, api::index_options{}.seed(cfg.seed + 4), net);
+    net.set_latency_model(model);
+    serve::executor::open_loop_config olc;
+    olc.origin = net::host_id{0};
+    olc.inflight = 8;
+    // Mean service time of the healthy fleet sets the capacity scale.
+    const auto probe = run(*idx, olc);
+    double mean_service = 0;
+    for (const auto& res : probe.results) {
+      mean_service += static_cast<double>(res.stats.sim_latency_ns);
+    }
+    mean_service /= static_cast<double>(probe.results.size());
+    const double capacity_gap = mean_service / static_cast<double>(olc.inflight);
+    for (const double load : {0.25, 0.5, 1.0, 2.0}) {
+      sat_row s;
+      s.load_factor = load;
+      s.mean_gap_ns = capacity_gap / load;
+      const auto loaded =
+          wl::poisson_arrivals(cfg.queries, s.mean_gap_ns, cfg.seed + 9);
+      const auto out = ex.run_open_loop(*idx, qs, loaded, olc);
+      s.p50_ns = serve::executor::percentile_ns(out.latency_ns, 0.50);
+      s.p99_ns = serve::executor::percentile_ns(out.latency_ns, 0.99);
+      s.p999_ns = serve::executor::percentile_ns(out.latency_ns, 0.999);
+      s.makespan_ns = out.makespan_ns;
+      sat.push_back(s);
+      print_row({fmt(s.load_factor), fmt(s.mean_gap_ns, 0), fmt_u(s.p50_ns), fmt_u(s.p99_ns),
+                 fmt_u(s.p999_ns), fmt_u(s.makespan_ns)},
+                16);
+    }
+  }
+
+  json_writer jw;
+  jw.begin_object();
+  jw.field("bench", "latency");
+  json_hardware_fields(jw);
+  jw.field("n", static_cast<std::uint64_t>(cfg.n));
+  jw.field("queries", static_cast<std::uint64_t>(cfg.queries));
+  jw.field("threads", static_cast<std::uint64_t>(cfg.threads));
+  jw.field("mean_gap_ns", cfg.mean_gap_ns);
+  jw.field("hop_median_ns", kMedianHopNs);
+  jw.field("hop_sigma", kSigma);
+  jw.field("slow_factor", kSlowFactor);
+  jw.field("detour_threshold", kDetourThreshold);
+  jw.field("seed", cfg.seed);
+  jw.key("rows").begin_array();
+  for (const auto& rr : rows) json_row(jw, rr);
+  jw.end_array();
+  jw.key("saturation").begin_array();
+  for (const auto& s : sat) {
+    jw.begin_object();
+    jw.field("load_factor", s.load_factor);
+    jw.field("mean_gap_ns", s.mean_gap_ns);
+    jw.field("p50_ns", s.p50_ns);
+    jw.field("p99_ns", s.p99_ns);
+    jw.field("p999_ns", s.p999_ns);
+    jw.field("makespan_ns", s.makespan_ns);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  write_bench_json(cfg.out, jw.str());
+  return 0;
+}

@@ -63,6 +63,14 @@ class adapter final : public distributed_index {
     return distributed_index::repair_step(origin);  // throws unsupported_operation
   }
 
+  [[nodiscard]] std::size_t replication() const override {
+    if constexpr (has_repair) {
+      return impl_.replication();
+    } else {
+      return 0;
+    }
+  }
+
   [[nodiscard]] nn_result nearest(std::uint64_t q, net::host_id origin) const override {
     return impl_.nearest(q, origin);
   }

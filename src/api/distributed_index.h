@@ -145,6 +145,14 @@ class distributed_index {
       have = true;
     }
     while (have && next <= hi) {
+      // Deadline plane: each constituent nearest() is its own cursor, so
+      // the sweep enforces the budget across them here — keys gathered so
+      // far come back as a degraded honest prefix (DESIGN.md §11).
+      if (range_deadline_ns_ != 0 && out.stats.sim_latency_ns > range_deadline_ns_) {
+        out.stats.timed_out = true;
+        out.stats.degraded = true;
+        break;
+      }
       out.value.push_back(next);
       // No successor can qualify past hi: skip the final (for chord, a whole
       // network flood) query.
@@ -172,8 +180,23 @@ class distributed_index {
     throw unsupported_operation(backend(), "repair_step");
   }
 
+  /// \brief The replication factor the build actually honored — the
+  /// index_options::replication(k) request after make_index's clamp against
+  /// host and record counts (0 for backends without fault support).
+  /// \note Structural plane; O(1).
+  [[nodiscard]] virtual std::size_t replication() const { return 0; }
+
+  /// \brief Per-sweep deadline for the generic range() fallback, in
+  /// simulated ns (0 = none). Set by make_index from
+  /// index_options::deadline(); backends with a native range walk enforce
+  /// the budget on their own cursor instead and ignore this.
+  void set_range_deadline(std::uint64_t sim_ns) { range_deadline_ns_ = sim_ns; }
+
  protected:
   distributed_index() = default;
+
+ private:
+  std::uint64_t range_deadline_ns_ = 0;
 };
 
 }  // namespace skipweb::api

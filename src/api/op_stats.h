@@ -23,17 +23,40 @@ namespace skipweb::api {
 // backed by live hosts and availability metrics count it unavailable. With
 // faults disabled it is always false, so the field is invisible to
 // pre-fault comparisons.
+//
+// Under the latency/deadline plane (net/latency.h, DESIGN.md §11) an
+// operation additionally carries:
+//   sim_latency_ns — simulated time the route spent: per-hop model draws ×
+//                    destination slowdowns, probe timeouts, retry backoffs;
+//   retries        — retry attempts (lost sends + replica fallbacks);
+//   hedges         — duplicate requests issued by hedged serving (only the
+//                    executor sets this; single ops report 0);
+//   timed_out      — the op exceeded its index_options::deadline budget;
+//   degraded       — the op gave up mid-route and returned a partial (but
+//                    honest-prefix) answer.
+// All five are zero/false with no model active, so pre-latency comparisons
+// never see them.
 struct op_stats {
   std::uint64_t messages = 0;
   std::uint64_t host_visits = 0;
   std::uint64_t comparisons = 0;
+  std::uint64_t sim_latency_ns = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
   bool failed = false;
+  bool timed_out = false;
+  bool degraded = false;
 
   op_stats& operator+=(const op_stats& o) {
     messages += o.messages;
     host_visits += o.host_visits;
     comparisons += o.comparisons;
+    sim_latency_ns += o.sim_latency_ns;
+    retries += o.retries;
+    hedges += o.hedges;
     failed = failed || o.failed;
+    timed_out = timed_out || o.timed_out;
+    degraded = degraded || o.degraded;
     return *this;
   }
   friend op_stats operator+(op_stats a, const op_stats& b) { return a += b; }
@@ -41,12 +64,19 @@ struct op_stats {
 
   // Snapshot the counters of a cursor-like object (anything exposing
   // messages()/visits()/comparisons(), i.e. net::cursor). Templated so this
-  // header stays a leaf with no dependency on the net layer; the failed flag
-  // is picked up when the cursor type exposes one.
+  // header stays a leaf with no dependency on the net layer; the fault and
+  // latency fields are picked up when the cursor type exposes them.
   template <typename Cursor>
   [[nodiscard]] static op_stats of(const Cursor& c) {
-    op_stats s{c.messages(), c.visits(), c.comparisons()};
+    op_stats s;
+    s.messages = c.messages();
+    s.host_visits = c.visits();
+    s.comparisons = c.comparisons();
     if constexpr (requires { c.failed(); }) s.failed = c.failed();
+    if constexpr (requires { c.sim_ns(); }) s.sim_latency_ns = c.sim_ns();
+    if constexpr (requires { c.retries(); }) s.retries = c.retries();
+    if constexpr (requires { c.timed_out(); }) s.timed_out = c.timed_out();
+    if constexpr (requires { c.degraded(); }) s.degraded = c.degraded();
     return s;
   }
 };

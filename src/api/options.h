@@ -69,9 +69,24 @@ class index_options {
   // expose repair_step() to restore redundancy after crashes. 0 (the
   // default) disables the plane entirely — routing is byte-identical to the
   // pre-fault build. Backends without fault support ignore it (their
-  // capability set simply never advertises fault_tolerant). Clamped to 8.
+  // capability set simply never advertises fault_tolerant). Clamped to 8
+  // here; make_index additionally clamps against what the deployment can
+  // honor — a k-th replica needs k+1 distinct records, so the build caps k
+  // at max(existing hosts, records) - 1 (tower placements grow hosts to the
+  // record count). index::replication() reports the honored value.
   index_options& replication(std::size_t k) {
     replication_ = std::min<std::size_t>(k, 8);
+    return *this;
+  }
+  // Opt into per-op deadlines (the latency plane, DESIGN.md §11): with a
+  // latency model active (network::set_latency_model), an operation whose
+  // accumulated simulated time exceeds this budget gives up mid-route,
+  // reporting op_stats::timed_out — and, for range/NN walks, returns what it
+  // gathered so far tagged op_stats::degraded (an honest prefix of the true
+  // answer). 0 (the default) means no deadline; structural operations
+  // (insert/erase/build) always run to completion regardless.
+  index_options& deadline(std::uint64_t sim_ns) {
+    deadline_ns_ = sim_ns;
     return *this;
   }
 
@@ -82,6 +97,7 @@ class index_options {
   [[nodiscard]] std::size_t buckets() const { return buckets_; }
   [[nodiscard]] net::hop_cache* route_cache() const { return route_cache_; }
   [[nodiscard]] std::size_t replication() const { return replication_; }
+  [[nodiscard]] std::uint64_t deadline_ns() const { return deadline_ns_; }
 
   // M defaults to Theta(log n) — the regime where the blocked skip-web hits
   // its O(log n / log log n) query bound (paper §2.4.1).
@@ -107,6 +123,7 @@ class index_options {
   std::size_t buckets_ = 0;
   net::hop_cache* route_cache_ = nullptr;
   std::size_t replication_ = 0;
+  std::uint64_t deadline_ns_ = 0;
 };
 
 }  // namespace skipweb::api

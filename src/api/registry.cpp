@@ -1,5 +1,6 @@
 #include "api/registry.h"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -86,8 +87,28 @@ std::unique_ptr<distributed_index> make_index(std::string_view backend,
   // so serving can start absorbing as soon as the cache has learned. The
   // build itself is structural — its receipts never absorb.
   if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
-  const net::structural_section build_guard(net);
-  return make(std::move(keys), opts, net);
+  // Honor only as much replication as the deployment can hold: a k-th
+  // replica needs k+1 distinct records (tower placements grow hosts to the
+  // record count, so max() of the two sizes is the deployment size). The
+  // index reports the honored value via replication().
+  index_options build_opts = opts;
+  const std::size_t deploy = std::max(net.host_count(), keys.size());
+  if (build_opts.replication() > 0) {
+    build_opts.replication(std::min(build_opts.replication(), deploy - 1));
+  }
+  std::unique_ptr<distributed_index> idx;
+  {
+    const net::structural_section build_guard(net);
+    idx = make(std::move(keys), build_opts, net);
+  }
+  // Deadline opt-in (the latency plane, DESIGN.md §11): wired after the
+  // build guard closes — set_op_deadline is a quiescent structural setter,
+  // and the build itself must never race a deadline.
+  if (build_opts.deadline_ns() > 0) {
+    net.set_op_deadline(build_opts.deadline_ns());
+    idx->set_range_deadline(build_opts.deadline_ns());
+  }
+  return idx;
 }
 
 }  // namespace skipweb::api

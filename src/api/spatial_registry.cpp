@@ -1,5 +1,6 @@
 #include "api/spatial_registry.h"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -97,8 +98,20 @@ std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
   while (net.host_count() < opts.initial_hosts()) net.add_host();
   // Cache opt-in, exactly as in the 1-D make_index; the build is structural.
   if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
-  const net::structural_section build_guard(net);
-  return make(std::move(pts), opts, net);
+  // Replication clamp and deadline wiring, exactly as in make_index (the
+  // deadline is applied after the build guard closes — quiescent setter).
+  index_options build_opts = opts;
+  const std::size_t deploy = std::max(net.host_count(), pts.size());
+  if (build_opts.replication() > 0) {
+    build_opts.replication(std::min(build_opts.replication(), deploy - 1));
+  }
+  std::unique_ptr<spatial_index> idx;
+  {
+    const net::structural_section build_guard(net);
+    idx = make(std::move(pts), build_opts, net);
+  }
+  if (build_opts.deadline_ns() > 0) net.set_op_deadline(build_opts.deadline_ns());
+  return idx;
 }
 
 }  // namespace skipweb::api

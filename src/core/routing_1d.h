@@ -33,6 +33,13 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
   // keys at all — each advance-or-stop decision is one node-record load.
   std::uint64_t item_key = lists.key(item);
   for (int l = start_level; l >= 0; --l) {
+    // Deadline plane: a query whose simulated time ran out gives up at the
+    // next level boundary; the flanks of wherever the walk stopped become a
+    // degraded best-effort answer (see DESIGN.md §11).
+    if (cur.expired()) {
+      cur.mark_degraded();
+      break;
+    }
     cur.move_to(host_of(item, l));  // descend the item's tower
     // A node caches its neighbours' keys alongside the remote references
     // (standard in skip graphs; level_lists stores them in the node record),
@@ -43,11 +50,23 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
       // Approach from the left: advance while the next same-list item does
       // not overshoot.
       for (;;) {
+        // Deadline give-up mid-walk too: level-0 runs can be long, and a
+        // straggler-priced hop inside one must not commit the query to
+        // finishing it (see DESIGN.md §11).
+        if (cur.expired()) {
+          cur.mark_degraded();
+          break;
+        }
         const int nx = lists.next(item, l);
         if (nx < 0) break;
         cur.note_comparisons();
         const std::uint64_t nk = lists.next_key(item, l);
         if (nk > q) break;
+        // Slow-host detour: at l > 0 a suspected-slow express stop is
+        // treated as overshoot — descend early. Upper levels only
+        // accelerate the walk, so the answer cannot change; level 0 never
+        // detours.
+        if (l > 0 && cur.detours() && cur.avoids(host_of(nx, l))) break;
         item = nx;
         item_key = nk;
         // Overlap the next iteration's loads with the hop bookkeeping.
@@ -58,11 +77,16 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
     } else {
       // Approach from the right, symmetrically.
       for (;;) {
+        if (cur.expired()) {
+          cur.mark_degraded();
+          break;
+        }
         const int pv = lists.prev(item, l);
         if (pv < 0) break;
         cur.note_comparisons();
         const std::uint64_t pk = lists.prev_key(item, l);
         if (pk <= q) break;
+        if (l > 0 && cur.detours() && cur.avoids(host_of(pv, l))) break;
         item = pv;
         item_key = pk;
         lists.prefetch_prev(item, l);
@@ -212,15 +236,27 @@ std::pair<int, int> route_search_fault(const level_lists& lists, const net::netw
   int item = start_item;
   std::uint64_t item_key = lists.key(item);
   for (int l = start_level; l >= 0; --l) {
+    // Deadline give-up, exactly as in route_search.
+    if (cur.expired()) {
+      cur.mark_degraded();
+      break;
+    }
     cur.move_to(host_of(item, l));  // the current item survived its own probe
     cur.note_comparisons();
     if (item_key <= q) {
       for (;;) {
+        // Deadline give-up mid-walk, exactly as in route_search.
+        if (cur.expired()) {
+          cur.mark_degraded();
+          break;
+        }
         const int nx = lists.next(item, l);
         if (nx < 0) break;
         cur.note_comparisons();
         const std::uint64_t nk = lists.next_key(item, l);
         if (nk > q) break;
+        // Slow-host detour (l > 0 only), exactly as in route_search.
+        if (l > 0 && cur.detours() && cur.avoids(host_of(nx, l))) break;
         lists.prefetch_next(nx, l);
         host_prefetch(nx);
         if (cur.try_move_to(host_of(nx, l))) {
@@ -255,11 +291,16 @@ std::pair<int, int> route_search_fault(const level_lists& lists, const net::netw
       }
     } else {
       for (;;) {
+        if (cur.expired()) {
+          cur.mark_degraded();
+          break;
+        }
         const int pv = lists.prev(item, l);
         if (pv < 0) break;
         cur.note_comparisons();
         const std::uint64_t pk = lists.prev_key(item, l);
         if (pk <= q) break;
+        if (l > 0 && cur.detours() && cur.avoids(host_of(pv, l))) break;
         lists.prefetch_prev(pv, l);
         host_prefetch(pv);
         if (cur.try_move_to(host_of(pv, l))) {

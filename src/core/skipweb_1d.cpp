@@ -143,10 +143,15 @@ std::vector<api::nn_result> skipweb_1d::nearest_batch(const std::vector<std::uin
                                                       net::host_id origin) const {
   std::vector<api::nn_result> out(qs.size());
   if (qs.empty()) return out;
-  if (fault_routing()) {
-    // The interleaved router is not replica-aware; the batch == serial
-    // receipt contract is preserved by simply running serially under faults.
-    for (std::size_t i = 0; i < qs.size(); ++i) out[i] = nearest_fault(qs[i], origin);
+  if (fault_routing() || net_->adaptive_routing_active()) {
+    // The interleaved router is neither replica- nor deadline-aware; the
+    // batch == serial receipt contract is preserved by simply running
+    // serially under faults, per-op deadlines or slow-host detours. (Pure
+    // latency accumulation needs no gate: draw serials are cursor-private,
+    // so the interleaved walk prices hops identically to the serial one.)
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      out[i] = fault_routing() ? nearest_fault(qs[i], origin) : nearest(qs[i], origin);
+    }
     return out;
   }
   const int root = root_for(origin);
@@ -208,7 +213,14 @@ api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, s
     if (item >= 0) cur.move_to(host_of(item, 0));  // flanks are live by contract
     while (item >= 0 && lists_.key(item) <= hi) {
       if (limit != 0 && out.value.size() >= limit) break;
-      out.value.push_back(lists_.key(item));
+      // Deadline plane: give up mid-sweep, returning the keys gathered so
+      // far as a degraded (honest-prefix) answer. The >= lo guard keeps the
+      // prefix honest even when the descent itself gave up short of lo.
+      if (cur.expired()) {
+        cur.mark_degraded();
+        break;
+      }
+      if (lists_.key(item) >= lo) out.value.push_back(lists_.key(item));
       // Advance to the first live known successor.
       int next_item = -1;
       for (std::size_t j = 0; j <= k; ++j) {
@@ -235,8 +247,13 @@ api::op_result<std::vector<std::uint64_t>> skipweb_1d::range(std::uint64_t lo, s
   int item = (pred >= 0 && lists_.key(pred) == lo) ? pred : succ;
   while (item >= 0 && lists_.key(item) <= hi) {
     if (limit != 0 && out.value.size() >= limit) break;
+    // Deadline give-up, exactly as in the fault-routed sweep above.
+    if (cur.expired()) {
+      cur.mark_degraded();
+      break;
+    }
     cur.move_to(host_of(item, 0));
-    out.value.push_back(lists_.key(item));
+    if (lists_.key(item) >= lo) out.value.push_back(lists_.key(item));
     item = lists_.next(item, 0);
   }
   out.stats = api::op_stats::of(cur);

@@ -18,10 +18,19 @@ std::size_t injector::advance_to(std::size_t op) {
   std::size_t fired = 0;
   while (next_ < events_.size() && events_[next_].at_op <= op) {
     const auto& e = events_[next_++];
-    if (e.kill) {
-      net_->kill_host(e.host);
-    } else {
-      net_->revive_host(e.host);
+    switch (e.act) {
+      case workloads::churn_event::action::kill:
+        net_->kill_host(e.host);
+        break;
+      case workloads::churn_event::action::revive:
+        net_->revive_host(e.host);
+        break;
+      case workloads::churn_event::action::slow:
+        net_->set_host_slowdown(e.host, e.factor);
+        break;
+      case workloads::churn_event::action::restore:
+        net_->set_host_slowdown(e.host, 1.0);
+        break;
     }
     ++fired;
   }

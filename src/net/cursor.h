@@ -46,6 +46,19 @@ namespace skipweb::net {
 //  - Message loss charges retry messages per hop, decided statelessly from
 //    (loss seed, from, to, attempt serial) — deterministic per route at any
 //    thread count.
+//
+// Latency plane (net/latency.h, DESIGN.md §11): with a model active, every
+// charged hop also accumulates simulated nanoseconds (the model draw times
+// the destination's slowdown multiplier) into the receipt; lost sends and
+// failed probes additionally price the retry backoff, and unreachable
+// probes cost the failure detector's timeout window. Draw serials are
+// cursor-private, so simulated times are deterministic for any thread
+// count, like every other receipt number. A query-plane cursor also
+// captures the op deadline: once accumulated time exceeds it, timed_out()
+// flips and deadline-aware walks (route_search, the range walks) give up
+// mid-route, marking the partial answer degraded(). Structural-section
+// cursors capture no deadline and no detour threshold — an update must
+// finish what it started.
 class cursor {
  public:
   // Absorption is query-plane only: a cursor constructed inside a
@@ -62,7 +75,10 @@ class cursor {
         loss_threshold_(
             faults_ ? static_cast<std::uint64_t>(net.message_loss() * 18446744073709551615.0)
                     : 0),
-        loss_seed_(faults_ ? net.message_loss_seed() : 0) {
+        loss_seed_(faults_ ? net.message_loss_seed() : 0),
+        lat_(net.latency_active()),
+        deadline_ns_(lat_ && !net.in_structural_section() ? net.op_deadline_ns() : 0),
+        avoid_threshold_(lat_ && !net.in_structural_section() ? net.slow_host_threshold() : 0.0) {
     SW_EXPECTS(start.valid() && start.value < net.host_count());
   }
 
@@ -81,8 +97,17 @@ class cursor {
         faults_(o.faults_),
         loss_threshold_(o.loss_threshold_),
         loss_seed_(o.loss_seed_),
+        lat_(o.lat_),
+        deadline_ns_(o.deadline_ns_),
+        avoid_threshold_(o.avoid_threshold_),
         hop_serial_(o.hop_serial_),
+        sim_serial_(o.sim_serial_),
+        backoff_serial_(o.backoff_serial_),
+        sim_ns_(o.sim_ns_),
+        retries_(o.retries_),
         failed_(o.failed_),
+        timed_out_(o.timed_out_),
+        degraded_(o.degraded_),
         messages_(o.messages_),
         absorbed_(o.absorbed_),
         comparisons_(o.comparisons_),
@@ -97,8 +122,17 @@ class cursor {
       faults_ = o.faults_;
       loss_threshold_ = o.loss_threshold_;
       loss_seed_ = o.loss_seed_;
+      lat_ = o.lat_;
+      deadline_ns_ = o.deadline_ns_;
+      avoid_threshold_ = o.avoid_threshold_;
       hop_serial_ = o.hop_serial_;
+      sim_serial_ = o.sim_serial_;
+      backoff_serial_ = o.backoff_serial_;
+      sim_ns_ = o.sim_ns_;
+      retries_ = o.retries_;
       failed_ = o.failed_;
+      timed_out_ = o.timed_out_;
+      degraded_ = o.degraded_;
       messages_ = o.messages_;
       absorbed_ = o.absorbed_;
       comparisons_ = o.comparisons_;
@@ -124,16 +158,14 @@ class cursor {
           // Timed-out probe: the message toward h was sent and lost to the
           // crash — charged to h's slot. The op is damaged; the locus still
           // "moves" so fault-unaware protocols complete mechanically.
-          ++messages_;
-          receipt_.record(h);
+          charge_probe(h);
           failed_ = true;
           at_ = h;
           return;
         }
         charge_loss_retries(h);
       }
-      ++messages_;
-      receipt_.record(h);
+      charge_hop(h);
       at_ = h;
     }
   }
@@ -152,14 +184,15 @@ class cursor {
     }
     if (faults_) {
       if (!net_->reachable(at_, h)) {
-        ++messages_;
-        receipt_.record(h);
+        charge_probe(h);
+        // The caller will fall back to a replica: that retry waits out a
+        // capped exponential backoff first (free when no model is active).
+        charge_retry_backoff();
         return false;
       }
       charge_loss_retries(h);
     }
-    ++messages_;
-    receipt_.record(h);
+    charge_hop(h);
     at_ = h;
     return true;
   }
@@ -198,6 +231,30 @@ class cursor {
   // The not-yet-committed hop log (exposed for tests).
   [[nodiscard]] const traffic_receipt& receipt() const { return receipt_; }
 
+  // ---- latency / deadline plane (all zero when no model is active) ----
+
+  // Simulated time this operation has spent: hop draws × destination
+  // slowdowns, probe timeouts, retry backoffs.
+  [[nodiscard]] std::uint64_t sim_ns() const { return sim_ns_; }
+  // Retry attempts: lost sends plus replica fallbacks after failed probes.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  // Latched once sim_ns() first exceeded the op deadline captured at
+  // construction (never set for structural cursors or without a deadline).
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+  // Alias routers read at give-up checkpoints; same latch as timed_out().
+  [[nodiscard]] bool expired() const { return timed_out_; }
+  // Set by deadline-aware walks that gave up mid-route: the answer is an
+  // honest prefix/approximation, not the full result.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  void mark_degraded() { degraded_ = true; }
+  // Slow-host detours: captured at construction like the fault flags. A
+  // router may descend early rather than hop to an avoided host, as long as
+  // the detour cannot change the answer (level-0 hops never detour).
+  [[nodiscard]] bool detours() const { return avoid_threshold_ > 0.0; }
+  [[nodiscard]] bool avoids(host_id h) const {
+    return avoid_threshold_ > 0.0 && net_->host_slowdown(h) >= avoid_threshold_;
+  }
+
  private:
   // Seeded per-attempt loss: each physical send attempt toward a reachable
   // host may be lost and retried, every attempt charged. The decision is a
@@ -215,7 +272,41 @@ class cursor {
       if (z >= loss_threshold_) return;  // this attempt got through
       ++messages_;                       // lost attempt: charged, retried
       receipt_.record(h);
+      // The lost send still burned a wire round plus the retry's backoff.
+      if (lat_) add_sim(net_->hop_cost_ns(at_, h, sim_serial_++));
+      charge_retry_backoff();
     }
+  }
+
+  // One successfully delivered hop: message + visit + simulated wire time.
+  void charge_hop(host_id h) {
+    ++messages_;
+    receipt_.record(h);
+    if (lat_) add_sim(net_->hop_cost_ns(at_, h, sim_serial_++));
+  }
+
+  // A probe that timed out against an unreachable host: same message/visit
+  // charge, but simulated time is at least the failure detector's window.
+  void charge_probe(host_id h) {
+    ++messages_;
+    receipt_.record(h);
+    if (lat_) {
+      const std::uint64_t draw = net_->hop_cost_ns(at_, h, sim_serial_++);
+      add_sim(std::max(draw, net_->hop_latency().probe_timeout_ns));
+    }
+  }
+
+  // Count a retry and (with a model active) wait out its capped exponential
+  // backoff; the attempt serial is cursor-private, like the draw serial.
+  void charge_retry_backoff() {
+    ++retries_;
+    if (lat_) add_sim(net_->hop_latency().backoff_ns(backoff_serial_++));
+  }
+
+  void add_sim(std::uint64_t ns) {
+    sim_ns_ += ns;
+    receipt_.add_sim_ns(ns);
+    if (deadline_ns_ != 0 && sim_ns_ > deadline_ns_) timed_out_ = true;
   }
 
   network* net_;
@@ -225,8 +316,17 @@ class cursor {
   bool faults_ = false;  // captured at construction, like the hop cache
   std::uint64_t loss_threshold_ = 0;
   std::uint64_t loss_seed_ = 0;
+  bool lat_ = false;                 // latency model captured at construction
+  std::uint64_t deadline_ns_ = 0;    // 0 = none (structural cursors: always 0)
+  double avoid_threshold_ = 0.0;     // 0 = no slow-host detours
   std::uint64_t hop_serial_ = 0;
+  std::uint64_t sim_serial_ = 0;      // latency draw serial (cursor-private)
+  std::uint64_t backoff_serial_ = 0;  // retry attempt serial, prices backoff
+  std::uint64_t sim_ns_ = 0;
+  std::uint64_t retries_ = 0;
   bool failed_ = false;
+  bool timed_out_ = false;
+  bool degraded_ = false;
   std::uint64_t messages_ = 0;
   std::uint64_t absorbed_ = 0;
   std::uint64_t comparisons_ = 0;

@@ -18,7 +18,26 @@ host_id network::add_host() {
   ++hosts_;
   if (!dead_.empty()) dead_.push_back(0);
   if (!partition_.empty()) partition_.push_back(0);
+  if (!slowdown_.empty()) slowdown_.push_back(1.0);
   return host_id{static_cast<std::uint32_t>(hosts_ - 1)};
+}
+
+void network::set_host_slowdown(host_id h, double factor) {
+  SW_EXPECTS(traffic_quiescent());  // structural plane, like kill_host
+  SW_EXPECTS(h.valid() && h.value < hosts_);
+  SW_EXPECTS(factor > 0.0);
+  if (slowdown_.empty()) slowdown_.assign(hosts_, 1.0);
+  const bool was = slowdown_[h.value] != 1.0;
+  const bool now = factor != 1.0;
+  slowdown_[h.value] = factor;
+  if (now && !was) ++slowed_count_;
+  if (!now && was) --slowed_count_;
+}
+
+void network::clear_host_slowdowns() {
+  SW_EXPECTS(traffic_quiescent());
+  slowdown_.clear();
+  slowed_count_ = 0;
 }
 
 void network::kill_host(host_id h) {
@@ -134,6 +153,9 @@ void network::commit(const traffic_receipt& r) {
   if (r.empty()) return;  // hop-free operations never touch the shared plane
   commits_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   total_messages_.fetch_add(r.size(), std::memory_order_relaxed);
+  // The time ledger (latency plane): zero unless a model is active, so the
+  // add is free noise for pre-latency workloads.
+  if (r.sim_ns() != 0) total_sim_ns_.fetch_add(r.sim_ns(), std::memory_order_relaxed);
   r.for_each([this](host_id to) {
     SW_ASSERT(to.valid() && to.value < hosts_);
     visit_slot(to.value).fetch_add(1, std::memory_order_relaxed);
@@ -209,6 +231,7 @@ void network::reset_traffic() {
   }
   total_messages_.store(0, std::memory_order_relaxed);
   max_op_host_load_.store(0, std::memory_order_relaxed);
+  total_sim_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace skipweb::net

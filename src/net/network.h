@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/latency.h"
 #include "net/receipt.h"
 #include "net/types.h"
 #include "util/sw_assert.h"
@@ -264,6 +265,90 @@ class network {
     return partition_[from.value] == partition_[to.value];
   }
 
+  // --- latency plane (the deadline plane, DESIGN.md §11) --------------------
+  //
+  // A pluggable per-hop latency model (net/latency.h) makes every charged
+  // hop cost simulated nanoseconds, accumulated into the cursor's receipt
+  // and folded here at commit. Per-host slowdown multipliers model "gray"
+  // hosts — alive and answering, just slow — the failure mode kills cannot
+  // express. An op deadline makes routers give up mid-route (op_stats::
+  // timed_out / degraded); a slow-host threshold makes upper-level routing
+  // detour around suspected-slow express stops (answers unchanged — level-0
+  // hops always go through, so the flanks are exact).
+  //
+  // Concurrency: all setters are structural-plane (quiescent-only, like
+  // kill_host); the read side (hop_cost_ns, host_slowdown, the *_active
+  // flags) is query-plane, captured or read from plain memory only written
+  // while no query is in flight. With shape::zero (the default) cursors take
+  // a code path byte-identical to the pre-latency build — answers AND
+  // receipts.
+  void set_latency_model(const latency_model& m) {
+    SW_EXPECTS(traffic_quiescent());
+    latency_ = m;
+  }
+  [[nodiscard]] const latency_model& hop_latency() const { return latency_; }
+  [[nodiscard]] bool latency_active() const { return latency_.active(); }
+
+  // Install/clear a per-host latency multiplier (1.0 = nominal; >= applied
+  // on top of every hop draw TOWARD h). Lazily sized like dead_.
+  void set_host_slowdown(host_id h, double factor);
+  void clear_host_slowdowns();
+  [[nodiscard]] double host_slowdown(host_id h) const {
+    return slowdown_.empty() ? 1.0 : slowdown_[h.value];
+  }
+  [[nodiscard]] std::size_t hosts_slowed() const { return slowed_count_; }
+
+  // Per-op simulated deadline (0 = none): query-plane cursors constructed
+  // while a latency model is active flag timed_out once their accumulated
+  // simulated time exceeds it, and deadline-aware walks give up mid-route
+  // (degraded partial results). Structural ops ignore deadlines — an insert
+  // must finish what it started.
+  void set_op_deadline(std::uint64_t ns) {
+    SW_EXPECTS(traffic_quiescent());
+    op_deadline_ns_ = ns;
+  }
+  [[nodiscard]] std::uint64_t op_deadline_ns() const { return op_deadline_ns_; }
+
+  // Suspected-slow avoidance: upper-level routing treats a next hop whose
+  // slowdown multiplier is >= t as an overshoot and descends early (a pure
+  // detour; answers are byte-identical because level 0 never detours).
+  // 0 disables.
+  void set_slow_host_threshold(double t) {
+    SW_EXPECTS(traffic_quiescent());
+    SW_EXPECTS(t >= 0.0);
+    slow_threshold_ = t;
+  }
+  [[nodiscard]] double slow_host_threshold() const { return slow_threshold_; }
+  [[nodiscard]] bool slow_detours_active() const {
+    return latency_.active() && slow_threshold_ > 0.0 && slowed_count_ > 0;
+  }
+
+  // True when timing can alter a route (deadline give-up or slow detours):
+  // interleaved batch routers fall back to the serial path so batch == serial
+  // receipt equality is preserved hop for hop.
+  [[nodiscard]] bool adaptive_routing_active() const {
+    return latency_.active() && (op_deadline_ns_ > 0 || slow_detours_active());
+  }
+
+  // The simulated cost of one delivered hop from->to: the model draw times
+  // the destination's slowdown multiplier. Query-plane, called by cursors.
+  [[nodiscard]] std::uint64_t hop_cost_ns(host_id from, host_id to, std::uint64_t serial) const {
+    std::uint64_t ns = latency_.sample_ns(from, to, serial);
+    if (!slowdown_.empty()) {
+      const double m = slowdown_[to.value];
+      if (m != 1.0) ns = static_cast<std::uint64_t>(static_cast<double>(ns) * m);
+    }
+    return ns;
+  }
+
+  // Total simulated nanoseconds of every committed receipt since the last
+  // reset_traffic(): the time-integral sibling of total_messages().
+  // Quiescent-only, like every traffic getter.
+  [[nodiscard]] std::uint64_t total_sim_ns() const {
+    SW_EXPECTS(traffic_quiescent());
+    return total_sim_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Visit-counter shard: a fixed-size block of atomics. Blocks are allocated
   // once and never relocated, so concurrent commits may increment counters
@@ -293,6 +378,13 @@ class network {
   std::size_t killed_count_ = 0;
   double loss_p_ = 0.0;
   std::uint64_t loss_seed_ = 0;
+  // Latency plane (same write discipline as dead_/partition_).
+  latency_model latency_;
+  std::vector<double> slowdown_;
+  std::size_t slowed_count_ = 0;
+  std::uint64_t op_deadline_ns_ = 0;
+  double slow_threshold_ = 0.0;
+  std::atomic<std::uint64_t> total_sim_ns_{0};
   std::atomic<std::uint64_t> total_messages_{0};
   std::atomic<std::uint64_t> max_op_host_load_{0};
   std::atomic<bool> op_load_tracking_{false};

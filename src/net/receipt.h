@@ -32,9 +32,12 @@ class traffic_receipt {
   // Copies/moves transfer only the live head of the inline buffer — the
   // defaulted operations would read all 48 slots, most of them indeterminate
   // (UB, and a bigger memcpy than the zeroing record() avoids).
-  traffic_receipt(const traffic_receipt& o) : spill_(o.spill_), count_(o.count_) { copy_head(o); }
+  traffic_receipt(const traffic_receipt& o)
+      : spill_(o.spill_), count_(o.count_), sim_ns_(o.sim_ns_) {
+    copy_head(o);
+  }
   traffic_receipt(traffic_receipt&& o) noexcept
-      : spill_(std::move(o.spill_)), count_(o.count_) {
+      : spill_(std::move(o.spill_)), count_(o.count_), sim_ns_(o.sim_ns_) {
     copy_head(o);
     o.clear();
   }
@@ -42,6 +45,7 @@ class traffic_receipt {
     if (this != &o) {
       spill_ = o.spill_;
       count_ = o.count_;
+      sim_ns_ = o.sim_ns_;
       copy_head(o);
     }
     return *this;
@@ -50,6 +54,7 @@ class traffic_receipt {
     if (this != &o) {
       spill_ = std::move(o.spill_);
       count_ = o.count_;
+      sim_ns_ = o.sim_ns_;
       copy_head(o);
       o.clear();
     }
@@ -68,6 +73,12 @@ class traffic_receipt {
   // Hops logged so far == messages charged (one per inter-host hop).
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  // Simulated time of this operation so far (the latency plane, net/
+  // latency.h): hop costs plus retry backoffs, folded by network::commit()
+  // into the total_sim_ns ledger. 0 when no latency model is active.
+  void add_sim_ns(std::uint64_t ns) { sim_ns_ += ns; }
+  [[nodiscard]] std::uint64_t sim_ns() const { return sim_ns_; }
 
   [[nodiscard]] host_id at(std::size_t i) const {
     return host_id{i < inline_capacity ? inline_[i] : spill_[i - inline_capacity]};
@@ -116,6 +127,7 @@ class traffic_receipt {
 
   void clear() {
     count_ = 0;
+    sim_ns_ = 0;
     spill_.clear();
   }
 
@@ -127,6 +139,7 @@ class traffic_receipt {
   std::array<std::uint32_t, inline_capacity> inline_;  // uninitialized; see above
   std::vector<std::uint32_t> spill_;
   std::size_t count_ = 0;
+  std::uint64_t sim_ns_ = 0;
 };
 
 }  // namespace skipweb::net

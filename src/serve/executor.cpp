@@ -1,6 +1,7 @@
 #include "serve/executor.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "util/sw_assert.h"
 
@@ -116,6 +117,84 @@ executor::locate_outcome executor::run_locate(const api::spatial_index& idx,
   });
   for (const auto& p : partial) out.total += p;
   return out;
+}
+
+executor::open_loop_outcome executor::run_open_loop(const api::distributed_index& idx,
+                                                    const std::vector<std::uint64_t>& qs,
+                                                    const std::vector<std::uint64_t>& arrivals_ns,
+                                                    const open_loop_config& cfg) {
+  SW_EXPECTS(qs.size() == arrivals_ns.size());
+  SW_EXPECTS(cfg.hedge_delay_ns == 0 || cfg.hedge_origin.valid());
+  const std::size_t window = std::max<std::size_t>(cfg.inflight, 1);
+  open_loop_outcome out;
+  out.results.resize(qs.size());
+  out.latency_ns.resize(qs.size());
+  struct worker_tally {
+    api::op_stats total;
+    std::uint64_t hedged = 0, hedge_wins = 0, timed_out = 0, failed = 0, makespan = 0;
+  };
+  std::vector<worker_tally> partial(thread_count_);
+  for_slices(qs.size(), [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+    worker_tally t;
+    // In-flight simulated completion times, earliest on top: the event loop
+    // of this worker's share of the open-loop stream.
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>, std::greater<>> inflight;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t arrival = arrivals_ns[i];
+      std::uint64_t start = arrival;
+      // Window full: this query queues behind the earliest completion.
+      while (inflight.size() >= window) {
+        start = std::max(start, inflight.top());
+        inflight.pop();
+      }
+      while (!inflight.empty() && inflight.top() <= start) inflight.pop();
+      api::nn_result r = idx.nearest(qs[i], cfg.origin);
+      std::uint64_t service = r.stats.sim_latency_ns;
+      if (cfg.hedge_delay_ns != 0 && service > cfg.hedge_delay_ns) {
+        // Hedge: duplicate the request from the backup frontend after the
+        // trigger delay; keep whichever reply lands first. The loser ran its
+        // whole route before the cancel reached it, so BOTH routes' hops,
+        // retries and simulated work are charged (cancel-and-account);
+        // only the op's end-to-end service time is the winner's.
+        api::nn_result backup = idx.nearest(qs[i], cfg.hedge_origin);
+        const std::uint64_t backup_done = cfg.hedge_delay_ns + backup.stats.sim_latency_ns;
+        ++t.hedged;
+        if (backup_done < service) {
+          ++t.hedge_wins;
+          service = backup_done;
+        }
+        r.stats += backup.stats;
+        r.stats.sim_latency_ns = service;
+        r.stats.hedges = 1;
+      }
+      const std::uint64_t done = start + service;
+      inflight.push(done);
+      out.results[i] = r;
+      out.latency_ns[i] = done - arrival;
+      t.total += r.stats;
+      t.timed_out += r.stats.timed_out ? 1 : 0;
+      t.failed += r.stats.failed ? 1 : 0;
+      t.makespan = std::max(t.makespan, done);
+    }
+    partial[worker] = t;
+  });
+  for (const auto& p : partial) {
+    out.total += p.total;
+    out.hedged += p.hedged;
+    out.hedge_wins += p.hedge_wins;
+    out.timed_out_ops += p.timed_out;
+    out.failed_ops += p.failed;
+    out.makespan_ns = std::max(out.makespan_ns, p.makespan);
+  }
+  return out;
+}
+
+std::uint64_t executor::percentile_ns(std::vector<std::uint64_t> sample, double q) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const auto idx =
+      static_cast<std::size_t>(q * (static_cast<double>(sample.size()) - 1.0));
+  return sample[std::min(idx, sample.size() - 1)];
 }
 
 }  // namespace skipweb::serve

@@ -100,6 +100,53 @@ class executor {
                                           const std::vector<api::spatial_point>& qs,
                                           net::host_id origin, std::size_t batch = 24);
 
+  /// Configuration of run_open_loop (the deadline plane, DESIGN.md §11).
+  struct open_loop_config {
+    net::host_id origin;        ///< serving frontend every query is issued from
+    net::host_id hedge_origin;  ///< frontend hedged duplicates are issued from
+    /// Hedge trigger: a query whose primary route's simulated service time
+    /// exceeds this is re-issued from hedge_origin, and the first reply
+    /// wins (typically derived from a measured p99). 0 disables hedging.
+    std::uint64_t hedge_delay_ns = 0;
+    /// Per-worker in-flight window: arrivals beyond this many outstanding
+    /// ops queue behind the earliest simulated completion.
+    std::size_t inflight = 128;
+  };
+
+  /// Result of run_open_loop: answers, per-op simulated latencies (completion
+  /// minus arrival — queueing included), and tail-plane accounting.
+  struct open_loop_outcome {
+    std::vector<api::nn_result> results;    ///< input order
+    std::vector<std::uint64_t> latency_ns;  ///< per-op, input order
+    api::op_stats total;                    ///< sum of every per-op receipt
+    std::uint64_t hedged = 0;        ///< duplicate requests issued
+    std::uint64_t hedge_wins = 0;    ///< duplicates that beat their primary
+    std::uint64_t timed_out_ops = 0; ///< ops that exceeded their deadline
+    std::uint64_t failed_ops = 0;    ///< ops whose route leaned on dead hosts
+    std::uint64_t makespan_ns = 0;   ///< last simulated completion time
+  };
+
+  /// \brief Open-loop event-driven serving: queries arrive at
+  /// `arrivals_ns[i]` (simulated, nondecreasing per worker slice) and each
+  /// worker drives its slice in simulated-completion order — a binary heap
+  /// of in-flight completions bounds the window at `cfg.inflight`, so a
+  /// burst queues behind the earliest completion instead of fanning out
+  /// unboundedly. With `hedge_delay_ns > 0`, a query whose primary service
+  /// time exceeds the delay is duplicated from `hedge_origin`; the first
+  /// reply wins and the loser's whole route is still charged
+  /// (cancel-and-account — the receipts stay honest).
+  /// \note Answers and summed receipts remain thread-count invariant (per-op
+  ///       work is cursor-local); per-op *latencies* depend on the worker
+  ///       partition, so compare latency distributions at fixed T.
+  [[nodiscard]] open_loop_outcome run_open_loop(const api::distributed_index& idx,
+                                                const std::vector<std::uint64_t>& qs,
+                                                const std::vector<std::uint64_t>& arrivals_ns,
+                                                const open_loop_config& cfg);
+
+  /// \brief The q-th quantile (q in [0,1]) of a latency sample, by the same
+  /// nearest-rank convention the congestion profile uses; sorts a copy.
+  [[nodiscard]] static std::uint64_t percentile_ns(std::vector<std::uint64_t> sample, double q);
+
   /// \brief Run fn(worker, lo, hi) on every worker over the static partition
   /// of [0, n); blocks until all workers finish. The building block the
   /// typed entry points above share, exposed for custom query mixes.

@@ -334,7 +334,7 @@ std::vector<churn_event> churn_schedule(std::size_t hosts, std::size_t ops, doub
         dead[h] = 1;
         dead_list.push_back(h);
         --live;
-        out.push_back({op, true, net::host_id{h}});
+        out.push_back({op, churn_event::action::kill, net::host_id{h}, 1.0});
       }
     }
     if (revive_rate > 0.0 && !dead_list.empty() && r.uniform_real() < revive_rate) {
@@ -344,8 +344,92 @@ std::vector<churn_event> churn_schedule(std::size_t hosts, std::size_t ops, doub
       dead_list.pop_back();
       dead[h] = 0;
       ++live;
-      out.push_back({op, false, net::host_id{h}});
+      out.push_back({op, churn_event::action::revive, net::host_id{h}, 1.0});
     }
+  }
+  return out;
+}
+
+std::vector<churn_event> slowdown_schedule(std::size_t hosts, std::size_t ops, double slow_rate,
+                                           double restore_rate, double factor,
+                                           std::uint64_t seed) {
+  SW_EXPECTS(hosts >= 2);
+  SW_EXPECTS(slow_rate >= 0.0 && slow_rate <= 1.0);
+  SW_EXPECTS(restore_rate >= 0.0 && restore_rate <= 1.0);
+  SW_EXPECTS(factor >= 1.0);
+  // Stream 4: decoupled from the op (0), churn (1) and arrival (2/3) streams
+  // of the same caller seed.
+  auto r = util::rng::stream(seed, 4);
+  std::vector<std::uint8_t> slowed(hosts, 0);
+  std::vector<std::uint32_t> slow_list;
+  const std::size_t slow_cap = std::max<std::size_t>(1, hosts / 2);
+  std::vector<churn_event> out;
+  for (std::size_t op = 0; op < ops; ++op) {
+    if (slow_rate > 0.0 && slow_list.size() < slow_cap && r.uniform_real() < slow_rate) {
+      // Not-yet-slowed victim, never host 0; at most half the hosts are
+      // slowed, so rejection terminates in O(1) expected draws.
+      std::uint32_t h;
+      do {
+        h = static_cast<std::uint32_t>(1 + r.index(hosts - 1));
+      } while (slowed[h] != 0);
+      slowed[h] = 1;
+      slow_list.push_back(h);
+      out.push_back({op, churn_event::action::slow, net::host_id{h}, factor});
+    }
+    if (restore_rate > 0.0 && !slow_list.empty() && r.uniform_real() < restore_rate) {
+      const std::size_t j = r.index(slow_list.size());
+      const std::uint32_t h = slow_list[j];
+      slow_list[j] = slow_list.back();
+      slow_list.pop_back();
+      slowed[h] = 0;
+      out.push_back({op, churn_event::action::restore, net::host_id{h}, 1.0});
+    }
+  }
+  return out;
+}
+
+std::vector<churn_event> merge_schedules(const std::vector<churn_event>& a,
+                                         const std::vector<churn_event>& b) {
+  std::vector<churn_event> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].at_op <= b[j].at_op)) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> poisson_arrivals(std::size_t count, double mean_gap_ns,
+                                            std::uint64_t seed) {
+  SW_EXPECTS(mean_gap_ns > 0.0);
+  auto r = util::rng::stream(seed, 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // uniform_real() in [0,1): 1-u in (0,1] keeps the log finite.
+    t += -mean_gap_ns * std::log(1.0 - r.uniform_real());
+    out.push_back(static_cast<std::uint64_t>(t));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> burst_arrivals(std::size_t count, double mean_gap_ns,
+                                          std::size_t burst, std::uint64_t seed) {
+  SW_EXPECTS(mean_gap_ns > 0.0);
+  auto r = util::rng::stream(seed, 3);
+  const std::size_t b = std::max<std::size_t>(burst, 1);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  double t = 0.0;
+  while (out.size() < count) {
+    t += -(mean_gap_ns * static_cast<double>(b)) * std::log(1.0 - r.uniform_real());
+    const auto instant = static_cast<std::uint64_t>(t);
+    for (std::size_t i = 0; i < b && out.size() < count; ++i) out.push_back(instant);
   }
   return out;
 }

@@ -80,14 +80,18 @@ std::vector<api::spatial_point> zipf_spatial_query_stream(
 std::vector<std::size_t> zipf_ranks(std::size_t n, std::size_t count, std::uint64_t seed,
                                     double s);
 
-// --- churn (the failure plane's kill/revive stream) --------------------------
+// --- churn (the failure/latency planes' scheduled host events) ---------------
 
-// One scheduled liveness change: fault::injector applies the event just
-// before operation index `at_op` of the driving op stream.
+// One scheduled host-state change: fault::injector applies the event just
+// before operation index `at_op` of the driving op stream. kill/revive drive
+// the failure plane (host liveness); slow/restore drive the latency plane
+// (per-host slowdown multipliers, network::set_host_slowdown).
 struct churn_event {
+  enum class action : std::uint8_t { kill, revive, slow, restore };
   std::size_t at_op = 0;
-  bool kill = true;  // false = revive
+  action act = action::kill;
   net::host_id host;
+  double factor = 1.0;  // slowdown multiplier; meaningful for `slow` only
 };
 
 // A seeded kill/revive schedule over `ops` operation slots: at each slot a
@@ -102,6 +106,41 @@ struct churn_event {
 std::vector<churn_event> churn_schedule(std::size_t hosts, std::size_t ops, double kill_rate,
                                         double revive_rate, std::size_t burst,
                                         std::uint64_t seed);
+
+// A seeded slow/restore schedule over `ops` operation slots (the latency
+// plane's sibling of churn_schedule): at each slot one not-yet-slowed host
+// becomes `factor`× slower with probability slow_rate, and one slowed host
+// is restored with probability restore_rate. Host 0 is never slowed (benches
+// and tests issue from it), and at most half the hosts are slowed at any
+// prefix. Events ascend by at_op; pure function of its arguments. Draws rng
+// stream 4, decoupled from the op (0), churn (1) and arrival (2/3) streams
+// of the same caller seed.
+std::vector<churn_event> slowdown_schedule(std::size_t hosts, std::size_t ops, double slow_rate,
+                                           double restore_rate, double factor,
+                                           std::uint64_t seed);
+
+// Merge two at_op-ascending schedules into one (stable: `a` before `b` at
+// equal at_op) — compose kill/revive churn with slow/restore drift for one
+// fault::injector.
+std::vector<churn_event> merge_schedules(const std::vector<churn_event>& a,
+                                         const std::vector<churn_event>& b);
+
+// --- open-loop arrival streams (the deadline plane) --------------------------
+//
+// Simulated arrival instants for serve::executor::run_open_loop, in
+// nanoseconds from stream start, nondecreasing. Pure functions of their
+// arguments (rng streams 2 and 3 of the caller seed) — thread-count- and
+// replay-invariant like every stream above (regression-tested).
+
+// Poisson process: i.i.d. exponential gaps with the given mean.
+std::vector<std::uint64_t> poisson_arrivals(std::size_t count, double mean_gap_ns,
+                                            std::uint64_t seed);
+
+// Bursty arrivals: groups of `burst` queries land at one instant, with
+// exponential gaps between groups scaled so the long-run rate matches
+// poisson_arrivals(count, mean_gap_ns) — same load, spikier queueing.
+std::vector<std::uint64_t> burst_arrivals(std::size_t count, double mean_gap_ns,
+                                          std::size_t burst, std::uint64_t seed);
 
 // --- d-dimensional points ----------------------------------------------------
 

@@ -16,6 +16,7 @@
 #include "api/registry.h"
 #include "api/spatial_registry.h"
 #include "net/cursor.h"
+#include "net/latency.h"
 #include "net/network.h"
 #include "serve/executor.h"
 #include "serve/route_cache.h"
@@ -245,6 +246,95 @@ TEST(ExecutorConcurrency, RouteCacheServingIsRaceFreeAndAnswerIdentical) {
   }
   // After the first pass trained it, the cache must have actually absorbed
   // traffic (quiescent read: the executor joined its waves).
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+// --- cross-plane composition: loss + latency + replication + cache -----------
+
+TEST(LatencyComposition, AllPlanesComposeDeterministicallyAcrossThreadCounts) {
+  // Every stochastic plane at once — replicated routing, message loss with
+  // its retries, and a LogNormal hop clock — and the executor must STILL
+  // reproduce the serial loop bit-for-bit at every thread count: answers,
+  // per-op receipts (summed), and the network's simulated-time ledger. This
+  // is the strongest form of the determinism contract: each plane draws only
+  // from (seed, from, to, cursor-private serial), so their composition
+  // cannot couple concurrent operations either.
+  util::rng r(9020);
+  const auto keys = wl::uniform_keys(224, r);
+  const auto qs = wl::query_stream(keys, 192, 9021);
+  network net(1);
+  const auto idx = api::make_index("skipweb1d", keys,
+                                   api::index_options{}.seed(11).replication(3), net);
+  net.set_message_loss(0.05, 9022);
+  net.set_latency_model(net::latency_model::lognormal(1500, 0.5, 9023));
+  net.reset_traffic();
+
+  std::vector<api::nn_result> serial;
+  api::op_stats serial_total;
+  for (const auto q : qs) {
+    serial.push_back(idx->nearest(q, h(0)));
+    serial_total += serial.back().stats;
+  }
+  const std::uint64_t serial_sim = net.total_sim_ns();
+  const std::uint64_t serial_msgs = net.total_messages();
+  EXPECT_GT(serial_total.retries, 0u);       // the loss plane actually fired
+  EXPECT_GT(serial_total.sim_latency_ns, 0u);  // and the clock actually ran
+
+  for (const std::size_t T : {1u, 2u, 4u}) {
+    net.reset_traffic();
+    serve::executor ex(T);
+    const auto out = ex.run_nearest(*idx, qs, h(0), 16);
+    ASSERT_EQ(out.results.size(), serial.size()) << "T=" << T;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(same_nn(out.results[i], serial[i])) << "T=" << T << " i=" << i;
+    }
+    EXPECT_EQ(out.total, serial_total) << "T=" << T;
+    EXPECT_EQ(net.total_sim_ns(), serial_sim) << "T=" << T;
+    EXPECT_EQ(net.total_messages(), serial_msgs) << "T=" << T;
+  }
+}
+
+TEST(LatencyComposition, RouteCacheComposesWithLossLatencyAndReplication) {
+  // Same composition plus the hot-route replica cache: absorbed hops change
+  // the receipts (legitimately — that's the cache working), so the contract
+  // weakens to answer-identity against an uncached twin, at every thread
+  // count, while TSan watches the cache's lock-free learning race against
+  // cursors drawing loss and latency from the same commits.
+  util::rng r(9024);
+  const auto keys = wl::uniform_keys(224, r);
+  const auto qs = wl::zipf_query_stream(keys, 224, 9025, 1.1);
+
+  network plain_net(1);
+  const auto plain = api::make_index("skipweb1d", keys,
+                                     api::index_options{}.seed(11).replication(3), plain_net);
+  plain_net.set_message_loss(0.05, 9026);
+  plain_net.set_latency_model(net::latency_model::lognormal(1500, 0.5, 9027));
+  std::vector<api::nn_result> want;
+  for (const auto q : qs) want.push_back(plain->nearest(q, h(0)));
+
+  network net(1);
+  serve::route_cache::options co;
+  co.capacity = 16;
+  co.depth = 8;
+  co.promote_after = 4;
+  serve::route_cache cache(co);
+  const auto idx = api::make_index(
+      "skipweb1d", keys,
+      api::index_options{}.seed(11).replication(3).route_cache(&cache), net);
+  net.set_message_loss(0.05, 9026);
+  net.set_latency_model(net::latency_model::lognormal(1500, 0.5, 9027));
+
+  for (const std::size_t T : {1u, 2u, 4u}) {
+    serve::executor ex(T);
+    const auto out = ex.run_nearest(*idx, qs, h(0), 16);
+    ASSERT_EQ(out.results.size(), want.size()) << "T=" << T;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(out.results[i].has_pred, want[i].has_pred) << "T=" << T << " i=" << i;
+      EXPECT_EQ(out.results[i].has_succ, want[i].has_succ) << "T=" << T << " i=" << i;
+      if (want[i].has_pred) EXPECT_EQ(out.results[i].pred, want[i].pred) << "T=" << T << " i=" << i;
+      if (want[i].has_succ) EXPECT_EQ(out.results[i].succ, want[i].succ) << "T=" << T << " i=" << i;
+    }
+  }
   EXPECT_GT(cache.hits(), 0u);
 }
 

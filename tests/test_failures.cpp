@@ -500,7 +500,9 @@ TEST(ChurnSustained, InjectorReplaysTheScheduleExactly) {
   // The network's liveness equals the schedule's net effect.
   std::size_t killed = 0;
   std::vector<bool> dead(32, false);
-  for (const auto& e : events) dead[e.host.value] = e.kill;
+  for (const auto& e : events) {
+    dead[e.host.value] = e.act == wl::churn_event::action::kill;
+  }
   for (const auto d : dead) killed += d ? 1u : 0u;
   EXPECT_EQ(net.hosts_killed(), killed);
 }

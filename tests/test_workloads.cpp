@@ -121,14 +121,14 @@ TEST(Workloads, ChurnScheduleIsDeterministicAndWellFormed) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].at_op, b[i].at_op);
-    EXPECT_EQ(a[i].kill, b[i].kill);
+    EXPECT_EQ(a[i].act, b[i].act);
     EXPECT_EQ(a[i].host.value, b[i].host.value);
   }
   EXPECT_FALSE(a.empty());  // 400 ops at 12% kill rate must produce events
   const auto c = wl::churn_schedule(hosts, ops, 0.12, 0.06, 3, 78);
   bool differs = c.size() != a.size();
   for (std::size_t i = 0; !differs && i < a.size(); ++i) {
-    differs = a[i].at_op != c[i].at_op || a[i].kill != c[i].kill ||
+    differs = a[i].at_op != c[i].at_op || a[i].act != c[i].act ||
               a[i].host.value != c[i].host.value;
   }
   EXPECT_TRUE(differs);  // the seed actually reaches the draws
@@ -143,12 +143,13 @@ TEST(Workloads, ChurnScheduleIsDeterministicAndWellFormed) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (i > 0) EXPECT_LE(a[i - 1].at_op, a[i].at_op);
     ASSERT_LT(a[i].host.value, hosts);
-    if (a[i].kill) {
+    if (a[i].act == wl::churn_event::action::kill) {
       EXPECT_NE(a[i].host.value, 0u);
       ASSERT_FALSE(dead[a[i].host.value]) << "kill of an already-dead host";
       dead[a[i].host.value] = true;
       --live;
     } else {
+      ASSERT_EQ(a[i].act, wl::churn_event::action::revive);
       ASSERT_TRUE(dead[a[i].host.value]) << "revive of a live host";
       dead[a[i].host.value] = false;
       ++live;
