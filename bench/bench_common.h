@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "util/stats.h"
 
@@ -202,6 +203,22 @@ inline void json_thread_fields(json_writer& jw, std::size_t threads, double ops_
   jw.field("threads", static_cast<std::uint64_t>(threads));
   jw.field("per_thread_ops_per_sec",
            threads > 0 ? ops_per_sec / static_cast<double>(threads) : 0.0);
+}
+
+// --- memory accounting schema fields -----------------------------------------
+//
+// Every build sample records its index's resident footprint (the measured
+// side of the paper's space argument — the simulated net ledger counts
+// messages, this counts bytes). Shared by bench_throughput and bench_spatial
+// so CI can validate one schema for both.
+
+inline void json_footprint_fields(json_writer& jw, const skipweb::api::memory_footprint& fp,
+                                  std::size_t n) {
+  jw.field("arena_bytes", fp.arena_bytes);
+  jw.field("link_bytes", fp.link_bytes);
+  jw.field("directory_bytes", fp.directory_bytes);
+  jw.field("total_bytes", fp.total_bytes());
+  jw.field("bytes_per_key", fp.bytes_per_key(n));
 }
 
 // --- executor thread-scaling cells -------------------------------------------

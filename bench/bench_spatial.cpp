@@ -71,6 +71,7 @@ struct cell_result {
   std::uint64_t ops = 0;
   std::uint64_t results = 0;  // points returned by range/nn cells
   api::op_stats totals;
+  api::memory_footprint fp;  // captured right after build
 
   [[nodiscard]] double ops_per_sec() const {
     return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
@@ -121,6 +122,7 @@ cell_result run_cell(const std::string& backend, const std::string& dist, const 
                                            api::index_options{}.seed(cfg.seed).initial_hosts(64),
                                            net);
   res.build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+  res.fp = idx->footprint();
 
   std::vector<spatial_point> inserted;
   std::size_t probe_i = 0;
@@ -310,7 +312,7 @@ int main(int argc, char** argv) {
               contracts ? "on" : "off", ndebug ? "on" : "off");
   print_rule();
   print_row({"backend", "dist", "mix", "n", "ops", "sec", "ops/sec", "msgs/op", "visits/op",
-             "build_s"},
+             "build_s", "B/key"},
             15);
   print_rule();
 
@@ -331,7 +333,8 @@ int main(int argc, char** argv) {
           const auto res = run_cell(backend, dist, mix, n, cfg);
           print_row({backend, dist, mix, fmt_u(n), fmt_u(res.ops), fmt(res.seconds, 3),
                      fmt(res.ops_per_sec(), 0), fmt(res.per_op(res.totals.messages), 2),
-                     fmt(res.per_op(res.totals.host_visits), 2), fmt(res.build_seconds, 3)},
+                     fmt(res.per_op(res.totals.host_visits), 2), fmt(res.build_seconds, 3),
+                     fmt(res.fp.bytes_per_key(n), 1)},
                     15);
           jw.begin_object();
           jw.field("backend", backend);
@@ -348,6 +351,7 @@ int main(int argc, char** argv) {
           jw.field("host_visits_per_op", res.per_op(res.totals.host_visits));
           jw.field("comparisons_per_op", res.per_op(res.totals.comparisons));
           jw.field("results", res.results);
+          json_footprint_fields(jw, res.fp, n);
           jw.end_object();
         }
       }

@@ -65,6 +65,10 @@ constexpr mix_t kMixes[] = {
 // Ops per timing check; also the ceiling for --batch group size.
 constexpr std::uint64_t kBatch = 128;
 
+// Batch width for the big-n scaling cells — the microbench guard from
+// DESIGN.md §12: the interleaved router's batch-24 speedup must hold at 1M.
+constexpr std::size_t kBignBatch = 24;
+
 struct config {
   std::vector<std::size_t> ns = {1024, 4096, 16384};
   std::vector<std::string> backends;  // empty = all registered
@@ -74,6 +78,11 @@ struct config {
   std::size_t batch = 16;     // >1: drive pure-search cells via nearest_batch
   std::uint64_t seed = 1;
   std::vector<std::size_t> thread_counts;  // non-empty: executor scaling sweep
+  // Big-n scaling sweep: bulk-built deployments at sizes where the log vs
+  // log/log-log query separation is visible. Only bulk-capable backends by
+  // default — populating a baseline at 4M costs n full insert routes.
+  std::vector<std::size_t> bign_ns = {1u << 18, 1u << 20, 1u << 22};
+  std::vector<std::string> bign_backends = {"skipweb1d", "bucket_skipweb"};
   std::string out = "throughput";
 };
 
@@ -83,6 +92,7 @@ struct cell_result {
   std::uint64_t ops = 0;
   std::uint64_t searches = 0, inserts = 0, erases = 0;
   api::op_stats totals;
+  api::memory_footprint fp;  // captured right after build
 
   [[nodiscard]] double ops_per_sec() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0; }
   [[nodiscard]] double per_op(std::uint64_t c) const {
@@ -114,6 +124,7 @@ cell_result run_cell(const std::string& backend, const mix_t& mix, std::size_t n
   const auto t_build0 = clock_t_::now();
   const auto idx = api::make_index(backend, keys, api::index_options{}.seed(cfg.seed), net);
   res.build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+  res.fp = idx->footprint();
 
   std::vector<std::uint64_t> inserted;  // keys this bench added, LIFO
   std::size_t probe_i = 0;
@@ -212,11 +223,112 @@ scale_result run_scale_cell(const std::string& backend, std::size_t n, std::size
   return res;
 }
 
+// One big-n scaling cell: bulk-build the backend at n, record its memory
+// footprint, measure serial and batch-24 search throughput over the pristine
+// structure, then sample routed inserts to extrapolate what an incremental
+// n-key population would have cost. The extrapolation (insert us/op x n) is
+// the honest comparison at 4M — actually running n insert routes is exactly
+// the cost the bulk path exists to avoid.
+struct bign_result {
+  double bulk_build_seconds = 0;
+  double insert_us_per_op = 0;
+  double est_incremental_seconds = 0;
+  double serial_ops_per_sec = 0;
+  double batch_ops_per_sec = 0;
+  std::uint64_t inserts_sampled = 0;
+  api::memory_footprint fp;
+};
+
+bign_result run_bign_cell(const std::string& backend, std::size_t n, const config& cfg) {
+  bign_result res;
+  util::rng r(cfg.seed * 6151 + n);
+  const std::size_t sample = std::min<std::size_t>(20000, n / 8);
+  auto all = wl::uniform_keys(n + sample, r);
+  const std::vector<std::uint64_t> keys(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::vector<std::uint64_t> fresh(all.begin() + static_cast<std::ptrdiff_t>(n), all.end());
+  const auto probes = wl::probe_keys(keys, 8192, r);
+
+  net::network net(1);
+  const auto t_build0 = clock_t_::now();
+  const auto idx =
+      api::make_index(backend, keys, api::index_options{}.seed(cfg.seed).bulk_build(true), net);
+  res.bulk_build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+  res.fp = idx->footprint();
+
+  std::uint32_t origin = 0;
+  const auto next_origin = [&] {
+    const auto o = net::host_id{origin};
+    origin = static_cast<std::uint32_t>((origin + 1) % net.host_count());
+    return o;
+  };
+
+  // Routed-insert sampling first, on the cold just-built structure — that
+  // mirrors population conditions (an incremental build never runs on a
+  // search-warmed cache) and includes the arena-growth reallocations a real
+  // n-insert population would pay.
+  {
+    const auto t0 = clock_t_::now();
+    for (const auto k : fresh) (void)idx->insert(k, next_origin());
+    const double secs = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    res.inserts_sampled = fresh.size();
+    if (!fresh.empty()) {
+      res.insert_us_per_op = secs * 1e6 / static_cast<double>(fresh.size());
+      res.est_incremental_seconds = res.insert_us_per_op * static_cast<double>(n) / 1e6;
+    }
+  }
+
+  // Serial search throughput.
+  {
+    std::uint64_t ops = 0;
+    std::size_t pi = 0;
+    double secs = 0;
+    const auto t0 = clock_t_::now();
+    while (ops < cfg.max_ops) {
+      for (std::uint64_t b = 0; b < kBatch && ops < cfg.max_ops; ++b) {
+        (void)idx->nearest(probes[pi], next_origin());
+        pi = (pi + 1) % probes.size();
+        ++ops;
+      }
+      secs = std::chrono::duration<double>(clock_t_::now() - t0).count();
+      if (secs >= cfg.time_budget) break;
+    }
+    secs = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    res.serial_ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0.0;
+  }
+
+  // Batch-24 through the interleaved router: same answers and receipts,
+  // overlapped memory latency.
+  {
+    std::vector<std::uint64_t> group(kBignBatch);
+    std::uint64_t ops = 0;
+    std::size_t pi = 0;
+    double secs = 0;
+    const auto t0 = clock_t_::now();
+    while (ops < cfg.max_ops) {
+      for (std::uint64_t b = 0; b + kBignBatch <= kBatch && ops < cfg.max_ops; b += kBignBatch) {
+        const auto o = next_origin();
+        for (auto& q : group) {
+          q = probes[pi];
+          pi = (pi + 1) % probes.size();
+        }
+        (void)idx->nearest_batch(group, o);
+        ops += group.size();
+      }
+      secs = std::chrono::duration<double>(clock_t_::now() - t0).count();
+      if (secs >= cfg.time_budget) break;
+    }
+    secs = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    res.batch_ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0.0;
+  }
+  return res;
+}
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--n 1024,4096,...] [--backends a,b|all] [--mixes search,mixed,churn]\n"
                "          [--max-ops N] [--time SECONDS] [--batch B] [--seed S]\n"
-               "          [--threads T1,T2,...] [--out NAME] [--smoke]\n",
+               "          [--threads T1,T2,...] [--bign N1,N2,...|none]\n"
+               "          [--bign-backends a,b] [--out NAME] [--smoke]\n",
                argv0);
 }
 
@@ -258,12 +370,21 @@ int main(int argc, char** argv) {
         const auto t = std::strtoull(s.c_str(), nullptr, 10);
         cfg.thread_counts.push_back(t == 0 ? 1 : static_cast<std::size_t>(t));
       }
+    } else if (a == "--bign") {
+      cfg.bign_ns.clear();
+      for (const auto& s : split_list(need("--bign"))) {
+        if (s == "none") continue;
+        cfg.bign_ns.push_back(std::strtoull(s.c_str(), nullptr, 10));
+      }
+    } else if (a == "--bign-backends") {
+      cfg.bign_backends = split_list(need("--bign-backends"));
     } else if (a == "--out") {
       cfg.out = need("--out");
     } else if (a == "--smoke") {
       cfg.ns = {256, 1024};
       cfg.max_ops = 2000;
       cfg.time_budget = 0.05;
+      cfg.bign_ns = {1u << 18};  // CI smoke: one bulk-built 256k deployment
     } else {
       usage(argv[0]);
       return a == "--help" || a == "-h" ? 0 : 2;
@@ -279,6 +400,12 @@ int main(int argc, char** argv) {
   for (const auto& b : cfg.backends) {
     if (!api::backend_known(b)) {
       std::fprintf(stderr, "unknown backend '%s'\n", b.c_str());
+      return 2;
+    }
+  }
+  for (const auto& b : cfg.bign_backends) {
+    if (!api::backend_known(b)) {
+      std::fprintf(stderr, "unknown bign backend '%s'\n", b.c_str());
       return 2;
     }
   }
@@ -299,7 +426,7 @@ int main(int argc, char** argv) {
               contracts ? "on" : "off", ndebug ? "on" : "off");
   print_rule();
   print_row({"backend", "mix", "n", "ops", "sec", "ops/sec", "msgs/op", "visits/op", "cmps/op",
-             "build_s"},
+             "build_s", "B/key"},
             17);
   print_rule();
 
@@ -321,7 +448,8 @@ int main(int argc, char** argv) {
         print_row({backend, mix.name, fmt_u(n), fmt_u(res.ops), fmt(res.seconds, 3),
                    fmt(res.ops_per_sec(), 0), fmt(res.per_op(res.totals.messages), 2),
                    fmt(res.per_op(res.totals.host_visits), 2),
-                   fmt(res.per_op(res.totals.comparisons), 2), fmt(res.build_seconds, 3)},
+                   fmt(res.per_op(res.totals.comparisons), 2), fmt(res.build_seconds, 3),
+                   fmt(res.fp.bytes_per_key(n), 1)},
                   17);
         jw.begin_object();
         jw.field("backend", backend);
@@ -338,6 +466,7 @@ int main(int argc, char** argv) {
         jw.field("searches", res.searches);
         jw.field("inserts", res.inserts);
         jw.field("erases", res.erases);
+        json_footprint_fields(jw, res.fp, n);
         jw.end_object();
       }
     }
@@ -345,6 +474,47 @@ int main(int argc, char** argv) {
   }
 
   jw.end_array();
+
+  if (!cfg.bign_ns.empty()) {
+    print_header("Big-n scaling - bulk-build vs extrapolated incremental, search ops/s, bytes/key");
+    std::printf("batch width %zu; est_incr_s extrapolates the sampled routed-insert cost to n ops\n",
+                kBignBatch);
+    print_rule();
+    print_row({"backend", "n", "bulk_s", "ins_us/op", "est_incr_s", "speedup", "serial_ops/s",
+               "b24_ops/s", "MiB", "B/key"},
+              14);
+    print_rule();
+
+    jw.key("bign_scaling").begin_array();
+    for (const auto& backend : cfg.bign_backends) {
+      for (const std::size_t n : cfg.bign_ns) {
+        const auto res = run_bign_cell(backend, n, cfg);
+        const double speedup =
+            res.bulk_build_seconds > 0 ? res.est_incremental_seconds / res.bulk_build_seconds : 0.0;
+        print_row({backend, fmt_u(n), fmt(res.bulk_build_seconds, 3), fmt(res.insert_us_per_op, 2),
+                   fmt(res.est_incremental_seconds, 2), fmt(speedup, 1),
+                   fmt(res.serial_ops_per_sec, 0), fmt(res.batch_ops_per_sec, 0),
+                   fmt(static_cast<double>(res.fp.total_bytes()) / (1024.0 * 1024.0), 1),
+                   fmt(res.fp.bytes_per_key(n), 1)},
+                  14);
+        jw.begin_object();
+        jw.field("backend", backend);
+        jw.field("n", n);
+        jw.field("bulk_build_seconds", res.bulk_build_seconds);
+        jw.field("insert_us_per_op", res.insert_us_per_op);
+        jw.field("inserts_sampled", res.inserts_sampled);
+        jw.field("est_incremental_build_seconds", res.est_incremental_seconds);
+        jw.field("bulk_speedup", speedup);
+        jw.field("serial_ops_per_sec", res.serial_ops_per_sec);
+        jw.field("batch", static_cast<std::uint64_t>(kBignBatch));
+        jw.field("batch_ops_per_sec", res.batch_ops_per_sec);
+        json_footprint_fields(jw, res.fp, n);
+        jw.end_object();
+      }
+      print_rule();
+    }
+    jw.end_array();
+  }
 
   if (!cfg.thread_counts.empty()) {
     print_header("Thread scaling - serve::executor over pure search, ops/sec vs worker count");

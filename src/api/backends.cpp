@@ -101,7 +101,18 @@ class adapter final : public distributed_index {
     }
   }
 
+  [[nodiscard]] memory_footprint footprint() const override {
+    if constexpr (has_footprint) {
+      return impl_.footprint();
+    } else {
+      return {};
+    }
+  }
+
  private:
+  static constexpr bool has_footprint = requires(const S& s) {
+    { s.footprint() } -> std::convertible_to<memory_footprint>;
+  };
   static constexpr bool has_native_range =
       requires(const S& s) { s.range(std::uint64_t{}, std::uint64_t{}, net::host_id{}, std::size_t{}); };
   static constexpr bool has_nearest_batch =
@@ -149,6 +160,7 @@ class chord_adapter final : public distributed_index {
   op_stats erase(std::uint64_t key, net::host_id origin) override {
     return impl_.erase(key, origin);
   }
+  [[nodiscard]] memory_footprint footprint() const override { return impl_.footprint(); }
 
  private:
   baselines::chord impl_;
@@ -168,13 +180,13 @@ void register_builtin_backends(const backend_registrar& add) {
                        ? core::skipweb_1d::placement::balanced
                        : core::skipweb_1d::placement::tower;
     return make_adapter<core::skipweb_1d>("skipweb1d", std::move(keys), opts.seed(), net, p,
-                                          opts.replication());
+                                          opts.replication(), opts.bulk_build());
   });
   add("bucket_skipweb", [](std::vector<std::uint64_t> keys,
                                         const index_options& opts, net::network& net) {
     const auto M = opts.bucket_size_or_default(keys.size());
     return make_adapter<core::bucket_skipweb>("bucket_skipweb", std::move(keys), opts.seed(), net,
-                                              M);
+                                              M, opts.bulk_build());
   });
   add("skip_graph", [](std::vector<std::uint64_t> keys, const index_options& opts,
                                     net::network& net) {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/types.h"
 #include "util/sw_assert.h"
@@ -185,6 +186,14 @@ class distributed_index {
   /// host and record counts (0 for backends without fault support).
   /// \note Structural plane; O(1).
   [[nodiscard]] virtual std::size_t replication() const { return 0; }
+
+  /// \brief Measured resident bytes of this instance, split arena / links /
+  /// directory (api::memory_footprint) — the real-byte complement of the
+  /// simulated net::network memory ledger, reported per backend by the
+  /// benches as bytes/key (DESIGN.md §12). All-zero when the backend does
+  /// not implement the surface (`memory_footprint::empty()`).
+  /// \note Structural plane (walks container capacities); O(#containers).
+  [[nodiscard]] virtual memory_footprint footprint() const { return {}; }
 
   /// \brief Per-sweep deadline for the generic range() fallback, in
   /// simulated ns (0 = none). Set by make_index from

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skipweb::api {
+
+// Measured resident bytes of one index instance, split the way the paper
+// splits its space argument (§2.3): the element arena (keys, membership
+// bits, liveness — the part every structure pays), the link pools (the part
+// where skip-webs' O(1) expected pointers per element beat skip graphs'
+// O(log n)), and the host directory (owner tables, bucket maps, per-tree
+// hash maps — bookkeeping the simulator needs that a deployment would shard).
+//
+// Numbers are capacity-based (`capacity() * sizeof(T)`), not size-based:
+// that is what the allocator actually holds, and it is what the big-n bench
+// divides by n to get the bytes/key column in BENCH_throughput.json. Hash
+// maps are estimated from bucket_count/size since the standard exposes no
+// exact figure; the estimate is documented at each call site.
+//
+// This is the *measured* complement of the simulated `net::network` memory
+// ledger: the ledger counts abstract units per host for the paper's
+// accounting, this counts real bytes for capacity planning. Backends that
+// do not implement the surface report all-zero (see
+// `distributed_index::footprint()`).
+struct memory_footprint {
+  std::uint64_t arena_bytes = 0;      // element storage: keys, bits, liveness
+  std::uint64_t link_bytes = 0;       // neighbour / child / down pointers
+  std::uint64_t directory_bytes = 0;  // owner tables, tree maps, bucket maps
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return arena_bytes + link_bytes + directory_bytes;
+  }
+  [[nodiscard]] double bytes_per_key(std::size_t n) const {
+    return n == 0 ? 0.0 : static_cast<double>(total_bytes()) / static_cast<double>(n);
+  }
+  [[nodiscard]] bool empty() const { return total_bytes() == 0; }
+
+  memory_footprint& operator+=(const memory_footprint& o) {
+    arena_bytes += o.arena_bytes;
+    link_bytes += o.link_bytes;
+    directory_bytes += o.directory_bytes;
+    return *this;
+  }
+};
+
+// Allocator-held bytes of a vector: capacity, not size. Allocator-generic —
+// the link pools use a default-init allocator (core/level_lists.h).
+template <typename T, typename A>
+[[nodiscard]] std::uint64_t vector_bytes(const std::vector<T, A>& v) {
+  return static_cast<std::uint64_t>(v.capacity()) * sizeof(T);
+}
+
+// Estimate for a node-based hash map (std::unordered_map): one pointer per
+// bucket for the table plus, per element, the value_type and two pointers of
+// node overhead (next link + the allocator header libstdc++ pays). An
+// estimate by necessity — the standard exposes no exact figure — but it is
+// within ~2x on libstdc++ and consistent across backends, which is what the
+// bytes/key comparison needs.
+template <typename Map>
+[[nodiscard]] std::uint64_t map_bytes(const Map& m) {
+  return static_cast<std::uint64_t>(m.bucket_count()) * sizeof(void*) +
+         static_cast<std::uint64_t>(m.size()) *
+             (sizeof(typename Map::value_type) + 2 * sizeof(void*));
+}
+
+}  // namespace skipweb::api

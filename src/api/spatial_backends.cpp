@@ -71,7 +71,8 @@ class quadtree_adapter final : public spatial_index {
  public:
   quadtree_adapter(std::string_view name, std::vector<spatial_point> pts,
                    const index_options& opts, net::network& net)
-      : name_(name), impl_(to_points<D>(pts), opts.seed(), net, opts.replication()) {}
+      : name_(name),
+        impl_(to_points<D>(pts), opts.seed(), net, opts.replication(), opts.bulk_build()) {}
 
   [[nodiscard]] std::string_view backend() const override { return name_; }
   [[nodiscard]] int dims() const override { return D; }
@@ -126,6 +127,8 @@ class quadtree_adapter final : public spatial_index {
     const auto r = impl_.nearest(from_spatial<D>(q), origin);
     return {to_spatial<D>(r.value), r.stats};
   }
+
+  [[nodiscard]] memory_footprint footprint() const override { return impl_.footprint(); }
 
  private:
   [[nodiscard]] static spatial_locate_result convert(
@@ -192,6 +195,8 @@ class trie_adapter final : public spatial_index {
     if (limit != 0 && out.value.size() > limit) out.value.resize(limit);
     return out;
   }
+
+  [[nodiscard]] memory_footprint footprint() const override { return impl_.footprint(); }
 
  private:
   // One character per dyadic level, interleaving the level's coordinate bits
@@ -349,6 +354,14 @@ class trapmap_adapter final : public spatial_index {
     if (limit != 0 && out.value.size() > limit) out.value.resize(limit);
     out.stats = op_stats::of(cur);
     return out;
+  }
+
+  // impl_'s split plus the adapter's payload mirror (directory — the
+  // grid-point store a deployment would keep beside the platforms).
+  [[nodiscard]] memory_footprint footprint() const override {
+    memory_footprint f = impl_.footprint();
+    f.directory_bytes += vector_bytes(items_) + map_bytes(index_of_);
+    return f;
   }
 
  private:

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "api/distributed_index.h"  // api::unsupported_operation
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/types.h"
 #include "seq/quadtree.h"
@@ -253,6 +254,11 @@ class spatial_index {
     (void)origin;
     throw unsupported_operation(backend(), "repair_step");
   }
+
+  /// \brief Measured resident bytes, split arena / links / directory — same
+  /// contract as distributed_index::footprint() (DESIGN.md §12); all-zero
+  /// when the backend does not implement the surface.
+  [[nodiscard]] virtual memory_footprint footprint() const { return {}; }
 
  protected:
   spatial_index() = default;

@@ -35,6 +35,16 @@ class bucket_skip_graph {
 
   [[nodiscard]] bool check_invariants() const;
 
+  // Measured resident bytes (DESIGN.md §12): bucket key stores are arena,
+  // the boundary-key router contributes its own split, and the bucket table
+  // is directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f = router_ != nullptr ? router_->footprint() : api::memory_footprint{};
+    f.directory_bytes += api::vector_bytes(buckets_);
+    for (const bucket& b : buckets_) f.arena_bytes += api::vector_bytes(b.keys);
+    return f;
+  }
+
  private:
   struct bucket {
     std::uint64_t low = 0;              // routing key (bucket covers [low, next.low))

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -45,6 +46,18 @@ class chord {
   // nearest-neighbour query is to flood every host. Implemented literally so
   // benches can print the contrast with skip-webs.
   [[nodiscard]] api::nn_result nearest_by_flooding(std::uint64_t q, net::host_id origin) const;
+
+  // Measured resident bytes (DESIGN.md §12): per-host key stores are arena,
+  // finger tables are links, the ring itself is directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f;
+    f.directory_bytes = api::vector_bytes(ring_);
+    for (const ring_node& r : ring_) {
+      f.arena_bytes += api::vector_bytes(r.keys);
+      f.link_bytes += api::vector_bytes(r.fingers);
+    }
+    return f;
+  }
 
  private:
   struct ring_node {

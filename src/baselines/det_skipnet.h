@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "core/level_lists.h"
 #include "net/cursor.h"
@@ -43,6 +44,15 @@ class det_skipnet {
   [[nodiscard]] std::uint64_t worst_case_search_messages() const;
 
   [[nodiscard]] net::host_id host_of(int item, int level) const;
+
+  // Measured resident bytes (DESIGN.md §12): arena/links from the
+  // deterministically-rebuilt level_lists; owner and root tables are
+  // directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f = lists_->footprint();
+    f.directory_bytes += api::vector_bytes(owner_) + api::vector_bytes(root_item_);
+    return f;
+  }
 
  private:
   void rebuild();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -40,6 +41,19 @@ class family_tree {
   [[nodiscard]] std::uint64_t max_refs_per_host() const;
 
   [[nodiscard]] bool check_invariants() const;
+
+  // Measured resident bytes (DESIGN.md §12). A treap node packs its
+  // parent/child/threading links inline, so the record is split by field:
+  // five ints of links, the rest arena.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    constexpr std::uint64_t links_per_node = 5 * sizeof(int);
+    api::memory_footprint f;
+    const auto node_bytes = api::vector_bytes(nodes_);
+    f.link_bytes = static_cast<std::uint64_t>(nodes_.capacity()) * links_per_node;
+    f.arena_bytes = node_bytes - f.link_bytes + api::vector_bytes(free_);
+    f.directory_bytes = api::vector_bytes(anchor_);
+    return f;
+  }
 
  private:
   struct node {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -41,6 +42,21 @@ class skip_graph {
   // level list membership matches the prefix; towers stop exactly when
   // their list becomes a singleton.
   [[nodiscard]] bool check_invariants() const;
+
+  // Measured resident bytes (DESIGN.md §12). Skip graphs pay O(log n) link
+  // bytes per element — the per-tower prev/next level vectors — versus the
+  // skip-web arena's O(1) expected; this surface is where that contrast
+  // shows up as bytes/key in the benches. Covers the NoN variant too (its
+  // 2-hop tables are simulated-ledger charges, not resident memory).
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f;
+    f.arena_bytes = api::vector_bytes(elems_) + api::vector_bytes(free_);
+    for (const element& e : elems_) {
+      f.link_bytes += api::vector_bytes(e.prev) + api::vector_bytes(e.next);
+    }
+    f.directory_bytes = api::vector_bytes(root_elem_);
+    return f;
+  }
 
  protected:
   struct element {

@@ -3,21 +3,23 @@
 #include <algorithm>
 
 #include "core/routing_1d.h"
+#include "util/radix_sort.h"
 
 namespace skipweb::core {
 
 namespace {
 
 std::vector<std::uint64_t> sorted_unique(std::vector<std::uint64_t> keys) {
-  std::sort(keys.begin(), keys.end());
+  util::radix_sort_u64(keys);  // ~4x std::sort at bulk-build sizes
   SW_EXPECTS(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
   return keys;
 }
 
-level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r) {
+level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r, bool bulk) {
   auto sorted = sorted_unique(std::move(keys));
   SW_EXPECTS(!sorted.empty());
   const int levels = level_lists::levels_for(std::max<std::size_t>(sorted.size(), 2));
+  if (bulk) return level_lists::build_from_sorted(std::move(sorted), r, levels);
   return level_lists(std::move(sorted), r, levels);
 }
 
@@ -30,9 +32,9 @@ int levels_per_stratum(std::size_t M) {
 }  // namespace
 
 bucket_skipweb::bucket_skipweb(std::vector<std::uint64_t> keys, std::uint64_t seed,
-                               net::network& net, std::size_t M)
+                               net::network& net, std::size_t M, bool bulk)
     : rng_(seed),
-      lists_(make_lists(std::move(keys), rng_)),
+      lists_(make_lists(std::move(keys), rng_, bulk)),
       net_(&net),
       M_(M),
       L_(levels_per_stratum(M)),

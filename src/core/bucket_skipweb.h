@@ -30,9 +30,10 @@ class bucket_skipweb {
  public:
   // Builds over distinct keys with per-host memory target M >= 4. Blocks
   // allocate fresh hosts on `net` (net.add_host), so H ends up at
-  // ~n log n / M as in the paper.
+  // ~n log n / M as in the paper. `bulk` selects the byte-identical
+  // build_from_sorted arena fast path (see skipweb_1d).
   bucket_skipweb(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net,
-                 std::size_t M);
+                 std::size_t M, bool bulk = true);
 
   [[nodiscard]] std::size_t size() const { return lists_.size(); }
   [[nodiscard]] int levels() const { return lists_.levels(); }
@@ -57,6 +58,19 @@ class bucket_skipweb {
                                                                  std::size_t limit = 0) const;
 
   [[nodiscard]] net::host_id host_of(int item, int level) const;
+
+  // Measured resident bytes (DESIGN.md §12): arena/links from level_lists;
+  // the block tables — the O(n log n / M) bucketed directory the paper
+  // trades for its message bound — are directory bytes.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f = lists_.footprint();
+    f.directory_bytes += api::vector_bytes(blocks_) + api::vector_bytes(free_blocks_) +
+                         api::vector_bytes(basic_levels_) + api::vector_bytes(root_item_) +
+                         api::vector_bytes(block_of_);
+    for (const auto& b : blocks_) f.directory_bytes += api::vector_bytes(b.items);
+    for (const auto& s : block_of_) f.directory_bytes += api::vector_bytes(s);
+    return f;
+  }
 
   // Block-layout invariants (tests): blocks partition each basic-level list
   // into contiguous runs, sizes within [1, 2B], every alive item placed in

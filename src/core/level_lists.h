@@ -1,16 +1,76 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <numeric>
+#include <type_traits>
+#include <unordered_set>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "api/memory_footprint.h"
 #include "util/membership.h"
 #include "util/prefetch.h"
 #include "util/rng.h"
 #include "util/sw_assert.h"
 
 namespace skipweb::core {
+
+// Allocator whose vector leaves trivially-default-constructible elements
+// UNINITIALIZED on a value-less resize instead of value-zeroing them.
+// assign()/resize() WITH an explicit fill value behave exactly as usual.
+// The bulk build allocates the 2·n·(levels+1)-record half-link pools through
+// this and then writes every slot in its two linear passes — at n = 1M the
+// avoided ~640MB sentinel fill is over half the build's wall clock
+// (DESIGN.md §12).
+//
+// Large allocations (≥16 MiB) are additionally advised MADV_HUGEPAGE on
+// Linux: with 4 KiB pages the first-touch faults on a 1M-item pool
+// (~340 MB per direction) dominate the linear link passes; 2 MiB pages cut
+// the fault count ~500x. Advisory only — failure is ignored.
+template <typename T, typename A = std::allocator<T>>
+class default_init_allocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other = default_init_allocator<U, typename traits::template rebind_alloc<U>>;
+  };
+  using A::A;
+  [[nodiscard]] T* allocate(std::size_t n) {
+    T* p = traits::allocate(static_cast<A&>(*this), n);
+    advise_huge(p, n * sizeof(T));
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) { traits::deallocate(static_cast<A&>(*this), p, n); }
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr, std::forward<Args>(args)...);
+  }
+
+ private:
+  static void advise_huge([[maybe_unused]] void* p, [[maybe_unused]] std::size_t bytes) {
+#if defined(__linux__)
+    if (bytes < (std::size_t{16} << 20)) return;
+    constexpr std::uintptr_t huge = std::uintptr_t{2} << 20;
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t lo = (addr + huge - 1) & ~(huge - 1);
+    const std::uintptr_t hi = (addr + bytes) & ~(huge - 1);
+    if (hi > lo) ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+#endif
+  }
+};
 
 // The level-set anatomy of a 1-D skip-web (paper §2.3, Figure 2): every item
 // carries a membership bit vector; at level l the items partition into the
@@ -58,10 +118,53 @@ class level_lists {
               const std::vector<util::membership_bits>& bits, int levels)
       : level_lists(std::move(sorted_keys), &bits, nullptr, levels) {}
 
+  // Bulk-build fast path: construct the arena directly from the sorted key
+  // stream in two linear passes instead of the per-level partition passes of
+  // the reference constructor. The output is byte-identical (same keys,
+  // membership draws, uids and half-links — tests compare the arenas), only
+  // the construction order of the pool writes changes: each item's whole
+  // half-link row is written once, sequentially, with the per-level
+  // predecessor/successor found through small last-seen prefix tables that
+  // stay cache-resident. The reference build scatters 2·n·(levels+1)
+  // 16-byte link writes across the pools; at n = 1M that is the build's
+  // whole wall-clock (see DESIGN.md §12).
+  static level_lists build_from_sorted(std::vector<std::uint64_t> sorted_keys, util::rng& r,
+                                       int levels) {
+    return level_lists(bulk_tag{}, std::move(sorted_keys), nullptr, &r, levels);
+  }
+  static level_lists build_from_sorted(std::vector<std::uint64_t> sorted_keys,
+                                       const std::vector<util::membership_bits>& bits,
+                                       int levels) {
+    return level_lists(bulk_tag{}, std::move(sorted_keys), &bits, nullptr, levels);
+  }
+
  private:
+  struct bulk_tag {};
+
   level_lists(std::vector<std::uint64_t> sorted_keys,
               const std::vector<util::membership_bits>* explicit_bits, util::rng* r, int levels)
       : levels_(levels), stride_(static_cast<std::size_t>(levels) + 1) {
+    init_arena(std::move(sorted_keys), explicit_bits, r, /*bulk_links=*/false);
+    link_by_partition();
+    finish_build();
+  }
+
+  level_lists(bulk_tag, std::vector<std::uint64_t> sorted_keys,
+              const std::vector<util::membership_bits>* explicit_bits, util::rng* r, int levels)
+      : levels_(levels), stride_(static_cast<std::size_t>(levels) + 1) {
+    init_arena(std::move(sorted_keys), explicit_bits, r, /*bulk_links=*/true);
+    link_from_sorted();
+    finish_build();
+  }
+
+  // Shared scalar-arena setup of both build paths: keys, membership draws
+  // (same rng order, so the two paths assign identical bits), uids, flags,
+  // and the half-link pools. With bulk_links the pools are left
+  // UNINITIALIZED — link_from_sorted writes every slot in its two passes,
+  // and the skipped sentinel fill is over half the build's wall clock at 1M.
+  void init_arena(std::vector<std::uint64_t> sorted_keys,
+                  const std::vector<util::membership_bits>* explicit_bits, util::rng* r,
+                  bool bulk_links) {
     SW_EXPECTS(levels_ >= 0 && levels_ < util::max_levels);
     SW_EXPECTS(explicit_bits == nullptr || explicit_bits->size() == sorted_keys.size());
     for (std::size_t i = 0; i + 1 < sorted_keys.size(); ++i) {
@@ -77,14 +180,28 @@ class level_lists {
     for (std::size_t i = 0; i < n; ++i) uids_[i] = next_uid_++;
     redirect_.assign(n, -1);
     alive_.assign(n, 1);
-    fwd_.assign(n * stride_, half_link{});
-    bwd_.assign(n * stride_, half_link{});
+    if (bulk_links) {
+      fwd_.resize(n * stride_);  // default_init_allocator: no fill
+      bwd_.resize(n * stride_);
+    } else {
+      fwd_.assign(n * stride_, no_link);
+      bwd_.assign(n * stride_, no_link);
+    }
+  }
 
-    // Link each level with one radix-style counting pass instead of a hash
-    // map per level: `order` keeps the items grouped by their l-bit prefix
-    // (groups contiguous, key-sorted within, since the one-bit partition per
-    // level is stable), so the level-l lists are exactly the maximal runs of
-    // equal masked bits — link adjacent run members and move on.
+  void finish_build() {
+    alive_count_ = keys_.size();
+    alive_hint_ = keys_.empty() ? -1 : 0;
+  }
+
+  // Reference linking: one radix-style counting pass per level instead of a
+  // hash map per level: `order` keeps the items grouped by their l-bit
+  // prefix (groups contiguous, key-sorted within, since the one-bit
+  // partition per level is stable), so the level-l lists are exactly the
+  // maximal runs of equal masked bits — link adjacent run members and move
+  // on.
+  void link_by_partition() {
+    const std::size_t n = keys_.size();
     std::vector<std::int32_t> order(n), scratch(n);
     std::iota(order.begin(), order.end(), std::int32_t{0});
     for (int l = 0; l <= levels_; ++l) {
@@ -108,8 +225,81 @@ class level_lists {
         }
       }
     }
-    alive_count_ = n;
-    alive_hint_ = n > 0 ? 0 : -1;
+  }
+
+  // Fast linking for build_from_sorted: the level-l predecessor of item i is
+  // simply the last earlier item sharing its l-bit prefix, so one int32
+  // last-seen table per level (flattened into a single cache-resident array
+  // of 2^(levels+1) - 2 entries) finds every link in two linear passes. The
+  // ascending pass writes each item's whole backward row, the descending
+  // pass its forward row: the 2·n·(levels+1) 16-byte pool writes — the
+  // reference build's wall-clock bottleneck at big n, where they scatter —
+  // stream sequentially, and the random traffic is confined to the tables
+  // and the keys array (a few MB each at n = 1M).
+  void link_from_sorted() {
+    const std::size_t n = keys_.size();
+    if (n == 0) return;
+    // A degenerate level count (levels ≫ log2 n) would blow the table
+    // budget; fall back to the partition passes. Every registered backend
+    // sizes levels = levels_for(n), which always takes the fast path.
+    if (levels_ > levels_for(n) + 1) {
+      // The partition passes write only linked slots; restore the sentinel
+      // fill the bulk path skipped before handing over.
+      std::fill(fwd_.begin(), fwd_.end(), no_link);
+      std::fill(bwd_.begin(), bwd_.end(), no_link);
+      link_by_partition();
+      return;
+    }
+    std::vector<std::size_t> off(static_cast<std::size_t>(levels_) + 1, 0);
+    std::size_t total = 0;
+    for (int l = 1; l <= levels_; ++l) {
+      off[static_cast<std::size_t>(l)] = total;
+      total += std::size_t{1} << l;
+    }
+    // Table entries are the half-links themselves ({slot, key}): the record
+    // to write is ready when found, with no dependent key load behind the
+    // table miss. Entries for the item a few iterations ahead are
+    // prefetched, so the per-level lookups — the only loads the hardware
+    // prefetcher cannot predict — overlap instead of serializing.
+    constexpr std::size_t kAhead = 8;
+    std::vector<half_link> seen(total, no_link);
+    // Ascending pass: backward rows (the level-0 predecessor is just i - 1).
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t b = bits_[i];
+      const std::uint64_t ahead = bits_[std::min(i + kAhead, n - 1)];
+      const std::size_t row = i * stride_;
+      // Unconditional stores: the pools arrive uninitialized, and an absent
+      // predecessor reads back from `seen` as exactly the no_link sentinel.
+      bwd_[row] = i > 0 ? half_link{static_cast<std::int32_t>(i - 1), keys_[i - 1]} : no_link;
+      const half_link self{static_cast<std::int32_t>(i), keys_[i]};
+      for (int l = 1; l <= levels_; ++l) {
+        const std::uint64_t mask = (std::uint64_t{1} << l) - 1;
+        const std::size_t base = off[static_cast<std::size_t>(l)];
+        util::prefetch(&seen[base + (ahead & mask)]);
+        const std::size_t idx = base + (b & mask);
+        const half_link e = seen[idx];
+        seen[idx] = self;
+        bwd_[row + static_cast<std::size_t>(l)] = e;
+      }
+    }
+    std::fill(seen.begin(), seen.end(), no_link);
+    // Descending pass: forward rows, symmetrically.
+    for (std::size_t i = n; i-- > 0;) {
+      const std::uint64_t b = bits_[i];
+      const std::uint64_t ahead = bits_[i >= kAhead ? i - kAhead : 0];
+      const std::size_t row = i * stride_;
+      fwd_[row] = i + 1 < n ? half_link{static_cast<std::int32_t>(i + 1), keys_[i + 1]} : no_link;
+      const half_link self{static_cast<std::int32_t>(i), keys_[i]};
+      for (int l = 1; l <= levels_; ++l) {
+        const std::uint64_t mask = (std::uint64_t{1} << l) - 1;
+        const std::size_t base = off[static_cast<std::size_t>(l)];
+        util::prefetch(&seen[base + (ahead & mask)]);
+        const std::size_t idx = base + (b & mask);
+        const half_link e = seen[idx];
+        seen[idx] = self;
+        fwd_[row + static_cast<std::size_t>(l)] = e;
+      }
+    }
   }
 
  public:
@@ -127,6 +317,35 @@ class level_lists {
 
   [[nodiscard]] int next(int item, int level) const { return fwd_[slot(item, level)].to; }
   [[nodiscard]] int prev(int item, int level) const { return bwd_[slot(item, level)].to; }
+
+  // Half of a level node: the link in one direction plus a cache of that
+  // neighbour's key, packed so the router's advance-or-stop decision is one
+  // 16-byte load from one pool. Deliberately without default member
+  // initializers: the bulk build allocates whole pools of these
+  // uninitialized (default_init_allocator above) and writes every slot
+  // itself. Use no_link for the "absent" sentinel, never half_link{}.
+  struct half_link {
+    std::int32_t to;
+    std::uint64_t key;
+  };
+  static constexpr half_link no_link{-1, 0};
+
+
+  // Whole-record loads for the routers: one 16-byte read resolves both the
+  // advance target and the overshoot check, instead of separate to/key
+  // accessor calls against the same slot.
+  [[nodiscard]] half_link next_link(int item, int level) const { return fwd_[slot(item, level)]; }
+  [[nodiscard]] half_link prev_link(int item, int level) const { return bwd_[slot(item, level)]; }
+  // Direction-selected load: `forward ? next : prev` with the pool chosen by
+  // pointer select, so the batch router's merged walk stays branch-free.
+  [[nodiscard]] half_link dir_link(int item, int level, bool forward) const {
+    const half_link* pool = forward ? fwd_.data() : bwd_.data();
+    return pool[slot(item, level)];
+  }
+  void prefetch_dir(int item, int level, bool forward) const {
+    const half_link* pool = forward ? fwd_.data() : bwd_.data();
+    util::prefetch(pool + slot(item, level));
+  }
 
   // --- successor/predecessor replica lists (the fault plane, DESIGN.md §10)
   //
@@ -220,8 +439,8 @@ class level_lists {
       free_.pop_back();
       const std::size_t base = static_cast<std::size_t>(idx) * stride_;
       for (std::size_t k = 0; k < stride_; ++k) {
-        fwd_[base + k] = half_link{};
-        bwd_[base + k] = half_link{};
+        fwd_[base + k] = no_link;
+        bwd_[base + k] = no_link;
       }
       redirect_[static_cast<std::size_t>(idx)] = -1;
       alive_[static_cast<std::size_t>(idx)] = 1;
@@ -232,8 +451,8 @@ class level_lists {
       uids_.emplace_back();
       redirect_.push_back(-1);
       alive_.push_back(1);
-      fwd_.resize(fwd_.size() + stride_, half_link{});
-      bwd_.resize(bwd_.size() + stride_, half_link{});
+      fwd_.resize(fwd_.size() + stride_, no_link);
+      bwd_.resize(bwd_.size() + stride_, no_link);
       fwd_rep_.resize(fwd_rep_.size() + replication_, replica_link{});
       bwd_rep_.resize(bwd_rep_.size() + replication_, replica_link{});
     }
@@ -275,12 +494,12 @@ class level_lists {
       if (pv >= 0 && nx >= 0) {
         link(pv, nx, l);
       } else if (pv >= 0) {
-        fwd_[slot(pv, l)] = half_link{};
+        fwd_[slot(pv, l)] = no_link;
       } else if (nx >= 0) {
-        bwd_[slot(nx, l)] = half_link{};
+        bwd_[slot(nx, l)] = no_link;
       }
-      fwd_[slot(item, l)] = half_link{};
-      bwd_[slot(item, l)] = half_link{};
+      fwd_[slot(item, l)] = no_link;
+      bwd_[slot(item, l)] = no_link;
     }
     alive_[static_cast<std::size_t>(item)] = 0;
     --alive_count_;
@@ -373,15 +592,54 @@ class level_lists {
     return true;
   }
 
- private:
-  // Half of a level node: the link in one direction plus a cache of that
-  // neighbour's key, packed so the router's advance-or-stop decision is one
-  // 16-byte load from one pool.
-  struct half_link {
-    std::int32_t to = -1;
-    std::uint64_t key = 0;
-  };
+  // O(n·levels) variant of check_invariants() for big-n tests (n = 1M is
+  // hopeless for the quadratic no-item-between scan above). Walks every
+  // level-l list once from its head, checking the same local link
+  // invariants, and recovers the global ones by counting: every alive item
+  // appears in exactly one list per level (visited == alive_count_), and no
+  // two lists share a prefix — together those imply the lists partition the
+  // alive items by prefix in sorted order, i.e. no item is "between".
+  [[nodiscard]] bool check_invariants_fast() const {
+    for (int l = 0; l <= levels_; ++l) {
+      std::size_t visited = 0;
+      std::unordered_set<std::uint64_t> head_prefixes;
+      for (int i = 0; i < static_cast<int>(arena_size()); ++i) {
+        if (!alive(i) || prev(i, l) >= 0) continue;
+        if (!head_prefixes.insert(prefix(i, l).bits).second) return false;
+        for (int cur = i; cur >= 0;) {
+          ++visited;
+          const int nx = next(cur, l);
+          if (nx >= 0) {
+            if (!alive(nx)) return false;
+            if (key(nx) <= key(cur)) return false;
+            if (prefix(nx, l) != prefix(cur, l)) return false;
+            if (prev(nx, l) != cur) return false;
+            if (next_key(cur, l) != key(nx)) return false;
+            if (prev_key(nx, l) != key(cur)) return false;
+          }
+          cur = nx;
+        }
+      }
+      if (visited != alive_count_) return false;
+    }
+    return true;
+  }
 
+  // Measured resident bytes of the arena and link pools (capacity-based;
+  // see api::memory_footprint). The split mirrors the paper's space
+  // argument: arena = per-element storage any structure pays, links = the
+  // skip-web's O(1) expected pointers per element.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f;
+    f.arena_bytes = api::vector_bytes(keys_) + api::vector_bytes(bits_) +
+                    api::vector_bytes(uids_) + api::vector_bytes(redirect_) +
+                    api::vector_bytes(alive_) + api::vector_bytes(free_);
+    f.link_bytes = api::vector_bytes(fwd_) + api::vector_bytes(bwd_) +
+                   api::vector_bytes(fwd_rep_) + api::vector_bytes(bwd_rep_);
+    return f;
+  }
+
+ private:
   // Recompute both replica rows of one item from the level-0 links.
   void rebuild_replicas(int item) {
     const std::size_t base = static_cast<std::size_t>(item) * replication_;
@@ -427,8 +685,11 @@ class level_lists {
   std::vector<std::uint64_t> uids_;
   std::vector<std::int32_t> redirect_;
   std::vector<std::uint8_t> alive_;
-  std::vector<half_link> fwd_;  // stride_ records per item: next links, one per level
-  std::vector<half_link> bwd_;  // stride_ records per item: prev links
+  // Pool vectors default-initialize (no fill) on value-less resize so the
+  // bulk build can allocate without paying a sentinel memset it overwrites.
+  using link_pool = std::vector<half_link, default_init_allocator<half_link>>;
+  link_pool fwd_;  // stride_ records per item: next links, one per level
+  link_pool bwd_;  // stride_ records per item: prev links
   // replication_ records per item: the k further level-0 neighbours beyond
   // the direct half-link (empty unless set_replication(k > 0)).
   std::vector<replica_link> fwd_rep_;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "seq/quadtree.h"
 #include "util/membership.h"
 #include "util/prefetch.h"
@@ -138,10 +139,38 @@ class quad_levels {
   // Root slot of the (level, prefix) tree, creating an empty tree (root =
   // whole space, down unresolved) when absent. Second member: freshly made?
   std::pair<int, bool> ensure_tree(int level, std::uint64_t prefix) {
+    const auto [tr, fresh] = ensure_tree_ref(level, prefix);
+    return {tr->root, fresh};
+  }
+
+  // ensure_tree returning the directory record itself — node pointers into an
+  // unordered_map survive rehashing, so the bulk build holds the ref across
+  // the point's whole level visit and bumps the live count without paying a
+  // second hash lookup (bump_tree's find was ~a third of build time at 1M).
+  std::pair<tree_ref*, bool> ensure_tree_ref(int level, std::uint64_t prefix) {
     auto& m = lv(level).trees;
     auto [it, fresh] = m.try_emplace(prefix);
     if (fresh) it->second.root = new_node(level, cube{}, -1);
-    return {it->second.root, fresh};
+    return {&it->second, fresh};
+  }
+
+  // Pre-size one level's arena and tree directory (bulk build). `nodes` may
+  // be the n-points upper bound — every insert creates at most one cube and
+  // each tree adds one root, and roots + non-first inserts total <= n.
+  void reserve_level(int level, std::size_t nodes, std::size_t trees) {
+    level_arena& a = lv(level);
+    a.box.reserve(nodes);
+    a.child.reserve(nodes * fanout);
+    a.parent.reserve(nodes);
+    a.down.reserve(nodes);
+    a.occupied.reserve(nodes);
+    a.alive.reserve(nodes);
+    a.trees.reserve(trees);
+  }
+
+  void reserve_points(std::size_t n) {
+    pts_.reserve(n);
+    pbits_.reserve(n);
   }
 
   void bump_tree(int level, std::uint64_t prefix, int delta) {
@@ -207,8 +236,11 @@ class quad_levels {
     if (b.level >= seq::coord_bits) return -1;
     const entry& e =
         a.child[static_cast<std::size_t>(node) * fanout + static_cast<std::size_t>(b.quadrant_of(q))];
-    if (e.node < 0 || !e.box.contains(q)) return -1;
-    return e.node;
+    // Mask-select instead of short-circuit: both conditions evaluate (the
+    // entry is already loaded — contains() is register arithmetic) and fold
+    // into one predictable select, versus two data-dependent branches.
+    const bool hit = (e.node >= 0) & static_cast<int>(e.box.contains(q));
+    return hit ? e.node : -1;
   }
 
   // Full local descent (no metering): build-time and oracle helper.
@@ -406,6 +438,23 @@ class quad_levels {
       if (seen[i] == 0) return false;  // live point missing from the ground tree
     }
     return true;
+  }
+
+  // Measured resident bytes (DESIGN.md §12): point + node records are
+  // arena, the child/parent/down pointer arrays are links, and the per-level
+  // prefix→tree hash maps are directory (estimated — see api::map_bytes).
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f;
+    f.arena_bytes = api::vector_bytes(pts_) + api::vector_bytes(pbits_) +
+                    api::vector_bytes(pfree_);
+    for (const level_arena& a : lv_) {
+      f.arena_bytes += api::vector_bytes(a.box) + api::vector_bytes(a.occupied) +
+                       api::vector_bytes(a.alive) + api::vector_bytes(a.free);
+      f.link_bytes += api::vector_bytes(a.child) + api::vector_bytes(a.parent) +
+                      api::vector_bytes(a.down);
+      f.directory_bytes += api::map_bytes(a.trees);
+    }
+    return f;
   }
 
  private:

@@ -48,7 +48,8 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
     cur.note_comparisons();
     if (item_key <= q) {
       // Approach from the left: advance while the next same-list item does
-      // not overshoot.
+      // not overshoot. Each decision is a single 16-byte link-record load —
+      // the advance target and overshoot key arrive together.
       for (;;) {
         // Deadline give-up mid-walk too: level-0 runs can be long, and a
         // straggler-priced hop inside one must not commit the query to
@@ -57,18 +58,17 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
           cur.mark_degraded();
           break;
         }
-        const int nx = lists.next(item, l);
-        if (nx < 0) break;
+        const auto ln = lists.next_link(item, l);
+        if (ln.to < 0) break;
         cur.note_comparisons();
-        const std::uint64_t nk = lists.next_key(item, l);
-        if (nk > q) break;
+        if (ln.key > q) break;
         // Slow-host detour: at l > 0 a suspected-slow express stop is
         // treated as overshoot — descend early. Upper levels only
         // accelerate the walk, so the answer cannot change; level 0 never
         // detours.
-        if (l > 0 && cur.detours() && cur.avoids(host_of(nx, l))) break;
-        item = nx;
-        item_key = nk;
+        if (l > 0 && cur.detours() && cur.avoids(host_of(ln.to, l))) break;
+        item = ln.to;
+        item_key = ln.key;
         // Overlap the next iteration's loads with the hop bookkeeping.
         lists.prefetch_next(item, l);
         host_prefetch(item);
@@ -81,14 +81,13 @@ std::pair<int, int> route_search(const level_lists& lists, std::uint64_t q, int 
           cur.mark_degraded();
           break;
         }
-        const int pv = lists.prev(item, l);
-        if (pv < 0) break;
+        const auto ln = lists.prev_link(item, l);
+        if (ln.to < 0) break;
         cur.note_comparisons();
-        const std::uint64_t pk = lists.prev_key(item, l);
-        if (pk <= q) break;
-        if (l > 0 && cur.detours() && cur.avoids(host_of(pv, l))) break;
-        item = pv;
-        item_key = pk;
+        if (ln.key <= q) break;
+        if (l > 0 && cur.detours() && cur.avoids(host_of(ln.to, l))) break;
+        item = ln.to;
+        item_key = ln.key;
         lists.prefetch_prev(item, l);
         host_prefetch(item);
         cur.move_to(host_of(item, l));
@@ -138,11 +137,16 @@ void route_search_batch(const level_lists& lists, const std::uint64_t* qs, std::
   for (std::size_t i = 0; i < count; ++i) {
     st[i] = {qs[i], start_key, start_item, start_level, true, false};
   }
-  std::size_t remaining = count;
-  while (remaining > 0) {
-    for (std::size_t i = 0; i < count; ++i) {
+  // Active-lane list: finished queries are compacted out (order-preserving),
+  // so late rounds — when most of the batch has landed — touch only the
+  // stragglers instead of sweeping `count` done-flags per round.
+  std::vector<std::uint32_t> active(count);
+  for (std::size_t i = 0; i < count; ++i) active[i] = static_cast<std::uint32_t>(i);
+  while (!active.empty()) {
+    std::size_t kept = 0;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::size_t i = active[a];
       qstate& s = st[i];
-      if (s.done) continue;
       net::cursor& cur = curs[i];
       if (s.entering) {
         cur.move_to(host_of(s.item, s.level));
@@ -150,59 +154,40 @@ void route_search_batch(const level_lists& lists, const std::uint64_t* qs, std::
         s.entering = false;
       }
       // One advance-or-stop decision, exactly as in route_search's walk.
-      bool stopped;
-      if (s.item_key <= s.q) {
-        const int nx = lists.next(s.item, s.level);
-        stopped = nx < 0;
-        if (!stopped) {
-          cur.note_comparisons();
-          const std::uint64_t nk = lists.next_key(s.item, s.level);
-          if (nk > s.q) {
-            stopped = true;
-          } else {
-            s.item = nx;
-            s.item_key = nk;
-            lists.prefetch_next(s.item, s.level);
-            host_prefetch(s.item);
-            cur.move_to(host_of(s.item, s.level));
-          }
-        }
-      } else {
-        const int pv = lists.prev(s.item, s.level);
-        stopped = pv < 0;
-        if (!stopped) {
-          cur.note_comparisons();
-          const std::uint64_t pk = lists.prev_key(s.item, s.level);
-          if (pk <= s.q) {
-            stopped = true;
-          } else {
-            s.item = pv;
-            s.item_key = pk;
-            lists.prefetch_prev(s.item, s.level);
-            host_prefetch(s.item);
-            cur.move_to(host_of(s.item, s.level));
-          }
+      // The two direction branches are merged: the pool is pointer-selected
+      // (dir_link) and the overshoot test reduces to one mask compare —
+      // `key > q` must equal `fwd` to keep walking.
+      const bool fwd = s.item_key <= s.q;
+      const auto ln = lists.dir_link(s.item, s.level, fwd);
+      bool stopped = ln.to < 0;
+      if (!stopped) {
+        cur.note_comparisons();
+        if ((ln.key > s.q) == fwd) {
+          stopped = true;
+        } else {
+          s.item = ln.to;
+          s.item_key = ln.key;
+          lists.prefetch_dir(s.item, s.level, fwd);
+          host_prefetch(s.item);
+          cur.move_to(host_of(s.item, s.level));
         }
       }
       if (stopped) {
         if (s.level == 0) {
-          out[i] = s.item_key <= s.q
-                       ? std::pair<int, int>{s.item, lists.next(s.item, 0)}
+          out[i] = fwd ? std::pair<int, int>{s.item, lists.next(s.item, 0)}
                        : std::pair<int, int>{lists.prev(s.item, 0), static_cast<int>(s.item)};
           s.done = true;
-          --remaining;
         } else {
           --s.level;
           s.entering = true;
           // The next round's decision reads this record; warm it now.
-          if (s.item_key <= s.q) {
-            lists.prefetch_next(s.item, s.level);
-          } else {
-            lists.prefetch_prev(s.item, s.level);
-          }
+          lists.prefetch_dir(s.item, s.level, fwd);
         }
       }
+      active[kept] = static_cast<std::uint32_t>(i);
+      kept += s.done ? 0 : 1;
     }
+    active.resize(kept);
   }
 }
 
@@ -250,18 +235,17 @@ std::pair<int, int> route_search_fault(const level_lists& lists, const net::netw
           cur.mark_degraded();
           break;
         }
-        const int nx = lists.next(item, l);
-        if (nx < 0) break;
+        const auto ln = lists.next_link(item, l);
+        if (ln.to < 0) break;
         cur.note_comparisons();
-        const std::uint64_t nk = lists.next_key(item, l);
-        if (nk > q) break;
+        if (ln.key > q) break;
         // Slow-host detour (l > 0 only), exactly as in route_search.
-        if (l > 0 && cur.detours() && cur.avoids(host_of(nx, l))) break;
-        lists.prefetch_next(nx, l);
-        host_prefetch(nx);
-        if (cur.try_move_to(host_of(nx, l))) {
-          item = nx;
-          item_key = nk;
+        if (l > 0 && cur.detours() && cur.avoids(host_of(ln.to, l))) break;
+        lists.prefetch_next(ln.to, l);
+        host_prefetch(ln.to);
+        if (cur.try_move_to(host_of(ln.to, l))) {
+          item = ln.to;
+          item_key = ln.key;
           continue;
         }
         if (l > 0) break;  // dead express stop: descend early
@@ -295,17 +279,16 @@ std::pair<int, int> route_search_fault(const level_lists& lists, const net::netw
           cur.mark_degraded();
           break;
         }
-        const int pv = lists.prev(item, l);
-        if (pv < 0) break;
+        const auto ln = lists.prev_link(item, l);
+        if (ln.to < 0) break;
         cur.note_comparisons();
-        const std::uint64_t pk = lists.prev_key(item, l);
-        if (pk <= q) break;
-        if (l > 0 && cur.detours() && cur.avoids(host_of(pv, l))) break;
-        lists.prefetch_prev(pv, l);
-        host_prefetch(pv);
-        if (cur.try_move_to(host_of(pv, l))) {
-          item = pv;
-          item_key = pk;
+        if (ln.key <= q) break;
+        if (l > 0 && cur.detours() && cur.avoids(host_of(ln.to, l))) break;
+        lists.prefetch_prev(ln.to, l);
+        host_prefetch(ln.to);
+        if (cur.try_move_to(host_of(ln.to, l))) {
+          item = ln.to;
+          item_key = ln.key;
           continue;
         }
         if (l > 0) break;

@@ -54,17 +54,25 @@ class skip_quadtree {
   using arena = quad_levels<D>;
   static constexpr int fanout = arena::fanout;
 
+  // `bulk` selects the level-major bulk build (DESIGN.md §12) — byte-
+  // identical to the point-by-point construction (same slots, same receipts)
+  // and several times faster at n >= 1M; `false` forces the reference path
+  // for twin tests and build microbenches.
   skip_quadtree(const std::vector<point>& pts, std::uint64_t seed, net::network& net,
-                std::size_t replication = 0)
+                std::size_t replication = 0, bool bulk = true)
       : net_(&net),
         rng_(seed),
         levels_(levels_for(pts.size())),
         q_(levels_),
         replication_(std::min<std::size_t>(replication, 8)) {
     SW_EXPECTS(!pts.empty());
-    for (const auto& p : pts) {
-      SW_EXPECTS(q_.find_point(p) < 0);  // distinct points
-      insert_chain(p, util::draw_membership(rng_), nullptr);
+    if (bulk) {
+      bulk_build(pts);
+    } else {
+      for (const auto& p : pts) {
+        SW_EXPECTS(q_.find_point(p) < 0);  // distinct points
+        insert_chain(p, util::draw_membership(rng_), nullptr);
+      }
     }
     // Anchor membership per host: selects the chain of prefix sets a search
     // from that host descends (any chain reaches the ground set).
@@ -140,11 +148,15 @@ class skip_quadtree {
       hop(lanes.back().cur, l0, prefix0, node0);
     }
     std::vector<locate_result> out(qs.size());
-    std::size_t remaining = qs.size();
-    while (remaining > 0) {
-      for (std::size_t i = 0; i < qs.size(); ++i) {
+    // Active-lane list, compacted order-preserving as descents land: late
+    // rounds touch only the stragglers instead of sweeping every done-flag.
+    std::vector<std::uint32_t> active(qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i) active[i] = static_cast<std::uint32_t>(i);
+    while (!active.empty()) {
+      std::size_t kept = 0;
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t i = active[a];
         lane& ln = lanes[i];
-        if (ln.done) continue;
         const int nx = q_.step(ln.l, ln.node, qs[i]);
         if (nx >= 0) {
           ln.node = nx;
@@ -159,11 +171,13 @@ class skip_quadtree {
           out[i].is_point = q_.point_here(0, ln.node, qs[i]);
           out[i].stats = api::op_stats::of(ln.cur);
           ln.done = true;
-          --remaining;
-          continue;
         }
-        q_.prefetch_node(ln.l, ln.node);  // warm next round's read
+        if (!ln.done) {
+          q_.prefetch_node(ln.l, ln.node);  // warm next round's read
+          active[kept++] = static_cast<std::uint32_t>(i);
+        }
       }
+      active.resize(kept);
     }
     return out;
   }
@@ -408,6 +422,15 @@ class skip_quadtree {
     return net_->total_memory() == expected;
   }
 
+  // Measured resident bytes (DESIGN.md §12): arena/link split from
+  // quad_levels; per-host anchors and the fault plane's re-home map are
+  // directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f = q_.footprint();
+    f.directory_bytes += api::vector_bytes(anchors_) + api::map_bytes(rehome_);
+    return f;
+  }
+
  private:
   static int levels_for(std::size_t n) {
     int l = 0;
@@ -499,6 +522,77 @@ class skip_quadtree {
     }
   }
 
+  // Level-major bulk build: the exact per-(point, level) body of
+  // insert_chain, executed one LEVEL at a time (all points in input order per
+  // level) instead of one point at a time. Correctness of the reordering
+  // (DESIGN.md §12): every point visits every level, each level's arena is
+  // touched only by that level's visits, and pure inserts never free a slot —
+  // so the arena state a visit (point i, level l) observes is "points 0..i-1
+  // done at level l" under either order, and every slot is allocated at the
+  // same moment relative to its level's history. Down links are the one
+  // cross-level read; insert_chain reads down_of(l, node) for nodes created
+  // by earlier (completed) points, which under level-major order is exactly
+  // "after the level-(l-1) resolutions of points 0..i-1" — so the read moves
+  // to the start of the point's level-(l-1) visit and sees the same value
+  // (-1 precisely for a root this point itself freshly created). The payoff:
+  // one level's arena, tree directory and child rows stay cache-resident for
+  // a whole pass, and the directory is probed once per visit instead of
+  // twice (ensure_tree_ref). Byte-identical structure, uids and receipts
+  // (tested in test_bulk_build).
+  void bulk_build(const std::vector<point>& pts) {
+    const std::size_t n = pts.size();
+    q_.reserve_points(n);
+    std::vector<util::membership_bits> bits(n);
+    for (auto& b : bits) b = util::draw_membership(rng_);  // input order, as insert_chain draws
+    std::vector<std::int32_t> pid(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pid[i] = static_cast<std::int32_t>(q_.new_point(pts[i], bits[i]));
+    }
+    // Point-payload charge salts are level-independent: hoist the hash out of
+    // the level loop (one per point instead of one per point per level).
+    std::vector<int> psalt(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      psalt[i] = static_cast<int>(seq::qpoint_hash<D>{}(pts[i]) & 0x3fffffff);
+    }
+    std::vector<std::int32_t> final_node(n, -1);  // descend endpoint one level up
+    std::vector<std::int32_t> pend_root(n, -1);
+    std::vector<std::int32_t> pend_created(n, -1);
+    for (int l = levels_; l >= 0; --l) {
+      // <= n slots materialize per level (see reserve_level); tree count is
+      // bounded by both the points and the l-bit prefix space.
+      const std::size_t prefixes =
+          l < 62 ? std::min<std::size_t>(n, std::size_t{1} << l) : n;
+      q_.reserve_level(l, n + 1, prefixes + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        const point& p = pts[i];
+        if (l == 0) SW_EXPECTS(q_.find_point(p) < 0);  // distinct points
+        const auto prefix = util::prefix_of(bits[i], l).bits;
+        const int start = final_node[i] >= 0 ? q_.down_of(l + 1, final_node[i]) : -1;
+        const auto [tr, fresh] = q_.ensure_tree_ref(l, prefix);
+        const int root = tr->root;
+        if (fresh) charge_node(l, prefix, root, +1);
+        int node = start >= 0 ? start : root;
+        if (pend_root[i] >= 0) {
+          q_.set_down(l + 1, pend_root[i], root);
+          pend_root[i] = -1;
+        }
+        node = q_.locate_local(l, node, p);
+        final_node[i] = node;  // its down link resolves during the next pass
+        const auto outcome = q_.insert_at(l, node, pid[i]);
+        charge_point(l, prefix, psalt[i], +1);
+        ++tr->points;
+        if (outcome.created >= 0) charge_node(l, prefix, outcome.created, +1);
+        if (pend_created[i] >= 0) {
+          const int target =
+              q_.resolve_cube(l, outcome.attached, q_.box_at(l + 1, pend_created[i]));
+          q_.set_down(l + 1, pend_created[i], target);
+        }
+        pend_created[i] = outcome.created;
+        if (fresh) pend_root[i] = root;
+      }
+    }
+  }
+
   void charge_node(int level, std::uint64_t prefix, int node, std::int64_t sign) {
     // An interesting cube stores 2^D child references plus the identity
     // hyperlink one level down — once per replica of its current window.
@@ -511,10 +605,13 @@ class skip_quadtree {
   }
 
   void charge_point(int level, std::uint64_t prefix, const point& p, std::int64_t sign) {
+    charge_point(level, prefix, static_cast<int>(seq::qpoint_hash<D>{}(p) & 0x3fffffff), sign);
+  }
+
+  void charge_point(int level, std::uint64_t prefix, int salt, std::int64_t sign) {
     // Point payloads live with the tree they appear in; the level-0 copy is
     // the data item itself, upper copies are references. Payloads are not
     // replicated (salt 0 — the fault plane replicates routing state).
-    const auto salt = static_cast<int>(seq::qpoint_hash<D>{}(p) & 0x3fffffff);
     const auto h = replica_host(level, prefix, salt, 0);
     net_->charge(h, level == 0 ? net::memory_kind::item : net::memory_kind::pointer, sign);
   }

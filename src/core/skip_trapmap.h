@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -73,6 +74,25 @@ class skip_trapmap {
   // (x-grid accelerated; also used by the halving benches).
   static std::vector<std::vector<int>> conflicts_all(const seq::trapmap& sparse,
                                                      const seq::trapmap& dense);
+
+  // Measured resident bytes (DESIGN.md §12): trapezoidal maps and member
+  // sets are arena, inter-level conflict lists are links (they are the
+  // hyperlink structure queries descend), prefix maps and anchors are
+  // directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f;
+    f.directory_bytes = api::vector_bytes(maps_) + api::vector_bytes(anchors_) +
+                        api::vector_bytes(seg_bits_);
+    for (const auto& level : maps_) {
+      f.directory_bytes += api::map_bytes(level);
+      for (const auto& [prefix, lm] : level) {
+        f.arena_bytes += lm.map.resident_bytes() + api::vector_bytes(lm.members);
+        f.link_bytes += api::vector_bytes(lm.conflicts);
+        for (const auto& c : lm.conflicts) f.link_bytes += api::vector_bytes(c);
+      }
+    }
+    return f;
+  }
 
  private:
   struct level_map {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "net/cursor.h"
 #include "net/network.h"
@@ -284,6 +285,21 @@ class skip_trie {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return net::host_id{static_cast<std::uint32_t>((z ^ (z >> 31)) % net_->host_count())};
+  }
+
+  // Measured resident bytes (DESIGN.md §12): the trie node arenas (child
+  // tables embedded) are arena bytes; the prefix→trie maps, the per-key
+  // membership map with its heap strings, and the anchors are directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f;
+    f.directory_bytes = api::vector_bytes(tries_) + api::map_bytes(bits_) +
+                        api::vector_bytes(anchors_);
+    for (const auto& [key, unused] : bits_) f.directory_bytes += key.capacity();
+    for (const auto& level : tries_) {
+      f.directory_bytes += api::map_bytes(level);
+      for (const auto& [prefix, t] : level) f.arena_bytes += t.resident_bytes();
+    }
+    return f;
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/routing_1d.h"
+#include "util/radix_sort.h"
 #include "util/prefetch.h"
 
 namespace skipweb::core {
@@ -10,7 +11,7 @@ namespace skipweb::core {
 namespace {
 
 std::vector<std::uint64_t> sorted_unique(std::vector<std::uint64_t> keys) {
-  std::sort(keys.begin(), keys.end());
+  util::radix_sort_u64(keys);  // ~4x std::sort at bulk-build sizes
   SW_EXPECTS(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
   return keys;
 }
@@ -24,19 +25,20 @@ std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
-level_lists skipweb_1d::make_lists(std::vector<std::uint64_t> keys, util::rng& r) {
+level_lists skipweb_1d::make_lists(std::vector<std::uint64_t> keys, util::rng& r, bool bulk) {
   auto sorted = sorted_unique(std::move(keys));
   SW_EXPECTS(!sorted.empty());
   const int levels = level_lists::levels_for(std::max<std::size_t>(sorted.size(), 2));
+  if (bulk) return level_lists::build_from_sorted(std::move(sorted), r, levels);
   return level_lists(std::move(sorted), r, levels);
 }
 
 skipweb_1d::skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net,
-                       placement p, std::size_t replication)
-    : rng_(seed), lists_(make_lists(std::move(keys), rng_)), net_(&net), policy_(p) {
+                       placement p, std::size_t replication, bool bulk)
+    : rng_(seed), lists_(make_lists(std::move(keys), rng_, bulk)), net_(&net), policy_(p) {
   if (policy_ == placement::tower) {
     // One host per item; grow the network if the caller sized it smaller.
-    while (net_->host_count() < lists_.size()) net_->add_host();
+    if (net_->host_count() < lists_.size()) net_->add_hosts(lists_.size() - net_->host_count());
     owner_.resize(lists_.arena_size());
     for (std::size_t i = 0; i < lists_.arena_size(); ++i) {
       owner_[i] = net::host_id{static_cast<std::uint32_t>(i)};
@@ -408,16 +410,29 @@ api::op_result<std::size_t> skipweb_1d::repair_step(net::host_id origin) {
 
 void skipweb_1d::charge_item_memory(int item, std::int64_t sign) {
   // Per level node: the node itself, prev/next remote references, and the
-  // hyperlink to the same item's node one level down (paper §2.3).
+  // hyperlink to the same item's node one level down (paper §2.3). The data
+  // item lives with the level-0 node, alongside its replica lists (k further
+  // host references per direction) when replication is on.
+  const auto k = static_cast<std::int64_t>(lists_.replication());
+  if (policy_ == placement::tower) {
+    // Tower placement maps every level of an item to the same host, so the
+    // whole tower's ledger entries collapse into one charge per kind — the
+    // bulk build registers n items in a row and the per-level loop (42
+    // ledger calls per item at n = 1M) was a measurable slice of its wall
+    // clock.
+    const auto h = host_of(item, 0);
+    const auto tower = static_cast<std::int64_t>(lists_.levels()) + 1;
+    net_->charge(h, net::memory_kind::node, tower * sign);
+    net_->charge(h, net::memory_kind::host_ref, (3 * tower + 2 * k) * sign);
+    net_->charge(h, net::memory_kind::item, sign);
+    return;
+  }
   for (int l = 0; l <= lists_.levels(); ++l) {
     const auto h = host_of(item, l);
     net_->charge(h, net::memory_kind::node, sign);
     net_->charge(h, net::memory_kind::host_ref, 3 * sign);
   }
-  // The data item lives with the level-0 node, alongside its replica lists
-  // (k further host references per direction) when replication is on.
   net_->charge(host_of(item, 0), net::memory_kind::item, sign);
-  const auto k = static_cast<std::int64_t>(lists_.replication());
   if (k > 0) net_->charge(host_of(item, 0), net::memory_kind::host_ref, 2 * k * sign);
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/memory_footprint.h"
 #include "api/op_stats.h"
 #include "core/level_lists.h"
 #include "net/cursor.h"
@@ -41,8 +42,13 @@ class skipweb_1d {
   // one item's tower over many hosts, so per-item liveness is not a single
   // host's liveness); with balanced placement the knob is ignored. k = 0
   // keeps routing and receipts byte-identical to the pre-fault structure.
+  //
+  // `bulk` selects level_lists::build_from_sorted — the linear-pass arena
+  // construction that is byte-identical to the reference build (DESIGN.md
+  // §12) — and exists only so twin tests and build microbenches can force
+  // the reference path; queries and receipts do not depend on it.
   skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net, placement p,
-             std::size_t replication = 0);
+             std::size_t replication = 0, bool bulk = true);
 
   [[nodiscard]] std::size_t size() const { return lists_.size(); }
   [[nodiscard]] int levels() const { return lists_.levels(); }
@@ -80,6 +86,14 @@ class skipweb_1d {
   // Where a given level node lives (exposed for tests and benches).
   [[nodiscard]] net::host_id host_of(int item, int level) const;
 
+  // Measured resident bytes (DESIGN.md §12): the arena/link split comes from
+  // level_lists; the owner table and per-host roots are directory.
+  [[nodiscard]] api::memory_footprint footprint() const {
+    api::memory_footprint f = lists_.footprint();
+    f.directory_bytes += api::vector_bytes(owner_) + api::vector_bytes(root_item_);
+    return f;
+  }
+
   // --- self-repair (replication > 0 only; DESIGN.md §10) --------------------
   //
   // One repair step: find one still-spliced item whose owner host is dead,
@@ -114,7 +128,7 @@ class skipweb_1d {
   // placement stores owners; balanced placement computes them — nothing to
   // prefetch).
   void prefetch_host(int item) const;
-  static level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r);
+  static level_lists make_lists(std::vector<std::uint64_t> keys, util::rng& r, bool bulk);
 
   util::rng rng_;       // declared before lists_: it feeds the level build
   level_lists lists_;

@@ -11,15 +11,18 @@ network::network(std::size_t host_count) {
   hosts_ = host_count;
 }
 
-host_id network::add_host() {
+host_id network::add_host() { return add_hosts(1); }
+
+host_id network::add_hosts(std::size_t count) {
   SW_EXPECTS(traffic_quiescent());  // structural plane: no queries in flight
-  memory_.emplace_back();
-  grow_visit_blocks_to(hosts_ + 1);
-  ++hosts_;
-  if (!dead_.empty()) dead_.push_back(0);
-  if (!partition_.empty()) partition_.push_back(0);
-  if (!slowdown_.empty()) slowdown_.push_back(1.0);
-  return host_id{static_cast<std::uint32_t>(hosts_ - 1)};
+  SW_EXPECTS(count > 0);
+  memory_.resize(memory_.size() + count);
+  grow_visit_blocks_to(hosts_ + count);
+  hosts_ += count;
+  if (!dead_.empty()) dead_.resize(dead_.size() + count, 0);
+  if (!partition_.empty()) partition_.resize(partition_.size() + count, 0);
+  if (!slowdown_.empty()) slowdown_.resize(slowdown_.size() + count, 1.0);
+  return host_id{static_cast<std::uint32_t>(hosts_ - count)};
 }
 
 void network::set_host_slowdown(host_id h, double factor) {

@@ -109,6 +109,12 @@ class network {
   // with geometric growth, touched only on this plane.
   host_id add_host();
 
+  // Grow by `count` hosts in one structural step: one ledger resize and one
+  // visit-block growth instead of `count` round trips. Tower-placement bulk
+  // builds add a host per item (a million add_host calls at n = 1M), which
+  // is why this exists. Returns the first new host id.
+  host_id add_hosts(std::size_t count);
+
   // --- memory ledger (structural plane) ------------------------------------
   void charge(host_id h, memory_kind kind, std::int64_t delta);
   [[nodiscard]] std::uint64_t memory_used(host_id h) const;

@@ -56,11 +56,15 @@ struct qcube {
 
   [[nodiscard]] coord_t side() const { return coord_span >> level; }
 
+  // Branch-free: the per-dimension mismatches are OR-accumulated into one
+  // compare instead of short-circuiting, so the router's descend loop (which
+  // calls this once per hop) carries no data-dependent branches per
+  // dimension (D is a compile-time constant; the loop fully unrolls).
   [[nodiscard]] bool contains(const qpoint<D>& p) const {
-    for (int d = 0; d < D; ++d) {
-      if ((p.x[d] >> (coord_bits - level)) != (corner[d] >> (coord_bits - level))) return false;
-    }
-    return true;
+    const int shift = coord_bits - level;
+    coord_t diff = 0;
+    for (int d = 0; d < D; ++d) diff |= (p.x[d] >> shift) ^ (corner[d] >> shift);
+    return diff == 0;
   }
 
   // True when `c` is this cube or a dyadic descendant of it.

@@ -42,6 +42,13 @@ class trapmap {
   [[nodiscard]] std::size_t segment_count() const { return real_segment_count_; }
   [[nodiscard]] std::size_t trapezoid_count() const { return traps_.size(); }
   [[nodiscard]] const std::vector<trapezoid>& trapezoids() const { return traps_; }
+
+  // Allocator-held bytes of the sweep structures (capacity-based).
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    return static_cast<std::uint64_t>(segs_.capacity()) * sizeof(segment) +
+           static_cast<std::uint64_t>(traps_.capacity()) * sizeof(trapezoid) +
+           static_cast<std::uint64_t>(by_left_x_.capacity()) * sizeof(int);
+  }
   [[nodiscard]] const trapezoid& trap(int id) const { return traps_[static_cast<std::size_t>(id)]; }
   [[nodiscard]] const segment& seg(int id) const { return segs_[static_cast<std::size_t>(id)]; }
 

@@ -42,6 +42,20 @@ class trie {
 
   [[nodiscard]] const node_t& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
 
+  // Allocator-held bytes of the node arena: the slot vector plus every
+  // node's heap strings and child table (capacity-based; small strings that
+  // fit the SSO buffer report their capacity anyway, a deliberate
+  // conservative overcount — the buffer is resident either way).
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    std::uint64_t b = static_cast<std::uint64_t>(nodes_.capacity()) * sizeof(node_t) +
+                      static_cast<std::uint64_t>(free_.capacity()) * sizeof(int);
+    for (const node_t& v : nodes_) {
+      b += v.edge.capacity() + v.path.capacity() +
+           v.children.capacity() * sizeof(std::pair<char, std::int32_t>);
+    }
+    return b;
+  }
+
   // Result of descending toward q: the deepest node whose path is a prefix
   // of q, plus how many further characters of q matched inside the outgoing
   // edge (0 when q diverges or ends exactly at the node).
