@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,12 @@ struct config {
   // default — populating a baseline at 4M costs n full insert routes.
   std::vector<std::size_t> bign_ns = {1u << 18, 1u << 20, 1u << 22};
   std::vector<std::string> bign_backends = {"skipweb1d", "bucket_skipweb"};
+  // Instant-restart sweep (DESIGN.md §13): snapshot-save a bulk-built
+  // deployment, then time the cold-start alternatives — mmap restore
+  // (headline), owned-read restore, and time-to-first-query — against the
+  // bulk build itself and the extrapolated incremental population.
+  std::vector<std::size_t> restart_ns = {1u << 20, 1u << 22};
+  std::vector<std::string> restart_backends = {"skipweb1d", "bucket_skipweb"};
   std::string out = "throughput";
 };
 
@@ -323,12 +330,77 @@ bign_result run_bign_cell(const std::string& backend, std::size_t n, const confi
   return res;
 }
 
+// One restart cell: bulk-build at n, persist the snapshot, then measure what
+// the next process start costs. The map restore is the headline — the arenas
+// come back as borrowed spans over the file mapping, so the restore time is
+// metadata validation plus ledger replay, not an O(n) read. A crash-restart
+// smoke rides along: the restored twin (fresh network, nothing shared but
+// the file) must answer a probe sample identically to the original.
+struct restart_result {
+  double bulk_build_seconds = 0;
+  double save_seconds = 0;  // compact + checksummed write
+  double restore_map_seconds = 0;
+  double restore_load_seconds = 0;
+  double first_query_ms = 0;  // map restore + one routed nearest, end to end
+  std::uint64_t snapshot_bytes = 0;
+  bool answers_match = true;
+};
+
+restart_result run_restart_cell(const std::string& backend, std::size_t n, const config& cfg) {
+  restart_result res;
+  util::rng r(cfg.seed * 6151 + n);  // same deployment as the bign cell
+  auto keys = wl::uniform_keys(n, r);
+  const auto probes = wl::probe_keys(keys, 64, r);
+  const auto path = (std::filesystem::temp_directory_path() /
+                     ("bench_restart_" + backend + "_" + std::to_string(n) + ".snap"))
+                        .string();
+
+  net::network net(1);
+  const auto t_build0 = clock_t_::now();
+  const auto idx =
+      api::make_index(backend, std::move(keys), api::index_options{}.seed(cfg.seed).bulk_build(true),
+                      net);
+  res.bulk_build_seconds = std::chrono::duration<double>(clock_t_::now() - t_build0).count();
+
+  const auto t_save0 = clock_t_::now();
+  api::save_index_snapshot(*idx, path);
+  res.save_seconds = std::chrono::duration<double>(clock_t_::now() - t_save0).count();
+  res.snapshot_bytes = std::filesystem::file_size(path);
+
+  {  // owned read: every payload checksum verified up front
+    net::network net_l(1);
+    const auto t0 = clock_t_::now();
+    const auto twin = api::restore_index(path, persist::restore_mode::load, net_l);
+    res.restore_load_seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+  }
+  {  // mmap + time-to-first-query + the crash-restart answer smoke
+    net::network net_m(1);
+    const auto t0 = clock_t_::now();
+    const auto twin = api::restore_index(path, persist::restore_mode::map, net_m);
+    res.restore_map_seconds = std::chrono::duration<double>(clock_t_::now() - t0).count();
+    (void)twin->nearest(probes[0], net::host_id{0});
+    res.first_query_ms =
+        std::chrono::duration<double>(clock_t_::now() - t0).count() * 1e3;
+    for (const auto q : probes) {
+      const auto a = idx->nearest(q, net::host_id{0});
+      const auto b = twin->nearest(q, net::host_id{0});
+      if (a.pred != b.pred || a.succ != b.succ || !(a.stats == b.stats)) {
+        res.answers_match = false;
+        break;
+      }
+    }
+  }
+  std::filesystem::remove(path);
+  return res;
+}
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--n 1024,4096,...] [--backends a,b|all] [--mixes search,mixed,churn]\n"
                "          [--max-ops N] [--time SECONDS] [--batch B] [--seed S]\n"
                "          [--threads T1,T2,...] [--bign N1,N2,...|none]\n"
-               "          [--bign-backends a,b] [--out NAME] [--smoke]\n",
+               "          [--bign-backends a,b] [--restart N1,N2,...|none]\n"
+               "          [--restart-backends a,b] [--out NAME] [--smoke]\n",
                argv0);
 }
 
@@ -378,6 +450,14 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--bign-backends") {
       cfg.bign_backends = split_list(need("--bign-backends"));
+    } else if (a == "--restart") {
+      cfg.restart_ns.clear();
+      for (const auto& s : split_list(need("--restart"))) {
+        if (s == "none") continue;
+        cfg.restart_ns.push_back(std::strtoull(s.c_str(), nullptr, 10));
+      }
+    } else if (a == "--restart-backends") {
+      cfg.restart_backends = split_list(need("--restart-backends"));
     } else if (a == "--out") {
       cfg.out = need("--out");
     } else if (a == "--smoke") {
@@ -385,6 +465,7 @@ int main(int argc, char** argv) {
       cfg.max_ops = 2000;
       cfg.time_budget = 0.05;
       cfg.bign_ns = {1u << 18};  // CI smoke: one bulk-built 256k deployment
+      cfg.restart_ns = {1u << 17};  // CI smoke: one save/restore cycle at 128k
     } else {
       usage(argv[0]);
       return a == "--help" || a == "-h" ? 0 : 2;
@@ -406,6 +487,12 @@ int main(int argc, char** argv) {
   for (const auto& b : cfg.bign_backends) {
     if (!api::backend_known(b)) {
       std::fprintf(stderr, "unknown bign backend '%s'\n", b.c_str());
+      return 2;
+    }
+  }
+  for (const auto& b : cfg.restart_backends) {
+    if (!api::backend_known(b)) {
+      std::fprintf(stderr, "unknown restart backend '%s'\n", b.c_str());
       return 2;
     }
   }
@@ -509,6 +596,46 @@ int main(int argc, char** argv) {
         jw.field("batch", static_cast<std::uint64_t>(kBignBatch));
         jw.field("batch_ops_per_sec", res.batch_ops_per_sec);
         json_footprint_fields(jw, res.fp, n);
+        jw.end_object();
+      }
+      print_rule();
+    }
+    jw.end_array();
+  }
+
+  if (!cfg.restart_ns.empty()) {
+    print_header("Instant restart - snapshot save/restore vs building from scratch");
+    std::printf("restore(map) is the cold-start headline; ttfq = map restore + first routed query\n");
+    print_rule();
+    print_row({"backend", "n", "bulk_s", "save_s", "snap_MiB", "load_s", "map_ms", "ttfq_ms",
+               "speedup", "match"},
+              12);
+    print_rule();
+
+    jw.key("restart").begin_array();
+    for (const auto& backend : cfg.restart_backends) {
+      for (const std::size_t n : cfg.restart_ns) {
+        const auto res = run_restart_cell(backend, n, cfg);
+        const double speedup = res.restore_map_seconds > 0
+                                   ? res.bulk_build_seconds / res.restore_map_seconds
+                                   : 0.0;
+        print_row({backend, fmt_u(n), fmt(res.bulk_build_seconds, 3), fmt(res.save_seconds, 3),
+                   fmt(static_cast<double>(res.snapshot_bytes) / (1024.0 * 1024.0), 1),
+                   fmt(res.restore_load_seconds, 3), fmt(res.restore_map_seconds * 1e3, 2),
+                   fmt(res.first_query_ms, 2), fmt(speedup, 1),
+                   res.answers_match ? "yes" : "NO"},
+                  12);
+        jw.begin_object();
+        jw.field("backend", backend);
+        jw.field("n", n);
+        jw.field("bulk_build_seconds", res.bulk_build_seconds);
+        jw.field("save_seconds", res.save_seconds);
+        jw.field("snapshot_bytes", res.snapshot_bytes);
+        jw.field("restore_load_seconds", res.restore_load_seconds);
+        jw.field("restore_map_seconds", res.restore_map_seconds);
+        jw.field("first_query_ms", res.first_query_ms);
+        jw.field("restore_speedup_vs_bulk", speedup);
+        jw.field("answers_match", res.answers_match);
         jw.end_object();
       }
       print_rule();

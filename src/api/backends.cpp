@@ -53,7 +53,20 @@ class adapter final : public distributed_index {
       // whether THIS instance actually installed replicas.
       if (impl_.replication() > 0) c = c | capability::fault_tolerant;
     }
+    if constexpr (has_snapshot) c = c | capability::snapshot;
     return c;
+  }
+
+  void save_snapshot(persist::writer& w) const override {
+    if constexpr (has_snapshot) {
+      impl_.save_snapshot(w);
+    } else {
+      distributed_index::save_snapshot(w);  // throws unsupported_operation
+    }
+  }
+
+  void compact() override {
+    if constexpr (has_compact) impl_.compact();
   }
 
   op_result<std::size_t> repair_step(net::host_id origin) override {
@@ -121,6 +134,9 @@ class adapter final : public distributed_index {
     s.repair_step(net::host_id{});
     { s.replication() } -> std::convertible_to<std::size_t>;
   };
+  static constexpr bool has_snapshot =
+      requires(const S& s, persist::writer& w) { s.save_snapshot(w); };
+  static constexpr bool has_compact = requires(S& s) { s.compact(); };
   // The interface promises thread-safe concurrent const queries; that only
   // holds if the wrapped structure's query surface is itself const.
   static_assert(requires(const S& s) {
@@ -216,6 +232,19 @@ void register_builtin_backends(const backend_registrar& add) {
                                net::network& net) {
     const auto hosts = opts.buckets_or_default(keys.size());
     return std::make_unique<chord_adapter>(hosts, std::move(keys), opts, net);
+  });
+}
+
+// Restore factories for the snapshot-capable (arena-backed) builtins: the
+// adapter forwards the (reader, network) pair to the structure's restore
+// constructor. Non-arena baselines have no snapshot capability and no entry
+// here — restore_index throws std::out_of_range for them.
+void register_builtin_backend_restores(const restore_registrar& add) {
+  add("skipweb1d", [](persist::reader& r, net::network& net) {
+    return make_adapter<core::skipweb_1d>("skipweb1d", r, net);
+  });
+  add("bucket_skipweb", [](persist::reader& r, net::network& net) {
+    return make_adapter<core::bucket_skipweb>("bucket_skipweb", r, net);
   });
 }
 

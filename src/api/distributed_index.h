@@ -11,6 +11,10 @@
 #include "net/types.h"
 #include "util/sw_assert.h"
 
+namespace skipweb::persist {
+class writer;
+}
+
 namespace skipweb::api {
 
 // What a backend can do. `range` without `native_range` means the generic
@@ -27,6 +31,11 @@ enum class capability : std::uint32_t {
   // Built with index_options::replication(k) > 0: queries route around up to
   // k dead hosts, and repair_step() restores the structure after crashes.
   fault_tolerant = 1u << 6,
+  // Arena-backed persistence (DESIGN.md §13): save_snapshot() serializes the
+  // whole structure to a single checksummed file, and api::restore_index
+  // rebuilds it — answers, uids and receipts byte-identical to the
+  // never-persisted twin, in milliseconds instead of a full build.
+  snapshot = 1u << 7,
 };
 
 [[nodiscard]] constexpr capability operator|(capability a, capability b) {
@@ -194,6 +203,23 @@ class distributed_index {
   /// not implement the surface (`memory_footprint::empty()`).
   /// \note Structural plane (walks container capacities); O(#containers).
   [[nodiscard]] virtual memory_footprint footprint() const { return {}; }
+
+  /// \brief Serialize the whole structure into the open snapshot `w`
+  /// (capability::snapshot only; DESIGN.md §13). Drive through
+  /// api::save_index_snapshot, which frames the file and writes the
+  /// backend-identification sections.
+  /// \note Structural plane: quiescent instance, never concurrent with
+  ///       queries or updates.
+  virtual void save_snapshot(persist::writer& w) const {
+    (void)w;
+    throw unsupported_operation(backend(), "save_snapshot");
+  }
+
+  /// \brief Release growth headroom: shrink every internal container to its
+  /// size, so footprint().slack_bytes drops to ~0 and resident bytes match
+  /// what save_snapshot writes. Safe no-op on backends without the surface.
+  /// \note Structural plane; the next insert re-grows normally.
+  virtual void compact() {}
 
   /// \brief Per-sweep deadline for the generic range() fallback, in
   /// simulated ns (0 = none). Set by make_index from

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -28,6 +29,11 @@ struct memory_footprint {
   std::uint64_t arena_bytes = 0;      // element storage: keys, bits, liveness
   std::uint64_t link_bytes = 0;       // neighbour / child / down pointers
   std::uint64_t directory_bytes = 0;  // owner tables, tree maps, bucket maps
+  // Of the bytes above, how many are capacity beyond size — growth headroom
+  // the allocator holds but no record occupies. compact() (the pre-snapshot
+  // shrink) drives this to ~0, at which point total_bytes() matches the
+  // on-disk snapshot payload (DESIGN.md §13).
+  std::uint64_t slack_bytes = 0;
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return arena_bytes + link_bytes + directory_bytes;
@@ -41,15 +47,32 @@ struct memory_footprint {
     arena_bytes += o.arena_bytes;
     link_bytes += o.link_bytes;
     directory_bytes += o.directory_bytes;
+    slack_bytes += o.slack_bytes;
     return *this;
   }
 };
 
-// Allocator-held bytes of a vector: capacity, not size. Allocator-generic —
-// the link pools use a default-init allocator (core/level_lists.h).
-template <typename T, typename A>
-[[nodiscard]] std::uint64_t vector_bytes(const std::vector<T, A>& v) {
-  return static_cast<std::uint64_t>(v.capacity()) * sizeof(T);
+// Allocator-held bytes of a contiguous container: capacity, not size. Works
+// for std::vector (any allocator) and persist::pod_array alike — anything
+// exposing capacity() and value_type.
+template <typename C>
+  requires requires(const C& c) {
+    typename C::value_type;
+    { c.capacity() } -> std::convertible_to<std::size_t>;
+  }
+[[nodiscard]] std::uint64_t vector_bytes(const C& v) {
+  return static_cast<std::uint64_t>(v.capacity()) * sizeof(typename C::value_type);
+}
+
+// The capacity-beyond-size share of vector_bytes (memory_footprint::slack_bytes).
+template <typename C>
+  requires requires(const C& c) {
+    typename C::value_type;
+    { c.capacity() } -> std::convertible_to<std::size_t>;
+    { c.size() } -> std::convertible_to<std::size_t>;
+  }
+[[nodiscard]] std::uint64_t vector_slack_bytes(const C& v) {
+  return static_cast<std::uint64_t>(v.capacity() - v.size()) * sizeof(typename C::value_type);
 }
 
 // Estimate for a node-based hash map (std::unordered_map): one pointer per

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
 
 namespace skipweb::net {
 class hop_cache;
@@ -103,6 +105,19 @@ class index_options {
     bulk_build_ = v;
     return *this;
   }
+  // Opt into instant restart (the persistence plane, DESIGN.md §13): with a
+  // path set, make_index / make_spatial_index first look for a snapshot file
+  // there — if one exists the index is RESTORED from it (mmap mode: cold
+  // start in milliseconds, arenas borrowed from the mapping until first
+  // write) instead of built; if not, the index is built normally, compacted,
+  // and SAVED there for the next start. Either way the caller gets an index
+  // whose answers, uids and receipts are byte-identical to a fresh build.
+  // Only snapshot-capable backends (capability::snapshot) participate; with
+  // others the path is ignored. Empty (the default) disables the plane.
+  index_options& snapshot_path(std::string path) {
+    snapshot_path_ = std::move(path);
+    return *this;
+  }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] placement_policy placement() const { return placement_; }
@@ -113,6 +128,7 @@ class index_options {
   [[nodiscard]] std::size_t replication() const { return replication_; }
   [[nodiscard]] std::uint64_t deadline_ns() const { return deadline_ns_; }
   [[nodiscard]] bool bulk_build() const { return bulk_build_; }
+  [[nodiscard]] const std::string& snapshot_path() const { return snapshot_path_; }
 
   // M defaults to Theta(log n) — the regime where the blocked skip-web hits
   // its O(log n / log log n) query bound (paper §2.4.1).
@@ -140,6 +156,7 @@ class index_options {
   std::size_t replication_ = 0;
   std::uint64_t deadline_ns_ = 0;
   bool bulk_build_ = true;
+  std::string snapshot_path_;
 };
 
 }  // namespace skipweb::api

@@ -1,6 +1,7 @@
 #include "api/registry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -13,12 +14,14 @@ namespace skipweb::api {
 // registrar. Built-ins are wired by an explicit call (not global
 // constructors) so a static library link cannot strip them.
 void register_builtin_backends(const backend_registrar& add);
+void register_builtin_backend_restores(const restore_registrar& add);
 
 namespace {
 
 struct registry_state {
   std::mutex mu;
   std::map<std::string, backend_factory, std::less<>> factories;
+  std::map<std::string, restore_factory, std::less<>> restorers;
 };
 
 registry_state& state() {
@@ -35,10 +38,29 @@ void register_backend_impl(std::string name, backend_factory make) {
   s.factories.insert_or_assign(std::move(name), std::move(make));
 }
 
+void register_restore_impl(std::string name, restore_factory make) {
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  s.restorers.insert_or_assign(std::move(name), std::move(make));
+}
+
 // Runs before any lookup or user registration, outside the registry lock.
 void ensure_builtins() {
   static std::once_flag once;
-  std::call_once(once, [] { register_builtin_backends(register_backend_impl); });
+  std::call_once(once, [] {
+    register_builtin_backends(register_backend_impl);
+    register_builtin_backend_restores(register_restore_impl);
+  });
+}
+
+// File-existence probe for the build-or-restore entry point (a stat is all
+// make_index needs; the reader re-opens and validates for real).
+bool file_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -68,10 +90,65 @@ std::vector<std::string> registered_backends() {
   return names;
 }
 
+void register_backend_restore(std::string name, restore_factory make) {
+  ensure_builtins();
+  register_restore_impl(std::move(name), std::move(make));
+}
+
+bool backend_restorable(std::string_view name) {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  return s.restorers.find(name) != s.restorers.end();
+}
+
+void save_index_snapshot(distributed_index& idx, const std::string& path) {
+  idx.compact();  // resident bytes == payload bytes (DESIGN.md §13)
+  persist::writer w(path);
+  w.add_string("meta.backend", idx.backend());
+  w.add_u64("meta.index_kind", 0);  // 1-D
+  w.add_u64("meta.n", idx.size());
+  idx.save_snapshot(w);
+  w.finish();
+}
+
+std::unique_ptr<distributed_index> restore_index(const std::string& path,
+                                                 persist::restore_mode mode, net::network& net) {
+  ensure_builtins();
+  persist::reader r(path, mode);
+  if (r.u64("meta.index_kind") != 0) {
+    throw persist::error("snapshot: not a 1-D index snapshot: " + path);
+  }
+  const std::string name = r.str("meta.backend");
+  restore_factory make;
+  {
+    auto& s = state();
+    std::scoped_lock lock(s.mu);
+    const auto it = s.restorers.find(name);
+    if (it == s.restorers.end()) {
+      throw std::out_of_range("no restore factory for backend: " + name);
+    }
+    make = it->second;
+  }
+  const net::structural_section restore_guard(net);
+  return make(r, net);
+}
+
 std::unique_ptr<distributed_index> make_index(std::string_view backend,
                                               std::vector<std::uint64_t> keys,
                                               const index_options& opts, net::network& net) {
   ensure_builtins();
+  // Instant restart: a snapshot at opts.snapshot_path() short-circuits the
+  // build entirely (the keys are dropped — the file IS the structure).
+  if (!opts.snapshot_path().empty() && file_exists(opts.snapshot_path())) {
+    if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
+    auto idx = restore_index(opts.snapshot_path(), persist::restore_mode::map, net);
+    if (opts.deadline_ns() > 0) {
+      net.set_op_deadline(opts.deadline_ns());
+      idx->set_range_deadline(opts.deadline_ns());
+    }
+    return idx;
+  }
   backend_factory make;
   {
     auto& s = state();
@@ -107,6 +184,11 @@ std::unique_ptr<distributed_index> make_index(std::string_view backend,
   if (build_opts.deadline_ns() > 0) {
     net.set_op_deadline(build_opts.deadline_ns());
     idx->set_range_deadline(build_opts.deadline_ns());
+  }
+  // First start with a snapshot path: persist the fresh build for the next
+  // one (only for backends that can — others ignore the plane).
+  if (!opts.snapshot_path().empty() && has(idx->capabilities(), capability::snapshot)) {
+    save_index_snapshot(*idx, opts.snapshot_path());
   }
   return idx;
 }

@@ -8,6 +8,7 @@
 
 #include "api/distributed_index.h"
 #include "api/options.h"
+#include "persist/snapshot.h"
 
 namespace skipweb::net {
 class network;
@@ -41,9 +42,50 @@ void register_backend(std::string name, backend_factory make);
 // The uniform build entry point: grows `net` to opts.initial_hosts(), then
 // builds the named backend over `keys`. Throws std::out_of_range for an
 // unknown name.
+//
+// Instant restart (DESIGN.md §13): with opts.snapshot_path() set and a
+// readable snapshot at that path, the index is restored from it (mmap mode)
+// instead of built and `keys` is ignored; with the path set but no file
+// there, the index is built, compacted, and saved to the path. Restore
+// follows the same route-cache / deadline wiring as a build.
 [[nodiscard]] std::unique_ptr<distributed_index> make_index(std::string_view backend,
                                                             std::vector<std::uint64_t> keys,
                                                             const index_options& opts,
                                                             net::network& net);
+
+// --- persistence (DESIGN.md §13) --------------------------------------------
+
+// Reconstructs one backend instance from an open, validated snapshot. The
+// reader is positioned on the whole file; the factory reads the sections its
+// save_snapshot wrote and replays the deployment ledger onto `net` (a fresh
+// network by contract).
+using restore_factory = std::function<std::unique_ptr<distributed_index>(
+    persist::reader& r, net::network& net)>;
+
+// Signature the builtin bootstrap registers restores through (backends.cpp).
+using restore_registrar = std::function<void(std::string, restore_factory)>;
+
+// Registers (or replaces) the restore path of a snapshot-capable backend.
+void register_backend_restore(std::string name, restore_factory make);
+
+// True when `name` has a registered restore factory.
+[[nodiscard]] bool backend_restorable(std::string_view name);
+
+// Compact `idx` (so resident bytes match the payload) and write a complete
+// single-file snapshot: identification sections ("meta.backend", "meta.n",
+// "meta.index_kind" = 0) plus everything the backend's save_snapshot emits.
+// Throws unsupported_operation for backends without capability::snapshot and
+// persist::error on I/O failure; no partial file survives a throw.
+void save_index_snapshot(distributed_index& idx, const std::string& path);
+
+// Rebuild an index from a snapshot file onto `net` — a FRESH network, which
+// the restore grows to the saved host count, replaying the saved per-host
+// memory ledger exactly. restore_mode::map borrows the arenas from a
+// read-only file mapping (cold start in milliseconds; pages fault in on
+// demand and copy on first write); restore_mode::load reads and verifies
+// every payload checksum up front. Throws persist::error on any corruption
+// and std::out_of_range when the saved backend has no restore factory.
+[[nodiscard]] std::unique_ptr<distributed_index> restore_index(
+    const std::string& path, persist::restore_mode mode, net::network& net);
 
 }  // namespace skipweb::api

@@ -74,14 +74,26 @@ class quadtree_adapter final : public spatial_index {
       : name_(name),
         impl_(to_points<D>(pts), opts.seed(), net, opts.replication(), opts.bulk_build()) {}
 
+  // Native restore (DESIGN.md §13): the structure's restore constructor
+  // borrows the arenas straight from the open snapshot.
+  quadtree_adapter(std::string_view name, persist::reader& r, net::network& net)
+      : name_(name), impl_(r, net) {}
+
   [[nodiscard]] std::string_view backend() const override { return name_; }
   [[nodiscard]] int dims() const override { return D; }
   [[nodiscard]] std::size_t size() const override { return impl_.size(); }
   [[nodiscard]] spatial_capability capabilities() const override {
-    auto c = spatial_base_caps | spatial_capability::native_range | spatial_capability::native_nn;
+    auto c = spatial_base_caps | spatial_capability::native_range | spatial_capability::native_nn |
+             spatial_capability::snapshot;
     if (impl_.replication() > 0) c = c | spatial_capability::fault_tolerant;
     return c;
   }
+
+  void save_snapshot(persist::writer& w) const override {
+    w.add_u64("meta.kind", 0);  // native: arena sections follow
+    impl_.save_snapshot(w);
+  }
+  void compact() override { impl_.compact(); }
 
   op_result<std::size_t> repair_step(net::host_id origin) override {
     if (impl_.replication() == 0) return spatial_index::repair_step(origin);  // throws
@@ -152,12 +164,33 @@ class trie_adapter final : public spatial_index {
   static constexpr int D = 2;
 
   trie_adapter(std::vector<spatial_point> pts, const index_options& opts, net::network& net)
-      : impl_(encode_all(pts), opts.seed(), net) {}
+      : seed_(opts.seed()),
+        pre_hosts_(net.host_count()),
+        build_pts_(std::move(pts)),
+        impl_(encode_all(build_pts_), opts.seed(), net) {}
 
   [[nodiscard]] std::string_view backend() const override { return "skip_trie"; }
   [[nodiscard]] int dims() const override { return D; }
   [[nodiscard]] std::size_t size() const override { return impl_.size(); }
-  [[nodiscard]] spatial_capability capabilities() const override { return spatial_base_caps; }
+  [[nodiscard]] spatial_capability capabilities() const override {
+    return spatial_base_caps | spatial_capability::snapshot;
+  }
+
+  // Replay snapshot (DESIGN.md §13): the trie's inner structure is not
+  // arena-backed, so persistence is the deterministic record — build input,
+  // seed, pre-build host count, and the structural op log with origins.
+  // restore_spatial_index rebuilds through the ordinary factory and replays.
+  void save_snapshot(persist::writer& w) const override {
+    w.add_u64("meta.kind", 1);  // replay
+    w.add_u64("replay.seed", seed_);
+    w.add_u64("replay.pre_hosts", pre_hosts_);
+    w.add_vector("replay.build_pts", build_pts_);
+    w.add_vector("replay.oplog", oplog_);
+  }
+  void compact() override {
+    build_pts_.shrink_to_fit();
+    oplog_.shrink_to_fit();
+  }
 
   [[nodiscard]] spatial_locate_result locate(const spatial_point& q,
                                              net::host_id origin) const override {
@@ -174,10 +207,14 @@ class trie_adapter final : public spatial_index {
   }
 
   op_stats insert(const spatial_point& p, net::host_id origin) override {
-    return impl_.insert(encode(p), origin);
+    const auto stats = impl_.insert(encode(p), origin);
+    oplog_.push_back({0, origin.value, p.x});  // after: failed ops leave no row
+    return stats;
   }
   op_stats erase(const spatial_point& p, net::host_id origin) override {
-    return impl_.erase(encode(p), origin);
+    const auto stats = impl_.erase(encode(p), origin);
+    oplog_.push_back({1, origin.value, p.x});
+    return stats;
   }
 
   // Dyadic decomposition of the box: recurse over z-order cells (= prefix
@@ -270,7 +307,14 @@ class trie_adapter final : public spatial_index {
     }
   }
 
+  // Replay record members precede impl_: pre_hosts_ must read host_count()
+  // before the build grows the deployment (members initialize in declaration
+  // order).
+  std::uint64_t seed_;
+  std::size_t pre_hosts_;
+  std::vector<spatial_point> build_pts_;
   core::skip_trie impl_;
+  std::vector<spatial_replay_row> oplog_;
 };
 
 // --- trapezoidal-map platforms ----------------------------------------------
@@ -292,14 +336,35 @@ class trapmap_adapter final : public spatial_index {
 
   trapmap_adapter(std::vector<spatial_point> pts, const index_options& opts, net::network& net)
       : net_(&net),
-        impl_(segments_for(pts), -kPad, 1.0 + kPad, -kPad, 1.0 + kPad, opts.seed(), net) {
-    for (const auto& p : pts) remember(p);
+        seed_(opts.seed()),
+        pre_hosts_(net.host_count()),
+        build_pts_(std::move(pts)),
+        impl_(segments_for(build_pts_), -kPad, 1.0 + kPad, -kPad, 1.0 + kPad, opts.seed(), net) {
+    for (const auto& p : build_pts_) remember(p);
   }
 
   [[nodiscard]] std::string_view backend() const override { return "skip_trapmap"; }
   [[nodiscard]] int dims() const override { return D; }
   [[nodiscard]] std::size_t size() const override { return impl_.size(); }
-  [[nodiscard]] spatial_capability capabilities() const override { return spatial_base_caps; }
+  [[nodiscard]] spatial_capability capabilities() const override {
+    return spatial_base_caps | spatial_capability::snapshot;
+  }
+
+  // Replay snapshot, exactly as the trie's (see trie_adapter::save_snapshot):
+  // the trapezoidal map's node/pointer web is not arena-backed, so the
+  // deterministic record is what persists.
+  void save_snapshot(persist::writer& w) const override {
+    w.add_u64("meta.kind", 1);  // replay
+    w.add_u64("replay.seed", seed_);
+    w.add_u64("replay.pre_hosts", pre_hosts_);
+    w.add_vector("replay.build_pts", build_pts_);
+    w.add_vector("replay.oplog", oplog_);
+  }
+  void compact() override {
+    build_pts_.shrink_to_fit();
+    oplog_.shrink_to_fit();
+    items_.shrink_to_fit();
+  }
 
   [[nodiscard]] spatial_locate_result locate(const spatial_point& q,
                                              net::host_id origin) const override {
@@ -323,12 +388,14 @@ class trapmap_adapter final : public spatial_index {
   op_stats insert(const spatial_point& p, net::host_id origin) override {
     const auto stats = impl_.insert(segment_for(p), origin);
     remember(p);  // after the insert, so contract violations leave no trace
+    oplog_.push_back({0, origin.value, p.x});
     return stats;
   }
 
   op_stats erase(const spatial_point& p, net::host_id origin) override {
     const auto stats = impl_.erase(segment_for(p), origin);
     forget(p);
+    oplog_.push_back({1, origin.value, p.x});
     return stats;
   }
 
@@ -423,9 +490,15 @@ class trapmap_adapter final : public spatial_index {
   }
 
   net::network* net_;  // declared (and initialized) before impl_
+  // Replay record members precede impl_: pre_hosts_ must read host_count()
+  // before the build grows the deployment.
+  std::uint64_t seed_;
+  std::size_t pre_hosts_;
+  std::vector<spatial_point> build_pts_;
   core::skip_trapmap impl_;
   std::vector<spatial_point> items_;
   std::unordered_map<spatial_point, std::size_t, point_hash> index_of_;
+  std::vector<spatial_replay_row> oplog_;
 };
 
 }  // namespace
@@ -447,6 +520,17 @@ void register_builtin_spatial_backends(const spatial_registrar& add) {
       [](std::vector<spatial_point> pts, const index_options& opts, net::network& net) {
         return std::make_unique<trapmap_adapter>(std::move(pts), opts, net);
       });
+}
+
+// Native restore factories (the replay-kind backends need none: their
+// snapshots rebuild through the ordinary factories above).
+void register_builtin_spatial_restores(const spatial_restore_registrar& add) {
+  add("skip_quadtree2", [](persist::reader& r, net::network& net) {
+    return std::make_unique<quadtree_adapter<2>>("skip_quadtree2", r, net);
+  });
+  add("skip_quadtree3", [](persist::reader& r, net::network& net) {
+    return std::make_unique<quadtree_adapter<3>>("skip_quadtree3", r, net);
+  });
 }
 
 }  // namespace skipweb::api

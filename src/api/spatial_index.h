@@ -54,6 +54,10 @@ enum class spatial_capability : std::uint32_t {
   // hosts via replica hosts, and repair_step() re-homes under-replicated
   // node records after crashes (DESIGN.md §10).
   fault_tolerant = 1u << 7,
+  // Persistence (DESIGN.md §13): save_snapshot() serializes the structure —
+  // natively (arena sections) or as a deterministic replay record — and
+  // api::restore_spatial_index rebuilds a byte-identical twin.
+  snapshot = 1u << 8,
 };
 
 [[nodiscard]] constexpr spatial_capability operator|(spatial_capability a, spatial_capability b) {
@@ -259,6 +263,18 @@ class spatial_index {
   /// contract as distributed_index::footprint() (DESIGN.md §12); all-zero
   /// when the backend does not implement the surface.
   [[nodiscard]] virtual memory_footprint footprint() const { return {}; }
+
+  /// \brief Serialize into the open snapshot `w`
+  /// (spatial_capability::snapshot only; DESIGN.md §13). Drive through
+  /// api::save_spatial_snapshot. \note Structural plane: quiescent instance.
+  virtual void save_snapshot(persist::writer& w) const {
+    (void)w;
+    throw unsupported_operation(backend(), "save_snapshot");
+  }
+
+  /// \brief Shrink internal containers to size (footprint slack -> ~0), as
+  /// distributed_index::compact(). Safe no-op without the surface.
+  virtual void compact() {}
 
  protected:
   spatial_index() = default;

@@ -1,6 +1,7 @@
 #include "api/spatial_registry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -14,6 +15,7 @@ namespace skipweb::api {
 // supplied registrar. Built-ins are wired by an explicit call (not global
 // constructors) so a static library link cannot strip them.
 void register_builtin_spatial_backends(const spatial_registrar& add);
+void register_builtin_spatial_restores(const spatial_restore_registrar& add);
 
 namespace {
 
@@ -25,6 +27,7 @@ struct entry_t {
 struct registry_state {
   std::mutex mu;
   std::map<std::string, entry_t, std::less<>> factories;
+  std::map<std::string, spatial_restore_factory, std::less<>> restorers;
 };
 
 registry_state& state() {
@@ -41,9 +44,28 @@ void register_impl(std::string name, int dims, spatial_factory make) {
   s.factories.insert_or_assign(std::move(name), entry_t{dims, std::move(make)});
 }
 
+void register_restore_impl(std::string name, spatial_restore_factory make) {
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  s.restorers.insert_or_assign(std::move(name), std::move(make));
+}
+
 void ensure_builtins() {
   static std::once_flag once;
-  std::call_once(once, [] { register_builtin_spatial_backends(register_impl); });
+  std::call_once(once, [] {
+    register_builtin_spatial_backends(register_impl);
+    register_builtin_spatial_restores(register_restore_impl);
+  });
+}
+
+// File-existence probe for the build-or-restore entry point (a stat is all
+// make_spatial_index needs; the reader re-opens and validates for real).
+bool file_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -81,10 +103,82 @@ std::vector<std::string> registered_spatial_backends() {
   return names;
 }
 
+void register_spatial_restore(std::string name, spatial_restore_factory make) {
+  ensure_builtins();
+  register_restore_impl(std::move(name), std::move(make));
+}
+
+void save_spatial_snapshot(spatial_index& idx, const std::string& path) {
+  idx.compact();  // resident bytes == payload bytes (DESIGN.md §13)
+  persist::writer w(path);
+  w.add_string("meta.backend", idx.backend());
+  w.add_u64("meta.index_kind", 1);  // spatial
+  w.add_u64("meta.n", idx.size());
+  idx.save_snapshot(w);  // writes "meta.kind" (0 native / 1 replay) + payload
+  w.finish();
+}
+
+std::unique_ptr<spatial_index> restore_spatial_index(const std::string& path,
+                                                     persist::restore_mode mode,
+                                                     net::network& net) {
+  ensure_builtins();
+  persist::reader r(path, mode);
+  if (r.u64("meta.index_kind") != 1) {
+    throw persist::error("snapshot: not a spatial index snapshot: " + path);
+  }
+  const std::string name = r.str("meta.backend");
+  if (r.u64("meta.kind") == 1) {
+    // Replay snapshot: rebuild through the ordinary public factory with the
+    // saved seed and pre-build host count, then re-issue the structural op
+    // log from its recorded origins. Replay goes through the public
+    // insert/erase, which re-charges the deployment ledger (and re-meters op
+    // traffic) exactly as the original run did — and lets the fresh adapter
+    // record the ops again, so the restored index can itself be snapshotted.
+    auto pts = r.vec<spatial_point>("replay.build_pts");
+    const index_options build_opts =
+        index_options{}.seed(r.u64("replay.seed")).initial_hosts(r.u64("replay.pre_hosts"));
+    auto idx = make_spatial_index(name, std::move(pts), build_opts, net);
+    for (const auto& row : r.vec<spatial_replay_row>("replay.oplog")) {
+      const net::host_id origin{static_cast<std::uint32_t>(row.origin)};
+      const spatial_point p{row.x};
+      if (row.op == 0) {
+        (void)idx->insert(p, origin);
+      } else if (row.op == 1) {
+        (void)idx->erase(p, origin);
+      } else {
+        throw persist::error("snapshot: unknown replay op in " + path);
+      }
+    }
+    return idx;
+  }
+  // Native snapshot: the backend's registered restore factory reads its own
+  // arena sections and replays the saved deployment ledger onto `net`.
+  spatial_restore_factory make;
+  {
+    auto& s = state();
+    std::scoped_lock lock(s.mu);
+    const auto it = s.restorers.find(name);
+    if (it == s.restorers.end()) {
+      throw std::out_of_range("no spatial restore factory for backend: " + name);
+    }
+    make = it->second;
+  }
+  const net::structural_section restore_guard(net);
+  return make(r, net);
+}
+
 std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
                                                   std::vector<spatial_point> pts,
                                                   const index_options& opts, net::network& net) {
   ensure_builtins();
+  // Instant restart: a snapshot at opts.snapshot_path() short-circuits the
+  // build entirely (the points are dropped — the file IS the structure).
+  if (!opts.snapshot_path().empty() && file_exists(opts.snapshot_path())) {
+    if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
+    auto idx = restore_spatial_index(opts.snapshot_path(), persist::restore_mode::map, net);
+    if (opts.deadline_ns() > 0) net.set_op_deadline(opts.deadline_ns());
+    return idx;
+  }
   spatial_factory make;
   {
     auto& s = state();
@@ -111,6 +205,11 @@ std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
     idx = make(std::move(pts), build_opts, net);
   }
   if (build_opts.deadline_ns() > 0) net.set_op_deadline(build_opts.deadline_ns());
+  // First start with a snapshot path: persist the fresh build for the next
+  // one (only for backends that can — others ignore the plane).
+  if (!opts.snapshot_path().empty() && has(idx->capabilities(), spatial_capability::snapshot)) {
+    save_spatial_snapshot(*idx, opts.snapshot_path());
+  }
   return idx;
 }
 

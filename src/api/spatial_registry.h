@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "api/options.h"
 #include "api/spatial_index.h"
+#include "persist/snapshot.h"
 
 namespace skipweb::net {
 class network;
@@ -47,9 +49,56 @@ void register_spatial_backend(std::string name, int dims, spatial_factory make);
 // The uniform build entry point: grows `net` to opts.initial_hosts(), then
 // builds the named backend over `pts`. Throws std::out_of_range for an
 // unknown name.
+//
+// Instant restart (DESIGN.md §13): with opts.snapshot_path() set, a snapshot
+// at the path restores instead of building (pts ignored); otherwise the
+// fresh build is compacted and saved there — as in the 1-D make_index.
 [[nodiscard]] std::unique_ptr<spatial_index> make_spatial_index(std::string_view backend,
                                                                 std::vector<spatial_point> pts,
                                                                 const index_options& opts,
                                                                 net::network& net);
+
+// --- persistence (DESIGN.md §13) --------------------------------------------
+//
+// Spatial snapshots come in two kinds, chosen by the backend's
+// save_snapshot and recorded in the file's "meta.kind" section:
+//   0 (native) — arena sections; restored by the backend's registered
+//     spatial_restore_factory (skip_quadtree2/3).
+//   1 (replay) — the build's input points plus a structural op log with
+//     origins; restored generically by rebuilding through the ordinary
+//     build factory and replaying the ops, which reproduces the structure,
+//     answers, receipts AND the deployment ledger exactly (skip_trie,
+//     skip_trapmap — backends whose inner structures are not arena-backed).
+
+// One op-log row of a replay snapshot: op 0 = insert, 1 = erase.
+struct spatial_replay_row {
+  std::uint64_t op = 0;
+  std::uint64_t origin = 0;
+  std::array<std::uint64_t, 3> x{};
+};
+static_assert(sizeof(spatial_replay_row) == 40);
+
+using spatial_restore_factory = std::function<std::unique_ptr<spatial_index>(
+    persist::reader& r, net::network& net)>;
+
+// Signature the builtin bootstrap registers restores through
+// (spatial_backends.cpp).
+using spatial_restore_registrar = std::function<void(std::string, spatial_restore_factory)>;
+
+// Registers (or replaces) the native restore path of a backend.
+void register_spatial_restore(std::string name, spatial_restore_factory make);
+
+// Compact `idx` and write a complete single-file snapshot (identification
+// sections "meta.backend" / "meta.n" / "meta.index_kind" = 1 plus the
+// backend's own). Throws unsupported_operation without
+// spatial_capability::snapshot; no partial file survives a throw.
+void save_spatial_snapshot(spatial_index& idx, const std::string& path);
+
+// Rebuild a spatial index from a snapshot onto `net` (a FRESH network).
+// Native snapshots restore through the backend factory (mmap mode borrows
+// the arenas zero-copy); replay snapshots rebuild + replay. Throws
+// persist::error on corruption, std::out_of_range for an unknown backend.
+[[nodiscard]] std::unique_ptr<spatial_index> restore_spatial_index(
+    const std::string& path, persist::restore_mode mode, net::network& net);
 
 }  // namespace skipweb::api

@@ -1,8 +1,10 @@
 #include "core/bucket_skipweb.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/routing_1d.h"
+#include "persist/net_snapshot.h"
 #include "util/radix_sort.h"
 
 namespace skipweb::core {
@@ -28,6 +30,19 @@ int levels_per_stratum(std::size_t M) {
   while ((std::size_t{1} << l) < M) ++l;
   return std::max(1, l);  // ceil(log2 M)
 }
+
+// One snapshot row per block slot (live or freed — slot ids are part of the
+// round-trip, via block_of_ and free_blocks_); the variable-length item runs
+// concatenate into a single side stream.
+struct block_row {
+  std::int32_t set_length = 0;
+  std::uint32_t host = 0;
+  std::uint64_t set_bits = 0;
+  std::uint32_t live = 0;
+  std::uint32_t item_count = 0;
+};
+static_assert(sizeof(block_row) == 24);
+static_assert(std::is_trivially_copyable_v<block_row>);
 
 }  // namespace
 
@@ -57,6 +72,101 @@ bucket_skipweb::bucket_skipweb(std::vector<std::uint64_t> keys, std::uint64_t se
     root_item_[h] = static_cast<int>(h % lists_.arena_size());
     net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
   }
+}
+
+bucket_skipweb::bucket_skipweb(persist::reader& r, net::network& net)
+    : rng_(0), lists_(r, "lists"), net_(&net), M_(0), L_(0), B_(0), strata_count_(0) {
+  std::size_t nmeta = 0;
+  const auto* meta = r.array<std::uint64_t>("impl.meta", nmeta);
+  if (nmeta != 4) throw persist::error("snapshot: bucket meta malformed");
+  M_ = meta[0];
+  L_ = static_cast<int>(meta[1]);
+  B_ = meta[2];
+  strata_count_ = static_cast<int>(meta[3]);
+  std::istringstream iss(r.str("impl.rng"));
+  iss >> rng_.engine();
+  if (!iss) throw persist::error("snapshot: unreadable rng state");
+  basic_levels_ = r.vec<int>("impl.basic_levels");
+  if (strata_count_ <= 0 || basic_levels_.size() != static_cast<std::size_t>(strata_count_)) {
+    throw persist::error("snapshot: bucket strata disagree with basic levels");
+  }
+  const auto rows = r.vec<block_row>("impl.blocks");
+  const auto items = r.vec<int>("impl.block_items");
+  blocks_.resize(rows.size());
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    auto& b = blocks_[i];
+    b.set = util::level_prefix{row.set_length, row.set_bits};
+    b.host = net::host_id{row.host};
+    b.live = row.live != 0;
+    if (at + row.item_count > items.size()) {
+      throw persist::error("snapshot: bucket item stream shorter than its blocks");
+    }
+    const auto first = items.begin() + static_cast<std::ptrdiff_t>(at);
+    b.items.assign(first, first + static_cast<std::ptrdiff_t>(row.item_count));
+    at += row.item_count;
+  }
+  if (at != items.size()) {
+    throw persist::error("snapshot: bucket item stream has trailing data");
+  }
+  free_blocks_ = r.vec<int>("impl.free_blocks");
+  const auto flat = r.vec<int>("impl.block_of");
+  if (flat.size() != static_cast<std::size_t>(strata_count_) * lists_.arena_size()) {
+    throw persist::error("snapshot: bucket block_of disagrees with arena size");
+  }
+  block_of_.assign(static_cast<std::size_t>(strata_count_), {});
+  for (int s = 0; s < strata_count_; ++s) {
+    const auto first =
+        flat.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(s) *
+                                                   lists_.arena_size());
+    block_of_[static_cast<std::size_t>(s)].assign(
+        first, first + static_cast<std::ptrdiff_t>(lists_.arena_size()));
+  }
+  root_item_ = r.vec<int>("impl.root_item");
+  persist::restore_network(r, net, "net");
+  if (root_item_.size() != net_->host_count()) {
+    throw persist::error("snapshot: root table disagrees with host count");
+  }
+}
+
+void bucket_skipweb::save_snapshot(persist::writer& w) const {
+  lists_.save(w, "lists");
+  const std::uint64_t meta[4] = {M_, static_cast<std::uint64_t>(L_), B_,
+                                 static_cast<std::uint64_t>(strata_count_)};
+  w.add_array("impl.meta", meta, 4);
+  std::ostringstream oss;
+  oss << rng_.engine();
+  w.add_string("impl.rng", oss.str());
+  w.add_vector("impl.basic_levels", basic_levels_);
+  std::vector<block_row> rows(blocks_.size());
+  std::vector<int> items;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const auto& b = blocks_[i];
+    rows[i] = {b.set.length, b.host.value, b.set.bits, b.live ? 1u : 0u,
+               static_cast<std::uint32_t>(b.items.size())};
+    items.insert(items.end(), b.items.begin(), b.items.end());
+  }
+  w.add_vector("impl.blocks", rows);
+  w.add_vector("impl.block_items", items);
+  w.add_vector("impl.free_blocks", free_blocks_);
+  std::vector<int> flat;
+  flat.reserve(block_of_.size() * lists_.arena_size());
+  for (const auto& s : block_of_) flat.insert(flat.end(), s.begin(), s.end());
+  w.add_vector("impl.block_of", flat);
+  w.add_vector("impl.root_item", root_item_);
+  persist::save_network(w, *net_, "net");
+}
+
+void bucket_skipweb::compact() {
+  lists_.compact();
+  basic_levels_.shrink_to_fit();
+  for (auto& b : blocks_) b.items.shrink_to_fit();
+  blocks_.shrink_to_fit();
+  free_blocks_.shrink_to_fit();
+  for (auto& s : block_of_) s.shrink_to_fit();
+  block_of_.shrink_to_fit();
+  root_item_.shrink_to_fit();
 }
 
 int bucket_skipweb::stratum_of_level(int level) const {

@@ -7,6 +7,7 @@
 #include "core/level_lists.h"
 #include "net/cursor.h"
 #include "net/network.h"
+#include "persist/snapshot.h"
 #include "util/rng.h"
 
 namespace skipweb::core {
@@ -34,6 +35,11 @@ class bucket_skipweb {
   // build_from_sorted arena fast path (see skipweb_1d).
   bucket_skipweb(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net,
                  std::size_t M, bool bulk = true);
+
+  // Restore from a snapshot written by save_snapshot(), onto a FRESH network
+  // (hosts grown + memory ledger replayed); answers, uids, and receipts are
+  // byte-identical to the never-persisted twin (DESIGN.md §13).
+  bucket_skipweb(persist::reader& r, net::network& net);
 
   [[nodiscard]] std::size_t size() const { return lists_.size(); }
   [[nodiscard]] int levels() const { return lists_.levels(); }
@@ -71,6 +77,16 @@ class bucket_skipweb {
     for (const auto& s : block_of_) f.directory_bytes += api::vector_bytes(s);
     return f;
   }
+
+  // --- persistence (DESIGN.md §13) ------------------------------------------
+  //
+  // Arenas + block tables + rng state + the deployment ledger, as named
+  // sections of `w`. Blocks flatten to fixed-size records plus one
+  // concatenated item stream (directory shape is fully deterministic, so the
+  // restored twin's block ids and hosts match the original's exactly).
+  void save_snapshot(persist::writer& w) const;
+  // Shrink arenas and block tables to size (footprint slack -> ~0).
+  void compact();
 
   // Block-layout invariants (tests): blocks partition each basic-level list
   // into contiguous runs, sizes within [1, 2B], every alive item placed in

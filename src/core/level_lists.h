@@ -6,71 +6,21 @@
 #include <cstring>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <unordered_set>
 #include <vector>
 
-#if defined(__linux__)
-#include <sys/mman.h>
-#endif
-
 #include "api/memory_footprint.h"
+#include "persist/pod_array.h"
+#include "persist/snapshot.h"
 #include "util/membership.h"
 #include "util/prefetch.h"
 #include "util/rng.h"
 #include "util/sw_assert.h"
 
 namespace skipweb::core {
-
-// Allocator whose vector leaves trivially-default-constructible elements
-// UNINITIALIZED on a value-less resize instead of value-zeroing them.
-// assign()/resize() WITH an explicit fill value behave exactly as usual.
-// The bulk build allocates the 2·n·(levels+1)-record half-link pools through
-// this and then writes every slot in its two linear passes — at n = 1M the
-// avoided ~640MB sentinel fill is over half the build's wall clock
-// (DESIGN.md §12).
-//
-// Large allocations (≥16 MiB) are additionally advised MADV_HUGEPAGE on
-// Linux: with 4 KiB pages the first-touch faults on a 1M-item pool
-// (~340 MB per direction) dominate the linear link passes; 2 MiB pages cut
-// the fault count ~500x. Advisory only — failure is ignored.
-template <typename T, typename A = std::allocator<T>>
-class default_init_allocator : public A {
-  using traits = std::allocator_traits<A>;
-
- public:
-  template <typename U>
-  struct rebind {
-    using other = default_init_allocator<U, typename traits::template rebind_alloc<U>>;
-  };
-  using A::A;
-  [[nodiscard]] T* allocate(std::size_t n) {
-    T* p = traits::allocate(static_cast<A&>(*this), n);
-    advise_huge(p, n * sizeof(T));
-    return p;
-  }
-  void deallocate(T* p, std::size_t n) { traits::deallocate(static_cast<A&>(*this), p, n); }
-  template <typename U>
-  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
-    ::new (static_cast<void*>(ptr)) U;
-  }
-  template <typename U, typename... Args>
-  void construct(U* ptr, Args&&... args) {
-    traits::construct(static_cast<A&>(*this), ptr, std::forward<Args>(args)...);
-  }
-
- private:
-  static void advise_huge([[maybe_unused]] void* p, [[maybe_unused]] std::size_t bytes) {
-#if defined(__linux__)
-    if (bytes < (std::size_t{16} << 20)) return;
-    constexpr std::uintptr_t huge = std::uintptr_t{2} << 20;
-    const auto addr = reinterpret_cast<std::uintptr_t>(p);
-    const std::uintptr_t lo = (addr + huge - 1) & ~(huge - 1);
-    const std::uintptr_t hi = (addr + bytes) & ~(huge - 1);
-    if (hi > lo) ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
-#endif
-  }
-};
 
 // The level-set anatomy of a 1-D skip-web (paper §2.3, Figure 2): every item
 // carries a membership bit vector; at level l the items partition into the
@@ -171,7 +121,8 @@ class level_lists {
       SW_EXPECTS(sorted_keys[i] < sorted_keys[i + 1]);
     }
     const std::size_t n = sorted_keys.size();
-    keys_ = std::move(sorted_keys);
+    keys_.resize(n);
+    if (n > 0) std::memcpy(keys_.data(), sorted_keys.data(), n * sizeof(std::uint64_t));
     bits_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       bits_[i] = explicit_bits != nullptr ? (*explicit_bits)[i] : util::draw_membership(*r);
@@ -181,7 +132,7 @@ class level_lists {
     redirect_.assign(n, -1);
     alive_.assign(n, 1);
     if (bulk_links) {
-      fwd_.resize(n * stride_);  // default_init_allocator: no fill
+      fwd_.resize(n * stride_);  // persist::pod_array resize: no fill
       bwd_.resize(n * stride_);
     } else {
       fwd_.assign(n * stride_, no_link);
@@ -322,7 +273,7 @@ class level_lists {
   // neighbour's key, packed so the router's advance-or-stop decision is one
   // 16-byte load from one pool. Deliberately without default member
   // initializers: the bulk build allocates whole pools of these
-  // uninitialized (default_init_allocator above) and writes every slot
+  // uninitialized (persist::pod_array's value-less resize) and writes every slot
   // itself. Use no_link for the "absent" sentinel, never half_link{}.
   struct half_link {
     std::int32_t to;
@@ -628,7 +579,8 @@ class level_lists {
   // Measured resident bytes of the arena and link pools (capacity-based;
   // see api::memory_footprint). The split mirrors the paper's space
   // argument: arena = per-element storage any structure pays, links = the
-  // skip-web's O(1) expected pointers per element.
+  // skip-web's O(1) expected pointers per element. slack_bytes is the
+  // capacity-beyond-size share; compact() drives it to zero.
   [[nodiscard]] api::memory_footprint footprint() const {
     api::memory_footprint f;
     f.arena_bytes = api::vector_bytes(keys_) + api::vector_bytes(bits_) +
@@ -636,7 +588,89 @@ class level_lists {
                     api::vector_bytes(alive_) + api::vector_bytes(free_);
     f.link_bytes = api::vector_bytes(fwd_) + api::vector_bytes(bwd_) +
                    api::vector_bytes(fwd_rep_) + api::vector_bytes(bwd_rep_);
+    f.slack_bytes = api::vector_slack_bytes(keys_) + api::vector_slack_bytes(bits_) +
+                    api::vector_slack_bytes(uids_) + api::vector_slack_bytes(redirect_) +
+                    api::vector_slack_bytes(alive_) + api::vector_slack_bytes(free_) +
+                    api::vector_slack_bytes(fwd_) + api::vector_slack_bytes(bwd_) +
+                    api::vector_slack_bytes(fwd_rep_) + api::vector_slack_bytes(bwd_rep_);
     return f;
+  }
+
+  // --- persistence (DESIGN.md §13) -------------------------------------------
+
+  // Shrink every array to exactly size() records, so footprint() matches
+  // what save() will write. Structural plane; reallocates (and therefore
+  // materializes any borrowed snapshot spans).
+  void compact() {
+    keys_.shrink_to_fit();
+    bits_.shrink_to_fit();
+    uids_.shrink_to_fit();
+    redirect_.shrink_to_fit();
+    alive_.shrink_to_fit();
+    fwd_.shrink_to_fit();
+    bwd_.shrink_to_fit();
+    fwd_rep_.shrink_to_fit();
+    bwd_rep_.shrink_to_fit();
+    free_.shrink_to_fit();
+  }
+
+  // Write the whole arena into `w` under `prefix` ("<prefix>.keys", ...).
+  // Quiescent structural state only; pair with the restoring constructor.
+  void save(persist::writer& w, std::string_view prefix) const {
+    const std::string p(prefix);
+    const std::uint64_t meta[] = {static_cast<std::uint64_t>(levels_),
+                                  static_cast<std::uint64_t>(stride_),
+                                  static_cast<std::uint64_t>(replication_),
+                                  next_uid_,
+                                  static_cast<std::uint64_t>(alive_count_),
+                                  static_cast<std::uint64_t>(
+                                      static_cast<std::int64_t>(alive_hint_.load()))};
+    w.add_array(p + ".meta", meta, std::size(meta));
+    w.add_pods(p + ".keys", keys_);
+    w.add_pods(p + ".bits", bits_);
+    w.add_pods(p + ".uids", uids_);
+    w.add_pods(p + ".redirect", redirect_);
+    w.add_pods(p + ".alive", alive_);
+    w.add_pods(p + ".fwd", fwd_);
+    w.add_pods(p + ".bwd", bwd_);
+    w.add_pods(p + ".fwd_rep", fwd_rep_);
+    w.add_pods(p + ".bwd_rep", bwd_rep_);
+    w.add_pods(p + ".free", free_);
+  }
+
+  // Restore from a snapshot: every array becomes a borrowed zero-copy span
+  // over the reader's backing blob (mapping or owned buffer — pod_array
+  // copies on first write either way), so a restored structure answers
+  // queries without materializing a byte beyond what it touches.
+  level_lists(persist::reader& r, std::string_view prefix) {
+    const std::string p(prefix);
+    std::size_t nmeta = 0;
+    const auto* meta = r.array<std::uint64_t>(p + ".meta", nmeta);
+    if (nmeta != 6) throw persist::error("snapshot: level_lists meta malformed");
+    levels_ = static_cast<int>(meta[0]);
+    stride_ = static_cast<std::size_t>(meta[1]);
+    replication_ = static_cast<std::size_t>(meta[2]);
+    next_uid_ = meta[3];
+    alive_count_ = static_cast<std::size_t>(meta[4]);
+    alive_hint_.store(static_cast<int>(static_cast<std::int64_t>(meta[5])));
+    keys_ = r.pods<std::uint64_t>(p + ".keys");
+    bits_ = r.pods<util::membership_bits>(p + ".bits");
+    uids_ = r.pods<std::uint64_t>(p + ".uids");
+    redirect_ = r.pods<std::int32_t>(p + ".redirect");
+    alive_ = r.pods<std::uint8_t>(p + ".alive");
+    fwd_ = r.pods<half_link>(p + ".fwd");
+    bwd_ = r.pods<half_link>(p + ".bwd");
+    fwd_rep_ = r.pods<replica_link>(p + ".fwd_rep");
+    bwd_rep_ = r.pods<replica_link>(p + ".bwd_rep");
+    free_ = r.pods<int>(p + ".free");
+    if (stride_ != static_cast<std::size_t>(levels_) + 1 || bits_.size() != keys_.size() ||
+        uids_.size() != keys_.size() || redirect_.size() != keys_.size() ||
+        alive_.size() != keys_.size() || fwd_.size() != keys_.size() * stride_ ||
+        bwd_.size() != keys_.size() * stride_ ||
+        fwd_rep_.size() != keys_.size() * replication_ ||
+        bwd_rep_.size() != keys_.size() * replication_ || alive_count_ > keys_.size()) {
+      throw persist::error("snapshot: level_lists arrays disagree with meta");
+    }
   }
 
  private:
@@ -680,22 +714,24 @@ class level_lists {
   }
 
   // Parallel arrays indexed by arena slot; see the class comment for layout.
-  std::vector<std::uint64_t> keys_;
-  std::vector<util::membership_bits> bits_;
-  std::vector<std::uint64_t> uids_;
-  std::vector<std::int32_t> redirect_;
-  std::vector<std::uint8_t> alive_;
-  // Pool vectors default-initialize (no fill) on value-less resize so the
-  // bulk build can allocate without paying a sentinel memset it overwrites.
-  using link_pool = std::vector<half_link, default_init_allocator<half_link>>;
-  link_pool fwd_;  // stride_ records per item: next links, one per level
-  link_pool bwd_;  // stride_ records per item: prev links
+  // Every array is a persist::pod_array: an owned flat buffer in a built
+  // structure (value-less resize leaves records uninitialized — the bulk
+  // build writes every slot itself — and big pools get hugepage advice), or
+  // a borrowed read-only span over a snapshot mapping in a restored one,
+  // which silently copies on the first structural edit (DESIGN.md §13).
+  persist::pod_array<std::uint64_t> keys_;
+  persist::pod_array<util::membership_bits> bits_;
+  persist::pod_array<std::uint64_t> uids_;
+  persist::pod_array<std::int32_t> redirect_;
+  persist::pod_array<std::uint8_t> alive_;
+  persist::pod_array<half_link> fwd_;  // stride_ records per item: next links, one per level
+  persist::pod_array<half_link> bwd_;  // stride_ records per item: prev links
   // replication_ records per item: the k further level-0 neighbours beyond
   // the direct half-link (empty unless set_replication(k > 0)).
-  std::vector<replica_link> fwd_rep_;
-  std::vector<replica_link> bwd_rep_;
+  persist::pod_array<replica_link> fwd_rep_;
+  persist::pod_array<replica_link> bwd_rep_;
   std::size_t replication_ = 0;
-  std::vector<int> free_;
+  persist::pod_array<int> free_;
   std::uint64_t next_uid_ = 0;
   int levels_ = 0;
   std::size_t stride_ = 1;

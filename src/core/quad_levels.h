@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "api/memory_footprint.h"
+#include "persist/pod_array.h"
+#include "persist/snapshot.h"
 #include "seq/quadtree.h"
 #include "util/membership.h"
 #include "util/prefetch.h"
@@ -447,27 +451,135 @@ class quad_levels {
     api::memory_footprint f;
     f.arena_bytes = api::vector_bytes(pts_) + api::vector_bytes(pbits_) +
                     api::vector_bytes(pfree_);
+    f.slack_bytes = api::vector_slack_bytes(pts_) + api::vector_slack_bytes(pbits_) +
+                    api::vector_slack_bytes(pfree_);
     for (const level_arena& a : lv_) {
       f.arena_bytes += api::vector_bytes(a.box) + api::vector_bytes(a.occupied) +
                        api::vector_bytes(a.alive) + api::vector_bytes(a.free);
       f.link_bytes += api::vector_bytes(a.child) + api::vector_bytes(a.parent) +
                       api::vector_bytes(a.down);
+      f.slack_bytes += api::vector_slack_bytes(a.box) + api::vector_slack_bytes(a.occupied) +
+                       api::vector_slack_bytes(a.alive) + api::vector_slack_bytes(a.free) +
+                       api::vector_slack_bytes(a.child) + api::vector_slack_bytes(a.parent) +
+                       api::vector_slack_bytes(a.down);
       f.directory_bytes += api::map_bytes(a.trees);
     }
     return f;
   }
 
+  // --- persistence (DESIGN.md §13) -------------------------------------------
+
+  // Drop capacity slack on every per-level and global array, so footprint()
+  // matches what save() writes. Structural plane.
+  void compact() {
+    pts_.shrink_to_fit();
+    pbits_.shrink_to_fit();
+    pfree_.shrink_to_fit();
+    for (level_arena& a : lv_) {
+      a.box.shrink_to_fit();
+      a.child.shrink_to_fit();
+      a.parent.shrink_to_fit();
+      a.down.shrink_to_fit();
+      a.occupied.shrink_to_fit();
+      a.alive.shrink_to_fit();
+      a.free.shrink_to_fit();
+    }
+  }
+
+  // On-disk record of one prefix→tree directory entry.
+  struct tree_row {
+    std::uint64_t prefix = 0;
+    std::int32_t root = -1;
+    std::int32_t points = 0;
+  };
+  static_assert(sizeof(tree_row) == 16);
+
+  // Write the whole multi-level arena under `prefix` ("<prefix>.pts",
+  // "<prefix>.lv3.box", ...). Quiescent structural state only.
+  void save(persist::writer& w, std::string_view prefix) const {
+    const std::string p(prefix);
+    const std::uint64_t meta[] = {static_cast<std::uint64_t>(levels_),
+                                  static_cast<std::uint64_t>(live_points_)};
+    w.add_array(p + ".meta", meta, std::size(meta));
+    w.add_pods(p + ".pts", pts_);
+    w.add_pods(p + ".pbits", pbits_);
+    w.add_pods(p + ".pfree", pfree_);
+    for (int l = 0; l <= levels_; ++l) {
+      const level_arena& a = lv(l);
+      const std::string lp = p + ".lv" + std::to_string(l);
+      w.add_u64(lp + ".live_nodes", a.live_nodes);
+      w.add_pods(lp + ".box", a.box);
+      w.add_pods(lp + ".child", a.child);
+      w.add_pods(lp + ".parent", a.parent);
+      w.add_pods(lp + ".down", a.down);
+      w.add_pods(lp + ".occupied", a.occupied);
+      w.add_pods(lp + ".alive", a.alive);
+      w.add_pods(lp + ".free", a.free);
+      std::vector<tree_row> rows;
+      rows.reserve(a.trees.size());
+      for (const auto& [pre, tr] : a.trees) rows.push_back({pre, tr.root, tr.points});
+      w.add_vector(lp + ".trees", rows);
+    }
+  }
+
+  // Restore from a snapshot: POD arrays become borrowed zero-copy spans over
+  // the reader's blob; the per-level prefix→tree directories are rebuilt
+  // from their flattened rows (directory iteration order may differ from the
+  // saved instance's — only the repair plane's scan order observes it).
+  quad_levels(persist::reader& r, std::string_view prefix) {
+    const std::string p(prefix);
+    std::size_t nmeta = 0;
+    const auto* meta = r.array<std::uint64_t>(p + ".meta", nmeta);
+    if (nmeta != 2) throw persist::error("snapshot: quad_levels meta malformed");
+    levels_ = static_cast<int>(meta[0]);
+    live_points_ = static_cast<std::size_t>(meta[1]);
+    if (levels_ < 0 || levels_ >= util::max_levels) {
+      throw persist::error("snapshot: quad_levels level count out of range");
+    }
+    pts_ = r.pods<point>(p + ".pts");
+    pbits_ = r.pods<util::membership_bits>(p + ".pbits");
+    pfree_ = r.pods<int>(p + ".pfree");
+    if (pbits_.size() != pts_.size() || live_points_ + pfree_.size() != pts_.size()) {
+      throw persist::error("snapshot: quad_levels point arrays disagree with meta");
+    }
+    lv_.resize(static_cast<std::size_t>(levels_) + 1);
+    for (int l = 0; l <= levels_; ++l) {
+      level_arena& a = lv(l);
+      const std::string lp = p + ".lv" + std::to_string(l);
+      a.live_nodes = static_cast<std::size_t>(r.u64(lp + ".live_nodes"));
+      a.box = r.pods<cube>(lp + ".box");
+      a.child = r.pods<entry>(lp + ".child");
+      a.parent = r.pods<std::int32_t>(lp + ".parent");
+      a.down = r.pods<std::int32_t>(lp + ".down");
+      a.occupied = r.pods<std::uint8_t>(lp + ".occupied");
+      a.alive = r.pods<std::uint8_t>(lp + ".alive");
+      a.free = r.pods<std::int32_t>(lp + ".free");
+      const std::size_t slots = a.box.size();
+      if (a.child.size() != slots * fanout || a.parent.size() != slots ||
+          a.down.size() != slots || a.occupied.size() != slots || a.alive.size() != slots ||
+          a.live_nodes + a.free.size() != slots) {
+        throw persist::error("snapshot: quad_levels level arrays disagree");
+      }
+      for (const auto& row : r.vec<tree_row>(lp + ".trees")) {
+        a.trees.emplace(row.prefix, tree_ref{row.root, row.points});
+      }
+    }
+  }
+
  private:
   // Parallel arrays indexed by node slot; one arena per level, so the cube
-  // records of a level stay contiguous. Slots recycle through `free`.
+  // records of a level stay contiguous. Slots recycle through `free`. The
+  // POD arrays are persist::pod_array — owned in a built structure, borrowed
+  // zero-copy snapshot spans (copy-on-first-write) in a restored one; only
+  // the prefix→tree directory is a real map, flattened to records on save.
   struct level_arena {
-    std::vector<cube> box;
-    std::vector<entry> child;  // fanout records per slot
-    std::vector<std::int32_t> parent;
-    std::vector<std::int32_t> down;
-    std::vector<std::uint8_t> occupied;
-    std::vector<std::uint8_t> alive;
-    std::vector<std::int32_t> free;
+    persist::pod_array<cube> box;
+    persist::pod_array<entry> child;  // fanout records per slot
+    persist::pod_array<std::int32_t> parent;
+    persist::pod_array<std::int32_t> down;
+    persist::pod_array<std::uint8_t> occupied;
+    persist::pod_array<std::uint8_t> alive;
+    persist::pod_array<std::int32_t> free;
     std::unordered_map<std::uint64_t, tree_ref> trees;
     std::size_t live_nodes = 0;
   };
@@ -489,7 +601,9 @@ class quad_levels {
     } else {
       slot = static_cast<int>(a.box.size());
       a.box.emplace_back();
-      a.child.resize(a.child.size() + fanout);
+      // Explicit empty-entry fill: pod_array's value-less resize leaves new
+      // records uninitialized (unlike std::vector's value-init).
+      a.child.resize(a.child.size() + fanout, entry{});
       a.parent.emplace_back();
       a.down.emplace_back();
       a.occupied.emplace_back();
@@ -543,9 +657,9 @@ class quad_levels {
   }
 
   std::vector<level_arena> lv_;
-  std::vector<point> pts_;
-  std::vector<util::membership_bits> pbits_;
-  std::vector<int> pfree_;
+  persist::pod_array<point> pts_;
+  persist::pod_array<util::membership_bits> pbits_;
+  persist::pod_array<int> pfree_;
   std::size_t live_points_ = 0;
   int levels_ = 0;
 };

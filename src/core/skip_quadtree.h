@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <queue>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "core/quad_levels.h"
 #include "net/cursor.h"
 #include "net/network.h"
+#include "persist/net_snapshot.h"
+#include "persist/snapshot.h"
 #include "seq/quadtree.h"
 #include "util/membership.h"
 #include "util/rng.h"
@@ -81,6 +84,72 @@ class skip_quadtree {
       anchors_.push_back(q_.point_bits(static_cast<int>(h % pts.size())));
       net_->charge(net::host_id{static_cast<std::uint32_t>(h)}, net::memory_kind::host_ref, 1);
     }
+  }
+
+  // Restore from a snapshot written by save_snapshot(), onto a FRESH network
+  // (hosts grown + memory ledger replayed exactly, so check_invariants()'
+  // ledger equality holds on the restored twin). The arenas come back as
+  // borrowed views over the reader's blob — zero-copy in mmap mode — and
+  // materialize copy-on-first-write at the first structural edit.
+  skip_quadtree(persist::reader& r, net::network& net) : net_(&net), rng_(0), q_(r, "q") {
+    std::size_t nmeta = 0;
+    const auto* meta = r.array<std::uint64_t>("impl.meta", nmeta);
+    if (nmeta != 2) throw persist::error("snapshot: quadtree meta malformed");
+    levels_ = static_cast<int>(meta[0]);
+    replication_ = meta[1];
+    if (levels_ != q_.levels()) {
+      throw persist::error("snapshot: quadtree level count disagrees with its arena");
+    }
+    std::istringstream iss(r.str("impl.rng"));
+    iss >> rng_.engine();
+    if (!iss) throw persist::error("snapshot: unreadable rng state");
+    std::size_t nkeys = 0;
+    std::size_t nbases = 0;
+    const auto* rh_keys = r.array<std::uint64_t>("impl.rehome_keys", nkeys);
+    const auto* rh_bases = r.array<std::uint32_t>("impl.rehome_bases", nbases);
+    if (nkeys != nbases) throw persist::error("snapshot: rehome tables disagree");
+    for (std::size_t i = 0; i < nkeys; ++i) rehome_.emplace(rh_keys[i], rh_bases[i]);
+    {
+      std::size_t n = 0;
+      const auto* a = r.array<util::membership_bits>("impl.anchors", n);
+      anchors_.assign(a, a + n);
+    }
+    persist::restore_network(r, net, "net");
+    if (anchors_.size() != net_->host_count()) {
+      throw persist::error("snapshot: anchor table disagrees with host count");
+    }
+  }
+
+  // --- persistence (DESIGN.md §13) ------------------------------------------
+  //
+  // Arenas, chain metadata, per-host anchors, the fault plane's re-home map,
+  // rng state, and the deployment ledger, as named sections of `w`.
+  void save_snapshot(persist::writer& w) const {
+    q_.save(w, "q");
+    const std::uint64_t meta[2] = {static_cast<std::uint64_t>(levels_), replication_};
+    w.add_array("impl.meta", meta, 2);
+    std::ostringstream oss;
+    oss << rng_.engine();
+    w.add_string("impl.rng", oss.str());
+    std::vector<std::uint64_t> rh_keys;
+    std::vector<std::uint32_t> rh_bases;
+    rh_keys.reserve(rehome_.size());
+    rh_bases.reserve(rehome_.size());
+    for (const auto& [k, b] : rehome_) {
+      rh_keys.push_back(k);
+      rh_bases.push_back(b);
+    }
+    w.add_vector("impl.rehome_keys", rh_keys);
+    w.add_vector("impl.rehome_bases", rh_bases);
+    w.add_vector("impl.anchors", anchors_);
+    persist::save_network(w, *net_, "net");
+  }
+
+  // Shrink every arena to its size (footprint slack -> ~0) so resident bytes
+  // match the snapshot payload.
+  void compact() {
+    q_.compact();
+    anchors_.shrink_to_fit();
   }
 
   ~skip_quadtree() = default;

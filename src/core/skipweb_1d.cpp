@@ -1,8 +1,10 @@
 #include "core/skipweb_1d.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/routing_1d.h"
+#include "persist/net_snapshot.h"
 #include "util/radix_sort.h"
 #include "util/prefetch.h"
 
@@ -58,6 +60,45 @@ skipweb_1d::skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net:
   }
   // Register the structure in the memory ledger.
   for (int i = 0; i < static_cast<int>(lists_.arena_size()); ++i) charge_item_memory(i, +1);
+}
+
+skipweb_1d::skipweb_1d(persist::reader& r, net::network& net)
+    : rng_(0),
+      lists_(r, "lists"),
+      net_(&net),
+      policy_(r.u64("impl.policy") == 0 ? placement::tower : placement::balanced) {
+  std::istringstream iss(r.str("impl.rng"));
+  iss >> rng_.engine();
+  if (!iss) throw persist::error("snapshot: unreadable rng state");
+  owner_ = r.vec<net::host_id>("impl.owner");
+  root_item_ = r.vec<int>("impl.root_item");
+  if (policy_ == placement::tower && owner_.size() != lists_.arena_size()) {
+    throw persist::error("snapshot: owner table disagrees with arena size");
+  }
+  // Replaying the ledger grows the fresh network to the saved host count, so
+  // root_for's per-host table lines up again after the check below.
+  persist::restore_network(r, net, "net");
+  if (root_item_.size() != net_->host_count()) {
+    throw persist::error("snapshot: root table disagrees with host count");
+  }
+}
+
+void skipweb_1d::save_snapshot(persist::writer& w) const {
+  lists_.save(w, "lists");
+  w.add_u64("impl.policy", policy_ == placement::tower ? 0u : 1u);
+  // mt19937_64's full 2.5KB state round-trips through its stream operators.
+  std::ostringstream oss;
+  oss << rng_.engine();
+  w.add_string("impl.rng", oss.str());
+  w.add_vector("impl.owner", owner_);
+  w.add_vector("impl.root_item", root_item_);
+  persist::save_network(w, *net_, "net");
+}
+
+void skipweb_1d::compact() {
+  lists_.compact();
+  owner_.shrink_to_fit();
+  root_item_.shrink_to_fit();
 }
 
 void skipweb_1d::prefetch_host(int item) const {

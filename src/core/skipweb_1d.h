@@ -8,6 +8,7 @@
 #include "core/level_lists.h"
 #include "net/cursor.h"
 #include "net/network.h"
+#include "persist/snapshot.h"
 #include "util/rng.h"
 
 namespace skipweb::core {
@@ -49,6 +50,14 @@ class skipweb_1d {
   // the reference path; queries and receipts do not depend on it.
   skipweb_1d(std::vector<std::uint64_t> keys, std::uint64_t seed, net::network& net, placement p,
              std::size_t replication = 0, bool bulk = true);
+
+  // Restore from a snapshot written by save_snapshot(), onto a FRESH network.
+  // Hosts are grown to the saved count and the per-host memory ledger is
+  // replayed exactly, so the restored structure answers — keys, uids, and
+  // receipts — byte-identically to its never-persisted twin (DESIGN.md §13).
+  // The arenas come back as borrowed views over the reader's blob (zero-copy
+  // in mmap mode) and materialize copy-on-first-write at the first splice.
+  skipweb_1d(persist::reader& r, net::network& net);
 
   [[nodiscard]] std::size_t size() const { return lists_.size(); }
   [[nodiscard]] int levels() const { return lists_.levels(); }
@@ -93,6 +102,16 @@ class skipweb_1d {
     f.directory_bytes += api::vector_bytes(owner_) + api::vector_bytes(root_item_);
     return f;
   }
+
+  // --- persistence (DESIGN.md §13) ------------------------------------------
+  //
+  // Write the whole structure — arenas, placement, per-host roots, rng
+  // state, and the deployment's memory ledger — as named sections of `w`.
+  void save_snapshot(persist::writer& w) const;
+  // Shrink every arena to its size, releasing growth headroom, so
+  // footprint() slack drops to ~0 and resident bytes match the snapshot
+  // payload the next save_snapshot() writes.
+  void compact();
 
   // --- self-repair (replication > 0 only; DESIGN.md §10) --------------------
   //

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "persist/snapshot.h"
+
+namespace skipweb::persist {
+
+// Simulated-deployment reconstruction for arena snapshots: the snapshot
+// records the host count and the full per-host memory ledger (four
+// memory_kind counters per host), and restore replays them onto a FRESH
+// network — growing it and charging each host the delta between the saved
+// row and whatever the growth itself charged. A backend restored this way
+// therefore passes the same exact ledger-equality invariants as its
+// never-persisted twin (e.g. skip_quadtree::check_invariants). Traffic
+// counters are NOT saved: a restarted process starts with a cold traffic
+// ledger by design.
+
+inline constexpr std::size_t net_kind_count = 4;
+
+inline void save_network(writer& w, const net::network& net, std::string_view prefix) {
+  const std::string p(prefix);
+  w.add_u64(p + ".host_count", net.host_count());
+  std::vector<std::uint64_t> rows(net.host_count() * net_kind_count);
+  for (std::size_t h = 0; h < net.host_count(); ++h) {
+    const net::host_id id{static_cast<std::uint32_t>(h)};
+    for (std::size_t k = 0; k < net_kind_count; ++k) {
+      rows[h * net_kind_count + k] = net.memory_used(id, static_cast<net::memory_kind>(k));
+    }
+  }
+  w.add_vector(p + ".memory_rows", rows);
+}
+
+inline void restore_network(const reader& r, net::network& net, std::string_view prefix) {
+  const std::string p(prefix);
+  const auto hosts = static_cast<std::size_t>(r.u64(p + ".host_count"));
+  std::size_t n = 0;
+  const auto* rows = r.array<std::uint64_t>(p + ".memory_rows", n);
+  if (n != hosts * net_kind_count) {
+    throw error("snapshot: network ledger rows disagree with host count");
+  }
+  if (net.host_count() < hosts) net.add_hosts(hosts - net.host_count());
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const net::host_id id{static_cast<std::uint32_t>(h)};
+    for (std::size_t k = 0; k < net_kind_count; ++k) {
+      const auto kind = static_cast<net::memory_kind>(k);
+      const std::uint64_t want = rows[h * net_kind_count + k];
+      const std::uint64_t have = net.memory_used(id, kind);
+      if (want != have) {
+        net.charge(id, kind, static_cast<std::int64_t>(want) - static_cast<std::int64_t>(have));
+      }
+    }
+  }
+}
+
+}  // namespace skipweb::persist

@@ -63,6 +63,7 @@ class rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+  [[nodiscard]] const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;
