@@ -1,0 +1,270 @@
+// String-plane sweep (DESIGN.md §14): prefix completion, top-k suggestion
+// and multi-term posting intersection measured over both registered string
+// backends, under a uniform and a Zipf(1.1) query stream.
+//
+// One corpus per section, matched to what the section stresses:
+//
+//   prefix     url_paths        deep shared prefixes — trie spine descent vs
+//                               the sorted baseline's window subtraction
+//   topk       dictionary_words the autocomplete corpus; k-best by the
+//                               shared string_weight ranking
+//   intersect  log_lines        multi-token keys over small vocabularies, so
+//                               2-3 term conjunctions have real selectivity
+//
+// Every row records ops, wall-clock and the per-op receipt averages
+// (messages / host visits / comparisons) plus the mean answer size — the
+// honesty check that skew or backend choice changes the COST, never the
+// answers (the conformance suite pins answer equality; this file shows the
+// price).
+//
+// Usage:
+//   bench_strings [--n N] [--queries Q] [--seed S] [--out NAME] [--smoke]
+//
+// --smoke shrinks everything for CI. Emits BENCH_<out>.json (schema
+// validated by the bench-release CI job).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/string_index.h"
+#include "api/string_registry.h"
+#include "bench_common.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace skipweb;
+using namespace skipweb::bench;
+namespace wl = skipweb::workloads;
+
+struct config {
+  std::size_t n = 4096;
+  std::size_t queries = 2000;
+  std::uint64_t seed = 1117;
+  std::string out = "strings";
+};
+
+struct row {
+  std::string backend;
+  std::string section;  // "prefix" | "topk" | "intersect"
+  std::string stream;   // "uniform" | "zipf1.1"
+  std::uint64_t n = 0;
+  std::uint64_t ops = 0;
+  double seconds = 0;
+  api::op_stats totals;
+  std::uint64_t results = 0;  // summed answer sizes
+
+  [[nodiscard]] double per_op(std::uint64_t c) const {
+    return ops > 0 ? static_cast<double>(c) / static_cast<double>(ops) : 0.0;
+  }
+  [[nodiscard]] double ops_per_sec() const {
+    return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+  }
+};
+
+void print_result_row(const row& r) {
+  print_row({r.backend, r.section, r.stream, fmt_u(r.ops), fmt(r.per_op(r.totals.messages)),
+             fmt(r.per_op(r.totals.host_visits)), fmt(r.per_op(r.totals.comparisons)),
+             fmt(r.per_op(r.results)), fmt(r.ops_per_sec(), 0)},
+            16);
+}
+
+void json_row(json_writer& jw, const row& r) {
+  jw.begin_object();
+  jw.field("backend", r.backend);
+  jw.field("section", r.section);
+  jw.field("stream", r.stream);
+  jw.field("n", r.n);
+  jw.field("ops", r.ops);
+  jw.field("seconds", r.seconds);
+  jw.field("ops_per_sec", r.ops_per_sec());
+  jw.field("messages_per_op", r.per_op(r.totals.messages));
+  jw.field("host_visits_per_op", r.per_op(r.totals.host_visits));
+  jw.field("comparisons_per_op", r.per_op(r.totals.comparisons));
+  jw.field("results_per_op", r.per_op(r.results));
+  jw.end_object();
+}
+
+// One measured pass; `run_op` issues op i and returns (receipt, answer size).
+template <typename RunOp>
+row run_section(std::string backend, std::string section, std::string stream, std::size_t n,
+                std::size_t ops, RunOp&& run_op) {
+  row res;
+  res.backend = std::move(backend);
+  res.section = std::move(section);
+  res.stream = std::move(stream);
+  res.n = n;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto [st, count] = run_op(i);
+    ++res.ops;
+    res.totals += st;
+    res.results += count;
+  }
+  res.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  print_result_row(res);
+  return res;
+}
+
+// Prefix probes riding a key stream: each probe is a seeded-length prefix
+// (>= 1 char) of its stream key, so skew in the key stream IS skew in the
+// prefix stream — the hot-prefix regime the route cache and congestion
+// plane care about.
+std::vector<std::string> cut_prefixes(const std::vector<std::string>& stream,
+                                      std::uint64_t seed) {
+  auto r = util::rng::stream(seed, 5);
+  std::vector<std::string> out;
+  out.reserve(stream.size());
+  for (const auto& k : stream) {
+    out.push_back(k.substr(0, k.empty() ? 0 : 1 + r.index(k.size())));
+  }
+  return out;
+}
+
+// Term conjunctions riding a key stream: the first 2-3 tokens of the stream
+// key (vocabulary tokens — the distinct req-id tail is dropped), so every
+// conjunction is satisfiable and selectivity follows the corpus.
+std::vector<std::vector<std::string>> cut_conjunctions(const std::vector<std::string>& stream,
+                                                       std::uint64_t seed) {
+  auto r = util::rng::stream(seed, 6);
+  std::vector<std::vector<std::string>> out;
+  out.reserve(stream.size());
+  for (const auto& k : stream) {
+    auto toks = api::string_tokens(k);
+    const std::size_t want = std::min<std::size_t>(toks.size(), 2 + r.index(2));
+    toks.resize(want);
+    out.push_back(std::move(toks));
+  }
+  return out;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--n N] [--queries Q] [--seed S] [--out NAME] [--smoke]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") {
+      cfg.n = static_cast<std::size_t>(std::strtoull(need("--n"), nullptr, 10));
+    } else if (a == "--queries") {
+      cfg.queries = static_cast<std::size_t>(std::strtoull(need("--queries"), nullptr, 10));
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (a == "--out") {
+      cfg.out = need("--out");
+    } else if (a == "--smoke") {
+      cfg.n = 256;
+      cfg.queries = 200;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  constexpr double kZipfS = 1.1;
+  constexpr std::size_t kTopK = 8;
+  const net::host_id origin{0};
+
+  util::rng r(cfg.seed);
+  const auto paths = wl::url_paths(cfg.n, r);
+  const auto words = wl::dictionary_words(cfg.n, r);
+  const auto lines = wl::log_lines(cfg.n, r);
+
+  print_header("string plane: prefix / top-k / intersection");
+  print_row({"backend", "section", "stream", "ops", "msgs/op", "visits/op", "cmps/op",
+             "results/op", "ops/s"},
+            16);
+  print_rule();
+
+  std::vector<row> rows;
+  for (const auto& backend : api::registered_string_backends()) {
+    // The network must outlive the index it deploys — return both.
+    const auto build = [&](const std::vector<std::string>& keys, std::uint64_t salt) {
+      auto net = std::make_unique<net::network>(1);
+      auto idx = api::make_string_index(
+          backend, keys, api::index_options{}.seed(cfg.seed + salt).initial_hosts(64), *net);
+      return std::pair{std::move(net), std::move(idx)};
+    };
+
+    // prefix — url corpus
+    {
+      const auto [net, idx] = build(paths, 1);
+      for (const bool zipf : {false, true}) {
+        const auto stream =
+            zipf ? wl::zipf_string_query_stream(paths, cfg.queries, cfg.seed + 2, kZipfS)
+                 : wl::string_query_stream(paths, cfg.queries, cfg.seed + 2);
+        const auto prefixes = cut_prefixes(stream, cfg.seed + 3);
+        rows.push_back(run_section(backend, "prefix", zipf ? "zipf1.1" : "uniform", cfg.n,
+                                   prefixes.size(), [&](std::size_t i) {
+                                     const auto res = idx->prefix_match(prefixes[i], origin);
+                                     return std::pair{res.stats, res.value.size()};
+                                   }));
+      }
+    }
+    // topk — word corpus
+    {
+      const auto [net, idx] = build(words, 4);
+      for (const bool zipf : {false, true}) {
+        const auto stream =
+            zipf ? wl::zipf_string_query_stream(words, cfg.queries, cfg.seed + 5, kZipfS)
+                 : wl::string_query_stream(words, cfg.queries, cfg.seed + 5);
+        const auto prefixes = cut_prefixes(stream, cfg.seed + 6);
+        rows.push_back(run_section(backend, "topk", zipf ? "zipf1.1" : "uniform", cfg.n,
+                                   prefixes.size(), [&](std::size_t i) {
+                                     const auto res = idx->top_k(prefixes[i], kTopK, origin);
+                                     return std::pair{res.stats, res.value.size()};
+                                   }));
+      }
+    }
+    // intersect — log corpus
+    {
+      const auto [net, idx] = build(lines, 7);
+      for (const bool zipf : {false, true}) {
+        const auto stream =
+            zipf ? wl::zipf_string_query_stream(lines, cfg.queries, cfg.seed + 8, kZipfS)
+                 : wl::string_query_stream(lines, cfg.queries, cfg.seed + 8);
+        const auto terms = cut_conjunctions(stream, cfg.seed + 9);
+        rows.push_back(run_section(backend, "intersect", zipf ? "zipf1.1" : "uniform", cfg.n,
+                                   terms.size(), [&](std::size_t i) {
+                                     const auto res = idx->intersect(terms[i], origin);
+                                     return std::pair{res.stats, res.value.size()};
+                                   }));
+      }
+    }
+  }
+
+  json_writer jw;
+  jw.begin_object();
+  jw.field("bench", "strings");
+  json_hardware_fields(jw);
+  jw.field("n", static_cast<std::uint64_t>(cfg.n));
+  jw.field("queries", static_cast<std::uint64_t>(cfg.queries));
+  jw.field("top_k", static_cast<std::uint64_t>(kTopK));
+  jw.field("zipf_s", kZipfS);
+  jw.field("seed", cfg.seed);
+  jw.key("rows").begin_array();
+  for (const auto& rr : rows) json_row(jw, rr);
+  jw.end_array();
+  jw.end_object();
+  write_bench_json(cfg.out, jw.str());
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "api/string_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "net/network.h"
+
+namespace skipweb::api {
+
+// Defined in string_backends.cpp; registers every builtin through the
+// supplied registrar. Built-ins are wired by an explicit call (not global
+// constructors) so a static library link cannot strip them.
+void register_builtin_string_backends(const string_registrar& add);
+
+namespace {
+
+struct registry_state {
+  std::mutex mu;
+  std::map<std::string, string_factory, std::less<>> factories;
+};
+
+registry_state& state() {
+  static registry_state s;
+  return s;
+}
+
+void register_impl(std::string name, string_factory make) {
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  s.factories.insert_or_assign(std::move(name), std::move(make));
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] { register_builtin_string_backends(register_impl); });
+}
+
+bool file_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void register_string_backend(std::string name, string_factory make) {
+  ensure_builtins();
+  register_impl(std::move(name), std::move(make));
+}
+
+bool string_backend_known(std::string_view name) {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  return s.factories.find(name) != s.factories.end();
+}
+
+std::vector<std::string> registered_string_backends() {
+  ensure_builtins();
+  auto& s = state();
+  std::scoped_lock lock(s.mu);
+  std::vector<std::string> names;
+  names.reserve(s.factories.size());
+  for (const auto& [name, make] : s.factories) names.push_back(name);
+  return names;
+}
+
+void add_string_table(persist::writer& w, std::string_view name,
+                      const std::vector<std::string>& v) {
+  std::vector<char> blob;
+  std::vector<std::uint64_t> offs;
+  offs.reserve(v.size());
+  std::size_t total = 0;
+  for (const auto& s : v) total += s.size();
+  blob.reserve(total);
+  for (const auto& s : v) {
+    blob.insert(blob.end(), s.begin(), s.end());
+    offs.push_back(blob.size());
+  }
+  w.add_vector(std::string(name) + ".blob", blob);
+  w.add_vector(std::string(name) + ".offs", offs);
+}
+
+std::vector<std::string> read_string_table(persist::reader& r, std::string_view name) {
+  const auto blob = r.vec<char>(std::string(name) + ".blob");
+  const auto offs = r.vec<std::uint64_t>(std::string(name) + ".offs");
+  std::vector<std::string> out;
+  out.reserve(offs.size());
+  std::uint64_t prev = 0;
+  for (const auto end : offs) {
+    if (end < prev || end > blob.size()) {
+      throw persist::error("snapshot: malformed string table " + std::string(name));
+    }
+    out.emplace_back(blob.data() + prev, blob.data() + end);
+    prev = end;
+  }
+  return out;
+}
+
+void save_string_snapshot(string_index& idx, const std::string& path) {
+  idx.compact();  // resident bytes == payload bytes (DESIGN.md §13)
+  persist::writer w(path);
+  w.add_string("meta.backend", idx.backend());
+  w.add_u64("meta.index_kind", 2);  // string
+  w.add_u64("meta.n", idx.size());
+  idx.save_snapshot(w);  // writes "meta.kind" (1 replay) + payload
+  w.finish();
+}
+
+std::unique_ptr<string_index> restore_string_index(const std::string& path,
+                                                   persist::restore_mode mode,
+                                                   net::network& net) {
+  ensure_builtins();
+  persist::reader r(path, mode);
+  if (r.u64("meta.index_kind") != 2) {
+    throw persist::error("snapshot: not a string index snapshot: " + path);
+  }
+  const std::string name = r.str("meta.backend");
+  if (r.u64("meta.kind") != 1) {
+    throw persist::error("snapshot: unknown string snapshot kind in " + path);
+  }
+  // Replay snapshot: rebuild through the ordinary public factory with the
+  // saved seed and pre-build host count, then re-issue the structural op log
+  // from its recorded origins. Replay re-charges the deployment ledger (and
+  // re-meters op traffic) exactly as the original run did — and lets the
+  // fresh adapter record the ops again, so the restored index can itself be
+  // snapshotted.
+  auto keys = read_string_table(r, "replay.build_keys");
+  const index_options build_opts =
+      index_options{}.seed(r.u64("replay.seed")).initial_hosts(r.u64("replay.pre_hosts"));
+  auto idx = make_string_index(name, std::move(keys), build_opts, net);
+  const auto ops = r.vec<string_replay_op>("replay.oplog");
+  const auto op_keys = read_string_table(r, "replay.oplog_keys");
+  if (ops.size() != op_keys.size()) {
+    throw persist::error("snapshot: op log / key table size mismatch in " + path);
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const net::host_id origin{static_cast<std::uint32_t>(ops[i].origin)};
+    if (ops[i].op == 0) {
+      (void)idx->insert(op_keys[i], origin);
+    } else if (ops[i].op == 1) {
+      (void)idx->erase(op_keys[i], origin);
+    } else {
+      throw persist::error("snapshot: unknown replay op in " + path);
+    }
+  }
+  return idx;
+}
+
+std::unique_ptr<string_index> make_string_index(std::string_view backend,
+                                                std::vector<std::string> keys,
+                                                const index_options& opts, net::network& net) {
+  ensure_builtins();
+  // Instant restart: a snapshot at opts.snapshot_path() short-circuits the
+  // build entirely (the keys are dropped — the file IS the structure).
+  if (!opts.snapshot_path().empty() && file_exists(opts.snapshot_path())) {
+    if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
+    auto idx = restore_string_index(opts.snapshot_path(), persist::restore_mode::map, net);
+    if (opts.deadline_ns() > 0) net.set_op_deadline(opts.deadline_ns());
+    return idx;
+  }
+  string_factory make;
+  {
+    auto& s = state();
+    std::scoped_lock lock(s.mu);
+    const auto it = s.factories.find(backend);
+    if (it == s.factories.end()) {
+      throw std::out_of_range("unknown string backend: " + std::string(backend));
+    }
+    make = it->second;
+  }
+  while (net.host_count() < opts.initial_hosts()) net.add_host();
+  // Cache opt-in, exactly as in the sibling registries; the build is
+  // structural.
+  if (opts.route_cache() != nullptr) net.attach_hop_cache(opts.route_cache());
+  // Replication clamp for parity with make_index (current string backends
+  // route unreplicated and ignore the honored value) and deadline wiring
+  // after the build guard closes — quiescent setter.
+  index_options build_opts = opts;
+  const std::size_t deploy = std::max(net.host_count(), keys.size());
+  if (build_opts.replication() > 0) {
+    build_opts.replication(std::min(build_opts.replication(), deploy - 1));
+  }
+  std::unique_ptr<string_index> idx;
+  {
+    const net::structural_section build_guard(net);
+    idx = make(std::move(keys), build_opts, net);
+  }
+  if (build_opts.deadline_ns() > 0) net.set_op_deadline(build_opts.deadline_ns());
+  // First start with a snapshot path: persist the fresh build for the next
+  // one (only for backends that can — others ignore the plane).
+  if (!opts.snapshot_path().empty() && has(idx->capabilities(), string_capability::snapshot)) {
+    save_string_snapshot(*idx, opts.snapshot_path());
+  }
+  return idx;
+}
+
+}  // namespace skipweb::api

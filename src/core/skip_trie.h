@@ -142,10 +142,16 @@ class skip_trie {
       SW_ASSERT(child >= 0);
       top = child;
     }
-    // DFS over the matching subtree, hopping to each node's host.
+    // DFS over the matching subtree, hopping to each node's host. Children
+    // are pushed in reverse so the walk emits in lexicographic order — a
+    // deadline give-up therefore returns an honest lexicographic prefix.
     std::vector<int> stack{top};
     while (!stack.empty()) {
       if (limit != 0 && out.size() >= limit) break;
+      if (cur.expired()) {
+        cur.mark_degraded();
+        break;
+      }
       const int v = stack.back();
       stack.pop_back();
       cur.move_to(host_of(0, p0, v));
@@ -158,6 +164,50 @@ class skip_trie {
     std::sort(out.begin(), out.end());
     if (limit != 0 && out.size() > limit) out.resize(limit);
     res.stats = loc.stats + api::op_stats::of(cur);
+    return res;
+  }
+
+  // All stored strings in the closed lexicographic window [lo, hi] (the
+  // string plane's range query): the skip levels route to the window's left
+  // boundary (the O(log n) descent every query pays), then the ground trie
+  // is walked with interval pruning — a subtree rooted at path p holds
+  // exactly the keys extending p, so it is skipped entirely when p > hi
+  // (every extension sorts after the window) or when p < lo without
+  // prefixing lo (every extension sorts before it). Visited nodes are the
+  // answer plus the boundary paths, each one priced hop, in lexicographic
+  // order — deadline give-up returns an honest prefix.
+  [[nodiscard]] api::op_result<std::vector<std::string>> range(const std::string& lo,
+                                                               const std::string& hi,
+                                                               net::host_id origin,
+                                                               std::size_t limit = 0) const {
+    SW_EXPECTS(lo <= hi);
+    const auto route = locate(lo, origin);
+    net::cursor cur(*net_, origin);
+    api::op_result<std::vector<std::string>> res;
+    const seq::trie& g = ground();
+    const std::uint64_t p0 = tries_[0].begin()->first;
+    std::vector<int> stack{g.root()};
+    while (!stack.empty()) {
+      if (limit != 0 && res.value.size() >= limit) break;
+      if (cur.expired()) {
+        cur.mark_degraded();
+        break;
+      }
+      const int v = stack.back();
+      stack.pop_back();
+      cur.move_to(host_of(0, p0, v));
+      const auto& nd = g.node(v);
+      cur.note_comparisons(2);
+      if (nd.path > hi) continue;  // whole subtree sorts after the window
+      if (nd.path < lo && lo.compare(0, nd.path.size(), nd.path) != 0) {
+        continue;  // not a prefix of lo: whole subtree sorts before it
+      }
+      if (nd.is_key && nd.path >= lo) res.value.push_back(nd.path);
+      for (auto it = nd.children.rbegin(); it != nd.children.rend(); ++it) {
+        stack.push_back(it->second);
+      }
+    }
+    res.stats = route.stats + api::op_stats::of(cur);
     return res;
   }
 

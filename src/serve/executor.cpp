@@ -119,6 +119,34 @@ executor::locate_outcome executor::run_locate(const api::spatial_index& idx,
   return out;
 }
 
+executor::contains_outcome executor::run_contains(const api::string_index& idx,
+                                                  const std::vector<std::string>& qs,
+                                                  net::host_id origin, std::size_t batch) {
+  const std::size_t width = std::max<std::size_t>(batch, 1);
+  contains_outcome out;
+  out.results.resize(qs.size());
+  std::vector<api::op_stats> partial(thread_count_);
+  for_slices(qs.size(), [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+    api::op_stats sum;
+    std::vector<std::string> group;
+    group.reserve(std::min(width, hi - lo));
+    for (std::size_t base = lo; base < hi; base += width) {
+      const std::size_t count = std::min(width, hi - base);
+      group.assign(qs.begin() + static_cast<std::ptrdiff_t>(base),
+                   qs.begin() + static_cast<std::ptrdiff_t>(base + count));
+      auto res = idx.contains_batch(group, origin);
+      SW_ASSERT(res.size() == count);
+      for (std::size_t i = 0; i < count; ++i) {
+        sum += res[i].stats;
+        out.results[base + i] = std::move(res[i]);
+      }
+    }
+    partial[worker] = sum;
+  });
+  for (const auto& p : partial) out.total += p;
+  return out;
+}
+
 executor::open_loop_outcome executor::run_open_loop(const api::distributed_index& idx,
                                                     const std::vector<std::uint64_t>& qs,
                                                     const std::vector<std::uint64_t>& arrivals_ns,

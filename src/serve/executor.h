@@ -11,6 +11,7 @@
 #include "api/distributed_index.h"
 #include "api/op_stats.h"
 #include "api/spatial_index.h"
+#include "api/string_index.h"
 
 namespace skipweb::serve {
 
@@ -99,6 +100,18 @@ class executor {
   [[nodiscard]] locate_outcome run_locate(const api::spatial_index& idx,
                                           const std::vector<api::spatial_point>& qs,
                                           net::host_id origin, std::size_t batch = 24);
+
+  /// Result of run_contains: per-query answers plus the exact receipt sum.
+  struct contains_outcome {
+    std::vector<api::op_result<bool>> results;  ///< input order
+    api::op_stats total;                        ///< sum of per-op receipts
+  };
+
+  /// \brief String-plane sibling of run_nearest: drive exact-membership
+  /// queries through contains_batch. Same determinism contract.
+  [[nodiscard]] contains_outcome run_contains(const api::string_index& idx,
+                                              const std::vector<std::string>& qs,
+                                              net::host_id origin, std::size_t batch = 24);
 
   /// Configuration of run_open_loop (the deadline plane, DESIGN.md §11).
   struct open_loop_config {

@@ -241,6 +241,110 @@ std::vector<std::string> dna_strings(std::size_t n, std::size_t length, util::rn
   return random_strings(n, length, length, "ACGT", r);
 }
 
+std::vector<std::string> dictionary_words(std::size_t n, util::rng& r) {
+  static const std::string consonants = "bcdfghjklmnprstvwz";
+  static const std::string vowels = "aeiou";
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const std::size_t syllables = 2 + r.index(4);
+    std::string s;
+    s.reserve(3 * syllables);
+    for (std::size_t i = 0; i < syllables; ++i) {
+      s.push_back(consonants[r.index(consonants.size())]);
+      s.push_back(vowels[r.index(vowels.size())]);
+      if (r.index(4) == 0) s.push_back(consonants[r.index(consonants.size())]);
+    }
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> url_paths(std::size_t n, util::rng& r) {
+  static const std::vector<std::string> roots = {"api", "docs", "img", "shop", "users"};
+  static const std::vector<std::string> exts = {"", ".html", ".json", ".png"};
+  // A modest section pool shared by all keys: deep multi-way shared prefixes.
+  std::size_t sections = 4;
+  while (sections * sections * sections < n) ++sections;
+  const auto section_pool = dictionary_words(sections, r);
+  const auto page_pool = dictionary_words(std::max<std::size_t>(sections * 2, 8), r);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::string s = "/" + roots[r.index(roots.size())];
+    s += "/" + section_pool[r.index(section_pool.size())];
+    s += "/" + page_pool[r.index(page_pool.size())];
+    if (r.index(3) == 0) {
+      s += "-";
+      s += std::to_string(r.index(100));
+    }
+    s += exts[r.index(exts.size())];
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> log_lines(std::size_t n, util::rng& r) {
+  static const std::vector<std::string> levels = {"info", "warn", "error", "debug"};
+  static const std::vector<std::string> services = {"auth", "billing", "cart", "gateway",
+                                                    "search"};
+  static const std::vector<std::string> verbs = {"get", "put", "del", "retry", "open"};
+  static const std::vector<std::string> resources = {"order", "session", "token", "profile",
+                                                     "invoice"};
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::string s = levels[r.index(levels.size())];
+    s += " " + services[r.index(services.size())];
+    s += " " + verbs[r.index(verbs.size())];
+    s += " " + resources[r.index(resources.size())];
+    // Distinct id tail: keys stay unique without disturbing the small shared
+    // vocabularies the intersection plane selects on.
+    s += " req" + std::to_string(r.uniform_u64(0, 8 * n));
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> string_query_stream(const std::vector<std::string>& keys,
+                                             std::size_t count, std::uint64_t seed) {
+  SW_EXPECTS(!keys.empty());
+  auto r = util::rng::stream(seed, 0);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(keys[r.index(keys.size())]);
+  return out;
+}
+
+std::vector<std::string> zipf_string_query_stream(const std::vector<std::string>& keys,
+                                                  std::size_t count, std::uint64_t seed,
+                                                  double s) {
+  SW_EXPECTS(!keys.empty());
+  const auto perm = rank_permutation(keys.size(), seed);
+  const auto ranks = zipf_ranks(keys.size(), count, seed, s);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (const auto rk : ranks) out.push_back(keys[perm[rk]]);
+  return out;
+}
+
+std::vector<std::string> prefix_stream(const std::vector<std::string>& keys, std::size_t count,
+                                       std::uint64_t seed) {
+  SW_EXPECTS(!keys.empty());
+  auto r = util::rng::stream(seed, 0);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& k = keys[r.index(keys.size())];
+    const std::size_t len = k.empty() ? 0 : 1 + r.index(k.size());
+    out.push_back(k.substr(0, len));
+  }
+  return out;
+}
+
 std::vector<api::spatial_point> spatial_points(int dims, std::size_t n, bool clustered,
                                                util::rng& r) {
   SW_EXPECTS(dims == 2 || dims == 3);

@@ -181,6 +181,48 @@ std::vector<std::string> shared_prefix_strings(std::size_t n, util::rng& r);
 // DNA reads over {A,C,G,T}.
 std::vector<std::string> dna_strings(std::size_t n, std::size_t length, util::rng& r);
 
+// --- string-plane corpora (bench_strings / test_string_conformance) ----------
+//
+// Three realistic key shapes for the text index: natural-language-ish words
+// (pronounceable syllable chains, the autocomplete corpus), URL paths
+// (few-hundred-way shared prefixes under a handful of roots — deep trie
+// spines), and log lines (multi-token, the intersection plane's corpus: every
+// key tokenizes into several alphanumeric terms drawn from small
+// vocabularies, so multi-term posting intersections have non-trivial
+// selectivity). All produce n DISTINCT keys and are pure functions of
+// (n, r)'s seed state, like every generator above.
+
+// n distinct pronounceable words: 2–5 consonant+vowel syllables with an
+// occasional coda, lowercase ASCII.
+std::vector<std::string> dictionary_words(std::size_t n, util::rng& r);
+
+// n distinct URL-ish paths: "/root/section/page[-k][.ext]" over small pools
+// of roots and sections — many keys share long prefixes.
+std::vector<std::string> url_paths(std::size_t n, util::rng& r);
+
+// n distinct log-ish lines: "<level> <service> <verb> <resource> req<id>",
+// space-separated tokens from small vocabularies plus a distinct request id.
+std::vector<std::string> log_lines(std::size_t n, util::rng& r);
+
+// Uniform exact-probe stream over the STORED key set (stream 0 of the seed):
+// the string sibling of query_stream, for contains/top-k drivers. Pure
+// function of (keys, count, seed).
+std::vector<std::string> string_query_stream(const std::vector<std::string>& keys,
+                                             std::size_t count, std::uint64_t seed);
+
+// Zipf(s)-popular probes over the stored key set: the skewed sibling, built
+// from the same rank machinery as zipf_query_stream (permutation stream 2,
+// rank stream 1 — which keys are hot is a pure function of the seed).
+std::vector<std::string> zipf_string_query_stream(const std::vector<std::string>& keys,
+                                                  std::size_t count, std::uint64_t seed,
+                                                  double s);
+
+// `count` prefixes of stored keys (each a random-length prefix of a random
+// key, length >= 1), for prefix_match / prefix_count / top_k drivers —
+// every probe has a non-empty answer set by construction. Stream 0.
+std::vector<std::string> prefix_stream(const std::vector<std::string>& keys, std::size_t count,
+                                       std::uint64_t seed);
+
 // --- segments ----------------------------------------------------------------
 
 // n pairwise-disjoint non-crossing segments with distinct endpoint

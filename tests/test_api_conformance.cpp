@@ -12,18 +12,18 @@
 
 #include "api/registry.h"
 #include "net/network.h"
+#include "oracle_common.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
 namespace {
 
 using namespace skipweb;
+using namespace skipweb::testing_support;
 using net::host_id;
 using net::network;
 using util::rng;
 namespace wl = skipweb::workloads;
-
-host_id h(std::uint32_t v) { return host_id{v}; }
 
 class ApiConformance : public ::testing::TestWithParam<std::string> {
  protected:
@@ -88,8 +88,10 @@ TEST_P(ApiConformance, ContainsMatchesOracle) {
 }
 
 TEST_P(ApiConformance, InsertEraseRoundTrip) {
+  // Seeded mixed tape vs a std::set oracle; a divergence prints the seed and
+  // the minimal reproducing op prefix (tests/oracle_common.h).
   rng r(8004);
-  auto pool = wl::uniform_keys(300, r);
+  const auto pool = wl::uniform_keys(300, r);
   const std::vector<std::uint64_t> initial(pool.begin(), pool.begin() + 200);
   network net(1);
   const auto idx = api::make_index(GetParam(), initial, options(), net);
@@ -97,20 +99,26 @@ TEST_P(ApiConformance, InsertEraseRoundTrip) {
   ASSERT_TRUE(idx->supports(api::capability::erase));
 
   std::set<std::uint64_t> oracle(initial.begin(), initial.end());
-  for (std::size_t i = 200; i < 300; ++i) {
-    if (!oracle.insert(pool[i]).second) continue;
-    const auto stats = idx->insert(pool[i], h(static_cast<std::uint32_t>(i % net.host_count())));
-    EXPECT_GT(stats.host_visits, 0u);
-  }
+  const auto tape = make_tape<std::uint64_t>(8004, pool, 200, 260, net.host_count());
+  replay_tape(
+      tape,
+      [&](std::size_t, const tape_row<std::uint64_t>& row) {
+        switch (row.op) {
+          case tape_op::insert: {
+            if (!oracle.insert(row.key).second) return true;
+            const auto stats = idx->insert(row.key, h(row.origin));
+            return stats.host_visits > 0 && idx->size() == oracle.size();
+          }
+          case tape_op::erase:
+            if (oracle.erase(row.key) == 0) return true;
+            (void)idx->erase(row.key, h(row.origin));
+            return idx->size() == oracle.size();
+          default:
+            return idx->contains(row.key, h(row.origin)).value == (oracle.count(row.key) > 0);
+        }
+      },
+      [](std::uint64_t k) { return std::to_string(k); });
   EXPECT_EQ(idx->size(), oracle.size());
-  for (std::size_t i = 0; i < 100; ++i) {
-    oracle.erase(pool[i * 2]);
-    (void)idx->erase(pool[i * 2], h(0));
-  }
-  EXPECT_EQ(idx->size(), oracle.size());
-  for (const auto q : wl::probe_keys(pool, 80, r)) {
-    EXPECT_EQ(idx->contains(q, h(0)).value, oracle.count(q) > 0) << q;
-  }
 }
 
 TEST_P(ApiConformance, RangeMatchesOracle) {
@@ -153,18 +161,18 @@ TEST_P(ApiConformance, BatchMatchesSerialResultsAndReceipts) {
   serial.reserve(qs.size());
   for (const auto q : qs) serial.push_back(idx->nearest(q, h(2)));
   const auto batch = idx->nearest_batch(qs, h(2));
-  ASSERT_EQ(batch.size(), serial.size());
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(batch[i].has_pred, serial[i].has_pred) << i;
-    EXPECT_EQ(batch[i].has_succ, serial[i].has_succ) << i;
-    if (serial[i].has_pred) {
-      EXPECT_EQ(batch[i].pred, serial[i].pred) << i;
-    }
-    if (serial[i].has_succ) {
-      EXPECT_EQ(batch[i].succ, serial[i].succ) << i;
-    }
-    EXPECT_EQ(batch[i].stats, serial[i].stats) << i;
-  }
+  expect_batch_matches_serial(batch, serial,
+                              [](std::size_t i, const api::nn_result& b, const api::nn_result& s) {
+                                EXPECT_EQ(b.has_pred, s.has_pred) << i;
+                                EXPECT_EQ(b.has_succ, s.has_succ) << i;
+                                if (s.has_pred) {
+                                  EXPECT_EQ(b.pred, s.pred) << i;
+                                }
+                                if (s.has_succ) {
+                                  EXPECT_EQ(b.succ, s.succ) << i;
+                                }
+                                EXPECT_EQ(b.stats, s.stats) << i;
+                              });
 }
 
 TEST_P(ApiConformance, StatsReceiptsAreNonTrivial) {
@@ -172,14 +180,12 @@ TEST_P(ApiConformance, StatsReceiptsAreNonTrivial) {
   const auto keys = wl::uniform_keys(256, r);
   network net(1);
   const auto idx = api::make_index(GetParam(), keys, options(), net);
-  net.reset_traffic();
-  std::uint64_t messages = 0;
-  for (const auto q : wl::probe_keys(keys, 50, r)) {
-    messages += idx->nearest(q, h(0)).stats.messages;
-  }
-  EXPECT_GT(messages, 0u);
-  // Per-op receipts reconcile with the network's global traffic ledger.
-  EXPECT_EQ(messages, net.total_messages());
+  const auto qs = wl::probe_keys(keys, 50, r);
+  expect_receipts_reconcile(net, [&] {
+    std::uint64_t messages = 0;
+    for (const auto q : qs) messages += idx->nearest(q, h(0)).stats.messages;
+    return messages;
+  });
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, ApiConformance,

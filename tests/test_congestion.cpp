@@ -16,6 +16,7 @@
 
 #include "api/registry.h"
 #include "api/spatial_registry.h"
+#include "api/string_registry.h"
 #include "net/cursor.h"
 #include "net/network.h"
 #include "net/receipt.h"
@@ -382,6 +383,68 @@ TEST_P(SpatialCachedConformance, LocateAndNnAnswersMatchTheUncachedTwin) {
 
 INSTANTIATE_TEST_SUITE_P(AllSpatialBackends, SpatialCachedConformance,
                          ::testing::ValuesIn(api::registered_spatial_backends()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// The string plane composes with the cache the same way: every registered
+// text backend's answers are byte-identical to an uncached twin across the
+// whole query surface, trained or cold.
+class StringCachedConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StringCachedConformance, AnswersAreByteIdenticalToTheUncachedTwin) {
+  util::rng r(9108);
+  const auto keys = wl::url_paths(200, r);
+  const auto qs = wl::zipf_string_query_stream(keys, 300, 9109, 1.1);
+  const auto prefixes = wl::prefix_stream(keys, 40, 9109);
+  const auto opts = api::index_options{}.seed(97).initial_hosts(8);
+
+  network plain_net(1);
+  const auto plain = api::make_string_index(GetParam(), keys, opts, plain_net);
+
+  network cached_net(1);
+  serve::route_cache::options co;
+  co.capacity = 16;
+  co.depth = 8;
+  co.promote_after = 4;
+  serve::route_cache cache(co);
+  const auto cached = api::make_string_index(
+      GetParam(), keys, api::index_options(opts).route_cache(&cache), cached_net);
+  ASSERT_EQ(cached_net.attached_hop_cache(), &cache);
+
+  serve::executor ex(2);
+  // Two passes: the first trains the cache, the second absorbs. Answers must
+  // match in BOTH (the cache may only change receipts).
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto want = ex.run_contains(*plain, qs, h(0), 16);
+    const auto got = ex.run_contains(*cached, qs, h(0), 16);
+    ASSERT_EQ(got.results.size(), want.results.size());
+    for (std::size_t i = 0; i < want.results.size(); ++i) {
+      EXPECT_EQ(got.results[i].value, want.results[i].value) << "pass " << pass << " q " << i;
+    }
+    for (const auto& p : prefixes) {
+      EXPECT_EQ(cached->prefix_match(p, h(0)).value, plain->prefix_match(p, h(0)).value) << p;
+      EXPECT_EQ(cached->top_k(p, 5, h(0)).value, plain->top_k(p, 5, h(0)).value) << p;
+    }
+  }
+  EXPECT_EQ(cached->lex_range(keys[3], keys[3] + "~", h(0)).value,
+            plain->lex_range(keys[3], keys[3] + "~", h(0)).value);
+  const auto terms = api::string_tokens(keys[0]);
+  EXPECT_EQ(cached->intersect(terms, h(0)).value, plain->intersect(terms, h(0)).value);
+
+  // Structural plane: update receipts stay bit-identical with the trained
+  // cache attached (structural cursors never absorb).
+  const std::string fresh = keys[0] + "-fresh";
+  const auto wi = plain->insert(fresh, h(0));
+  const auto gi = cached->insert(fresh, h(0));
+  EXPECT_EQ(gi, wi) << "insert receipt changed under the route cache";
+  const auto we = plain->erase(fresh, h(0));
+  const auto ge = cached->erase(fresh, h(0));
+  EXPECT_EQ(ge, we) << "erase receipt changed under the route cache";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStringBackends, StringCachedConformance,
+                         ::testing::ValuesIn(api::registered_string_backends()),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });

@@ -17,6 +17,7 @@
 
 #include "api/registry.h"
 #include "api/spatial_registry.h"
+#include "api/string_registry.h"
 #include "core/skip_quadtree.h"
 #include "core/skipweb_1d.h"
 #include "fault/injector.h"
@@ -129,6 +130,43 @@ TEST(FailureFreeIdentity, SpatialReplicationIsReceiptNeutralForEveryBackend) {
   }
 }
 
+TEST(FailureFreeIdentity, StringReplicationIsReceiptNeutralForEveryBackend) {
+  // The replication knob composes with the string plane without perturbing a
+  // single receipt on a healthy network — for every registered text backend.
+  rng r(4821);
+  const auto keys = wl::url_paths(160, r);
+  const auto probes = wl::string_query_stream(keys, 90, 4822);
+  const auto prefixes = wl::prefix_stream(keys, 30, 4822);
+  for (const auto& name : api::registered_string_backends()) {
+    network plain_net(1), repl_net(1);
+    const auto opts = api::index_options{}.seed(57).initial_hosts(8);
+    const auto plain = api::make_string_index(name, keys, opts, plain_net);
+    const auto repl =
+        api::make_string_index(name, keys, api::index_options(opts).replication(3), repl_net);
+    std::uint32_t origin = 0;
+    for (const auto& q : probes) {
+      const auto a = plain->contains(q, h(origin));
+      const auto b = repl->contains(q, h(origin));
+      origin = static_cast<std::uint32_t>((origin + 1) % plain_net.host_count());
+      ASSERT_EQ(a.value, b.value) << name << " q=" << q;
+      ASSERT_EQ(a.stats, b.stats) << name << " q=" << q;
+      ASSERT_FALSE(b.stats.failed) << name;
+    }
+    for (const auto& p : prefixes) {
+      const auto a = plain->prefix_match(p, h(0));
+      const auto b = repl->prefix_match(p, h(0));
+      ASSERT_EQ(a.value, b.value) << name << " p=" << p;
+      ASSERT_EQ(a.stats, b.stats) << name << " p=" << p;
+      const auto ta = plain->top_k(p, 4, h(0));
+      const auto tb = repl->top_k(p, 4, h(0));
+      ASSERT_EQ(ta.value, tb.value) << name << " p=" << p;
+      ASSERT_EQ(ta.stats, tb.stats) << name << " p=" << p;
+    }
+    const auto terms = api::string_tokens(keys[5]);
+    ASSERT_EQ(plain->intersect(terms, h(0)).value, repl->intersect(terms, h(0)).value) << name;
+  }
+}
+
 TEST(FailureFreeIdentity, CapabilityAdvertisedOnlyWhenReplicated) {
   rng r(4805);
   const auto keys = wl::uniform_keys(64, r);
@@ -223,6 +261,48 @@ TEST(FailureInjection, MessageLossIsChargedAndDeterministic) {
   EXPECT_GT(lost_retries, 0u);  // at p = 0.25 some attempt was dropped
   net.set_message_loss(0.0, 0);
   EXPECT_FALSE(net.faults_active());
+}
+
+TEST(FailureInjection, StringMessageLossIsChargedAndDeterministic) {
+  // Text ops ride the same priced cursor plane, so lossy links surface the
+  // same way: answers never change, receipts grow by the replayable retries.
+  rng r(4815);
+  const auto keys = wl::dictionary_words(150, r);
+  const auto probes = wl::string_query_stream(keys, 50, 4816);
+  const auto prefixes = wl::prefix_stream(keys, 15, 4816);
+
+  for (const auto& name : api::registered_string_backends()) {
+    network net(1);
+    const auto idx = api::make_string_index(
+        name, keys, api::index_options{}.seed(58).initial_hosts(8), net);
+    std::vector<api::op_stats> clean;
+    std::vector<bool> clean_hits;
+    for (const auto& q : probes) {
+      const auto res = idx->contains(q, h(0));
+      clean.push_back(res.stats);
+      clean_hits.push_back(res.value);
+    }
+    std::vector<std::vector<std::string>> clean_prefix;
+    for (const auto& p : prefixes) clean_prefix.push_back(idx->prefix_match(p, h(0)).value);
+
+    net.set_message_loss(0.25, 99);
+    EXPECT_TRUE(net.faults_active());
+    std::uint64_t lost_retries = 0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const auto a = idx->contains(probes[i], h(0));
+      const auto b = idx->contains(probes[i], h(0));
+      EXPECT_EQ(a.value, clean_hits[i]) << name;  // retries never change answers
+      EXPECT_EQ(a.stats, b.stats) << name;        // loss draws are replayable
+      EXPECT_GE(a.stats.messages, clean[i].messages) << name;
+      lost_retries += a.stats.messages - clean[i].messages;
+    }
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      EXPECT_EQ(idx->prefix_match(prefixes[i], h(0)).value, clean_prefix[i]) << name;
+    }
+    EXPECT_GT(lost_retries, 0u) << name;  // at p = 0.25 some attempt was dropped
+    net.set_message_loss(0.0, 0);
+    EXPECT_FALSE(net.faults_active());
+  }
 }
 
 // Fault-unaware structures keep their answers under kills (the simulation

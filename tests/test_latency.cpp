@@ -13,6 +13,7 @@
 
 #include "api/registry.h"
 #include "api/spatial_registry.h"
+#include "api/string_registry.h"
 #include "fault/injector.h"
 #include "net/cursor.h"
 #include "net/latency.h"
@@ -437,6 +438,65 @@ TEST(Deadline, DegradedRangeIsAnHonestPrefix) {
   }
   EXPECT_TRUE(saw_degraded);  // the tight budgets actually bit
   EXPECT_TRUE(saw_full);      // and the generous one recovered the answer
+}
+
+TEST(Deadline, DegradedStringPrefixAndRangeAreHonestPrefixes) {
+  // Same honesty contract on the string plane: a budgeted prefix_match or
+  // lex_range may stop early, but what it returns is a lexicographic prefix
+  // of the full answer and the receipt admits the truncation — for every
+  // registered text backend.
+  util::rng r(7131);
+  const auto keys = wl::url_paths(220, r);
+  std::vector<std::string> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string prefix = sorted[10].substr(0, 5);
+  const std::string lo = sorted[15], hi = sorted[190];
+
+  for (const auto& name : api::registered_string_backends()) {
+    // Ground truth: same build, no deadline.
+    network net_full(1);
+    const auto full =
+        api::make_string_index(name, keys, api::index_options{}.seed(29).initial_hosts(8),
+                               net_full);
+    net_full.set_latency_model(latency_model::lognormal(1000, 0.5, 7));
+    const auto want_prefix = full->prefix_match(prefix, h(0)).value;
+    const auto want_range = full->lex_range(lo, hi, h(0)).value;
+    ASSERT_FALSE(want_range.empty()) << name;
+
+    bool saw_degraded = false, saw_full = false;
+    for (const std::uint64_t budget : {2000u, 20000u, 100000u, 100000000u}) {
+      network net(1);
+      const auto idx = api::make_string_index(
+          name, keys,
+          api::index_options{}.seed(29).initial_hosts(8).deadline(budget), net);
+      net.set_latency_model(latency_model::lognormal(1000, 0.5, 7));
+
+      const auto gp = idx->prefix_match(prefix, h(0));
+      ASSERT_LE(gp.value.size(), want_prefix.size()) << name;
+      for (std::size_t i = 0; i < gp.value.size(); ++i) {
+        EXPECT_EQ(gp.value[i], want_prefix[i]) << name << " budget=" << budget;
+      }
+      const auto gr = idx->lex_range(lo, hi, h(0));
+      ASSERT_LE(gr.value.size(), want_range.size()) << name;
+      for (std::size_t i = 0; i < gr.value.size(); ++i) {
+        EXPECT_EQ(gr.value[i], want_range[i]) << name << " budget=" << budget;
+      }
+      if (gr.stats.degraded) {
+        saw_degraded = true;
+        EXPECT_TRUE(gr.stats.timed_out) << name;
+        EXPECT_LT(gr.value.size(), want_range.size()) << name;
+      }
+      if (gp.stats.degraded) {
+        saw_degraded = true;
+        EXPECT_TRUE(gp.stats.timed_out) << name;
+      }
+      if (gr.value.size() == want_range.size() && gp.value.size() == want_prefix.size()) {
+        saw_full = true;
+      }
+    }
+    EXPECT_TRUE(saw_degraded) << name;  // the tight budgets actually bit
+    EXPECT_TRUE(saw_full) << name;      // and the generous one recovered the answer
+  }
 }
 
 TEST(Deadline, GenericRangeFallbackTruncatesAcrossConstituentQueries) {

@@ -17,6 +17,7 @@
 
 #include "api/registry.h"
 #include "api/spatial_registry.h"
+#include "api/string_registry.h"
 #include "core/level_lists.h"
 #include "net/network.h"
 #include "persist/snapshot.h"
@@ -356,6 +357,160 @@ INSTANTIATE_TEST_SUITE_P(AllSpatialBackends, SpatialPersistConformance,
                          ::testing::ValuesIn(api::registered_spatial_backends()),
                          [](const auto& info) { return info.param; });
 
+// --- layer 4b: restored twins through the string registry --------------------
+
+class StringPersistConformance : public ::testing::TestWithParam<std::string> {};
+
+// String snapshots are replay logs, not arenas: the restore rebuilds the
+// backend from the saved build set (same seed, same pre-grow host count) and
+// replays the op log, so the twin must be receipt-identical — not just
+// answer-identical — across the whole text surface, and must stay so under
+// routed mutations after the restore.
+TEST_P(StringPersistConformance, RestoredTwinIndistinguishable) {
+  rng r(5252);
+  const auto all = wl::url_paths(260, r);
+  const std::vector<std::string> build(all.begin(), all.begin() + 200);
+  const std::vector<std::string> extra(all.begin() + 200, all.end());
+  const auto opts = api::index_options{}.seed(42).initial_hosts(8);
+  network net_o(1);
+  const auto orig = api::make_string_index(GetParam(), build, opts, net_o);
+  ASSERT_TRUE(orig->supports(api::string_capability::snapshot));
+
+  // Mutate before saving so the replay log is non-trivial: the snapshot must
+  // carry history, not just the build set.
+  for (std::size_t i = 0; i < 20; ++i) {
+    orig->insert(extra[i], h(static_cast<std::uint32_t>(i % net_o.host_count())));
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    orig->erase(build[i * 7], h(static_cast<std::uint32_t>(i % net_o.host_count())));
+  }
+  const auto path = snap_path("strconf_" + GetParam());
+  api::save_string_snapshot(*orig, path);
+
+  network net_l(1), net_m(1);
+  const auto twin_l = api::restore_string_index(path, persist::restore_mode::load, net_l);
+  const auto twin_m = api::restore_string_index(path, persist::restore_mode::map, net_m);
+  const std::vector<std::pair<api::string_index*, network*>> twins = {{twin_l.get(), &net_l},
+                                                                      {twin_m.get(), &net_m}};
+  for (const auto& [twin, net] : twins) {
+    ASSERT_EQ(twin->backend(), GetParam());
+    ASSERT_EQ(twin->size(), orig->size());
+    ASSERT_EQ(net->host_count(), net_o.host_count());
+  }
+  const auto probe_all = [&](const char* when) {
+    std::uint32_t origin = 0;
+    for (const auto& q : wl::string_query_stream(all, 60, 5353)) {
+      const auto o = h(origin);
+      origin = static_cast<std::uint32_t>((origin + 1) % net_o.host_count());
+      const auto ca = orig->contains(q, o);
+      for (const auto& [twin, net] : twins) {
+        const auto cb = twin->contains(q, o);
+        ASSERT_EQ(ca.value, cb.value) << when << " " << q;
+        ASSERT_EQ(ca.stats, cb.stats) << when << " " << q;
+      }
+    }
+    for (const auto& p : wl::prefix_stream(all, 20, 5353)) {
+      const auto pa = orig->prefix_match(p, h(1));
+      const auto ta = orig->top_k(p, 5, h(1));
+      for (const auto& [twin, net] : twins) {
+        const auto pb = twin->prefix_match(p, h(1));
+        ASSERT_EQ(pa.value, pb.value) << when << " " << p;
+        ASSERT_EQ(pa.stats, pb.stats) << when << " " << p;
+        const auto tb = twin->top_k(p, 5, h(1));
+        ASSERT_EQ(ta.value, tb.value) << when << " " << p;
+        ASSERT_EQ(ta.stats, tb.stats) << when << " " << p;
+      }
+    }
+    const auto ra = orig->lex_range(build[2], build[2] + "~", h(2));
+    const auto terms = api::string_tokens(build[4]);
+    const auto ia = orig->intersect(terms, h(2));
+    for (const auto& [twin, net] : twins) {
+      const auto rb = twin->lex_range(build[2], build[2] + "~", h(2));
+      ASSERT_EQ(ra.value, rb.value) << when;
+      ASSERT_EQ(ra.stats, rb.stats) << when;
+      const auto ib = twin->intersect(terms, h(2));
+      ASSERT_EQ(ia.value, ib.value) << when;
+      ASSERT_EQ(ia.stats, ib.stats) << when;
+    }
+  };
+  probe_all("fresh restore");
+  // Post-restore routed mutations: receipts must track op by op.
+  for (std::size_t i = 20; i < extra.size(); ++i) {
+    const auto o = h(static_cast<std::uint32_t>(i % net_o.host_count()));
+    const auto sa = orig->insert(extra[i], o);
+    for (const auto& [twin, net] : twins) {
+      ASSERT_EQ(sa, twin->insert(extra[i], o)) << "insert " << i;
+    }
+  }
+  for (std::size_t i = 0; i < 15; ++i) {
+    const auto o = h(static_cast<std::uint32_t>(i % net_o.host_count()));
+    const auto sa = orig->erase(build[100 + i * 6], o);
+    for (const auto& [twin, net] : twins) {
+      ASSERT_EQ(sa, twin->erase(build[100 + i * 6], o)) << "erase " << i;
+    }
+  }
+  for (const auto& [twin, net] : twins) {
+    ASSERT_EQ(twin->size(), orig->size());
+  }
+  probe_all("after mutations");
+  // The mutated twin can itself be snapshotted: one more full cycle.
+  const auto path2 = snap_path("strconf2_" + GetParam());
+  api::save_string_snapshot(*twin_l, path2);
+  network net_2(1);
+  const auto twin_2 = api::restore_string_index(path2, persist::restore_mode::map, net_2);
+  ASSERT_EQ(twin_2->size(), orig->size());
+  for (const auto& q : wl::string_query_stream(all, 30, 5454)) {
+    const auto a = orig->contains(q, h(1));
+    const auto b = twin_2->contains(q, h(1));
+    ASSERT_EQ(a.value, b.value) << q;
+    ASSERT_EQ(a.stats, b.stats) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStringBackends, StringPersistConformance,
+                         ::testing::ValuesIn(api::registered_string_backends()),
+                         [](const auto& info) { return info.param; });
+
+TEST(StringPersist, WrongIndexKindRejected) {
+  // A 1-D ordered-key snapshot must not restore as a text index (and vice
+  // versa — the index_kind field in the meta section tells them apart).
+  rng r(5555);
+  const auto keys = wl::uniform_keys(120, r);
+  const auto path = snap_path("string_kind");
+  network net(1);
+  const auto idx =
+      api::make_index("skipweb1d", keys, api::index_options{}.seed(3).initial_hosts(8), net);
+  api::save_index_snapshot(*idx, path);
+  network net2(1);
+  EXPECT_THROW((void)api::restore_string_index(path, persist::restore_mode::load, net2),
+               persist::error);
+
+  const auto spath = snap_path("string_kind2");
+  rng r2(5556);
+  const auto skeys = wl::dictionary_words(60, r2);
+  network net3(1);
+  const auto sidx = api::make_string_index("string_skiptrie", skeys,
+                                           api::index_options{}.seed(3).initial_hosts(8), net3);
+  api::save_string_snapshot(*sidx, spath);
+  network net4(1);
+  EXPECT_THROW((void)api::restore_index(spath, persist::restore_mode::load, net4),
+               persist::error);
+}
+
+TEST(StringPersist, CorruptStringSnapshotRejected) {
+  rng r(5557);
+  const auto keys = wl::dictionary_words(100, r);
+  const auto path = snap_path("string_corrupt");
+  network net(1);
+  const auto idx = api::make_string_index("string_sorted", keys,
+                                          api::index_options{}.seed(9).initial_hosts(8), net);
+  api::save_string_snapshot(*idx, path);
+  flip_byte(path, 64);  // first payload byte
+  network net2(1);
+  EXPECT_THROW((void)api::restore_string_index(path, persist::restore_mode::load, net2),
+               persist::error);
+}
+
 // --- layer 5: the build-or-restore entry points ------------------------------
 
 TEST(Persist, SnapshotPathBuildsThenRestores) {
@@ -410,6 +565,29 @@ TEST(Persist, SpatialSnapshotPathBuildsThenRestores) {
     const auto lb = restored->locate(q, h(2));
     ASSERT_EQ(la.cell, lb.cell);
     ASSERT_EQ(la.stats, lb.stats);
+  }
+}
+
+TEST(Persist, StringSnapshotPathBuildsThenRestores) {
+  rng r(15);
+  const auto keys = wl::url_paths(300, r);
+  const auto path = snap_path("string_build_or_restore");
+  const auto opts = api::index_options{}.seed(19).initial_hosts(8).snapshot_path(path);
+  network net_a(1);
+  const auto built = api::make_string_index("string_skiptrie", keys, opts, net_a);
+  ASSERT_TRUE(fs::exists(path));  // first start: built and saved
+  network net_b(1);
+  const auto restored = api::make_string_index("string_skiptrie", {}, opts, net_b);
+  ASSERT_EQ(restored->size(), built->size());
+  ASSERT_EQ(net_b.host_count(), net_a.host_count());
+  for (const auto& q : wl::string_query_stream(keys, 50, 16)) {
+    const auto a = built->contains(q, h(3));
+    const auto b = restored->contains(q, h(3));
+    ASSERT_EQ(a.value, b.value) << q;
+    ASSERT_EQ(a.stats, b.stats) << q;
+  }
+  for (const auto& p : wl::prefix_stream(keys, 15, 16)) {
+    ASSERT_EQ(built->top_k(p, 4, h(0)).value, restored->top_k(p, 4, h(0)).value) << p;
   }
 }
 

@@ -13,20 +13,20 @@
 
 #include "api/spatial_registry.h"
 #include "net/network.h"
+#include "oracle_common.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
 
 namespace {
 
 using namespace skipweb;
+using namespace skipweb::testing_support;
 using api::spatial_box;
 using api::spatial_point;
 using net::host_id;
 using net::network;
 using util::rng;
 namespace wl = skipweb::workloads;
-
-host_id h(std::uint32_t v) { return host_id{v}; }
 
 std::vector<spatial_point> points_for(int dims, std::size_t n, rng& r, bool clustered = false) {
   return wl::spatial_points(dims, n, clustered, r);
@@ -92,17 +92,21 @@ TEST_P(SpatialConformance, LocateBatchReceiptEqualToSerial) {
   std::vector<spatial_point> qs;
   for (int i = 0; i < 40; ++i) qs.push_back(probe_for(dims(), r));
   qs.push_back(pts[7]);  // one exact hit in the batch
+  std::vector<api::spatial_locate_result> serial;
+  serial.reserve(qs.size());
+  for (const auto& q : qs) serial.push_back(idx->locate(q, h(3)));
   const auto batch = idx->locate_batch(qs, h(3));
-  ASSERT_EQ(batch.size(), qs.size());
-  for (std::size_t i = 0; i < qs.size(); ++i) {
-    const auto serial = idx->locate(qs[i], h(3));
-    EXPECT_EQ(batch[i].found, serial.found) << i;
-    EXPECT_EQ(batch[i].cell, serial.cell) << i;
-    EXPECT_EQ(batch[i].scale, serial.scale) << i;
-    EXPECT_EQ(batch[i].stats.messages, serial.stats.messages) << i;
-    EXPECT_EQ(batch[i].stats.host_visits, serial.stats.host_visits) << i;
-    EXPECT_EQ(batch[i].stats.comparisons, serial.stats.comparisons) << i;
-  }
+  expect_batch_matches_serial(
+      batch, serial,
+      [](std::size_t i, const api::spatial_locate_result& b,
+         const api::spatial_locate_result& s) {
+        EXPECT_EQ(b.found, s.found) << i;
+        EXPECT_EQ(b.cell, s.cell) << i;
+        EXPECT_EQ(b.scale, s.scale) << i;
+        EXPECT_EQ(b.stats.messages, s.stats.messages) << i;
+        EXPECT_EQ(b.stats.host_visits, s.stats.host_visits) << i;
+        EXPECT_EQ(b.stats.comparisons, s.stats.comparisons) << i;
+      });
 }
 
 TEST_P(SpatialConformance, OrthogonalRangeMatchesBruteForce) {
@@ -160,27 +164,42 @@ TEST_P(SpatialConformance, ApproxNnMatchesBruteForceDistance) {
 }
 
 TEST_P(SpatialConformance, InsertEraseRoundTrip) {
+  // Seeded mixed tape vs a std::set oracle; a divergence prints the seed and
+  // the minimal reproducing op prefix (tests/oracle_common.h).
   rng r(9006);
-  auto pool = points_for(dims(), 240, r);
+  const auto pool = points_for(dims(), 240, r);
   const std::vector<spatial_point> initial(pool.begin(), pool.begin() + 160);
   network net(1);
   const auto idx = api::make_spatial_index(GetParam(), initial, options(), net);
 
   std::set<spatial_point> oracle(initial.begin(), initial.end());
-  for (std::size_t i = 160; i < pool.size(); ++i) {
-    if (!oracle.insert(pool[i]).second) continue;
-    const auto stats = idx->insert(pool[i], h(static_cast<std::uint32_t>(i % net.host_count())));
-    EXPECT_GT(stats.host_visits, 0u);
-  }
+  const auto tape = make_tape<spatial_point>(9006, pool, 160, 220, net.host_count());
+  replay_tape(
+      tape,
+      [&](std::size_t, const tape_row<spatial_point>& row) {
+        switch (row.op) {
+          case tape_op::insert: {
+            if (!oracle.insert(row.key).second) return true;
+            const auto stats = idx->insert(row.key, h(row.origin));
+            return stats.host_visits > 0 && idx->size() == oracle.size();
+          }
+          case tape_op::erase:
+            if (oracle.erase(row.key) == 0) return true;
+            (void)idx->erase(row.key, h(row.origin));
+            return idx->size() == oracle.size();
+          default:
+            return idx->locate(row.key, h(row.origin)).found == (oracle.count(row.key) > 0);
+        }
+      },
+      [&](const spatial_point& p) {
+        std::string s = "(";
+        for (int d = 0; d < dims(); ++d) {
+          if (d > 0) s += ",";
+          s += std::to_string(p.x[static_cast<std::size_t>(d)]);
+        }
+        return s + ")";
+      });
   EXPECT_EQ(idx->size(), oracle.size());
-  for (std::size_t i = 0; i < 80; ++i) {
-    oracle.erase(pool[i * 2]);
-    (void)idx->erase(pool[i * 2], h(0));
-  }
-  EXPECT_EQ(idx->size(), oracle.size());
-  for (std::size_t i = 0; i < pool.size(); i += 3) {
-    EXPECT_EQ(idx->locate(pool[i], h(1)).found, oracle.count(pool[i]) > 0) << i;
-  }
   // Duplicates rejected on insert, absent points rejected on erase.
   EXPECT_THROW((void)idx->insert(*oracle.begin(), h(0)), util::contract_error);
   EXPECT_THROW((void)idx->erase(probe_for(dims(), r), h(0)), util::contract_error);
@@ -191,13 +210,13 @@ TEST_P(SpatialConformance, StatsReceiptsReconcileWithTheLedger) {
   const auto pts = points_for(dims(), 180, r);
   network net(1);
   const auto idx = api::make_spatial_index(GetParam(), pts, options(), net);
-  net.reset_traffic();
-  std::uint64_t messages = 0;
-  for (int i = 0; i < 40; ++i) {
-    messages += idx->locate(probe_for(dims(), r), h(0)).stats.messages;
-  }
-  EXPECT_GT(messages, 0u);
-  EXPECT_EQ(messages, net.total_messages());
+  std::vector<spatial_point> qs;
+  for (int i = 0; i < 40; ++i) qs.push_back(probe_for(dims(), r));
+  expect_receipts_reconcile(net, [&] {
+    std::uint64_t messages = 0;
+    for (const auto& q : qs) messages += idx->locate(q, h(0)).stats.messages;
+    return messages;
+  });
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSpatialBackends, SpatialConformance,
